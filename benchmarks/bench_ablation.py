@@ -1,0 +1,109 @@
+"""Ablations over the generator's design choices (DESIGN.md Section 5).
+
+The paper makes several implementation choices without measuring them
+("In our prototype, we chose the VARRAY collection type; nested tables
+work in nearly the same manner").  These benches quantify each knob:
+collection flavor, attribute-list wrapper types, the meta-database,
+and the Section 7 type-hint extension.
+"""
+
+import pytest
+
+from repro.core import MappingConfig, XML2Oracle, compare
+from repro.core.plan import CollectionFlavor
+from repro.workloads import UNIVERSITY_DTD, make_university
+
+
+def _tool(config: MappingConfig | None = None,
+          metadata: bool = False) -> XML2Oracle:
+    tool = XML2Oracle(config=config, metadata=metadata)
+    tool.register_schema(UNIVERSITY_DTD)
+    return tool
+
+
+_DOCUMENT = make_university(students=10)
+
+
+@pytest.mark.parametrize("flavor", [CollectionFlavor.VARRAY,
+                                    CollectionFlavor.NESTED_TABLE],
+                         ids=["varray", "nested-table"])
+def test_collection_flavor_store(benchmark, flavor):
+    """Section 4.2: 'nested tables work in nearly the same manner'."""
+    tool = _tool(MappingConfig(collection_flavor=flavor))
+    stored = benchmark(tool.store, _DOCUMENT)
+    assert stored.load_result.insert_count == 1
+
+
+@pytest.mark.parametrize("flavor", [CollectionFlavor.VARRAY,
+                                    CollectionFlavor.NESTED_TABLE],
+                         ids=["varray", "nested-table"])
+def test_collection_flavor_query(benchmark, flavor):
+    tool = _tool(MappingConfig(collection_flavor=flavor))
+    tool.store(_DOCUMENT)
+    result = benchmark(
+        tool.query, "/University/Student/Course/Professor/PName")
+    assert result.rows
+
+
+@pytest.mark.parametrize("wrapper", [False, True],
+                         ids=["inline-attrs", "attrlist-types"])
+def test_attribute_list_ablation(benchmark, wrapper):
+    """Section 4.4's TypeAttrL_ wrapper vs the Section 4.2 inline
+    style: same fidelity, slightly deeper constructors."""
+    tool = _tool(MappingConfig(attribute_list_types=wrapper))
+
+    def cycle():
+        stored = tool.store(_DOCUMENT)
+        return compare(_DOCUMENT, tool.fetch(stored.doc_id))
+
+    report = benchmark(cycle)
+    assert report.score == 1.0
+
+
+@pytest.mark.parametrize("metadata", [False, True],
+                         ids=["no-metadata", "with-metadata"])
+def test_metadata_overhead(benchmark, metadata):
+    """What Section 5's bookkeeping costs per stored document."""
+    tool = _tool(metadata=metadata)
+    stored = benchmark(tool.store, _DOCUMENT)
+    assert stored.load_result.insert_count == 1
+
+
+@pytest.mark.parametrize("hints", [False, True],
+                         ids=["varchar-only", "type-hints"])
+def test_type_hint_ablation(benchmark, hints):
+    """Section 7 extension: typed leaves vs all-VARCHAR."""
+    config = MappingConfig(
+        type_hints={"CreditPts": "NUMBER", "StudNr": "INTEGER"}
+        if hints else {})
+    tool = _tool(config)
+    tool.store(_DOCUMENT)
+    sql = ("SELECT COUNT(*) FROM TabUniversity u,"
+           " TABLE(u.attrStudent) s, TABLE(s.attrCourse) c"
+           " WHERE c.attrCreditPts > 3")
+    count = benchmark(lambda: tool.sql(sql).scalar())
+    benchmark.extra_info["typed"] = hints
+    benchmark.extra_info["matches"] = int(count)
+
+
+@pytest.mark.parametrize("length", [255, 4000],
+                         ids=["varchar-255", "varchar-4000"])
+def test_text_length_ablation(benchmark, length):
+    """Section 4.1 picks VARCHAR(4000) 'to avoid value assignment
+    conflicts'; a smaller default is faster to check but rejects
+    long text."""
+    from repro.ordb import ValueTooLarge
+    from repro.xmlkit import parse
+
+    tool = _tool(MappingConfig(text_length=length))
+    stored = benchmark(tool.store, _DOCUMENT)
+    assert stored.load_result.insert_count == 1
+    long_text = "x" * 1000
+    document = parse(
+        f"<University><StudyCourse>{long_text}</StudyCourse>"
+        f"</University>")
+    if length < 1000:
+        with pytest.raises(ValueTooLarge):
+            tool.store(document)
+    else:
+        tool.store(document)

@@ -1,0 +1,144 @@
+"""CLM1 — INSERT-statement counts and load times per document.
+
+The paper's central quantitative claim (Sections 1, 4.1, 4.2): generic
+relational shredding "turns the upload of a document into a large
+number of relational insert operations", while the object-relational
+mapping "requires a single INSERT query for one document".
+
+Series: statements-per-document and load wall time for the OR mapping
+(Oracle 9 nesting), the OR mapping in Oracle 8 mode (REF workaround),
+and the three generic baselines, at growing document sizes.
+"""
+
+import pytest
+
+from conftest import (
+    attribute_setup,
+    build_or_tool,
+    edge_setup,
+    inlining_setup,
+)
+from repro.core.loader import load_document
+from repro.ordb import CompatibilityMode
+from repro.workloads import make_university
+
+_SIZES = [5, 20, 50]
+
+
+def _doc(students: int):
+    return make_university(students=students,
+                           courses_per_student=3,
+                           subjects_per_professor=2)
+
+
+@pytest.mark.parametrize("students", _SIZES)
+def test_or_oracle9_load(benchmark, students):
+    document = _doc(students)
+    tool = build_or_tool()
+    plan = tool.schemas[0].plan
+    counter = iter(range(1, 100_000))
+
+    def load():
+        result = load_document(plan, document, next(counter))
+        for statement in result.statements:
+            tool.db.execute(statement)
+        return result
+
+    result = benchmark(load)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["insert_statements"] = result.insert_count
+    # the headline claim: one INSERT regardless of size
+    assert result.insert_count == 1
+
+
+@pytest.mark.parametrize("students", _SIZES)
+def test_or_oracle8_load(benchmark, students):
+    document = _doc(students)
+    tool = build_or_tool(mode=CompatibilityMode.ORACLE8)
+    plan = tool.schemas[0].plan
+    counter = iter(range(1, 100_000))
+
+    def load():
+        result = load_document(plan, document, next(counter))
+        for statement in result.statements:
+            tool.db.execute(statement)
+        return result
+
+    result = benchmark(load)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["insert_statements"] = result.insert_count
+    # workaround needs more statements than pure nesting, but far
+    # fewer than a full shredding
+    assert 1 < result.insert_count
+
+
+@pytest.mark.parametrize("students", _SIZES)
+def test_edge_load(benchmark, students):
+    document = _doc(students)
+    db, mapping = edge_setup()
+    counter = iter(range(1, 100_000))
+
+    def load():
+        return mapping.load(db, document, next(counter))
+
+    report = benchmark(load)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["insert_statements"] = report.insert_count
+    node_count = sum(1 for _ in document.root_element.iter())
+    assert report.insert_count >= node_count / 2
+
+
+@pytest.mark.parametrize("students", _SIZES)
+def test_attribute_load(benchmark, students):
+    document = _doc(students)
+    db, mapping = attribute_setup(document)
+    counter = iter(range(1, 100_000))
+
+    def load():
+        return mapping.load(db, document, next(counter))
+
+    report = benchmark(load)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["insert_statements"] = report.insert_count
+
+
+@pytest.mark.parametrize("students", _SIZES)
+def test_inlining_load(benchmark, students):
+    document = _doc(students)
+    db, mapping = inlining_setup()
+    counter = iter(range(1, 100_000))
+
+    def load():
+        return mapping.load(db, document, next(counter))
+
+    report = benchmark(load)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["insert_statements"] = report.insert_count
+
+
+def test_insert_count_ordering_holds():
+    """The claimed ordering at a fixed size:
+    OR/Oracle9 (1) < OR/Oracle8 < inlining < attribute < edge."""
+    document = _doc(20)
+    or9 = load_document(build_or_tool().schemas[0].plan, document, 1)
+    or8 = load_document(
+        build_or_tool(mode=CompatibilityMode.ORACLE8).schemas[0].plan,
+        document, 1)
+    _db, edge = edge_setup()
+    edge_report = edge.shred(document, 1)
+    _db, attribute = attribute_setup(document)
+    attribute_report = attribute.shred(document, 1)
+    _db, inlining = inlining_setup()
+    inlining_report = inlining.shred(document, 1)
+    counts = {
+        "or_oracle9": or9.insert_count,
+        "or_oracle8": or8.insert_count,
+        "inlining": inlining_report.insert_count,
+        "attribute": attribute_report.insert_count,
+        "edge": edge_report.insert_count,
+    }
+    assert counts["or_oracle9"] == 1
+    assert counts["or_oracle9"] < counts["or_oracle8"]
+    assert counts["or_oracle8"] <= counts["inlining"]
+    assert counts["inlining"] < counts["attribute"]
+    assert counts["attribute"] < counts["edge"]

@@ -1,0 +1,122 @@
+"""CLM2 — dot-notation navigation vs join chains.
+
+Section 4.1: "The object structure can be traversed using the dot
+notation without executing join operations."  Series: query latency
+and join/scan counts for the same path query over the OR mapping
+(0 joins), DTD inlining (joins only at repetition points) and the edge
+table (one self-join per path step), at several nesting depths.
+"""
+
+import pytest
+
+from conftest import build_or_tool, edge_setup, inlining_setup
+from repro.core import PathQueryBuilder, XML2Oracle
+from repro.relational import EdgeMapping, InliningMapping
+from repro.ordb import Database
+from repro.workloads import (
+    deep_chain_document_xml,
+    deep_chain_dtd,
+    make_university,
+    sample_document,
+)
+from repro.xmlkit import parse
+
+_DEPTHS = [2, 4, 8]
+
+
+def _chain_path(depth: int) -> list[str]:
+    return [f"N{level}" for level in range(depth + 1)]
+
+
+@pytest.mark.parametrize("depth", _DEPTHS)
+def test_or_deep_path(benchmark, depth):
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(deep_chain_dtd(depth), root="N0")
+    tool.store(parse(deep_chain_document_xml(depth)))
+    query = PathQueryBuilder(tool.schemas[0].plan).build(
+        _chain_path(depth))
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["joins"] = query.join_count
+    benchmark.extra_info["from_items"] = query.from_count
+    result = benchmark(tool.db.execute, query.sql)
+    assert result.rows == [("leaf",)]
+    # the claim: no joins, a single table in FROM
+    assert query.join_count == 0
+    assert query.from_count == 1
+
+
+@pytest.mark.parametrize("depth", _DEPTHS)
+def test_edge_deep_path(benchmark, depth):
+    db, mapping = edge_setup()
+    mapping.load(db, parse(deep_chain_document_xml(depth)), 1)
+    sql = mapping.path_query(_chain_path(depth), doc_id=1)
+    plan = db.explain(sql)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["joins"] = plan.join_count
+    result = benchmark(db.execute, sql)
+    assert result.rows == [("leaf",)]
+    # one edge-table self-join per step, plus text and value joins
+    assert plan.join_count == depth + 2
+
+
+@pytest.mark.parametrize("students", [10, 30])
+def test_or_university_query(benchmark, students):
+    tool = build_or_tool()
+    tool.store(make_university(students=students))
+    query = PathQueryBuilder(tool.schemas[0].plan).build(
+        "/University/Student",
+        predicate=("Course/Professor/PName", "=", "Kudrass"),
+        select="LName")
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["joins"] = query.join_count
+    result = benchmark(tool.db.execute, query.sql)
+    assert query.join_count == 0
+    benchmark.extra_info["matches"] = len(result.rows)
+
+
+@pytest.mark.parametrize("students", [10, 30])
+def test_edge_university_query(benchmark, students):
+    db, mapping = edge_setup()
+    mapping.load(db, make_university(students=students), 1)
+    sql = mapping.path_query(
+        ["University", "Student", "Course", "Professor", "PName"],
+        doc_id=1)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["joins"] = db.explain(sql).join_count
+    benchmark(db.execute, sql)
+
+
+@pytest.mark.parametrize("students", [10, 30])
+def test_inlining_university_query(benchmark, students):
+    db, mapping = inlining_setup()
+    mapping.load(db, make_university(students=students), 1)
+    sql = mapping.path_query(
+        ["University", "Student", "Course", "Professor", "PName"])
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["joins"] = db.explain(sql).join_count
+    benchmark(db.execute, sql)
+
+
+def test_join_count_ordering(benchmark):
+    """Shape: OR joins (0) < inlining joins < edge joins, same path."""
+    document = sample_document()
+    tool = build_or_tool()
+    tool.store(document)
+    or_query = PathQueryBuilder(tool.schemas[0].plan).build(
+        "/University/Student/Course/Professor/PName")
+    inline_db = Database()
+    inlining = InliningMapping(
+        tool.schemas[0].dtd)
+    inline_sql = inlining.path_query(
+        ["University", "Student", "Course", "Professor", "PName"])
+    edge_db, edge = edge_setup()
+    edge_sql = edge.path_query(
+        ["University", "Student", "Course", "Professor", "PName"])
+    or_joins = or_query.join_count
+    inline_joins = inline_db.explain(inline_sql).join_count
+    edge_joins = edge_db.explain(edge_sql).join_count
+    benchmark.extra_info["or_joins"] = or_joins
+    benchmark.extra_info["inlining_joins"] = inline_joins
+    benchmark.extra_info["edge_joins"] = edge_joins
+    assert or_joins == 0 < inline_joins < edge_joins
+    benchmark(tool.db.execute, or_query.sql)

@@ -1,0 +1,104 @@
+"""CLM3 — round-trip information preservation.
+
+Sections 5, 6.1, 7: the plain mapping loses comments, processing
+instructions, entity references and prolog information; the meta-table
+extensions recover them.  Series: per-category fidelity for the OR
+mapping with and without meta-data, and for the edge baseline, on a
+document-centric corpus; plus fetch latency.
+"""
+
+import pytest
+
+from repro.core import XML2Oracle, compare
+from repro.relational import EdgeMapping, reconstruct_edge
+from repro.ordb import Database
+from repro.workloads import (
+    ARTICLE_DOCUMENT,
+    make_university,
+    sample_document,
+)
+from repro.xmlkit import parse
+
+
+def _fidelity_numbers():
+    document = parse(ARTICLE_DOCUMENT)
+
+    with_metadata = XML2Oracle()
+    with_metadata.register_schema(document.doctype.dtd)
+    with_metadata.store(document)
+    full = compare(document, with_metadata.fetch(1))
+
+    without_metadata = XML2Oracle(metadata=False)
+    without_metadata.register_schema(document.doctype.dtd)
+    without_metadata.store(document)
+    bare = compare(document, without_metadata.fetch(1))
+
+    edge_db = Database()
+    edge = EdgeMapping()
+    edge.install(edge_db)
+    edge.load(edge_db, document, 1)
+    shredded = compare(document, reconstruct_edge(edge_db, 1))
+    return full, bare, shredded
+
+
+def test_fidelity_scores(benchmark):
+    full, bare, shredded = benchmark(_fidelity_numbers)
+    benchmark.extra_info["or_with_metadata"] = round(full.score, 3)
+    benchmark.extra_info["or_without_metadata"] = round(bare.score, 3)
+    benchmark.extra_info["edge"] = round(shredded.score, 3)
+    benchmark.extra_info["or_comments"] = full.category_score("comments")
+    benchmark.extra_info["bare_comments"] = bare.category_score(
+        "comments")
+    # shape: metadata closes the gap the paper describes
+    assert full.score > bare.score
+    assert full.score >= shredded.score
+    assert full.category_score("comments") == 1.0
+    assert bare.category_score("comments") == 0.0
+    assert full.category_score("pis") == 1.0
+
+
+def test_or_fetch_latency(benchmark):
+    tool = XML2Oracle()
+    from repro.workloads import UNIVERSITY_DTD
+
+    tool.register_schema(UNIVERSITY_DTD)
+    tool.store(make_university(students=20))
+    document = benchmark(tool.fetch, 1)
+    assert document.root_element.tag == "University"
+
+
+def test_or_fetch_text_latency(benchmark):
+    document = sample_document()
+    tool = XML2Oracle()
+    tool.register_schema(document.doctype.dtd)
+    tool.store(document)
+    text = benchmark(tool.fetch_text, 1)
+    assert "&cs;" in text
+
+
+def test_edge_reconstruct_latency(benchmark):
+    db = Database()
+    edge = EdgeMapping()
+    edge.install(db)
+    edge.load(db, make_university(students=20), 1)
+    element = benchmark(reconstruct_edge, db, 1)
+    assert element.tag == "University"
+
+
+@pytest.mark.parametrize("students", [5, 20])
+def test_or_roundtrip_is_lossless_for_data_centric(benchmark,
+                                                   students):
+    document = make_university(students=students)
+    tool = XML2Oracle(metadata=False)
+    from repro.workloads import UNIVERSITY_DTD
+
+    tool.register_schema(UNIVERSITY_DTD)
+    stored = tool.store(document)
+
+    def roundtrip():
+        return compare(document, tool.fetch(stored.doc_id))
+
+    report = benchmark(roundtrip)
+    benchmark.extra_info["students"] = students
+    benchmark.extra_info["score"] = report.score
+    assert report.score == 1.0

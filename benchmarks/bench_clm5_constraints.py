@@ -1,0 +1,84 @@
+"""CLM5 — constraint behaviour and cost (Section 4.3).
+
+Measures the acceptance matrix (desired/non-desired CHECK errors) and
+the overhead constraints add to loading.
+"""
+
+import pytest
+
+from repro.core import MappingConfig, XML2Oracle
+from repro.ordb import CheckViolation, NullNotAllowed
+from repro.workloads import UNIVERSITY_DTD, make_university
+from repro.xmlkit import parse
+
+_COURSE_DTD = """
+<!ELEMENT Course (Name, Address?)>
+<!ELEMENT Address (Street, City?)>
+<!ELEMENT Name (#PCDATA)> <!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+"""
+
+
+def test_acceptance_matrix(benchmark):
+    """The Section 4.3 matrix in one measured pass."""
+
+    def run_matrix():
+        outcomes = {}
+        tool = XML2Oracle(
+            config=MappingConfig(check_constraints=True),
+            validate_documents=False)
+        tool.register_schema(_COURSE_DTD, root="Course")
+        cases = {
+            "complete": "<Course><Name>DB</Name><Address>"
+                        "<Street>Main</Street><City>L</City>"
+                        "</Address></Course>",
+            "city_without_street": "<Course><Name>CAD</Name>"
+                                   "<Address><City>L</City>"
+                                   "</Address></Course>",
+            "no_address": "<Course><Name>OS</Name></Course>",
+        }
+        for label, source in cases.items():
+            try:
+                tool.store(parse(source))
+                outcomes[label] = "accepted"
+            except CheckViolation:
+                outcomes[label] = "check_violation"
+            except NullNotAllowed:
+                outcomes[label] = "not_null_violation"
+        return outcomes
+
+    outcomes = benchmark(run_matrix)
+    benchmark.extra_info.update(outcomes)
+    assert outcomes["complete"] == "accepted"
+    assert outcomes["city_without_street"] == "check_violation"
+    # the paper's non-desired error: a DTD-valid document rejected
+    assert outcomes["no_address"] == "check_violation"
+
+
+@pytest.mark.parametrize("constraints", [True, False],
+                         ids=["with-constraints", "no-constraints"])
+def test_constraint_overhead_on_load(benchmark, constraints):
+    config = MappingConfig(not_null_constraints=constraints)
+    tool = XML2Oracle(config=config, metadata=False)
+    tool.register_schema(UNIVERSITY_DTD)
+    document = make_university(students=10)
+    benchmark(tool.store, document)
+    benchmark.extra_info["not_null_constraints"] = constraints
+
+
+def test_rejection_latency(benchmark):
+    """How quickly an invalid row is rejected (constraints fire
+    before storage)."""
+    tool = XML2Oracle(validate_documents=False, metadata=False)
+    tool.register_schema(UNIVERSITY_DTD)
+    invalid = parse("<University></University>")  # StudyCourse missing
+
+    def attempt():
+        try:
+            tool.store(invalid)
+            return False
+        except NullNotAllowed:
+            return True
+
+    rejected = benchmark(attempt)
+    assert rejected

@@ -1,0 +1,88 @@
+"""CLM6 — recursive relationships via REF (Section 6.2).
+
+Measures mapping, loading and querying of recursive documents as the
+recursion depth grows, in both engine modes.
+"""
+
+import pytest
+
+from repro.core import XML2Oracle, compare
+from repro.ordb import CompatibilityMode
+from repro.workloads import ORG_CHART_DTD
+from repro.xmlkit import parse
+
+_DEPTHS = [4, 16, 48]
+
+
+def _nested_org(depth: int) -> str:
+    opening = "".join(
+        f"<Dept><DName>level{level}</DName>" for level in range(depth))
+    closing = "</Dept>" * depth
+    return f"<Organization>{opening}{closing}</Organization>"
+
+
+def test_recursive_schema_generation(benchmark):
+    def register():
+        tool = XML2Oracle(metadata=False)
+        return tool.register_schema(ORG_CHART_DTD)
+
+    schema = benchmark(register)
+    assert "TypeRef_Dept" in schema.script.text
+
+
+@pytest.mark.parametrize("depth", _DEPTHS)
+def test_recursive_load(benchmark, depth):
+    document = parse(_nested_org(depth))
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(ORG_CHART_DTD)
+
+    def store():
+        return tool.store(document)
+
+    stored = benchmark(store)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["insert_statements"] = \
+        stored.load_result.insert_count
+    # one row per Dept plus the root
+    assert stored.load_result.insert_count == depth + 1
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_recursive_fetch(benchmark, depth):
+    document = parse(_nested_org(depth))
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(ORG_CHART_DTD)
+    stored = tool.store(document)
+    rebuilt = benchmark(tool.fetch, stored.doc_id)
+    assert compare(document, rebuilt).score == 1.0
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_recursive_path_query(benchmark, depth):
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(ORG_CHART_DTD)
+    tool.store(parse(_nested_org(8)))
+    path = "/Organization" + "/Dept" * depth + "/DName"
+
+    def query():
+        return tool.query(path)
+
+    result = benchmark(query)
+    benchmark.extra_info["depth"] = depth
+    assert result.rows == [(f"level{depth - 1}",)]
+
+
+@pytest.mark.parametrize("mode", [CompatibilityMode.ORACLE9,
+                                  CompatibilityMode.ORACLE8],
+                         ids=["oracle9", "oracle8"])
+def test_recursion_works_in_both_modes(benchmark, mode):
+    document = parse(_nested_org(8))
+
+    def cycle():
+        tool = XML2Oracle(mode=mode, metadata=False)
+        tool.register_schema(ORG_CHART_DTD)
+        stored = tool.store(document)
+        return compare(document, tool.fetch(stored.doc_id))
+
+    report = benchmark(cycle)
+    assert report.score == 1.0

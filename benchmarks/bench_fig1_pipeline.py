@@ -1,0 +1,56 @@
+"""FIG1 — the Fig. 1 parsing pipeline.
+
+Measures the three stages XML2Oracle runs before any mapping: XML
+parsing (well-formedness), DTD parsing, and validity checking.
+"""
+
+import pytest
+
+from repro.dtd import DTDParser, Validator, parse_dtd
+from repro.workloads import (
+    UNIVERSITY_DTD,
+    make_university_xml,
+    university_dtd,
+)
+from repro.xmlkit import XMLParser, parse
+
+_DOCUMENT = make_university_xml(students=100, courses_per_student=3)
+
+
+def test_xml_parse_throughput(benchmark):
+    document = benchmark(parse, _DOCUMENT)
+    benchmark.extra_info["document_bytes"] = len(_DOCUMENT)
+    benchmark.extra_info["elements"] = document.count_nodes("element")
+    assert document.root_element.tag == "University"
+
+
+def test_dtd_parse_throughput(benchmark):
+    dtd = benchmark(DTDParser().parse, UNIVERSITY_DTD)
+    assert len(dtd.elements) == 12
+
+
+def test_validation_throughput(benchmark):
+    document = parse(_DOCUMENT)
+    validator = Validator(university_dtd())
+    report = benchmark(validator.validate, document)
+    assert report.valid
+
+
+def test_full_pipeline(benchmark):
+    """Both parsers + validity check: the whole Fig. 1 box."""
+
+    def pipeline():
+        document = XMLParser().parse(_DOCUMENT)
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        return Validator(dtd).validate(document)
+
+    report = benchmark(pipeline)
+    assert report.valid
+
+
+@pytest.mark.parametrize("students", [10, 100])
+def test_pipeline_scales_linearly(benchmark, students):
+    source = make_university_xml(students=students)
+    benchmark.extra_info["students"] = students
+    document = benchmark(parse, source)
+    assert len(document.root_element.find_all("Student")) == students

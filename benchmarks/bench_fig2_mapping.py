@@ -1,0 +1,71 @@
+"""FIG2 — schema generation over the mapping-case matrix.
+
+Measures DTD-to-DDL generation (analysis + rendering + execution) for
+the full Fig. 2 case matrix and for DTDs of growing width, in both
+engine modes.
+"""
+
+import pytest
+
+from repro.core import analyze, generate_schema
+from repro.dtd import parse_dtd
+from repro.ordb import CompatibilityMode, Database
+from repro.workloads import SyntheticShape, synthetic_dtd_text
+
+_MATRIX_DTD = """
+<!ELEMENT Matrix (SimpleMand, SimpleOpt?, SimpleStar*, SimplePlus+,
+                  ComplexMand, ComplexOpt?, ComplexStar*, ComplexPlus+)>
+<!ELEMENT SimpleMand (#PCDATA)> <!ELEMENT SimpleOpt (#PCDATA)>
+<!ELEMENT SimpleStar (#PCDATA)> <!ELEMENT SimplePlus (#PCDATA)>
+<!ELEMENT ComplexMand (Leaf)> <!ELEMENT ComplexOpt (Leaf)>
+<!ELEMENT ComplexStar (Leaf)> <!ELEMENT ComplexPlus (Leaf)>
+<!ELEMENT Leaf (#PCDATA)>
+<!ATTLIST Matrix required CDATA #REQUIRED implied CDATA #IMPLIED>
+"""
+
+
+@pytest.mark.parametrize("mode", [CompatibilityMode.ORACLE9,
+                                  CompatibilityMode.ORACLE8],
+                         ids=["oracle9", "oracle8"])
+def test_matrix_schema_generation(benchmark, mode):
+    dtd = parse_dtd(_MATRIX_DTD)
+
+    def generate():
+        plan = analyze(dtd, mode=mode)
+        return generate_schema(plan)
+
+    script = benchmark(generate)
+    benchmark.extra_info["statements"] = len(script.statements)
+    benchmark.extra_info["types"] = script.type_count
+    assert script.table_count >= 1
+
+
+@pytest.mark.parametrize("mode", [CompatibilityMode.ORACLE9,
+                                  CompatibilityMode.ORACLE8],
+                         ids=["oracle9", "oracle8"])
+def test_matrix_schema_execution(benchmark, mode):
+    dtd = parse_dtd(_MATRIX_DTD)
+    plan = analyze(dtd, mode=mode)
+    script = generate_schema(plan)
+
+    def install():
+        db = Database(mode)
+        for statement in script.statements:
+            db.execute(statement)
+        return db
+
+    db = benchmark(install)
+    assert "TABMATRIX" in db.catalog.tables
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 8])
+def test_generation_scales_with_dtd_width(benchmark, fanout):
+    shape = SyntheticShape(depth=2, fanout=fanout, seed=1)
+    dtd = parse_dtd(synthetic_dtd_text(shape))
+
+    def generate():
+        return generate_schema(analyze(dtd, root="Root"))
+
+    script = benchmark(generate)
+    benchmark.extra_info["fanout"] = fanout
+    benchmark.extra_info["statements"] = len(script.statements)

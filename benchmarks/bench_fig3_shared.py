@@ -1,0 +1,72 @@
+"""FIG3 — non-hierarchical (shared-element) document types.
+
+Fig. 3's Address element has multiple parents.  Measures tree-mode
+duplication vs graph-mode sharing in analysis, plus mapping and query
+cost on the shared corpus document.
+"""
+
+from repro.core import XML2Oracle, analyze, compare
+from repro.dtd import build_tree, element_graph, parse_dtd, shared_elements
+from repro.workloads import (
+    SHARED_ELEMENT_DOCUMENT,
+    SHARED_ELEMENT_DTD,
+)
+from repro.xmlkit import parse
+
+
+def test_shared_detection(benchmark):
+    dtd = parse_dtd(SHARED_ELEMENT_DTD)
+    shared = benchmark(shared_elements, dtd)
+    benchmark.extra_info["shared_elements"] = sorted(shared)
+    assert shared == {"Address", "Student"}
+
+
+def test_tree_vs_graph_node_counts(benchmark):
+    dtd = parse_dtd(SHARED_ELEMENT_DTD)
+
+    def measure():
+        tree = build_tree(dtd)
+        graph = element_graph(dtd)
+        tree_nodes = sum(1 for _ in tree.walk())
+        return tree_nodes, graph.number_of_nodes()
+
+    tree_nodes, graph_nodes = benchmark(measure)
+    benchmark.extra_info["tree_nodes"] = tree_nodes
+    benchmark.extra_info["graph_nodes"] = graph_nodes
+    # duplication: the tree is strictly larger than the element graph
+    assert tree_nodes > graph_nodes
+
+
+def test_shared_schema_generation(benchmark):
+    dtd = parse_dtd(SHARED_ELEMENT_DTD)
+    plan = benchmark(analyze, dtd)
+    address_types = [element for element in plan.elements.values()
+                     if element.name == "Address"]
+    assert len(address_types) == 1
+
+
+def test_shared_document_roundtrip(benchmark):
+    document = parse(SHARED_ELEMENT_DOCUMENT)
+
+    def roundtrip():
+        tool = XML2Oracle(metadata=False)
+        tool.register_schema(SHARED_ELEMENT_DTD)
+        stored = tool.store(document)
+        return compare(document, tool.fetch(stored.doc_id))
+
+    report = benchmark(roundtrip)
+    assert report.score == 1.0
+
+
+def test_shared_query(benchmark):
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(SHARED_ELEMENT_DTD)
+    tool.store(parse(SHARED_ELEMENT_DOCUMENT))
+
+    def query():
+        professor = tool.query("/Faculty/Professor/Address/City")
+        student = tool.query("/Faculty/Student/Address/City")
+        return professor.scalar(), student.scalar()
+
+    cities = benchmark(query)
+    assert cities == ("Leipzig", "Halle")

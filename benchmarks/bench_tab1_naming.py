@@ -1,0 +1,84 @@
+"""TAB1 — the naming conventions of Table 1.
+
+Verifies, over a generated schema for every corpus DTD, that each
+emitted identifier follows its Table 1 prefix, is unique, legal and
+within the 30-character limit; measures name-generation throughput.
+"""
+
+from repro.core import XML2Oracle, analyze, generate_schema
+from repro.core.naming import NameGenerator
+from repro.dtd import parse_dtd
+from repro.ordb.identifiers import MAX_IDENTIFIER_LENGTH, is_reserved
+from repro.workloads import CORPUS, university_dtd
+
+_PREFIXES = ("Tab", "attr", "attrList", "ID", "Type_", "TypeAttrL_",
+             "TypeVA_", "TypeNT_", "TypeRef_", "OView_", "ref")
+
+
+def _identifiers_of(script_text: str) -> set[str]:
+    names: set[str] = set()
+    for line in script_text.splitlines():
+        for token in line.replace("(", " ").replace(")", " ") \
+                         .replace(",", " ").split():
+            if token.startswith(_PREFIXES):
+                names.add(token)
+    return names
+
+
+def test_university_schema_names_conform(benchmark):
+    def generate():
+        plan = analyze(university_dtd())
+        return generate_schema(plan)
+
+    script = benchmark(generate)
+    names = _identifiers_of(script.text)
+    benchmark.extra_info["generated_names"] = len(names)
+    assert names, "expected generated identifiers"
+    for name in names:
+        assert len(name) <= MAX_IDENTIFIER_LENGTH, name
+        assert not is_reserved(name), name
+
+
+def test_corpus_schemas_execute_with_legal_names(benchmark):
+    def install_all():
+        count = 0
+        for dtd_text, _document in CORPUS.values():
+            tool = XML2Oracle(metadata=False)
+            tool.register_schema(parse_dtd(dtd_text))
+            count += len(tool.schemas[0].script.statements)
+        return count
+
+    statements = benchmark(install_all)
+    benchmark.extra_info["ddl_statements"] = statements
+
+
+def test_name_generation_throughput(benchmark):
+    def generate_many():
+        names = NameGenerator()
+        out = []
+        for index in range(200):
+            element = f"Element{index}"
+            out.append(names.table(element))
+            out.append(names.object_type(element))
+            out.append(names.attribute(element))
+            out.append(names.varray_type(element))
+        return out
+
+    names = benchmark(generate_many)
+    assert len(set(names)) == len(names)  # all unique
+
+
+def test_hostile_names_survive(benchmark):
+    """Element names colliding with keywords and the length limit."""
+
+    def generate():
+        names = NameGenerator()
+        hostile = ["ORDER", "GROUP", "SELECT", "le",  # Tab+le = Table
+                   "X" * 64, "X" * 64 + "Y", "ns:colon-name.dot"]
+        return [names.table(name) for name in hostile]
+
+    generated = benchmark(generate)
+    assert len(set(generated)) == len(generated)
+    for name in generated:
+        assert len(name) <= MAX_IDENTIFIER_LENGTH
+        assert not is_reserved(name)

@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's
+per-experiment index (FIG1–FIG4, TAB1, CLM1–CLM7).  The paper reports
+no absolute numbers — its evaluation is qualitative — so each bench
+both *measures* (wall time via pytest-benchmark, operation counts via
+``benchmark.extra_info``) and *asserts the claimed shape* (who wins,
+in which direction).  EXPERIMENTS.md records the measured values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XML2Oracle, analyze, generate_schema
+from repro.core.loader import load_document
+from repro.ordb import CompatibilityMode, Database
+from repro.relational import AttributeMapping, EdgeMapping, InliningMapping
+from repro.workloads import make_university, university_dtd
+
+
+def build_or_tool(mode=CompatibilityMode.ORACLE9,
+                  metadata=False) -> XML2Oracle:
+    """An XML2Oracle with the university schema installed."""
+    tool = XML2Oracle(mode=mode, metadata=metadata)
+    tool.register_schema(university_dtd())
+    return tool
+
+
+def load_or(tool: XML2Oracle, document):
+    return tool.store(document)
+
+
+def edge_setup():
+    db = Database()
+    mapping = EdgeMapping()
+    mapping.install(db)
+    return db, mapping
+
+
+def attribute_setup(document):
+    db = Database()
+    mapping = AttributeMapping()
+    mapping.prepare(mapping.collect_names(document))
+    mapping.install(db)
+    return db, mapping
+
+
+def inlining_setup():
+    db = Database()
+    mapping = InliningMapping(university_dtd())
+    mapping.install(db)
+    return db, mapping
+
+
+@pytest.fixture
+def university_10():
+    return make_university(students=10)
+
+
+@pytest.fixture
+def university_50():
+    return make_university(students=50)

@@ -1,0 +1,44 @@
+"""Reproduction of Kudrass & Conrad, "Management of XML Documents in
+Object-Relational Databases" (EDBT 2002 Workshops, LNCS 2490).
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.xmlkit` - XML 1.0 parser, DOM, entities, serializer.
+* :mod:`repro.dtd` - DTD parser, content models, validator, DTD tree.
+* :mod:`repro.ordb` - embedded object-relational DBMS (the Oracle
+  8i/9i stand-in): object/collection/REF types, object tables and
+  views, a SQL dialect parser and executor.
+* :mod:`repro.relational` - generic relational baselines (edge table,
+  attribute tables, DTD inlining).
+* :mod:`repro.core` - the paper's contribution: the XML2Oracle
+  mapping system (analysis, generation, loading, meta-data,
+  retrieval, path queries, object views, round-trip fidelity).
+* :mod:`repro.workloads` - deterministic document/DTD generators.
+
+Quick start:
+
+>>> from repro import XML2Oracle
+>>> from repro.workloads import SAMPLE_DOCUMENT
+>>> from repro.xmlkit import parse
+>>> document = parse(SAMPLE_DOCUMENT)
+>>> tool = XML2Oracle()
+>>> _ = tool.register_schema(document.doctype.dtd)
+>>> stored = tool.store(document)
+>>> stored.load_result.insert_count
+1
+>>> tool.query("/University/Student/Course/Professor/PName").rows
+[('Kudrass',), ('Jaeger',)]
+"""
+
+from .core import MappingConfig, XML2Oracle
+from .ordb import CompatibilityMode, Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompatibilityMode",
+    "Database",
+    "MappingConfig",
+    "XML2Oracle",
+    "__version__",
+]

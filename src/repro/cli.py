@@ -1,0 +1,221 @@
+"""Command-line interface: the XML2Oracle utility as a console tool.
+
+The original XML2Oracle was an interactive GUI program (Section 3);
+this CLI exposes the same pipeline as one-shot commands:
+
+.. code-block:: console
+
+   python -m repro schema  doc.xml            # emit the DDL script
+   python -m repro load    doc.xml            # emit DDL + INSERTs
+   python -m repro query   doc.xml /Uni/Name  # run a path query
+   python -m repro roundtrip doc.xml          # fidelity report
+   python -m repro demo                       # Appendix A walkthrough
+
+Documents must carry their DTD in the internal subset (as the
+Appendix A sample does) or supply one with ``--dtd file.dtd``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import XML2Oracle, compare
+from repro.core.plan import MappingConfig
+from repro.dtd import parse_dtd
+from repro.ordb import CompatibilityMode
+from repro.xmlkit import parse as parse_xml
+
+
+def _mode(name: str) -> CompatibilityMode:
+    return (CompatibilityMode.ORACLE8 if name == "oracle8"
+            else CompatibilityMode.ORACLE9)
+
+
+def _load_inputs(args) -> tuple:
+    """Read the document and its DTD per the CLI conventions."""
+    document = parse_xml(Path(args.document).read_text())
+    if args.dtd:
+        dtd = parse_dtd(Path(args.dtd).read_text())
+    elif document.doctype is not None and document.doctype.dtd:
+        dtd = document.doctype.dtd
+    else:
+        raise SystemExit(
+            "error: the document has no internal DTD subset;"
+            " pass --dtd FILE")
+    return document, dtd
+
+
+def _make_tool(args, document=None) -> XML2Oracle:
+    config = MappingConfig()
+    if getattr(args, "clob", False):
+        config.use_clob_for_text = True
+    for hint in getattr(args, "hint", None) or []:
+        if "=" not in hint:
+            raise SystemExit(
+                f"error: --hint must be NAME=SQLTYPE, got {hint!r}")
+        name, sql_type = hint.split("=", 1)
+        config.type_hints[name] = sql_type
+    tool = XML2Oracle(mode=_mode(args.mode), config=config)
+    return tool
+
+
+def cmd_schema(args) -> int:
+    document, dtd = _load_inputs(args)
+    tool = _make_tool(args)
+    schema = tool.register_schema(dtd, root=args.root,
+                                  sample_document=document)
+    print(schema.script.text)
+    for warning in schema.plan.warnings:
+        print(f"-- warning: {warning}", file=sys.stderr)
+    return 0
+
+
+def cmd_load(args) -> int:
+    document, dtd = _load_inputs(args)
+    tool = _make_tool(args)
+    tool.register_schema(dtd, root=args.root, sample_document=document)
+    stored = tool.store(document, doc_name=Path(args.document).name)
+    print(f"-- document stored as DocID {stored.doc_id} with"
+          f" {stored.load_result.insert_count} INSERT and"
+          f" {stored.load_result.update_count} UPDATE statement(s)")
+    for statement in stored.load_result.statements:
+        print(statement + ";")
+    return 0
+
+
+def cmd_query(args) -> int:
+    document, dtd = _load_inputs(args)
+    tool = _make_tool(args)
+    tool.register_schema(dtd, root=args.root, sample_document=document)
+    tool.store(document)
+    predicate = None
+    if args.predicate:
+        if "=" not in args.predicate:
+            raise SystemExit("error: --predicate must be path=value")
+        path, value = args.predicate.split("=", 1)
+        predicate = (path, "=", value)
+    rendered = tool.path_query(args.path, predicate=predicate,
+                               select=args.select)
+    print(f"-- SQL: {rendered.sql}")
+    result = tool.db.execute(rendered.sql)
+    print(result.format_table())
+    print(f"-- {len(result.rows)} row(s)")
+    return 0
+
+
+def cmd_roundtrip(args) -> int:
+    document, dtd = _load_inputs(args)
+    tool = _make_tool(args)
+    tool.register_schema(dtd, root=args.root, sample_document=document)
+    stored = tool.store(document, doc_name=Path(args.document).name)
+    rebuilt = tool.fetch(stored.doc_id)
+    report = compare(document, rebuilt)
+    print(report.describe())
+    if args.emit:
+        print("-" * 60)
+        print(tool.fetch_text(stored.doc_id, indent="  "))
+    return 0 if report.score == 1.0 else 1
+
+
+def cmd_demo(args) -> int:
+    from repro.workloads import SAMPLE_DOCUMENT
+
+    document = parse_xml(SAMPLE_DOCUMENT)
+    tool = XML2Oracle(mode=_mode(args.mode))
+    schema = tool.register_schema(document.doctype.dtd)
+    print("-- generated schema " + "-" * 40)
+    print(schema.script.text)
+    stored = tool.store(document, doc_name="appendix_a.xml")
+    print(f"-- stored with {stored.load_result.insert_count}"
+          f" INSERT statement(s)")
+    result = tool.query(
+        "/University/Student",
+        predicate=("Course/Professor/PName", "=", "Jaeger"),
+        select="LName")
+    print("-- students of Professor Jaeger:",
+          [row[0] for row in result.rows])
+    print("-- reconstructed " + "-" * 43)
+    print(tool.fetch_text(stored.doc_id, indent="  "))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML2Oracle reproduction: map XML documents to an"
+                    " embedded object-relational database.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(subparser, with_document: bool = True) -> None:
+        subparser.add_argument(
+            "--mode", choices=["oracle9", "oracle8"],
+            default="oracle9",
+            help="engine compatibility mode (Section 2.2)")
+        if with_document:
+            subparser.add_argument("document",
+                                   help="XML document file")
+            subparser.add_argument(
+                "--dtd", help="external DTD file (defaults to the"
+                              " document's internal subset)")
+            subparser.add_argument(
+                "--root", help="root element (defaults to inference)")
+            subparser.add_argument(
+                "--clob", action="store_true",
+                help="use CLOB for text leaves (Section 7)")
+            subparser.add_argument(
+                "--hint", action="append", metavar="NAME=SQLTYPE",
+                help="type a leaf element/attribute, e.g."
+                     " CreditPts=NUMBER (Section 7 extension;"
+                     " repeatable)")
+
+    schema_parser = subparsers.add_parser(
+        "schema", help="generate the DDL script for a document's DTD")
+    common(schema_parser)
+    schema_parser.set_defaults(handler=cmd_schema)
+
+    load_parser = subparsers.add_parser(
+        "load", help="generate DDL + the INSERT script for a document")
+    common(load_parser)
+    load_parser.set_defaults(handler=cmd_load)
+
+    query_parser = subparsers.add_parser(
+        "query", help="store a document and run a path query")
+    common(query_parser)
+    query_parser.add_argument("path",
+                              help="element path, e.g. /Uni/Student")
+    query_parser.add_argument(
+        "--predicate", help="relative filter, e.g."
+                            " Course/Professor/PName=Jaeger")
+    query_parser.add_argument(
+        "--select", help="relative projection path, e.g. LName")
+    query_parser.set_defaults(handler=cmd_query)
+
+    roundtrip_parser = subparsers.add_parser(
+        "roundtrip", help="store, fetch and report fidelity")
+    common(roundtrip_parser)
+    roundtrip_parser.add_argument(
+        "--emit", action="store_true",
+        help="also print the reconstructed document")
+    roundtrip_parser.set_defaults(handler=cmd_roundtrip)
+
+    demo_parser = subparsers.add_parser(
+        "demo", help="run the Appendix A walkthrough")
+    common(demo_parser, with_document=False)
+    demo_parser.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:  # e.g. `repro schema doc.xml | head`
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

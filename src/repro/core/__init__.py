@@ -1,0 +1,97 @@
+"""The paper's contribution: the XML2Oracle mapping system.
+
+Public surface:
+
+* :class:`XML2Oracle` — the end-to-end facade (parse, map, load,
+  query, round-trip).
+* :func:`analyze` / :func:`generate_schema` / :func:`load_document` —
+  the pipeline stages, individually usable.
+* :class:`PathQueryBuilder` — dot-notation SQL from XPath-like paths.
+* :class:`ObjectViewBuilder` — Section 6.3 object views over shredded
+  relational data.
+* :mod:`repro.core.roundtrip` — fidelity measurement.
+"""
+
+from .analyzer import Analyzer, analyze
+from .generator import (
+    SchemaGenerator,
+    SchemaScript,
+    TypeMember,
+    generate_schema,
+    type_members,
+)
+from .loader import DocumentLoader, LoadResult, load_document
+from .metadata import MetadataRegistry
+from .naming import NameGenerator, SchemaIdAllocator
+from .objectviews import ObjectViewBuilder, UnsupportedForViews
+from .plan import (
+    AttrListPlan,
+    AttributePlan,
+    ChildLink,
+    CollectionFlavor,
+    ElementKind,
+    ElementPlan,
+    MappingConfig,
+    MappingPlan,
+    Storage,
+)
+from .queries import PathQuery, PathQueryBuilder, build_path_query
+from .reporting import (
+    ComparisonReport,
+    MappingMeasurement,
+    compare_mappings,
+)
+from .retriever import Retriever
+from .templates import TemplateError, TemplateProcessor, process_template
+from .roundtrip import FidelityReport, compare, extract_facts, identical
+from .xml2oracle import (
+    RegisteredSchema,
+    StoredDocument,
+    XML2Oracle,
+    infer_idref_targets,
+)
+
+__all__ = [
+    "Analyzer",
+    "AttrListPlan",
+    "AttributePlan",
+    "ChildLink",
+    "ComparisonReport",
+    "CollectionFlavor",
+    "DocumentLoader",
+    "ElementKind",
+    "ElementPlan",
+    "FidelityReport",
+    "LoadResult",
+    "MappingConfig",
+    "MappingMeasurement",
+    "MappingPlan",
+    "MetadataRegistry",
+    "NameGenerator",
+    "ObjectViewBuilder",
+    "PathQuery",
+    "PathQueryBuilder",
+    "RegisteredSchema",
+    "Retriever",
+    "SchemaGenerator",
+    "SchemaIdAllocator",
+    "SchemaScript",
+    "Storage",
+    "StoredDocument",
+    "TemplateError",
+    "TemplateProcessor",
+    "TypeMember",
+    "UnsupportedForViews",
+    "XML2Oracle",
+    "analyze",
+    "build_path_query",
+    "compare",
+    "compare_mappings",
+    "extract_facts",
+    "generate_schema",
+    "identical",
+    "infer_idref_targets",
+    "load_document",
+    "process_template",
+    "type_members",
+]

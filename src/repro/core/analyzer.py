@@ -1,0 +1,378 @@
+"""DTD analysis: Fig. 2's case tree realized as a mapping plan.
+
+The analyzer walks the element graph of the DTD and decides, per
+element and per parent-child edge, the classification the paper's
+algorithm branches on:
+
+* simple vs complex element (Section 4.1),
+* iteration — ``*``/``+`` — selecting collection or workaround
+  storage (Section 4.2),
+* optional vs mandatory — ``?``/``*``/#IMPLIED vs #REQUIRED —
+  selecting nullability (Section 4.3),
+* attributes and their ID/IDREF semantics (Section 4.4),
+* recursion and sharing (Section 6.2).
+
+The result is a :class:`~repro.core.plan.MappingPlan`; rendering it to
+SQL is the generator's job.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.content import ChildOccurrence, ContentKind
+from repro.dtd.model import DTD, AttributeType
+from repro.ordb.schema import CompatibilityMode
+from .naming import NameGenerator
+from .plan import (
+    AttrListPlan,
+    AttributePlan,
+    ChildLink,
+    CollectionFlavor,
+    ElementKind,
+    ElementPlan,
+    MappingConfig,
+    MappingPlan,
+    Storage,
+)
+
+class Analyzer:
+    """Builds a :class:`MappingPlan` for one DTD."""
+
+    def __init__(self, dtd: DTD, config: MappingConfig,
+                 mode: CompatibilityMode,
+                 names: NameGenerator,
+                 idref_targets: dict[tuple[str, str], str] | None = None):
+        self.dtd = dtd
+        self.config = config
+        self.mode = mode
+        self.names = names
+        self.idref_targets = idref_targets or {}
+        self.plans: dict[str, ElementPlan] = {}
+        self.warnings: list[str] = []
+        self._has_idrefs = self._dtd_has_idrefs()
+
+    # -- entry point ------------------------------------------------------------
+
+    def analyze(self, root: str | None = None) -> MappingPlan:
+        if root is None:
+            candidates = self.dtd.root_candidates()
+            if len(candidates) != 1:
+                raise ValueError(
+                    f"cannot infer a unique root element"
+                    f" (candidates: {candidates}); pass root=")
+            root = candidates[0]
+        root_plan = self._visit(root, stack=())
+        root_plan.is_table_stored = True
+        self._promote_id_targets()
+        self._promote_child_table_parents()
+        self._assign_table_names()
+        plan = MappingPlan(
+            root=root_plan,
+            elements=self.plans,
+            config=self.config,
+            schema_id=self.names.schema_id,
+            warnings=self.warnings,
+        )
+        return plan
+
+    # -- element classification (Fig. 2 upper half) ----------------------------------
+
+    def _visit(self, name: str, stack: tuple[str, ...]) -> ElementPlan:
+        existing = self.plans.get(name)
+        if existing is not None:
+            if name in stack:
+                existing.recursive = True
+                existing.is_table_stored = True
+            else:
+                existing.shared = True
+            return existing
+        plan = ElementPlan(name=name, kind=self._classify(name))
+        self.plans[name] = plan
+        self._plan_attributes(plan)
+        if plan.kind is ElementKind.COMPLEX:
+            declaration = self.dtd.element(name)
+            for child in declaration.content.child_summary():
+                child_plan = self._visit(child.name, stack + (name,))
+                plan.links.append(self._link(plan, child_plan, child,
+                                             is_backedge=child.name
+                                             in stack + (name,)))
+        elif plan.kind is ElementKind.MIXED:
+            dropped = self.dtd.element(name).content.mixed_names
+            if dropped:
+                self.warnings.append(
+                    f"mixed content of <{name}>: child elements"
+                    f" {list(dropped)} are flattened into text"
+                    f" (known transformation problem, Section 1)")
+        self._finalize_element(plan)
+        return plan
+
+    def _classify(self, name: str) -> ElementKind:
+        declaration = self.dtd.element(name)
+        if declaration is None:
+            self.warnings.append(
+                f"element <{name}> referenced but not declared;"
+                f" treated as simple")
+            return ElementKind.SIMPLE
+        content = declaration.content
+        if content.is_pcdata_only:
+            return ElementKind.SIMPLE
+        if content.is_mixed:
+            return ElementKind.MIXED
+        if content.kind is ContentKind.EMPTY:
+            return ElementKind.EMPTY
+        if content.kind is ContentKind.ANY:
+            return ElementKind.ANY
+        return ElementKind.COMPLEX
+
+    # -- attributes (Section 4.4) -----------------------------------------------------
+
+    def _plan_attributes(self, plan: ElementPlan) -> None:
+        declarations = self.dtd.attributes_of(plan.name)
+        if not declarations:
+            return
+        attribute_plans = [
+            AttributePlan(
+                xml_name=attr_name,
+                db_name=self.names.xml_attribute(attr_name),
+                declaration=declaration,
+                ref_target=self._idref_target(plan.name, attr_name,
+                                              declaration),
+            )
+            for attr_name, declaration in declarations.items()
+        ]
+        if self.config.attribute_list_types:
+            plan.attr_list = AttrListPlan(
+                type_name=self.names.attrlist_type(plan.name),
+                column=self.names.attribute_list(plan.name),
+                attributes=attribute_plans,
+            )
+        else:
+            plan.attributes = attribute_plans
+
+    def _idref_target(self, element: str, attribute: str,
+                      declaration) -> str | None:
+        if not self.config.map_idrefs_to_refs:
+            return None
+        if declaration.attribute_type not in (AttributeType.IDREF,
+                                              AttributeType.IDREFS):
+            return None
+        target = self.idref_targets.get((element, attribute))
+        if target is None:
+            self.warnings.append(
+                f"IDREF attribute {element}@{attribute}: target element"
+                f" type unknown (not derivable from the DTD,"
+                f" Section 4.4); mapped as VARCHAR")
+        return target
+
+    def _dtd_has_idrefs(self) -> bool:
+        for per_element in self.dtd.attributes.values():
+            for declaration in per_element.values():
+                if declaration.attribute_type in (AttributeType.IDREF,
+                                                  AttributeType.IDREFS):
+                    return True
+        return False
+
+    # -- storage decision (Fig. 2 lower half) ---------------------------------------------
+
+    def _link(self, parent: ElementPlan, child: ElementPlan,
+              occurrence: ChildOccurrence,
+              is_backedge: bool) -> ChildLink:
+        link = ChildLink(child=child, occurrence=occurrence,
+                         storage=Storage.SCALAR_COLUMN)
+        if is_backedge or child.recursive:
+            # Section 6.2: break cycles with REF + forward declaration.
+            child.is_table_stored = True
+            child.recursive = True
+            if occurrence.repeatable:
+                link.storage = Storage.REF_COLLECTION
+                link.collection_type = self.names.ref_collection_type(
+                    child.name)
+            else:
+                link.storage = Storage.REF_COLUMN
+            link.column = self.names.attribute(child.name)
+            return link
+        if self._is_scalar_leaf(child):
+            if occurrence.repeatable:
+                link.storage = Storage.SCALAR_COLLECTION
+                link.collection_type = self._collection_name(child.name)
+            else:
+                link.storage = Storage.SCALAR_COLUMN
+            link.column = self.names.attribute(child.name)
+            return link
+        # complex (or attributed/empty/mixed-with-type) child
+        if occurrence.repeatable:
+            if self.mode is CompatibilityMode.ORACLE8 \
+                    and self._subtree_has_collection(child):
+                # Section 4.2 workaround: individual object type +
+                # object table, child holds REF back to the parent.
+                link.storage = Storage.CHILD_TABLE
+                child.is_table_stored = True
+                link.column = None
+            else:
+                link.storage = Storage.OBJECT_COLLECTION
+                link.collection_type = self._collection_name(child.name)
+                link.column = self.names.attribute(child.name)
+        else:
+            link.storage = Storage.OBJECT_COLUMN
+            link.column = self.names.attribute(child.name)
+        return link
+
+    def _is_scalar_leaf(self, child: ElementPlan) -> bool:
+        """True when the child maps to a bare VARCHAR2 value."""
+        has_attributes = bool(child.attributes or child.attr_list)
+        if has_attributes or child.is_table_stored:
+            return False
+        return child.kind in (ElementKind.SIMPLE, ElementKind.MIXED,
+                              ElementKind.EMPTY, ElementKind.ANY)
+
+    def _collection_name(self, element_name: str) -> str:
+        if self.config.collection_flavor is CollectionFlavor.VARRAY:
+            return self.names.varray_type(element_name)
+        return self.names.nested_table_type(element_name)
+
+    def _subtree_has_collection(self, plan: ElementPlan,
+                                seen: set[str] | None = None) -> bool:
+        """Would *plan*'s object type transitively embed a collection?
+
+        This is the Oracle-8 legality test of Section 2.2: if yes, the
+        child cannot live inside a collection and the generator must
+        fall back to the REF workaround.
+        """
+        if seen is None:
+            seen = set()
+        if plan.name in seen:
+            return False
+        seen.add(plan.name)
+        for link in plan.links:
+            if link.storage in (Storage.SCALAR_COLLECTION,
+                                Storage.OBJECT_COLLECTION,
+                                Storage.REF_COLLECTION):
+                return True
+            if link.storage is Storage.OBJECT_COLUMN \
+                    and self._subtree_has_collection(link.child, seen):
+                return True
+        return False
+
+    def _finalize_element(self, plan: ElementPlan) -> None:
+        """Assign the element's own type/column names where needed."""
+        needs_type = (
+            plan.kind is ElementKind.COMPLEX
+            or plan.attributes or plan.attr_list
+            or plan.is_table_stored
+        )
+        if not needs_type:
+            return
+        plan.object_type = self.names.object_type(plan.name)
+        if plan.kind in (ElementKind.SIMPLE, ElementKind.MIXED,
+                         ElementKind.ANY):
+            plan.text_column = self.names.attribute(plan.name)
+
+    # -- post passes --------------------------------------------------------------------
+
+    def _promote_id_targets(self) -> None:
+        """Elements on either side of an IDREF become row objects.
+
+        Targets (ID carriers) must live in object tables so REFs can
+        point at them (Section 4.4).  Holders (IDREF carriers) are
+        promoted too, so their REF column is a top-level table column
+        that the loader can fill with a deferred UPDATE — the only way
+        to support circular ID/IDREF structures.
+        """
+        if not (self.config.map_idrefs_to_refs and self._has_idrefs):
+            return
+        targets: set[str] = set()
+        holders: set[str] = set()
+        for plan in self.plans.values():
+            for attribute in self._all_attribute_plans(plan):
+                if attribute.ref_target is not None:
+                    targets.add(attribute.ref_target)
+                    holders.add(plan.name)
+        for name in sorted(targets | holders):
+            plan = self.plans.get(name)
+            if plan is None:
+                self.warnings.append(
+                    f"IDREF target <{name}> is not part of this"
+                    f" document type")
+                continue
+            if not plan.is_table_stored:
+                plan.is_table_stored = True
+                if plan.object_type is None:
+                    plan.object_type = self.names.object_type(plan.name)
+                self._convert_links_to(plan)
+
+    @staticmethod
+    def _all_attribute_plans(plan: ElementPlan):
+        if plan.attr_list is not None:
+            return plan.attr_list.attributes
+        return plan.attributes
+
+    def _convert_links_to(self, target: ElementPlan) -> None:
+        """Rewrite inline links to *target* as REF links (it now lives
+        in its own object table)."""
+        for plan in self.plans.values():
+            for link in plan.links:
+                if link.child is not target:
+                    continue
+                if link.storage is Storage.OBJECT_COLUMN:
+                    link.storage = Storage.REF_COLUMN
+                elif link.storage is Storage.OBJECT_COLLECTION:
+                    link.storage = Storage.REF_COLLECTION
+                    link.collection_type = self.names.ref_collection_type(
+                        target.name)
+                elif link.storage in (Storage.SCALAR_COLUMN,
+                                      Storage.SCALAR_COLLECTION):
+                    # the child gained an object type after this link
+                    # was made (it was seen as scalar first)
+                    link.storage = (Storage.REF_COLLECTION
+                                    if link.repeatable
+                                    else Storage.REF_COLUMN)
+                    if link.storage is Storage.REF_COLLECTION:
+                        link.collection_type = (
+                            self.names.ref_collection_type(target.name))
+
+    def _promote_child_table_parents(self) -> None:
+        """Fixpoint: a CHILD_TABLE child's parent must be a row object
+        (its REF points at the parent), so the parent is promoted to
+        table storage and inline links to it become REF links."""
+        changed = True
+        while changed:
+            changed = False
+            for plan in self.plans.values():
+                needs_table = any(
+                    link.storage is Storage.CHILD_TABLE
+                    for link in plan.links)
+                if needs_table and not plan.is_table_stored:
+                    plan.is_table_stored = True
+                    if plan.object_type is None:
+                        plan.object_type = self.names.object_type(
+                            plan.name)
+                    self._convert_links_to(plan)
+                    changed = True
+
+    def _assign_table_names(self) -> None:
+        for plan in self.plans.values():
+            if not plan.is_table_stored:
+                continue
+            if plan.object_type is None:
+                plan.object_type = self.names.object_type(plan.name)
+            plan.table = self.names.table(plan.name)
+            plan.id_column = self.names.id_column(plan.name)
+        # Oracle-8 child tables carry a REF back to their (table-
+        # stored) parent; allocate those columns now that promotion
+        # has settled.
+        for plan in self.plans.values():
+            for link in plan.links:
+                if link.storage is Storage.CHILD_TABLE:
+                    link.column = self.names.parent_ref_column(plan.name)
+
+
+def analyze(dtd: DTD, config: MappingConfig | None = None,
+            mode: CompatibilityMode = CompatibilityMode.ORACLE9,
+            names: NameGenerator | None = None,
+            root: str | None = None,
+            idref_targets: dict[tuple[str, str], str] | None = None
+            ) -> MappingPlan:
+    """Analyze *dtd* into a mapping plan (convenience wrapper)."""
+    config = config or MappingConfig()
+    names = names or NameGenerator()
+    analyzer = Analyzer(dtd, config, mode, names, idref_targets)
+    return analyzer.analyze(root)

@@ -1,0 +1,382 @@
+"""Schema generation: render a mapping plan to an executable SQL script.
+
+The output reproduces Section 4's behaviour: the DTD tree is turned
+into ``CREATE TYPE`` / ``CREATE TABLE`` statements "that can be
+executed afterwards without any modification".  The member layout of
+every generated object type is centralized in :func:`type_members` so
+the loader (INSERT generation) and the retriever (reconstruction)
+interpret constructors in exactly the order the DDL declares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .plan import (
+    AttributePlan,
+    ChildLink,
+    CollectionFlavor,
+    ElementKind,
+    ElementPlan,
+    MappingConfig,
+    MappingPlan,
+    Storage,
+)
+
+#: Length of the synthetic IDElementname columns (Section 4.2's
+#: "additional unique attribute").
+ID_LENGTH = 64
+
+
+@dataclass
+class TypeMember:
+    """One attribute of a generated object type, in declaration order."""
+
+    column: str
+    kind: str  # 'id' | 'text' | 'xmlattr' | 'attrlist' | 'link' | 'parentref'
+    sql_type: str
+    attribute: AttributePlan | None = None
+    link: ChildLink | None = None
+    parent: ElementPlan | None = None
+
+
+@dataclass
+class SchemaScript:
+    """The generated DDL, plus bookkeeping for tests and examples."""
+
+    statements: list[str] = field(default_factory=list)
+    type_count: int = 0
+    table_count: int = 0
+    collection_count: int = 0
+
+    @property
+    def text(self) -> str:
+        return ";\n".join(self.statements) + (";" if self.statements
+                                              else "")
+
+    def add(self, statement: str) -> None:
+        self.statements.append(statement)
+
+
+def child_table_parents(
+        plan: MappingPlan) -> dict[str, list[tuple[ElementPlan,
+                                                   ChildLink]]]:
+    """child element name -> [(parent plan, CHILD_TABLE link)]."""
+    result: dict[str, list[tuple[ElementPlan, ChildLink]]] = {}
+    for parent in plan.elements.values():
+        for link in parent.links:
+            if link.storage is Storage.CHILD_TABLE:
+                result.setdefault(link.child.name, []).append(
+                    (parent, link))
+    return result
+
+
+def type_members(element: ElementPlan, plan: MappingPlan) -> list[TypeMember]:
+    """Ordered members of the element's object type.
+
+    Order: synthetic ID, text value, XML attributes (inline or as one
+    attrList column), child links (DTD declaration order), then the
+    Oracle-8 parent-REF columns.  This order *is* the constructor
+    signature the loader emits.
+    """
+    config = plan.config
+    members: list[TypeMember] = []
+    if element.is_table_stored and element.id_column:
+        members.append(TypeMember(element.id_column, "id",
+                                  f"VARCHAR2({ID_LENGTH})"))
+    if element.text_column:
+        members.append(TypeMember(
+            element.text_column, "text",
+            config.hinted_type(element.name) or config.text_type()))
+    if element.attr_list is not None:
+        members.append(TypeMember(element.attr_list.column, "attrlist",
+                                  element.attr_list.type_name))
+    else:
+        for attribute in element.attributes:
+            members.append(TypeMember(
+                attribute.db_name, "xmlattr",
+                _attribute_sql_type(attribute, plan, config),
+                attribute=attribute))
+    for link in element.links:
+        if link.storage is Storage.CHILD_TABLE:
+            continue
+        members.append(TypeMember(
+            link.column, "link", _link_sql_type(link, config),
+            link=link))
+    for parent, link in child_table_parents(plan).get(element.name, []):
+        members.append(TypeMember(
+            link.column, "parentref", f"REF {parent.object_type}",
+            link=link, parent=parent))
+    return members
+
+
+def _attribute_sql_type(attribute: AttributePlan, plan: MappingPlan,
+                        config: MappingConfig) -> str:
+    if attribute.ref_target is not None:
+        target = plan.element(attribute.ref_target)
+        if target is not None and target.object_type is not None:
+            return f"REF {target.object_type}"
+    return config.hinted_type(attribute.xml_name) or config.text_type()
+
+
+def scalar_sql_type(element_name: str, config: MappingConfig) -> str:
+    """Leaf column type: a Section 7 type hint, or the VARCHAR default."""
+    return config.hinted_type(element_name) or config.text_type()
+
+
+def _link_sql_type(link: ChildLink, config: MappingConfig) -> str:
+    child = link.child
+    if link.storage is Storage.SCALAR_COLUMN:
+        return scalar_sql_type(child.name, config)
+    if link.storage in (Storage.SCALAR_COLLECTION,
+                        Storage.OBJECT_COLLECTION,
+                        Storage.REF_COLLECTION):
+        return link.collection_type
+    if link.storage is Storage.OBJECT_COLUMN:
+        return child.object_type
+    assert link.storage is Storage.REF_COLUMN
+    return f"REF {child.object_type}"
+
+
+class SchemaGenerator:
+    """Emits the DDL script for one mapping plan."""
+
+    def __init__(self, plan: MappingPlan):
+        self.plan = plan
+        self.config = plan.config
+        self._emitted_types: set[str] = set()
+        self._script = SchemaScript()
+
+    # -- entry point -----------------------------------------------------------------
+
+    def generate(self) -> SchemaScript:
+        # 1. forward declarations for every REF target (Section 6.2)
+        for element in self.plan.table_stored_elements():
+            self._script.add(f"CREATE TYPE {element.object_type}")
+            self._script.type_count += 1
+        # 2. types, bottom-up from the root
+        self._emit_types(self.plan.root, set())
+        # make sure table-stored elements unreachable through inline
+        # links (e.g. pure CHILD_TABLE children) are also emitted
+        for element in self.plan.elements.values():
+            if element.object_type and element.object_type \
+                    not in self._emitted_types:
+                self._emit_types(element, set())
+        # 3. tables, ordered so SCOPE FOR targets exist first
+        for element in self._table_order():
+            self._emit_table(element)
+        return self._script
+
+    # -- types ------------------------------------------------------------------------
+
+    def _emit_types(self, element: ElementPlan,
+                    in_progress: set[str]) -> None:
+        if element.name in in_progress:
+            return
+        if element.object_type and element.object_type \
+                in self._emitted_types:
+            return
+        in_progress.add(element.name)
+        for link in element.links:
+            if link.storage in (Storage.OBJECT_COLUMN,
+                                Storage.OBJECT_COLLECTION,
+                                Storage.CHILD_TABLE):
+                self._emit_types(link.child, in_progress)
+            elif link.storage in (Storage.REF_COLUMN,
+                                  Storage.REF_COLLECTION):
+                # REF targets only need their forward declaration here;
+                # their full type is emitted on their own visit (or at
+                # the fixup loop in generate()).
+                if not link.child.recursive:
+                    self._emit_types(link.child, in_progress)
+        in_progress.discard(element.name)
+        self._emit_collection_types(element)
+        if element.object_type is None:
+            return
+        if element.object_type in self._emitted_types:
+            return
+        self._emitted_types.add(element.object_type)
+        if element.attr_list is not None:
+            attrs = ",\n  ".join(
+                f"{attribute.db_name}"
+                f" {_attribute_sql_type(attribute, self.plan, self.config)}"
+                for attribute in element.attr_list.attributes)
+            self._script.add(
+                f"CREATE TYPE {element.attr_list.type_name} AS OBJECT(\n"
+                f"  {attrs})")
+            self._script.type_count += 1
+        members = type_members(element, self.plan)
+        body = ",\n  ".join(f"{member.column} {member.sql_type}"
+                            for member in members)
+        self._script.add(
+            f"CREATE TYPE {element.object_type} AS OBJECT(\n  {body})")
+        self._script.type_count += 1
+
+    def _emit_collection_types(self, element: ElementPlan) -> None:
+        for link in element.links:
+            name = link.collection_type
+            if name is None or name in self._emitted_types:
+                continue
+            self._emitted_types.add(name)
+            if link.storage is Storage.SCALAR_COLLECTION:
+                element_type = scalar_sql_type(link.child.name,
+                                               self.config)
+            elif link.storage is Storage.OBJECT_COLLECTION:
+                element_type = link.child.object_type
+            else:
+                assert link.storage is Storage.REF_COLLECTION
+                element_type = f"REF {link.child.object_type}"
+            if (link.storage is Storage.REF_COLLECTION
+                    or self.config.collection_flavor
+                    is CollectionFlavor.NESTED_TABLE):
+                # Section 6.2 uses TABLE OF REF for recursion; nested
+                # tables are also the flavor choice of Section 2.2.
+                self._script.add(
+                    f"CREATE TYPE {name} AS TABLE OF {element_type}")
+            else:
+                self._script.add(
+                    f"CREATE TYPE {name} AS"
+                    f" VARRAY({self.config.varray_limit})"
+                    f" OF {element_type}")
+            self._script.collection_count += 1
+            self._script.type_count += 1
+
+    # -- tables ------------------------------------------------------------------------
+
+    def _table_order(self) -> list[ElementPlan]:
+        """Tables sorted so that SCOPE FOR targets come first."""
+        stored = self.plan.table_stored_elements()
+        index = {element.name: element for element in stored}
+        # dependency: A -> B when A holds a REF column pointing at B
+        dependencies: dict[str, set[str]] = {
+            element.name: set() for element in stored}
+        for element in stored:
+            for member in type_members(element, self.plan):
+                target = self._ref_target_of(member)
+                if target is not None and target in index \
+                        and target != element.name:
+                    dependencies[element.name].add(target)
+        ordered: list[ElementPlan] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+        self._scope_cycles: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                self._scope_cycles.add(name)
+                return
+            visiting.add(name)
+            for dependency in sorted(dependencies[name]):
+                visit(dependency)
+            visiting.discard(name)
+            done.add(name)
+            ordered.append(index[name])
+
+        for element in stored:
+            visit(element.name)
+        return ordered
+
+    def _ref_target_of(self, member: TypeMember) -> str | None:
+        if member.kind == "parentref" and member.parent is not None:
+            return member.parent.name
+        if member.kind == "link" and member.link is not None \
+                and member.link.storage is Storage.REF_COLUMN:
+            return member.link.child.name
+        if member.kind == "xmlattr" and member.attribute is not None:
+            return member.attribute.ref_target
+        return None
+
+    def _emit_table(self, element: ElementPlan) -> None:
+        clauses: list[str] = []
+        if element.id_column:
+            clauses.append(f"{element.id_column} PRIMARY KEY")
+        if self.config.not_null_constraints:
+            clauses.extend(self._not_null_clauses(element))
+        if self.config.check_constraints:
+            clauses.extend(self._check_clauses(element))
+        if self.config.scope_constraints:
+            clauses.extend(self._scope_clauses(element))
+        body = "(\n  " + ",\n  ".join(clauses) + ")" if clauses else ""
+        statement = f"CREATE TABLE {element.table} OF" \
+                    f" {element.object_type}{body}"
+        statement += self._store_clauses(element)
+        self._script.add(statement)
+        self._script.table_count += 1
+
+    def _not_null_clauses(self, element: ElementPlan) -> list[str]:
+        """NOT NULL for mandatory children and #REQUIRED attributes
+        (Section 4.3) — only legal on the table's own columns."""
+        clauses: list[str] = []
+        for member in type_members(element, self.plan):
+            if member.kind == "xmlattr" and member.attribute.required:
+                if member.attribute.ref_target is not None:
+                    # IDREF columns are filled by a deferred UPDATE
+                    # (circular references), so NOT NULL cannot hold
+                    # during loading — another Section 4.3 limitation.
+                    continue
+                clauses.append(f"{member.column} NOT NULL")
+            elif member.kind == "link" and member.link is not None:
+                link = member.link
+                if not link.optional and not link.repeatable:
+                    clauses.append(f"{member.column} NOT NULL")
+                # '+' children are mandatory too, but collection
+                # columns cannot be NOT NULL per Section 4.3 —
+                # the drawback stands, nothing emitted.
+        return clauses
+
+    def _check_clauses(self, element: ElementPlan) -> list[str]:
+        """The (not recommended) CHECK constraints of Section 4.3:
+        NOT NULL conditions on attributes nested one level inside
+        optional complex columns."""
+        clauses: list[str] = []
+        for link in element.links:
+            if link.storage is not Storage.OBJECT_COLUMN:
+                continue
+            for inner in link.child.links:
+                if (inner.storage is Storage.SCALAR_COLUMN
+                        and not inner.optional):
+                    clauses.append(
+                        f"CHECK ({link.column}.{inner.column}"
+                        f" IS NOT NULL)")
+        return clauses
+
+    def _scope_clauses(self, element: ElementPlan) -> list[str]:
+        clauses: list[str] = []
+        if element.name in self._scope_cycles:
+            return clauses
+        for member in type_members(element, self.plan):
+            target_name = self._ref_target_of(member)
+            if target_name is None:
+                continue
+            if target_name in self._scope_cycles:
+                continue
+            target = self.plan.element(target_name)
+            if target is not None and target.table is not None:
+                clauses.append(
+                    f"SCOPE FOR ({member.column}) IS {target.table}")
+        return clauses
+
+    def _store_clauses(self, element: ElementPlan) -> str:
+        """NESTED TABLE ... STORE AS for nested-table-typed columns."""
+        parts: list[str] = []
+        for link in element.links:
+            if link.collection_type is None or link.column is None:
+                continue
+            is_nested = (
+                link.storage is Storage.REF_COLLECTION
+                or self.config.collection_flavor
+                is CollectionFlavor.NESTED_TABLE)
+            if not is_nested:
+                continue
+            link.storage_table = f"{element.table}_{link.column}_ST"[:30]
+            parts.append(
+                f" NESTED TABLE {link.column} STORE AS"
+                f" {link.storage_table}")
+        return "".join(parts)
+
+
+def generate_schema(plan: MappingPlan) -> SchemaScript:
+    """Render *plan* to DDL with a throwaway generator."""
+    return SchemaGenerator(plan).generate()

@@ -1,0 +1,333 @@
+"""INSERT generation: store a document according to a mapping plan.
+
+The headline behaviour of Section 4.2: with nested collection types a
+whole document becomes a *single* INSERT statement whose nested
+constructor calls mirror the document tree.  Storage decisions that
+involve object tables (recursion, Oracle-8 child tables, ID/IDREF)
+add further INSERTs — child rows first, parents referencing them
+through scalar subqueries on the synthetic ``IDElementname`` keys the
+paper introduces exactly for this purpose ("We introduced an
+additional unique attribute for the sole purpose of simplifying the
+generation of INSERT operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.shredder import sql_quote
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.serializer import serialize
+from .generator import TypeMember, type_members
+from .plan import ElementKind, ElementPlan, MappingPlan, Storage
+
+
+@dataclass
+class LoadResult:
+    """Everything the facade needs to know about one load."""
+
+    doc_id: int
+    statements: list[str] = field(default_factory=list)
+    root_row_id: str = ""
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def insert_count(self) -> int:
+        return sum(1 for s in self.statements
+                   if s.lstrip().upper().startswith("INSERT"))
+
+    @property
+    def update_count(self) -> int:
+        return sum(1 for s in self.statements
+                   if s.lstrip().upper().startswith("UPDATE"))
+
+
+@dataclass
+class _PendingIdref:
+    """An IDREF column to fill in after all rows exist."""
+
+    table: str
+    id_column: str
+    row_id: str
+    column: str
+    idref_value: str
+    target: ElementPlan
+
+
+class DocumentLoader:
+    """Generates the SQL that stores one document."""
+
+    def __init__(self, plan: MappingPlan, doc_id: int):
+        self.plan = plan
+        self.doc_id = doc_id
+        self.result = LoadResult(doc_id)
+        self._counter = 0
+        self._root_element: Element | None = None
+        #: DOM elements already stored as rows (pass A): node -> row id
+        self._stored_rows: dict[int, str] = {}
+        self._row_elements: dict[int, Element] = {}
+        self._pending_idrefs: list[_PendingIdref] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def load(self, document: Document | Element) -> LoadResult:
+        root = (document.root_element if isinstance(document, Document)
+                else document)
+        if root.tag != self.plan.root.name:
+            raise ValueError(
+                f"document root <{root.tag}> does not match schema root"
+                f" <{self.plan.root.name}>")
+        self._root_element = root
+        self._insert_id_targets(root)
+        self.result.root_row_id = self._insert_table_row(
+            self.plan.root, root, parent_id=None, parent_plan=None,
+            parent_link=None)
+        self._emit_idref_updates()
+        return self.result
+
+    # -- identifiers ----------------------------------------------------------------
+
+    def _row_id_for(self, element: Element) -> str:
+        """Root gets the bare ``D<doc>`` id the retriever looks up."""
+        if element is self._root_element:
+            return f"D{self.doc_id}"
+        self._counter += 1
+        return f"D{self.doc_id}.{self._counter:08d}"
+
+    # -- pass A: ID/IDREF targets ------------------------------------------------------
+
+    def _idref_target_names(self) -> set[str]:
+        names: set[str] = set()
+        for plan in self.plan.elements.values():
+            pool = (plan.attr_list.attributes if plan.attr_list
+                    else plan.attributes)
+            for attribute in pool:
+                if attribute.ref_target is not None:
+                    names.add(attribute.ref_target)
+        return names
+
+    def _insert_id_targets(self, root: Element) -> None:
+        target_names = self._idref_target_names()
+        if not target_names:
+            return
+        for element in root.iter_elements():
+            if element.tag not in target_names or element is root:
+                continue
+            plan = self.plan.element(element.tag)
+            if plan is None or not plan.is_table_stored:
+                continue
+            if id(element) in self._stored_rows:
+                continue
+            self._insert_table_row(plan, element, parent_id=None,
+                                   parent_plan=None, parent_link=None)
+
+    # -- table rows ----------------------------------------------------------------------
+
+    def _insert_table_row(self, plan: ElementPlan, element: Element,
+                          parent_id: str | None,
+                          parent_plan: ElementPlan | None,
+                          parent_link) -> str:
+        if id(element) in self._stored_rows:
+            return self._stored_rows[id(element)]
+        row_id = self._row_id_for(element)
+        self._stored_rows[id(element)] = row_id
+        self._row_elements[id(element)] = element
+        arguments: list[str] = []
+        child_table_links = []
+        for member in type_members(plan, self.plan):
+            if member.kind == "parentref":
+                if (parent_plan is not None and parent_link is not None
+                        and member.parent is parent_plan):
+                    arguments.append(self._ref_subquery(
+                        parent_plan, parent_id))
+                else:
+                    arguments.append("NULL")
+            else:
+                arguments.append(self._member_value(
+                    member, plan, element, row_id))
+        for link in plan.links:
+            if link.storage is Storage.CHILD_TABLE:
+                child_table_links.append(link)
+        constructor = f"{plan.object_type}({', '.join(arguments)})"
+        self.result.statements.append(
+            f"INSERT INTO {plan.table} VALUES({constructor})")
+        for link in child_table_links:
+            for child_element in element.find_all(link.child.name):
+                self._insert_table_row(link.child, child_element,
+                                       parent_id=row_id,
+                                       parent_plan=plan,
+                                       parent_link=link)
+        return row_id
+
+    @staticmethod
+    def _ref_subquery(target: ElementPlan, row_id: str | None) -> str:
+        if row_id is None:
+            return "NULL"
+        return (f"(SELECT REF(x_) FROM {target.table} x_"
+                f" WHERE x_.{target.id_column} = {sql_quote(row_id)})")
+
+    # -- member values --------------------------------------------------------------------
+
+    def _member_value(self, member: TypeMember, plan: ElementPlan,
+                      element: Element, row_id: str) -> str:
+        if member.kind == "id":
+            return sql_quote(row_id)
+        if member.kind == "text":
+            return self._text_value(plan, element)
+        if member.kind == "xmlattr":
+            return self._attribute_value(member, plan, element, row_id)
+        if member.kind == "attrlist":
+            return self._attrlist_value(plan, element, row_id)
+        assert member.kind == "link"
+        return self._link_value(member.link, element)
+
+    def _text_value(self, plan: ElementPlan, element: Element) -> str:
+        if plan.kind is ElementKind.ANY or (
+                plan.kind is ElementKind.MIXED
+                and self.plan.config.mixed_as_markup):
+            inner = "".join(serialize(child)
+                            for child in element.children)
+            return sql_quote(inner)
+        if plan.kind is ElementKind.MIXED:
+            return sql_quote(element.text_content())
+        return sql_quote(element.text())
+
+    def _attribute_value(self, member: TypeMember, plan: ElementPlan,
+                         element: Element, row_id: str) -> str:
+        attribute = member.attribute
+        value = element.get(attribute.xml_name)
+        if value is None:
+            return "NULL"
+        if attribute.ref_target is None:
+            return sql_quote(value)
+        target = self.plan.element(attribute.ref_target)
+        if plan.is_table_stored:
+            # fill by UPDATE once every row exists (forward IDREFs)
+            self._pending_idrefs.append(_PendingIdref(
+                table=plan.table, id_column=plan.id_column,
+                row_id=row_id, column=member.column,
+                idref_value=value, target=target))
+            return "NULL"
+        # inline element: the target row already exists (pass A)
+        return self._idref_subquery(target, value)
+
+    def _idref_subquery(self, target: ElementPlan, value: str) -> str:
+        id_attribute = next(
+            (attribute for attribute in
+             (target.attr_list.attributes if target.attr_list
+              else target.attributes)
+             if attribute.is_id), None)
+        if id_attribute is None:
+            self.result.warnings.append(
+                f"IDREF '{value}': target <{target.name}> has no ID"
+                f" attribute column")
+            return "NULL"
+        if target.attr_list is not None:
+            column = (f"{target.attr_list.column}"
+                      f".{id_attribute.db_name}")
+        else:
+            column = id_attribute.db_name
+        return (f"(SELECT REF(x_) FROM {target.table} x_"
+                f" WHERE x_.{column} = {sql_quote(value)})")
+
+    def _attrlist_value(self, plan: ElementPlan, element: Element,
+                        row_id: str) -> str:
+        attr_list = plan.attr_list
+        assert attr_list is not None
+        if not any(element.has_attribute(a.xml_name)
+                   for a in attr_list.attributes):
+            return "NULL"
+        arguments = []
+        for attribute in attr_list.attributes:
+            value = element.get(attribute.xml_name)
+            if value is None:
+                arguments.append("NULL")
+            elif attribute.ref_target is not None:
+                target = self.plan.element(attribute.ref_target)
+                arguments.append(self._idref_subquery(target, value))
+            else:
+                arguments.append(sql_quote(value))
+        return f"{attr_list.type_name}({', '.join(arguments)})"
+
+    # -- link values -------------------------------------------------------------------------
+
+    def _link_value(self, link, element: Element) -> str:
+        children = element.find_all(link.child.name)
+        if link.storage is Storage.SCALAR_COLUMN:
+            if not children:
+                return "NULL"
+            return sql_quote(self._scalar_text(link.child, children[0]))
+        if link.storage is Storage.SCALAR_COLLECTION:
+            if not children:
+                return "NULL"
+            items = ", ".join(
+                sql_quote(self._scalar_text(link.child, child))
+                for child in children)
+            return f"{link.collection_type}({items})"
+        if link.storage is Storage.OBJECT_COLUMN:
+            if not children:
+                return "NULL"
+            return self._inline_constructor(link.child, children[0])
+        if link.storage is Storage.OBJECT_COLLECTION:
+            if not children:
+                return "NULL"
+            items = ", ".join(
+                self._inline_constructor(link.child, child)
+                for child in children)
+            return f"{link.collection_type}({items})"
+        if link.storage is Storage.REF_COLUMN:
+            if not children:
+                return "NULL"
+            child_id = self._insert_table_row(
+                link.child, children[0], None, None, None)
+            return self._ref_subquery(link.child, child_id)
+        assert link.storage is Storage.REF_COLLECTION
+        if not children:
+            return "NULL"
+        subqueries = []
+        for child in children:
+            child_id = self._insert_table_row(link.child, child, None,
+                                              None, None)
+            subqueries.append(self._ref_subquery(link.child, child_id))
+        return f"{link.collection_type}({', '.join(subqueries)})"
+
+    def _scalar_text(self, plan: ElementPlan, element: Element) -> str:
+        if plan.kind is ElementKind.EMPTY:
+            return "Y"  # presence flag for empty elements
+        if plan.kind is ElementKind.ANY or (
+                plan.kind is ElementKind.MIXED
+                and self.plan.config.mixed_as_markup):
+            return "".join(serialize(child) for child in element.children)
+        if plan.kind is ElementKind.MIXED:
+            return element.text_content()
+        return element.text()
+
+    def _inline_constructor(self, plan: ElementPlan,
+                            element: Element) -> str:
+        row_id = ""  # inline objects carry no synthetic id
+        arguments = []
+        for member in type_members(plan, self.plan):
+            if member.kind == "parentref":
+                arguments.append("NULL")
+            else:
+                arguments.append(self._member_value(member, plan,
+                                                    element, row_id))
+        return f"{plan.object_type}({', '.join(arguments)})"
+
+    # -- pass C: IDREF updates ------------------------------------------------------------------
+
+    def _emit_idref_updates(self) -> None:
+        for pending in self._pending_idrefs:
+            subquery = self._idref_subquery(pending.target,
+                                            pending.idref_value)
+            self.result.statements.append(
+                f"UPDATE {pending.table} t_ SET {pending.column} ="
+                f" {subquery}"
+                f" WHERE t_.{pending.id_column} ="
+                f" {sql_quote(pending.row_id)}")
+
+
+def load_document(plan: MappingPlan, document: Document | Element,
+                  doc_id: int) -> LoadResult:
+    """Generate the load script for *document* (convenience wrapper)."""
+    return DocumentLoader(plan, doc_id).load(document)

@@ -1,0 +1,155 @@
+"""Naming conventions of Table 1 and SchemaID management (Section 5).
+
+Every identifier the generator emits goes through
+:class:`NameGenerator`, which applies the paper's prefixes, avoids SQL
+reserved words, respects the 30-character limit of the engine
+(truncating and disambiguating), and keeps generated names unique
+within one schema.  A ``SchemaID`` suffix distinguishes identical
+element names coming from different document types stored in the same
+database.
+"""
+
+from __future__ import annotations
+
+from repro.ordb.identifiers import MAX_IDENTIFIER_LENGTH, is_reserved
+
+#: The prefixes of Table 1 (plus two extensions needed by Sections 4.2
+#: and 6.2: nested-table and REF-collection types).
+PREFIX_TABLE = "Tab"
+PREFIX_ATTRIBUTE = "attr"
+PREFIX_ATTRIBUTE_LIST = "attrList"
+PREFIX_ID = "ID"
+PREFIX_OBJECT_TYPE = "Type_"
+PREFIX_ATTRLIST_TYPE = "TypeAttrL_"
+PREFIX_VARRAY_TYPE = "TypeVA_"
+PREFIX_NESTED_TYPE = "TypeNT_"
+PREFIX_REF_COLLECTION_TYPE = "TypeRef_"
+PREFIX_OBJECT_VIEW = "OView_"
+
+
+def clean_xml_name(name: str) -> str:
+    """Strip characters an XML name may contain but SQL may not."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "X" + cleaned
+    return cleaned
+
+
+class NameGenerator:
+    """Allocates unique, legal identifiers per Table 1.
+
+    One generator instance covers one generated schema; names are
+    deduplicated across all prefixes because types, tables and views
+    share a namespace in the engine (as in Oracle).
+    """
+
+    def __init__(self, schema_id: str | None = None):
+        self.schema_id = schema_id
+        self._used: set[str] = set()
+        #: remembers name decisions so repeated calls are stable
+        self._assigned: dict[tuple[str, str], str] = {}
+
+    # -- Table 1 conventions ------------------------------------------------------
+
+    def table(self, element_name: str) -> str:
+        """``TabElementname`` — name of a table."""
+        return self._allocate(PREFIX_TABLE, element_name)
+
+    def attribute(self, element_name: str) -> str:
+        """``attrElementname`` — DB attribute from a simple element."""
+        return self._allocate(PREFIX_ATTRIBUTE, element_name)
+
+    def xml_attribute(self, attribute_name: str) -> str:
+        """``attrAttributename`` — DB attribute from an XML attribute."""
+        return self._allocate(PREFIX_ATTRIBUTE, attribute_name,
+                              slot="xmlattr")
+
+    def attribute_list(self, element_name: str) -> str:
+        """``attrListElementname`` — column holding an attribute list."""
+        return self._allocate(PREFIX_ATTRIBUTE_LIST, element_name)
+
+    def id_column(self, element_name: str) -> str:
+        """``IDElementname`` — primary/foreign key attribute."""
+        return self._allocate(PREFIX_ID, element_name)
+
+    def object_type(self, element_name: str) -> str:
+        """``Type_Elementname`` — object type from an element."""
+        return self._allocate(PREFIX_OBJECT_TYPE, element_name)
+
+    def attrlist_type(self, element_name: str) -> str:
+        """``TypeAttrL_Elementname`` — object type for an attribute list."""
+        return self._allocate(PREFIX_ATTRLIST_TYPE, element_name)
+
+    def varray_type(self, element_name: str) -> str:
+        """``TypeVA_Elementname`` — array type."""
+        return self._allocate(PREFIX_VARRAY_TYPE, element_name)
+
+    def nested_table_type(self, element_name: str) -> str:
+        """``TypeNT_Elementname`` — nested-table type (Section 4.2)."""
+        return self._allocate(PREFIX_NESTED_TYPE, element_name)
+
+    def ref_collection_type(self, element_name: str) -> str:
+        """``TypeRef_Elementname`` — collection of REF (Section 6.2)."""
+        return self._allocate(PREFIX_REF_COLLECTION_TYPE, element_name)
+
+    def object_view(self, element_name: str) -> str:
+        """``OView_Elementname`` — object view (Section 6.3)."""
+        return self._allocate(PREFIX_OBJECT_VIEW, element_name)
+
+    def storage_table(self, element_name: str) -> str:
+        """Name for a NESTED TABLE ... STORE AS segment."""
+        return self._allocate(PREFIX_TABLE, element_name + "_List",
+                              slot="storage")
+
+    def parent_ref_column(self, parent_name: str) -> str:
+        """``refElementname`` — the child-to-parent REF column of the
+        Oracle 8 workaround (Section 4.2; not covered by Table 1)."""
+        return self._allocate("ref", parent_name, slot="parentref")
+
+    # -- allocation machinery --------------------------------------------------------
+
+    def _allocate(self, prefix: str, raw_name: str,
+                  slot: str = "") -> str:
+        memo_key = (prefix + "\x00" + slot, raw_name)
+        existing = self._assigned.get(memo_key)
+        if existing is not None:
+            return existing
+        name = self._make_unique(prefix, clean_xml_name(raw_name))
+        self._assigned[memo_key] = name
+        return name
+
+    def _make_unique(self, prefix: str, cleaned: str) -> str:
+        suffix = f"_{self.schema_id}" if self.schema_id else ""
+        budget = MAX_IDENTIFIER_LENGTH - len(prefix) - len(suffix)
+        candidate = prefix + cleaned[:budget] + suffix
+        if is_reserved(candidate):
+            candidate = (prefix + cleaned[:budget - 1] + "_" + suffix)
+        if candidate.upper() not in self._used:
+            self._used.add(candidate.upper())
+            return candidate
+        counter = 2
+        while True:
+            tail = str(counter)
+            trimmed = cleaned[:budget - len(tail)]
+            candidate = prefix + trimmed + tail + suffix
+            if candidate.upper() not in self._used:
+                self._used.add(candidate.upper())
+                return candidate
+            counter += 1
+
+
+class SchemaIdAllocator:
+    """Hands out short SchemaIDs ('S1', 'S2', ...) per document type.
+
+    The paper introduces SchemaIDs "to deal with identical element
+    names from different DTDs"; the allocator is owned by the facade
+    so each registered DTD gets its own suffix space.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> str:
+        self._next += 1
+        return f"S{self._next}"

@@ -1,0 +1,180 @@
+"""Object views over relationally shredded data (Section 6.3).
+
+"Besides supporting the creation of tables with object types as
+structured column values, Oracle also supports the creation of
+database views that can deliver structured rows of data."  The paper's
+example superimposes the generated object types onto a conventional
+relational schema, computing set-valued elements dynamically with
+``CAST (MULTISET (...))``.
+
+This module builds such views mechanically: given the mapping plan
+(which owns the object types) and an :class:`InliningMapping` (the
+relational schema of reference [9] that owns the shredded rows), it
+emits ``CREATE VIEW OView_X AS SELECT Type_X(...) ...`` statements.
+"""
+
+from __future__ import annotations
+
+from repro.core.naming import NameGenerator
+from repro.relational.inlining import InliningMapping, Relation
+from .generator import TypeMember, type_members
+from .plan import ElementPlan, MappingPlan, Storage
+
+
+class UnsupportedForViews(ValueError):
+    """The plan uses features the view builder cannot express."""
+
+
+class ObjectViewBuilder:
+    """Builds object views bridging a relational schema to OR types."""
+
+    def __init__(self, plan: MappingPlan, relational: InliningMapping,
+                 names: NameGenerator | None = None):
+        self.plan = plan
+        self.relational = relational
+        self.names = names or NameGenerator()
+        self._alias_counter = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def view_name(self, element_name: str) -> str:
+        return self.names.object_view(element_name)
+
+    def build_view(self, element_name: str | None = None) -> str:
+        """CREATE VIEW statement for one relation-backed element."""
+        element_name = element_name or self.plan.root.name
+        plan = self.plan.element(element_name)
+        relation = self.relational.relations.get(element_name)
+        if plan is None or plan.object_type is None:
+            raise UnsupportedForViews(
+                f"<{element_name}> has no object type in the plan")
+        if relation is None:
+            raise UnsupportedForViews(
+                f"<{element_name}> has no relation in the shredded"
+                f" schema")
+        self._alias_counter = 0
+        alias = self._next_alias()
+        constructor = self._constructor(plan, relation, alias, ())
+        return (f"CREATE VIEW {self.view_name(element_name)} AS"
+                f" SELECT {constructor} AS {_column_label(element_name)}"
+                f" FROM {relation.table} {alias}")
+
+    def build_all(self) -> list[str]:
+        """Views for every element that has both a type and a relation."""
+        statements = []
+        for name, plan in self.plan.elements.items():
+            if plan.object_type is None:
+                continue
+            if name not in self.relational.relations:
+                continue
+            statements.append(self.build_view(name))
+        return statements
+
+    # -- construction ----------------------------------------------------------------
+
+    def _next_alias(self) -> str:
+        self._alias_counter += 1
+        return f"r{self._alias_counter}"
+
+    def _constructor(self, plan: ElementPlan, relation: Relation,
+                     alias: str, path: tuple[str, ...]) -> str:
+        arguments = [
+            self._member_expression(member, plan, relation, alias, path)
+            for member in type_members(plan, self.plan)
+        ]
+        return f"{plan.object_type}({', '.join(arguments)})"
+
+    def _member_expression(self, member: TypeMember, plan: ElementPlan,
+                           relation: Relation, alias: str,
+                           path: tuple[str, ...]) -> str:
+        if member.kind == "id":
+            if path:
+                return "NULL"  # inlined levels have no own row id
+            return f"'V' || {alias}.ID{relation.table}"
+        if member.kind == "text":
+            if not path and relation.has_text:
+                return f"{alias}.VAL"
+            column = self._column(relation, path, None)
+            return f"{alias}.{column}" if column else "NULL"
+        if member.kind == "xmlattr":
+            if member.attribute.ref_target is not None:
+                raise UnsupportedForViews(
+                    "IDREF-to-REF columns cannot be recomputed by an"
+                    " object view")
+            column = self._column(relation, path,
+                                  member.attribute.xml_name)
+            return f"{alias}.{column}" if column else "NULL"
+        if member.kind == "attrlist":
+            inner = []
+            for attribute in plan.attr_list.attributes:
+                column = self._column(relation, path, attribute.xml_name)
+                inner.append(f"{alias}.{column}" if column else "NULL")
+            return (f"{plan.attr_list.type_name}({', '.join(inner)})")
+        if member.kind == "parentref":
+            return "NULL"
+        link = member.link
+        child = link.child
+        if link.storage is Storage.SCALAR_COLUMN:
+            column = self._column(relation, path + (child.name,), None)
+            return f"{alias}.{column}" if column else "NULL"
+        if link.storage is Storage.OBJECT_COLUMN:
+            if child.name in self.relational.relations:
+                raise UnsupportedForViews(
+                    f"single-valued <{child.name}> is relation-mapped;"
+                    f" the view builder expects it inlined")
+            return self._constructor(child, relation, alias,
+                                     path + (child.name,))
+        if link.storage is Storage.SCALAR_COLLECTION:
+            return self._multiset_scalar(link, relation, alias)
+        if link.storage is Storage.OBJECT_COLLECTION:
+            return self._multiset_object(link, relation, alias)
+        raise UnsupportedForViews(
+            f"storage {link.storage.value} for <{child.name}> cannot"
+            f" be expressed as a view (REF values need real rows)")
+
+    def _multiset_scalar(self, link, relation: Relation,
+                         alias: str) -> str:
+        child_relation = self._child_relation(link.child.name)
+        child_alias = self._next_alias()
+        return (f"CAST(MULTISET(SELECT {child_alias}.VAL"
+                f" FROM {child_relation.table} {child_alias}"
+                f" WHERE {child_alias}.PARENTID ="
+                f" {alias}.ID{relation.table})"
+                f" AS {link.collection_type})")
+
+    def _multiset_object(self, link, relation: Relation,
+                         alias: str) -> str:
+        child_relation = self._child_relation(link.child.name)
+        child_alias = self._next_alias()
+        constructor = self._constructor(link.child, child_relation,
+                                        child_alias, ())
+        return (f"CAST(MULTISET(SELECT {constructor}"
+                f" FROM {child_relation.table} {child_alias}"
+                f" WHERE {child_alias}.PARENTID ="
+                f" {alias}.ID{relation.table})"
+                f" AS {link.collection_type})")
+
+    def _child_relation(self, element_name: str) -> Relation:
+        relation = self.relational.relations.get(element_name)
+        if relation is None:
+            raise UnsupportedForViews(
+                f"set-valued <{element_name}> has no relation in the"
+                f" shredded schema")
+        return relation
+
+    def _column(self, relation: Relation, path: tuple[str, ...],
+                attribute: str | None) -> str | None:
+        for column in relation.columns:
+            if column.path != path:
+                continue
+            if attribute is None and not column.is_attribute:
+                return column.name
+            if column.is_attribute and column.attribute == attribute:
+                return column.name
+        return None
+
+
+def _column_label(element_name: str) -> str:
+    from repro.core.naming import clean_xml_name
+
+    return clean_xml_name(element_name)[:30]

@@ -1,0 +1,135 @@
+"""Round-trip fidelity measurement (the CLM3 experiment's metric).
+
+The paper's Section 7 lists the information an XML-to-database mapping
+loses: comments, processing instructions, entity references, prolog,
+element order.  To compare mappings quantitatively we extract a
+multiset of *facts* from a document tree — elements, attributes, text,
+comments, PIs, entity references — and report, per category, how many
+of the original facts survive a store/fetch cycle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.xmlkit.dom import (
+    CDATASection,
+    Comment,
+    Document,
+    Element,
+    EntityReference,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+
+#: Fact categories, in reporting order.
+CATEGORIES = ("elements", "attributes", "text", "comments", "pis",
+              "entity_refs")
+
+
+@dataclass
+class FidelityReport:
+    """Per-category preservation counts for one round trip."""
+
+    total: dict[str, int] = field(default_factory=dict)
+    preserved: dict[str, int] = field(default_factory=dict)
+    order_preserved: bool = True
+
+    @property
+    def score(self) -> float:
+        """Fraction of all original facts that survived (0..1)."""
+        total = sum(self.total.values())
+        if total == 0:
+            return 1.0
+        return sum(self.preserved.values()) / total
+
+    def category_score(self, category: str) -> float:
+        total = self.total.get(category, 0)
+        if total == 0:
+            return 1.0
+        return self.preserved.get(category, 0) / total
+
+    def describe(self) -> str:
+        lines = [f"overall fidelity: {self.score:.3f}"
+                 + ("" if self.order_preserved else " (order lost)")]
+        for category in CATEGORIES:
+            total = self.total.get(category, 0)
+            if total:
+                lines.append(
+                    f"  {category}: {self.preserved.get(category, 0)}"
+                    f"/{total}")
+        return "\n".join(lines)
+
+
+def _facts(node: Node, path: tuple[str, ...],
+           counters: dict[str, Counter],
+           order: list[str], normalize_space: bool) -> None:
+    if isinstance(node, Element):
+        child_path = path + (node.tag,)
+        counters["elements"]["/".join(child_path)] += 1
+        order.append("/".join(child_path))
+        for name, attribute in node.attributes.items():
+            counters["attributes"][
+                ("/".join(child_path), name, attribute.value)] += 1
+        for child in node.children:
+            _facts(child, child_path, counters, order, normalize_space)
+    elif isinstance(node, (Text, CDATASection)):
+        data = node.data
+        if normalize_space:
+            data = " ".join(data.split())
+        if data:
+            counters["text"][("/".join(path), data)] += 1
+    elif isinstance(node, Comment):
+        counters["comments"][node.data] += 1
+    elif isinstance(node, ProcessingInstruction):
+        counters["pis"][(node.target, node.data)] += 1
+    elif isinstance(node, EntityReference):
+        counters["entity_refs"][node.name] += 1
+        if node.expansion:
+            data = node.expansion
+            if normalize_space:
+                data = " ".join(data.split())
+            counters["text"][("/".join(path), data)] += 1
+
+
+def extract_facts(tree: Document | Element, normalize_space: bool = True
+                  ) -> tuple[dict[str, Counter], list[str]]:
+    """Fact multisets and element-order trace of one tree."""
+    counters: dict[str, Counter] = {
+        category: Counter() for category in CATEGORIES}
+    order: list[str] = []
+    root = tree.root_element if isinstance(tree, Document) else tree
+    _facts(root, (), counters, order, normalize_space)
+    if isinstance(tree, Document):
+        for node in tree.misc_nodes():
+            _facts(node, (), counters, order, normalize_space)
+    return counters, order
+
+
+def compare(original: Document | Element,
+            reconstructed: Document | Element,
+            normalize_space: bool = True) -> FidelityReport:
+    """Measure how much of *original* survives in *reconstructed*."""
+    original_facts, original_order = extract_facts(original,
+                                                   normalize_space)
+    new_facts, new_order = extract_facts(reconstructed, normalize_space)
+    report = FidelityReport()
+    for category in CATEGORIES:
+        total = sum(original_facts[category].values())
+        preserved = sum(
+            (original_facts[category] & new_facts[category]).values())
+        report.total[category] = total
+        report.preserved[category] = preserved
+    report.order_preserved = original_order == new_order
+    return report
+
+
+def identical(original: Document | Element,
+              reconstructed: Document | Element,
+              normalize_space: bool = True) -> bool:
+    """True when every fact survives and element order is intact."""
+    report = compare(original, reconstructed, normalize_space)
+    return report.score == 1.0 and report.order_preserved and all(
+        report.total[c] == report.preserved[c] for c in CATEGORIES)

@@ -1,0 +1,153 @@
+"""Template-driven export (Section 6.3's application of object views).
+
+"Object views can be applied in template-driven mapping procedures,
+i.e., SELECT queries on the object view can be embedded into XML
+template documents.  This can be exploited by software utilities that
+transfer data from object-relational databases to XML documents."
+
+A template is an ordinary XML document.  Every element named
+``sql:query`` is replaced by the result of the SELECT statement in its
+text content, one row element per result row and one child element per
+output column.  Composite values (the objects an object view yields)
+expand recursively: object attributes become child elements,
+collections repeat their element.
+
+Template controls (attributes on ``sql:query``):
+
+``row-element``
+    Name of the per-row element (default ``row``).
+``null``
+    ``omit`` (default) drops NULL columns; ``empty`` emits empty
+    elements.
+"""
+
+from __future__ import annotations
+
+from repro.ordb.engine import Database
+from repro.ordb.values import CollectionValue, ObjectValue, RefValue
+from repro.xmlkit.dom import Document, Element, Node, Text
+from repro.xmlkit.parser import parse as parse_xml
+
+#: element name that marks an embedded query
+QUERY_TAG = "sql:query"
+
+
+class TemplateError(ValueError):
+    """The template is malformed (e.g. an empty query element)."""
+
+
+class TemplateProcessor:
+    """Expands ``sql:query`` elements against one database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    # -- public API -----------------------------------------------------------
+
+    def process(self, template: str | Document) -> Document:
+        """Return a new document with every query expanded."""
+        if isinstance(template, str):
+            template = parse_xml(template)
+        result = Document()
+        result.xml_version = template.xml_version
+        result.encoding = template.encoding
+        for child in template.children:
+            if isinstance(child, Element):
+                for node in self._expand(child):
+                    result.append(node)
+            elif child.node_type != "doctype":
+                result.append(_clone(child))
+        return result
+
+    # -- expansion --------------------------------------------------------------
+
+    def _expand(self, element: Element) -> list[Node]:
+        if element.tag == QUERY_TAG:
+            return self._run_query(element)
+        clone = Element(element.tag)
+        for name, attribute in element.attributes.items():
+            clone.set(name, attribute.value, attribute.specified)
+        for child in element.children:
+            if isinstance(child, Element):
+                for node in self._expand(child):
+                    clone.append(node)
+            else:
+                clone.append(_clone(child))
+        return [clone]
+
+    def _run_query(self, element: Element) -> list[Node]:
+        sql = element.text_content().strip()
+        if not sql:
+            raise TemplateError(
+                f"<{QUERY_TAG}> element contains no SELECT statement")
+        row_tag = element.get("row-element", "row")
+        null_mode = element.get("null", "omit")
+        if null_mode not in ("omit", "empty"):
+            raise TemplateError(
+                f"null= must be 'omit' or 'empty', got {null_mode!r}")
+        result = self.db.execute(sql)
+        rows: list[Node] = []
+        for row in result.rows:
+            row_element = Element(row_tag)
+            for column, value in zip(result.columns, row):
+                if value is None and null_mode == "omit":
+                    continue
+                row_element.append(
+                    self._value_element(_element_name(column), value))
+            rows.append(row_element)
+        return rows
+
+    def _value_element(self, name: str, value: object) -> Element:
+        element = Element(name)
+        if value is None:
+            return element
+        if isinstance(value, RefValue):
+            value = self.db.dereference(value)
+            if value is None:
+                return element
+        if isinstance(value, ObjectValue):
+            for attribute, inner in value.attributes().items():
+                if inner is None:
+                    continue
+                element.append(self._value_element(
+                    _element_name(attribute), inner))
+            return element
+        if isinstance(value, CollectionValue):
+            for item in value:
+                if item is None:
+                    continue
+                element.append(self._value_element("item", item))
+            return element
+        element.append(Text(_render_scalar(value)))
+        return element
+
+
+def process_template(db: Database, template: str | Document) -> Document:
+    """Expand *template* against *db* (convenience wrapper)."""
+    return TemplateProcessor(db).process(template)
+
+
+def _clone(node: Node) -> Node:
+    """Shallow copy of a non-element node for the output tree."""
+    import copy
+
+    duplicate = copy.copy(node)
+    duplicate.parent = None
+    return duplicate
+
+
+def _element_name(column: str) -> str:
+    """Output column label -> legal XML element name."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "_-." else "_"
+                      for ch in column)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "c" + cleaned
+    return cleaned
+
+
+def _render_scalar(value: object) -> str:
+    from decimal import Decimal
+
+    if isinstance(value, Decimal):
+        return format(value.normalize(), "f")
+    return str(value)

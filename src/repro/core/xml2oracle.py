@@ -1,0 +1,309 @@
+"""The XML2Oracle facade: the utility program of Section 3 as a library.
+
+Wires the whole pipeline of Fig. 1 together: the XML parser and the
+DTD parser feed the analyzer, the generator emits the schema script,
+the loader stores documents, the meta-table keeps Section 5's
+bookkeeping, and the retriever reverses the trip.
+
+>>> from repro.core import XML2Oracle
+>>> tool = XML2Oracle()
+>>> schema = tool.register_schema('''
+...   <!ELEMENT Uni (Name, Student*)> <!ELEMENT Name (#PCDATA)>
+...   <!ELEMENT Student (#PCDATA)>''')
+>>> doc = tool.store('<Uni><Name>HTWK</Name><Student>A</Student>'
+...                  '<Student>B</Student></Uni>')
+>>> doc.load_result.insert_count  # single INSERT (Section 4.2)
+1
+>>> tool.query("/Uni/Student").column("COLUMN_VALUE")
+['A', 'B']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.model import DTD, AttributeType
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import Validator
+from repro.ordb.engine import Database
+from repro.ordb.results import Result
+from repro.ordb.schema import CompatibilityMode
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.errors import XMLValidityError
+from repro.xmlkit.parser import parse as parse_xml
+from repro.xmlkit.serializer import Serializer
+from .analyzer import Analyzer
+from .generator import SchemaScript, generate_schema
+from .loader import DocumentLoader, LoadResult
+from .metadata import MetadataRegistry
+from .naming import NameGenerator, SchemaIdAllocator
+from .plan import MappingConfig, MappingPlan
+from .queries import PathQuery, PathQueryBuilder
+from .retriever import Retriever
+
+
+@dataclass
+class RegisteredSchema:
+    """One document type installed in the database."""
+
+    dtd: DTD
+    plan: MappingPlan
+    script: SchemaScript
+    schema_id: str
+    validator: Validator
+
+    @property
+    def root_name(self) -> str:
+        return self.plan.root.name
+
+
+@dataclass
+class StoredDocument:
+    """Handle for one stored document."""
+
+    doc_id: int
+    schema: RegisteredSchema
+    load_result: LoadResult
+    misc_count: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+
+def infer_idref_targets(document: Document | Element,
+                        dtd: DTD) -> dict[tuple[str, str], str]:
+    """Determine IDREF target element types from a sample document.
+
+    Section 4.4: "This kind of information cannot be captured from the
+    DTD, rather from the XML document."  We scan the document: the
+    element type owning each ID value becomes the target of every
+    IDREF attribute that mentions the value.
+    """
+    root = (document.root_element if isinstance(document, Document)
+            else document)
+    id_owner: dict[str, str] = {}
+    idref_sites: list[tuple[str, str, str]] = []
+    for element in root.iter_elements():
+        declarations = dtd.attributes_of(element.tag)
+        for name, declaration in declarations.items():
+            value = element.get(name)
+            if value is None:
+                continue
+            if declaration.attribute_type is AttributeType.ID:
+                id_owner[value] = element.tag
+            elif declaration.attribute_type is AttributeType.IDREF:
+                idref_sites.append((element.tag, name, value))
+    targets: dict[tuple[str, str], str] = {}
+    for element_tag, attribute, value in idref_sites:
+        owner = id_owner.get(value)
+        if owner is not None:
+            targets.setdefault((element_tag, attribute), owner)
+    return targets
+
+
+class XML2Oracle:
+    """Programmatic interface of the XML2Oracle storage system."""
+
+    def __init__(self, db: Database | None = None,
+                 mode: CompatibilityMode = CompatibilityMode.ORACLE9,
+                 config: MappingConfig | None = None,
+                 metadata: bool = True,
+                 validate_documents: bool = True):
+        self.db = db or Database(mode)
+        self.config = config or MappingConfig()
+        self.validate_documents = validate_documents
+        self.metadata: MetadataRegistry | None = (
+            MetadataRegistry(self.db) if metadata else None)
+        self.schemas: list[RegisteredSchema] = []
+        self.documents: dict[int, StoredDocument] = {}
+        self._schema_ids = SchemaIdAllocator()
+        self._next_doc_id = 0
+
+    @property
+    def mode(self) -> CompatibilityMode:
+        return self.db.mode
+
+    # -- schema registration --------------------------------------------------------
+
+    def register_schema(self, dtd: DTD | str, root: str | None = None,
+                        idref_targets: dict[tuple[str, str], str]
+                        | None = None,
+                        sample_document: Document | Element | str
+                        | None = None) -> RegisteredSchema:
+        """Analyze a DTD, generate its schema and execute the script.
+
+        ``sample_document`` lets the tool infer IDREF targets the way
+        Section 4.4 prescribes (from a document, not the DTD).
+        """
+        if isinstance(dtd, str):
+            dtd = parse_dtd(dtd)
+        if idref_targets is None and sample_document is not None:
+            if isinstance(sample_document, str):
+                sample_document = parse_xml(sample_document)
+            idref_targets = infer_idref_targets(sample_document, dtd)
+        schema_id = self._schema_ids.allocate()
+        names = NameGenerator(schema_id if self.schemas else None)
+        analyzer = Analyzer(dtd, self.config, self.mode, names,
+                            idref_targets)
+        plan = analyzer.analyze(root)
+        # the plan's schema_id mirrors the facade's allocation even for
+        # the first schema, whose generated names carry no suffix
+        plan.schema_id = schema_id
+        script = generate_schema(plan)
+        for statement in script.statements:
+            self.db.execute(statement)
+        schema = RegisteredSchema(
+            dtd=dtd, plan=plan, script=script, schema_id=schema_id,
+            validator=Validator(dtd))
+        self.schemas.append(schema)
+        if self.metadata is not None:
+            self.metadata.register_entities(
+                schema_id, dtd.entities.internal_general())
+        return schema
+
+    def schema_script(self, schema: RegisteredSchema | None = None) -> str:
+        """The generated DDL of a registered schema."""
+        schema = schema or self._default_schema()
+        return schema.script.text
+
+    def _default_schema(self) -> RegisteredSchema:
+        if not self.schemas:
+            raise LookupError("no schema registered yet")
+        return self.schemas[-1]
+
+    def _schema_for_root(self, root_name: str) -> RegisteredSchema:
+        for schema in reversed(self.schemas):
+            if schema.root_name == root_name:
+                return schema
+        raise LookupError(
+            f"no registered schema has root element <{root_name}>")
+
+    # -- storing documents -------------------------------------------------------------
+
+    def store(self, document: Document | Element | str,
+              schema: RegisteredSchema | None = None,
+              doc_name: str = "", url: str = "") -> StoredDocument:
+        """Validate, map and load one document; returns its handle."""
+        if isinstance(document, str):
+            document = parse_xml(document)
+        root = (document.root_element if isinstance(document, Document)
+                else document)
+        if schema is None:
+            schema = self._schema_for_root(root.tag)
+        if self.validate_documents and isinstance(document, Document):
+            report = schema.validator.validate(document)
+            if not report.valid:
+                raise XMLValidityError(
+                    "document is not valid: "
+                    + "; ".join(str(e) for e in report.errors[:3]))
+        self._next_doc_id += 1
+        doc_id = self._next_doc_id
+        loader = DocumentLoader(schema.plan, doc_id)
+        load_result = loader.load(document)
+        for statement in load_result.statements:
+            self.db.execute(statement)
+        stored = StoredDocument(doc_id=doc_id, schema=schema,
+                                load_result=load_result,
+                                warnings=list(load_result.warnings))
+        if self.metadata is not None and isinstance(document, Document):
+            self.metadata.register_document(doc_id, document,
+                                            schema.plan, doc_name, url)
+            stored.misc_count = self.metadata.register_misc_nodes(
+                doc_id, document)
+        self.documents[doc_id] = stored
+        return stored
+
+    # -- fetching documents --------------------------------------------------------------
+
+    def fetch(self, doc_id: int, restore_misc: bool = True) -> Document:
+        """Reconstruct a stored document as a DOM tree."""
+        stored = self._stored(doc_id)
+        retriever = Retriever(self.db, stored.schema.plan)
+        root = retriever.fetch(doc_id)
+        document = Document()
+        if self.metadata is not None:
+            info = self.metadata.document_info(doc_id)
+            if info is not None:
+                document.xml_version = str(info[3])
+                document.encoding = str(info[4])
+                if info[5] is not None:
+                    document.standalone = str(info[5]).strip() == "Y"
+        document.append(root)
+        if restore_misc and self.metadata is not None:
+            self.metadata.restore_misc_nodes(doc_id, root, document)
+        return document
+
+    def fetch_text(self, doc_id: int, indent: str = "",
+                   resubstitute_entities: bool = True) -> str:
+        """Reconstruct a stored document as XML text (Section 6.1:
+        entity references are re-substituted from the meta-table)."""
+        stored = self._stored(doc_id)
+        document = self.fetch(doc_id)
+        entities: dict[str, str] = {}
+        if resubstitute_entities and self.metadata is not None:
+            entities = self.metadata.entities_for(stored.schema.schema_id)
+        serializer = Serializer(indent=indent,
+                                entity_definitions=entities)
+        return serializer.serialize(document)
+
+    def _stored(self, doc_id: int) -> StoredDocument:
+        stored = self.documents.get(doc_id)
+        if stored is None:
+            raise LookupError(f"no stored document with id {doc_id}")
+        return stored
+
+    # -- deleting documents --------------------------------------------------------------
+
+    def delete(self, doc_id: int) -> int:
+        """Remove one stored document: every row whose synthetic
+        ``IDElementname`` belongs to the document, plus its meta-data.
+
+        Returns the number of rows deleted.  REFs from other documents
+        never point into a deleted document (ids are document-scoped),
+        so no dangling references are introduced.
+        """
+        stored = self._stored(doc_id)
+        plan = stored.schema.plan
+        deleted = 0
+        for element in plan.table_stored_elements():
+            result = self.db.execute(
+                f"DELETE FROM {element.table} t"
+                f" WHERE t.{element.id_column} = 'D{doc_id}'"
+                f" OR t.{element.id_column} LIKE 'D{doc_id}.%'")
+            deleted += result.rowcount
+        if self.metadata is not None:
+            deleted += self.db.execute(
+                f"DELETE FROM TabMetadata WHERE DocID = {doc_id}"
+            ).rowcount
+            deleted += self.db.execute(
+                f"DELETE FROM TabMiscNode WHERE DocID = {doc_id}"
+            ).rowcount
+        del self.documents[doc_id]
+        return deleted
+
+    # -- querying -------------------------------------------------------------------------
+
+    def path_query(self, path: str | list[str],
+                   predicate: tuple[str, str, str] | None = None,
+                   doc_id: int | None = None,
+                   schema: RegisteredSchema | None = None,
+                   select: str | None = None) -> PathQuery:
+        """Render (but do not run) the dot-notation SQL for a path."""
+        if schema is None:
+            steps = ([s for s in path.split("/") if s]
+                     if isinstance(path, str) else list(path))
+            schema = self._schema_for_root(steps[0])
+        return PathQueryBuilder(schema.plan).build(path, predicate,
+                                                   doc_id, select)
+
+    def query(self, path: str | list[str],
+              predicate: tuple[str, str, str] | None = None,
+              doc_id: int | None = None,
+              schema: RegisteredSchema | None = None,
+              select: str | None = None) -> Result:
+        """Build and execute a path query."""
+        rendered = self.path_query(path, predicate, doc_id, schema,
+                                   select)
+        return self.db.execute(rendered.sql)
+
+    def sql(self, statement: str) -> Result:
+        """Escape hatch: run raw SQL against the embedded engine."""
+        return self.db.execute(statement)

@@ -1,0 +1,72 @@
+"""DTD substrate: parser, content models, validator and DTD tree.
+
+Replaces the Wutka DTD parser of Fig. 1.  Typical use:
+
+>>> from repro.dtd import parse_dtd, build_tree
+>>> dtd = parse_dtd('<!ELEMENT a (b*)> <!ELEMENT b (#PCDATA)>')
+>>> tree = build_tree(dtd)
+>>> tree.children[0].is_set_valued
+True
+"""
+
+from .automata import ContentAutomaton, NondeterministicModelError
+from .content import (
+    ChildOccurrence,
+    ChoiceParticle,
+    ContentKind,
+    ContentSpec,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+from .model import (
+    AttributeDecl,
+    AttributeType,
+    DTD,
+    DefaultKind,
+    ElementDecl,
+    NotationDecl,
+)
+from .parser import DTDParser, parse_dtd
+from .tree import (
+    DTDTreeNode,
+    RecursionError_,
+    build_tree,
+    containment_cycles,
+    element_graph,
+    recursive_elements,
+    shared_elements,
+)
+from .validator import ValidationReport, Validator, validate
+
+__all__ = [
+    "AttributeDecl",
+    "AttributeType",
+    "ChildOccurrence",
+    "ChoiceParticle",
+    "ContentAutomaton",
+    "ContentKind",
+    "ContentSpec",
+    "DTD",
+    "DTDParser",
+    "DTDTreeNode",
+    "DefaultKind",
+    "ElementDecl",
+    "NameParticle",
+    "NondeterministicModelError",
+    "NotationDecl",
+    "Occurrence",
+    "Particle",
+    "RecursionError_",
+    "SequenceParticle",
+    "ValidationReport",
+    "Validator",
+    "build_tree",
+    "containment_cycles",
+    "element_graph",
+    "parse_dtd",
+    "recursive_elements",
+    "shared_elements",
+    "validate",
+]

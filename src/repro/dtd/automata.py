@@ -1,0 +1,152 @@
+"""Glushkov automata for element-content validation.
+
+XML 1.0 requires element content to match the declared content model
+and requires the model itself to be *deterministic* (Appendix E).  The
+classic construction — positions, nullable, first/last/follow sets —
+gives both: a position automaton that validates a child sequence in
+linear time, and a determinism check (no state may have two outgoing
+transitions on the same element name).
+"""
+
+from __future__ import annotations
+
+from .content import (
+    ChoiceParticle,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+
+
+class NondeterministicModelError(ValueError):
+    """The content model violates XML's determinism constraint."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(
+            f"content model is not deterministic: competing transitions"
+            f" on element '{name}'")
+
+
+class _Facts:
+    """first/last/nullable/follow facts for one sub-particle."""
+
+    __slots__ = ("nullable", "first", "last")
+
+    def __init__(self, nullable: bool, first: frozenset[int],
+                 last: frozenset[int]):
+        self.nullable = nullable
+        self.first = first
+        self.last = last
+
+
+class ContentAutomaton:
+    """A compiled content model.
+
+    States are positions 0..n where 0 is the start state and positions
+    1..n each correspond to one element-name occurrence in the model.
+    """
+
+    def __init__(self, particle: Particle, check_deterministic: bool = True):
+        self._names: list[str] = [""]  # position 0 is the start state
+        self._follow: dict[int, set[int]] = {0: set()}
+        facts = self._build(particle)
+        self._follow[0] = set(facts.first)
+        self._accepting: set[int] = set(facts.last)
+        self._nullable = facts.nullable
+        if check_deterministic:
+            self._check_determinism()
+
+    # -- construction ------------------------------------------------------------
+
+    def _new_position(self, name: str) -> int:
+        self._names.append(name)
+        position = len(self._names) - 1
+        self._follow[position] = set()
+        return position
+
+    def _build(self, particle: Particle) -> _Facts:
+        if isinstance(particle, NameParticle):
+            position = self._new_position(particle.name)
+            facts = _Facts(False, frozenset({position}),
+                           frozenset({position}))
+        elif isinstance(particle, SequenceParticle):
+            facts = self._build_sequence(particle.items)
+        elif isinstance(particle, ChoiceParticle):
+            facts = self._build_choice(particle.alternatives)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown particle {particle!r}")
+        return self._apply_occurrence(facts, particle.occurrence)
+
+    def _build_sequence(self, items: list[Particle]) -> _Facts:
+        facts = self._build(items[0])
+        for item in items[1:]:
+            right = self._build(item)
+            for position in facts.last:
+                self._follow[position].update(right.first)
+            first = (facts.first | right.first
+                     if facts.nullable else facts.first)
+            last = (facts.last | right.last
+                    if right.nullable else right.last)
+            facts = _Facts(facts.nullable and right.nullable,
+                           frozenset(first), frozenset(last))
+        return facts
+
+    def _build_choice(self, alternatives: list[Particle]) -> _Facts:
+        nullable = False
+        first: set[int] = set()
+        last: set[int] = set()
+        for alternative in alternatives:
+            facts = self._build(alternative)
+            nullable = nullable or facts.nullable
+            first |= facts.first
+            last |= facts.last
+        return _Facts(nullable, frozenset(first), frozenset(last))
+
+    def _apply_occurrence(self, facts: _Facts,
+                          occurrence: Occurrence) -> _Facts:
+        if occurrence.repeatable:
+            for position in facts.last:
+                self._follow[position].update(facts.first)
+        nullable = facts.nullable or occurrence.optional
+        return _Facts(nullable, facts.first, facts.last)
+
+    def _check_determinism(self) -> None:
+        for position, successors in self._follow.items():
+            seen: dict[str, int] = {}
+            for successor in successors:
+                name = self._names[successor]
+                if seen.get(name, successor) != successor:
+                    raise NondeterministicModelError(name)
+                seen[name] = successor
+
+    # -- validation -----------------------------------------------------------------
+
+    def matches(self, names: list[str]) -> bool:
+        """True if the sequence of child element names is accepted."""
+        return self.explain(names) is None
+
+    def explain(self, names: list[str]) -> str | None:
+        """Return None if accepted, else a human-readable refusal."""
+        state = 0
+        for index, name in enumerate(names):
+            next_state = None
+            for successor in self._follow[state]:
+                if self._names[successor] == name:
+                    next_state = successor
+                    break
+            if next_state is None:
+                expected = sorted({
+                    self._names[s] for s in self._follow[state]})
+                return (f"element '{name}' not allowed at position"
+                        f" {index + 1}; expected one of {expected or ['$']}")
+            state = next_state
+        if state == 0:
+            if self._nullable:
+                return None
+        elif state in self._accepting:
+            return None
+        expected = sorted({self._names[s] for s in self._follow[state]})
+        return (f"content ended prematurely; expected one of"
+                f" {expected}")

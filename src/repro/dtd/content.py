@@ -1,0 +1,273 @@
+"""Content-model AST for DTD element declarations.
+
+A content specification is one of EMPTY, ANY, mixed content
+``(#PCDATA | a | b)*`` or an element-content particle built from
+sequences, choices and the occurrence operators ``?``, ``*``, ``+``.
+
+Beyond representing the model, this module computes the *child
+summary* that drives the paper's mapping algorithm (Fig. 2): for each
+child element type, whether it is optional (``?``/``*``/inside a
+choice) and whether it is set-valued (``*``/``+``/repeated), which is
+exactly the information Sections 4.2–4.3 branch on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Occurrence(enum.Enum):
+    """Occurrence operator attached to a particle."""
+
+    ONE = ""
+    OPTIONAL = "?"
+    ZERO_OR_MORE = "*"
+    ONE_OR_MORE = "+"
+
+    @property
+    def optional(self) -> bool:
+        return self in (Occurrence.OPTIONAL, Occurrence.ZERO_OR_MORE)
+
+    @property
+    def repeatable(self) -> bool:
+        return self in (Occurrence.ZERO_OR_MORE, Occurrence.ONE_OR_MORE)
+
+
+class Particle:
+    """Base class of the element-content expression tree."""
+
+    occurrence: Occurrence = Occurrence.ONE
+
+    def to_source(self) -> str:
+        """Render back to DTD syntax."""
+        raise NotImplementedError
+
+    def element_names(self) -> list[str]:
+        """Distinct child element names in document order of appearance."""
+        names: list[str] = []
+        self._collect_names(names)
+        seen: set[str] = set()
+        unique = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def _collect_names(self, out: list[str]) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class NameParticle(Particle):
+    """A reference to a child element type, e.g. ``Course+``."""
+
+    name: str
+    occurrence: Occurrence = Occurrence.ONE
+
+    def to_source(self) -> str:
+        return f"{self.name}{self.occurrence.value}"
+
+    def _collect_names(self, out: list[str]) -> None:
+        out.append(self.name)
+
+
+@dataclass
+class SequenceParticle(Particle):
+    """A sequence group ``(a, b, c)``."""
+
+    items: list[Particle] = field(default_factory=list)
+    occurrence: Occurrence = Occurrence.ONE
+
+    def to_source(self) -> str:
+        inner = ",".join(item.to_source() for item in self.items)
+        return f"({inner}){self.occurrence.value}"
+
+    def _collect_names(self, out: list[str]) -> None:
+        for item in self.items:
+            item._collect_names(out)
+
+
+@dataclass
+class ChoiceParticle(Particle):
+    """A choice group ``(a | b | c)``."""
+
+    alternatives: list[Particle] = field(default_factory=list)
+    occurrence: Occurrence = Occurrence.ONE
+
+    def to_source(self) -> str:
+        inner = "|".join(alt.to_source() for alt in self.alternatives)
+        return f"({inner}){self.occurrence.value}"
+
+    def _collect_names(self, out: list[str]) -> None:
+        for alt in self.alternatives:
+            alt._collect_names(out)
+
+
+class ContentKind(enum.Enum):
+    """Top-level category of a content specification."""
+
+    EMPTY = "EMPTY"
+    ANY = "ANY"
+    MIXED = "MIXED"
+    CHILDREN = "CHILDREN"
+
+
+@dataclass(frozen=True)
+class ChildOccurrence:
+    """Summary of how one child element type occurs within its parent.
+
+    These two booleans are the entire case analysis of Fig. 2's lower
+    half: ``repeatable`` selects the iteration branch (Section 4.2) and
+    ``optional`` selects nullable vs NOT NULL (Section 4.3).
+    """
+
+    name: str
+    optional: bool
+    repeatable: bool
+
+    @property
+    def mandatory(self) -> bool:
+        return not self.optional
+
+
+class ContentSpec:
+    """A complete content specification for one element type."""
+
+    def __init__(self, kind: ContentKind,
+                 particle: Particle | None = None,
+                 mixed_names: tuple[str, ...] = ()):
+        if kind is ContentKind.CHILDREN and particle is None:
+            raise ValueError("element content requires a particle")
+        self.kind = kind
+        self.particle = particle
+        self.mixed_names = mixed_names
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "ContentSpec":
+        return cls(ContentKind.EMPTY)
+
+    @classmethod
+    def any(cls) -> "ContentSpec":
+        return cls(ContentKind.ANY)
+
+    @classmethod
+    def pcdata(cls) -> "ContentSpec":
+        """The plain ``(#PCDATA)`` model of the paper's simple elements."""
+        return cls(ContentKind.MIXED)
+
+    @classmethod
+    def mixed(cls, names: tuple[str, ...]) -> "ContentSpec":
+        return cls(ContentKind.MIXED, mixed_names=tuple(names))
+
+    @classmethod
+    def children(cls, particle: Particle) -> "ContentSpec":
+        return cls(ContentKind.CHILDREN, particle=particle)
+
+    # -- classification (Fig. 2) -------------------------------------------------
+
+    @property
+    def is_pcdata_only(self) -> bool:
+        """True for ``(#PCDATA)``: the paper's *simple element*."""
+        return self.kind is ContentKind.MIXED and not self.mixed_names
+
+    @property
+    def is_mixed(self) -> bool:
+        """True for mixed content with element alternatives."""
+        return self.kind is ContentKind.MIXED and bool(self.mixed_names)
+
+    @property
+    def has_element_children(self) -> bool:
+        return (
+            self.kind is ContentKind.CHILDREN
+            or self.is_mixed
+            or self.kind is ContentKind.ANY
+        )
+
+    def element_names(self) -> list[str]:
+        """Distinct referenced child element names, in order."""
+        if self.kind is ContentKind.MIXED:
+            return list(self.mixed_names)
+        if self.kind is ContentKind.CHILDREN:
+            assert self.particle is not None
+            return self.particle.element_names()
+        return []
+
+    def child_summary(self) -> list[ChildOccurrence]:
+        """Per-child occurrence summary used by the mapping analyzer."""
+        if self.kind is ContentKind.MIXED:
+            # In mixed content every element alternative is optional and
+            # repeatable by definition of the (#PCDATA|...)* production.
+            return [
+                ChildOccurrence(name, optional=True, repeatable=True)
+                for name in self.mixed_names
+            ]
+        if self.kind is not ContentKind.CHILDREN:
+            return []
+        assert self.particle is not None
+        order = self.particle.element_names()
+        summary: dict[str, dict[str, bool]] = {
+            name: {"optional": True, "repeatable": False, "seen": False}
+            for name in order
+        }
+        self._walk(self.particle, optional=False, repeatable=False,
+                   in_choice=False, summary=summary)
+        return [
+            ChildOccurrence(
+                name,
+                optional=summary[name]["optional"],
+                repeatable=summary[name]["repeatable"],
+            )
+            for name in order
+        ]
+
+    @staticmethod
+    def _walk(particle: Particle, optional: bool, repeatable: bool,
+              in_choice: bool, summary: dict[str, dict[str, bool]]) -> None:
+        optional = optional or particle.occurrence.optional or in_choice
+        repeatable = repeatable or particle.occurrence.repeatable
+        if isinstance(particle, NameParticle):
+            entry = summary[particle.name]
+            if entry["seen"]:
+                # The same element mentioned twice in one model means it
+                # can occur more than once -> treat as set-valued.
+                entry["repeatable"] = True
+            else:
+                entry["seen"] = True
+                entry["optional"] = optional
+                entry["repeatable"] = entry["repeatable"] or repeatable
+            if repeatable:
+                entry["repeatable"] = True
+            if not optional:
+                entry["optional"] = False
+            return
+        if isinstance(particle, SequenceParticle):
+            for item in particle.items:
+                ContentSpec._walk(item, optional, repeatable, False, summary)
+        elif isinstance(particle, ChoiceParticle):
+            multi = len(particle.alternatives) > 1
+            for alt in particle.alternatives:
+                ContentSpec._walk(alt, optional, repeatable,
+                                  in_choice=multi, summary=summary)
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_source(self) -> str:
+        """Render back to the DTD syntax of an <!ELEMENT> declaration."""
+        if self.kind is ContentKind.EMPTY:
+            return "EMPTY"
+        if self.kind is ContentKind.ANY:
+            return "ANY"
+        if self.kind is ContentKind.MIXED:
+            if not self.mixed_names:
+                return "(#PCDATA)"
+            names = "|".join(self.mixed_names)
+            return f"(#PCDATA|{names})*"
+        assert self.particle is not None
+        return self.particle.to_source()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContentSpec({self.to_source()})"

@@ -1,0 +1,194 @@
+"""Declaration objects and the DTD container.
+
+This is the output of the "DTD parser" box of Fig. 1 — the structure
+XML2Oracle walks to generate the object-relational schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.xmlkit.entities import EntityTable
+from .content import ContentSpec
+
+
+class AttributeType(enum.Enum):
+    """Declared type of an XML attribute (Section 4.4 lists the main ones)."""
+
+    CDATA = "CDATA"
+    ID = "ID"
+    IDREF = "IDREF"
+    IDREFS = "IDREFS"
+    ENTITY = "ENTITY"
+    ENTITIES = "ENTITIES"
+    NMTOKEN = "NMTOKEN"
+    NMTOKENS = "NMTOKENS"
+    NOTATION = "NOTATION"
+    ENUMERATION = "ENUMERATION"
+
+    @property
+    def is_tokenized(self) -> bool:
+        return self is not AttributeType.CDATA
+
+
+class DefaultKind(enum.Enum):
+    """Default declaration of an attribute."""
+
+    REQUIRED = "#REQUIRED"
+    IMPLIED = "#IMPLIED"
+    FIXED = "#FIXED"
+    DEFAULT = ""
+
+
+@dataclass
+class AttributeDecl:
+    """One attribute definition from an <!ATTLIST> declaration."""
+
+    name: str
+    attribute_type: AttributeType
+    default_kind: DefaultKind
+    default_value: str | None = None
+    enumeration: tuple[str, ...] = ()
+
+    @property
+    def required(self) -> bool:
+        """True for #REQUIRED attributes (mapped NOT NULL, Section 4.4)."""
+        return self.default_kind is DefaultKind.REQUIRED
+
+    @property
+    def optional(self) -> bool:
+        """True for #IMPLIED attributes (mapped nullable, Section 4.3)."""
+        return self.default_kind is DefaultKind.IMPLIED
+
+    def to_source(self) -> str:
+        if self.attribute_type is AttributeType.ENUMERATION:
+            type_text = "(" + "|".join(self.enumeration) + ")"
+        elif self.attribute_type is AttributeType.NOTATION:
+            type_text = "NOTATION (" + "|".join(self.enumeration) + ")"
+        else:
+            type_text = self.attribute_type.value
+        parts = [self.name, type_text]
+        if self.default_kind is DefaultKind.FIXED:
+            parts.append(f'#FIXED "{self.default_value}"')
+        elif self.default_kind is DefaultKind.DEFAULT:
+            parts.append(f'"{self.default_value}"')
+        else:
+            parts.append(self.default_kind.value)
+        return " ".join(parts)
+
+
+@dataclass
+class ElementDecl:
+    """An <!ELEMENT name content> declaration."""
+
+    name: str
+    content: ContentSpec
+
+    def to_source(self) -> str:
+        return f"<!ELEMENT {self.name} {self.content.to_source()}>"
+
+
+@dataclass
+class NotationDecl:
+    """A <!NOTATION ...> declaration."""
+
+    name: str
+    public_id: str | None = None
+    system_id: str | None = None
+
+
+@dataclass
+class DTD:
+    """A parsed document type definition.
+
+    Attribute lists are merged per element (multiple <!ATTLIST> for the
+    same element accumulate; the first declaration of an attribute
+    wins, per XML 1.0 section 3.3).
+    """
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+    attributes: dict[str, dict[str, AttributeDecl]] = field(
+        default_factory=dict)
+    entities: EntityTable = field(default_factory=EntityTable)
+    notations: dict[str, NotationDecl] = field(default_factory=dict)
+    #: element names in declaration order (stable schema generation)
+    declaration_order: list[str] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------------
+
+    def declare_element(self, declaration: ElementDecl) -> None:
+        """Register an element declaration; duplicate names are an error."""
+        if declaration.name in self.elements:
+            raise ValueError(
+                f"element type '{declaration.name}' declared twice")
+        self.elements[declaration.name] = declaration
+        self.declaration_order.append(declaration.name)
+
+    def declare_attribute(self, element_name: str,
+                          declaration: AttributeDecl) -> None:
+        """Register one attribute; first declaration wins."""
+        per_element = self.attributes.setdefault(element_name, {})
+        per_element.setdefault(declaration.name, declaration)
+
+    def declare_notation(self, declaration: NotationDecl) -> None:
+        self.notations.setdefault(declaration.name, declaration)
+
+    # -- queries -----------------------------------------------------------------
+
+    def element(self, name: str) -> ElementDecl | None:
+        return self.elements.get(name)
+
+    def attributes_of(self, element_name: str) -> dict[str, AttributeDecl]:
+        """Attribute declarations for *element_name* (possibly empty)."""
+        return self.attributes.get(element_name, {})
+
+    def id_attribute_of(self, element_name: str) -> AttributeDecl | None:
+        """The ID-typed attribute of an element, if any (at most one)."""
+        for decl in self.attributes_of(element_name).values():
+            if decl.attribute_type is AttributeType.ID:
+                return decl
+        return None
+
+    def root_candidates(self) -> list[str]:
+        """Declared elements that no other declared element references.
+
+        When a document carries no DOCTYPE name, these are the possible
+        roots; a well-designed DTD has exactly one.
+        """
+        referenced: set[str] = set()
+        for declaration in self.elements.values():
+            referenced.update(declaration.content.element_names())
+        return [
+            name for name in self.declaration_order
+            if name not in referenced
+        ]
+
+    def undeclared_children(self) -> dict[str, list[str]]:
+        """Children referenced in content models but never declared."""
+        missing: dict[str, list[str]] = {}
+        for name, declaration in self.elements.items():
+            absent = [
+                child for child in declaration.content.element_names()
+                if child not in self.elements
+            ]
+            if absent:
+                missing[name] = absent
+        return missing
+
+    # -- rendering ------------------------------------------------------------------
+
+    def to_source(self) -> str:
+        """Render the DTD back to declaration text."""
+        lines: list[str] = []
+        for name in self.declaration_order:
+            lines.append(self.elements[name].to_source())
+            per_element = self.attributes.get(name)
+            if per_element:
+                body = "\n  ".join(
+                    decl.to_source() for decl in per_element.values())
+                lines.append(f"<!ATTLIST {name}\n  {body}>")
+        for name, definition in self.entities.general.items():
+            if definition.is_internal:
+                lines.append(f'<!ENTITY {name} "{definition.replacement}">')
+        return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""The "DTD DOM tree" of Fig. 1 and the element graph of Section 6.2.
+
+XML2Oracle turns the parsed DTD into an intermediate tree whose nodes
+carry the occurrence/optionality constraints the mapping algorithm
+branches on.  The paper notes two structural hazards of that tree
+(Section 6.2): elements with *multiple parents* are duplicated, and
+*recursive* element relationships would make naive tree construction
+loop forever — the suggested remedy being a graph representation.
+Both the tree (with duplication and a recursion guard) and the graph
+(built on :mod:`networkx`) are provided here, so the generator can
+choose its strategy and the FIG3/CLM6 experiments can measure the
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .content import ChildOccurrence, ContentKind
+from .model import DTD, AttributeDecl
+
+
+class RecursionError_(ValueError):
+    """Raised when tree construction meets a recursive element cycle."""
+
+    def __init__(self, cycle: tuple[str, ...]):
+        self.cycle = cycle
+        super().__init__(
+            "recursive element relationship: " + " -> ".join(cycle))
+
+
+@dataclass
+class DTDTreeNode:
+    """One node of the intermediate DTD tree.
+
+    ``occurrence`` describes how this element occurs *within its
+    parent* (None for the root).  ``duplicate_of`` is set when the same
+    element type already appeared elsewhere in the tree — the Fig. 3
+    situation — so consumers can detect sharing.
+    """
+
+    name: str
+    occurrence: ChildOccurrence | None
+    content_kind: ContentKind
+    is_simple: bool
+    attributes: dict[str, AttributeDecl] = field(default_factory=dict)
+    children: list["DTDTreeNode"] = field(default_factory=list)
+    duplicate_of: str | None = None
+
+    @property
+    def is_set_valued(self) -> bool:
+        """True for '+' or '*' children (Section 4.2 iteration)."""
+        return self.occurrence is not None and self.occurrence.repeatable
+
+    @property
+    def is_optional(self) -> bool:
+        """True for '?' or '*' children (Section 4.3 nullability)."""
+        return self.occurrence is not None and self.occurrence.optional
+
+    def walk(self):
+        """Yield this node and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: str = "") -> str:
+        """Human-readable rendering used by examples and debugging."""
+        marker = ""
+        if self.occurrence is not None:
+            if self.occurrence.repeatable:
+                marker = "*" if self.occurrence.optional else "+"
+            elif self.occurrence.optional:
+                marker = "?"
+        label = f"{indent}{self.name}{marker}"
+        if self.is_simple:
+            label += " (#PCDATA)"
+        if self.attributes:
+            label += " [" + ", ".join(self.attributes) + "]"
+        lines = [label]
+        for child in self.children:
+            lines.append(child.pretty(indent + "  "))
+        return "\n".join(lines)
+
+
+def element_graph(dtd: DTD) -> nx.DiGraph:
+    """Directed graph of element containment: parent -> child edges.
+
+    Edge attributes carry the :class:`ChildOccurrence` summary.  This is
+    the graph representation Section 6.2 recommends over the tree.
+    """
+    graph = nx.DiGraph()
+    for name in dtd.declaration_order:
+        graph.add_node(name)
+        for child in dtd.elements[name].content.child_summary():
+            graph.add_edge(name, child.name, occurrence=child)
+    return graph
+
+
+def recursive_elements(dtd: DTD) -> set[str]:
+    """Element types that participate in a containment cycle."""
+    graph = element_graph(dtd)
+    recursive: set[str] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive |= component
+        else:
+            (node,) = component
+            if graph.has_edge(node, node):
+                recursive.add(node)
+    return recursive
+
+
+def shared_elements(dtd: DTD) -> set[str]:
+    """Element types referenced by more than one parent (Fig. 3 case)."""
+    graph = element_graph(dtd)
+    return {
+        node for node in graph.nodes
+        if graph.in_degree(node) > 1
+    }
+
+
+def containment_cycles(dtd: DTD) -> list[list[str]]:
+    """All simple containment cycles, for diagnostics."""
+    return list(nx.simple_cycles(element_graph(dtd)))
+
+
+def build_tree(dtd: DTD, root: str | None = None,
+               allow_recursion: bool = False,
+               max_depth: int = 64) -> DTDTreeNode:
+    """Build the intermediate DTD tree rooted at *root*.
+
+    Shared elements are duplicated (each copy marked via
+    ``duplicate_of``).  Recursive DTDs raise :class:`RecursionError_`
+    unless *allow_recursion* is set, in which case the recursive edge
+    becomes a leaf marked as a duplicate — the hook the generator's
+    REF strategy uses (Section 6.2).
+    """
+    if root is None:
+        candidates = dtd.root_candidates()
+        if len(candidates) != 1:
+            raise ValueError(
+                f"cannot infer a unique root element, candidates:"
+                f" {candidates}; pass root= explicitly")
+        root = candidates[0]
+    if dtd.element(root) is None:
+        raise ValueError(f"root element '{root}' is not declared")
+    seen_anywhere: set[str] = set()
+    return _build_node(dtd, root, None, (), seen_anywhere,
+                       allow_recursion, max_depth)
+
+
+def _build_node(dtd: DTD, name: str, occurrence: ChildOccurrence | None,
+                ancestry: tuple[str, ...], seen_anywhere: set[str],
+                allow_recursion: bool, max_depth: int) -> DTDTreeNode:
+    if name in ancestry:
+        cycle = ancestry[ancestry.index(name):] + (name,)
+        if not allow_recursion:
+            raise RecursionError_(cycle)
+        declaration = dtd.element(name)
+        content = declaration.content if declaration else None
+        return DTDTreeNode(
+            name=name,
+            occurrence=occurrence,
+            content_kind=content.kind if content else ContentKind.ANY,
+            is_simple=bool(content and content.is_pcdata_only),
+            attributes=dict(dtd.attributes_of(name)),
+            duplicate_of=name,
+        )
+    if len(ancestry) >= max_depth:
+        raise RecursionError_(ancestry + (name,))
+
+    declaration = dtd.element(name)
+    if declaration is None:
+        # Referenced but undeclared: treat as simple text, like a
+        # permissive processor would.
+        return DTDTreeNode(
+            name=name, occurrence=occurrence, content_kind=ContentKind.MIXED,
+            is_simple=True, attributes=dict(dtd.attributes_of(name)))
+
+    duplicate_of = name if name in seen_anywhere else None
+    seen_anywhere.add(name)
+    node = DTDTreeNode(
+        name=name,
+        occurrence=occurrence,
+        content_kind=declaration.content.kind,
+        is_simple=declaration.content.is_pcdata_only,
+        attributes=dict(dtd.attributes_of(name)),
+        duplicate_of=duplicate_of,
+    )
+    for child in declaration.content.child_summary():
+        node.children.append(_build_node(
+            dtd, child.name, child, ancestry + (name,), seen_anywhere,
+            allow_recursion, max_depth))
+    return node

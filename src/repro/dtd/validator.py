@@ -1,0 +1,223 @@
+"""Validity checking of a DOM document against a DTD.
+
+Together with the well-formedness checks done by the XML parser this
+reproduces the "Well-Formedness / Validity Check" stage of Fig. 1.
+The validator reports *all* violations rather than stopping at the
+first, applies attribute defaults from the DTD (like a validating
+processor must), and enforces the validity constraints that matter to
+the mapping pipeline: content models, attribute declarations and
+types, #REQUIRED/#FIXED, and ID/IDREF integrity — the latter is what
+Section 4.4's REF mapping relies on.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit import chars
+from repro.xmlkit.dom import Document, Element
+from repro.xmlkit.errors import XMLValidityError
+from .automata import ContentAutomaton, NondeterministicModelError
+from .content import ContentKind
+from .model import DTD, AttributeDecl, AttributeType, DefaultKind
+
+
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    def __init__(self) -> None:
+        self.errors: list[XMLValidityError] = []
+        #: id value -> element tag, collected for IDREF checking
+        self.ids: dict[str, str] = {}
+
+    @property
+    def valid(self) -> bool:
+        return not self.errors
+
+    def add(self, message: str, element: str | None = None) -> None:
+        self.errors.append(XMLValidityError(message, element))
+
+    def raise_first(self) -> None:
+        """Raise the first collected error, if any."""
+        if self.errors:
+            raise self.errors[0]
+
+
+class Validator:
+    """Validates documents against one DTD.
+
+    Content automata are compiled once per element declaration and
+    cached, so a validator instance amortizes over many documents.
+    """
+
+    def __init__(self, dtd: DTD, apply_defaults: bool = True):
+        self.dtd = dtd
+        self.apply_defaults = apply_defaults
+        self._automata: dict[str, ContentAutomaton] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def validate(self, document: Document) -> ValidationReport:
+        """Validate *document*; returns a report listing every violation."""
+        report = ValidationReport()
+        root = document.root_element
+        if document.doctype is not None and document.doctype.name != root.tag:
+            report.add(
+                f"root element is <{root.tag}> but DOCTYPE declares"
+                f" '{document.doctype.name}'", root.tag)
+        pending_idrefs: list[tuple[str, str]] = []
+        self._validate_element(root, report, pending_idrefs)
+        for value, tag in pending_idrefs:
+            if value not in report.ids:
+                report.add(f"IDREF '{value}' does not match any ID", tag)
+        return report
+
+    def assert_valid(self, document: Document) -> None:
+        """Validate and raise the first violation, if any."""
+        self.validate(document).raise_first()
+
+    # -- elements ----------------------------------------------------------------
+
+    def _validate_element(self, element: Element, report: ValidationReport,
+                          pending_idrefs: list[tuple[str, str]]) -> None:
+        declaration = self.dtd.element(element.tag)
+        if declaration is None:
+            report.add("element type is not declared", element.tag)
+        else:
+            self._check_content(element, declaration.content, report)
+        self._check_attributes(element, report, pending_idrefs)
+        for child in element.child_elements:
+            self._validate_element(child, report, pending_idrefs)
+
+    def _check_content(self, element: Element, content, report) -> None:
+        kind = content.kind
+        if kind is ContentKind.ANY:
+            return
+        if kind is ContentKind.EMPTY:
+            if element.children:
+                report.add("declared EMPTY but has content", element.tag)
+            return
+        if kind is ContentKind.MIXED:
+            allowed = set(content.mixed_names)
+            for child in element.child_elements:
+                if child.tag not in allowed:
+                    report.add(
+                        f"element '{child.tag}' not allowed in mixed"
+                        f" content", element.tag)
+            return
+        # element content: character data must be whitespace only and
+        # the child sequence must satisfy the automaton.
+        for child in element.children:
+            if child.node_type == "text" and not child.is_whitespace():
+                report.add("character data not allowed in element content",
+                           element.tag)
+                break
+        automaton = self._automaton_for(element.tag, content, report)
+        if automaton is None:
+            return
+        names = [child.tag for child in element.child_elements]
+        problem = automaton.explain(names)
+        if problem is not None:
+            report.add(problem, element.tag)
+
+    def _automaton_for(self, tag: str, content,
+                       report: ValidationReport) -> ContentAutomaton | None:
+        if tag in self._automata:
+            return self._automata[tag]
+        try:
+            automaton = ContentAutomaton(content.particle)
+        except NondeterministicModelError as exc:
+            report.add(str(exc), tag)
+            return None
+        self._automata[tag] = automaton
+        return automaton
+
+    # -- attributes ---------------------------------------------------------------
+
+    def _check_attributes(self, element: Element, report: ValidationReport,
+                          pending_idrefs: list[tuple[str, str]]) -> None:
+        declarations = self.dtd.attributes_of(element.tag)
+        for name in element.attributes:
+            if name not in declarations:
+                report.add(f"attribute '{name}' is not declared",
+                           element.tag)
+        for name, declaration in declarations.items():
+            attr = element.attributes.get(name)
+            if attr is None:
+                self._handle_missing(element, declaration, report)
+                continue
+            value = attr.value
+            if declaration.attribute_type.is_tokenized:
+                value = " ".join(value.split())
+                attr.value = value
+            self._check_attribute_value(element, declaration, value,
+                                        report, pending_idrefs)
+
+    def _handle_missing(self, element: Element, declaration: AttributeDecl,
+                        report: ValidationReport) -> None:
+        if declaration.default_kind is DefaultKind.REQUIRED:
+            report.add(f"required attribute '{declaration.name}' missing",
+                       element.tag)
+        elif declaration.default_value is not None and self.apply_defaults:
+            element.set(declaration.name, declaration.default_value,
+                        specified=False)
+
+    def _check_attribute_value(self, element: Element,
+                               declaration: AttributeDecl, value: str,
+                               report: ValidationReport,
+                               pending_idrefs: list[tuple[str, str]]) -> None:
+        kind = declaration.attribute_type
+        tag = element.tag
+        name = declaration.name
+        if declaration.default_kind is DefaultKind.FIXED:
+            if value != declaration.default_value:
+                report.add(
+                    f"attribute '{name}' is #FIXED"
+                    f" \"{declaration.default_value}\" but has"
+                    f" value \"{value}\"", tag)
+        if kind is AttributeType.ID:
+            if not chars.is_name(value):
+                report.add(f"ID attribute '{name}' value '{value}' is not"
+                           f" a Name", tag)
+            elif value in report.ids:
+                report.add(f"duplicate ID value '{value}'", tag)
+            else:
+                report.ids[value] = tag
+        elif kind is AttributeType.IDREF:
+            pending_idrefs.append((value, tag))
+        elif kind is AttributeType.IDREFS:
+            tokens = value.split()
+            if not tokens:
+                report.add(f"IDREFS attribute '{name}' is empty", tag)
+            pending_idrefs.extend((token, tag) for token in tokens)
+        elif kind is AttributeType.NMTOKEN:
+            if not chars.is_nmtoken(value):
+                report.add(f"attribute '{name}' value '{value}' is not a"
+                           f" name token", tag)
+        elif kind is AttributeType.NMTOKENS:
+            if not value.split():
+                report.add(f"NMTOKENS attribute '{name}' is empty", tag)
+            for token in value.split():
+                if not chars.is_nmtoken(token):
+                    report.add(f"attribute '{name}' token '{token}' is not"
+                               f" a name token", tag)
+        elif kind in (AttributeType.ENUMERATION, AttributeType.NOTATION):
+            if value not in declaration.enumeration:
+                report.add(
+                    f"attribute '{name}' value '{value}' not in"
+                    f" {list(declaration.enumeration)}", tag)
+        elif kind is AttributeType.ENTITY:
+            self._check_entity_token(value, name, tag, report)
+        elif kind is AttributeType.ENTITIES:
+            for token in value.split():
+                self._check_entity_token(token, name, tag, report)
+
+    def _check_entity_token(self, token: str, name: str, tag: str,
+                            report: ValidationReport) -> None:
+        definition = self.dtd.entities.lookup_general(token)
+        if definition is None or not definition.is_unparsed:
+            report.add(f"attribute '{name}' must name an unparsed entity,"
+                       f" got '{token}'", tag)
+
+
+def validate(document: Document, dtd: DTD) -> ValidationReport:
+    """Validate *document* against *dtd* with a throwaway validator."""
+    return Validator(dtd).validate(document)

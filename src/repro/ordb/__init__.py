@@ -1,0 +1,137 @@
+"""Embedded object-relational DBMS (the Oracle 8i/9i stand-in).
+
+The engine executes the SQL dialect the paper's XML2Oracle tool emits:
+
+>>> from repro.ordb import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TYPE Type_Prof AS OBJECT("
+...                "PName VARCHAR2(80), Subject VARCHAR2(120))")
+>>> _ = db.execute("CREATE TABLE TabProf OF Type_Prof (PName PRIMARY KEY)")
+>>> _ = db.execute("INSERT INTO TabProf VALUES ('Jaeger', 'CAD')")
+>>> db.execute("SELECT p.Subject FROM TabProf p"
+...            " WHERE p.PName = 'Jaeger'").scalar()
+'CAD'
+
+Compatibility modes reproduce the paper's Oracle 8 vs Oracle 9 split:
+
+>>> from repro.ordb import CompatibilityMode
+>>> db8 = Database(CompatibilityMode.ORACLE8)
+"""
+
+from .constraints import (
+    CheckConstraint,
+    ConstraintSet,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    ScopeForConstraint,
+    UniqueConstraint,
+)
+from .datatypes import (
+    CharType,
+    ClobType,
+    DataType,
+    DateType,
+    IntegerType,
+    NestedTableType,
+    NumberType,
+    ObjectType,
+    RefType,
+    TypeAttribute,
+    Varchar2,
+    VarrayType,
+    contains_collection,
+    is_collection,
+)
+from .engine import Database, QueryPlan
+from .errors import (
+    CheckViolation,
+    DanglingReference,
+    DependentObjectsExist,
+    IdentifierTooLong,
+    IncompleteType,
+    InvalidDatatype,
+    InvalidIdentifier,
+    InvalidNumber,
+    NameInUse,
+    NestedCollectionNotSupported,
+    NoSuchColumn,
+    NoSuchTable,
+    NoSuchType,
+    NotSupported,
+    NullNotAllowed,
+    OrdbError,
+    ParseError,
+    ReservedWord,
+    TypeMismatch,
+    UniqueViolation,
+    ValueTooLarge,
+    WrongArgumentCount,
+)
+from .identifiers import MAX_IDENTIFIER_LENGTH, RESERVED_WORDS, is_reserved
+from .results import Result
+from .schema import Catalog, Column, CompatibilityMode, Table, View
+from .sql.lexer import split_statements
+from .sql.parser import parse_statement
+from .values import CollectionValue, ObjectValue, RefValue, render_value
+
+__all__ = [
+    "Catalog",
+    "CharType",
+    "CheckConstraint",
+    "CheckViolation",
+    "ClobType",
+    "CollectionValue",
+    "Column",
+    "CompatibilityMode",
+    "ConstraintSet",
+    "DanglingReference",
+    "DataType",
+    "Database",
+    "DateType",
+    "DependentObjectsExist",
+    "IdentifierTooLong",
+    "IncompleteType",
+    "IntegerType",
+    "InvalidDatatype",
+    "InvalidIdentifier",
+    "InvalidNumber",
+    "MAX_IDENTIFIER_LENGTH",
+    "NameInUse",
+    "NestedCollectionNotSupported",
+    "NestedTableType",
+    "NoSuchColumn",
+    "NoSuchTable",
+    "NoSuchType",
+    "NotNullConstraint",
+    "NotSupported",
+    "NullNotAllowed",
+    "NumberType",
+    "ObjectType",
+    "ObjectValue",
+    "OrdbError",
+    "ParseError",
+    "PrimaryKeyConstraint",
+    "QueryPlan",
+    "RESERVED_WORDS",
+    "RefType",
+    "RefValue",
+    "ReservedWord",
+    "Result",
+    "ScopeForConstraint",
+    "Table",
+    "TypeAttribute",
+    "TypeMismatch",
+    "UniqueConstraint",
+    "UniqueViolation",
+    "ValueTooLarge",
+    "Varchar2",
+    "VarrayType",
+    "View",
+    "WrongArgumentCount",
+    "contains_collection",
+    "is_collection",
+    "is_reserved",
+    "parse_statement",
+    "render_value",
+    "split_statements",
+]

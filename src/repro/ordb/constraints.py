@@ -1,0 +1,95 @@
+"""Constraint objects attached to tables.
+
+The paper stresses (Sections 2.1, 4.3) that constraints belong to
+*table* definitions, never to type definitions; the catalog enforces
+that by only ever attaching these objects to tables.  CHECK expressions
+are stored as parsed ASTs plus their source text; evaluation lives in
+the engine because it needs the expression evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sql.ast import Expr
+
+
+@dataclass(frozen=True)
+class NotNullConstraint:
+    """Column must not be NULL (ORA-01400)."""
+
+    column: str  # normalized key
+    display_name: str = ""
+
+
+@dataclass(frozen=True)
+class PrimaryKeyConstraint:
+    """PRIMARY KEY: NOT NULL plus uniqueness over the column tuple."""
+
+    columns: tuple[str, ...]  # normalized keys
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class UniqueConstraint:
+    """UNIQUE over the column tuple; all-NULL tuples are exempt."""
+
+    columns: tuple[str, ...]
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class CheckConstraint:
+    """CHECK (expr); a row is rejected when the expression is FALSE.
+
+    Note the three-valued subtlety the paper trips over in Section 4.3:
+    ``CHECK (attrAddress.attrStreet IS NOT NULL)`` evaluates to FALSE —
+    not UNKNOWN — for a row whose whole ``attrAddress`` is NULL,
+    because ``NULL IS NOT NULL`` is FALSE.  The engine therefore
+    reproduces the paper's "non-desired error message" with plain
+    standard semantics.
+    """
+
+    expression: Expr
+    source: str = ""
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class ScopeForConstraint:
+    """SCOPE FOR (ref_column) IS table (Section 2.3)."""
+
+    column: str  # normalized key
+    table: str  # normalized key
+
+
+@dataclass
+class ConstraintSet:
+    """All constraints of one table, grouped by enforcement style."""
+
+    not_null: list[NotNullConstraint] = field(default_factory=list)
+    primary_key: PrimaryKeyConstraint | None = None
+    unique: list[UniqueConstraint] = field(default_factory=list)
+    checks: list[CheckConstraint] = field(default_factory=list)
+    scopes: list[ScopeForConstraint] = field(default_factory=list)
+
+    def not_null_columns(self) -> set[str]:
+        columns = {constraint.column for constraint in self.not_null}
+        if self.primary_key is not None:
+            columns.update(self.primary_key.columns)
+        return columns
+
+    def describe(self) -> list[str]:
+        """Human-readable constraint inventory (used by examples)."""
+        lines: list[str] = []
+        for constraint in self.not_null:
+            lines.append(f"NOT NULL({constraint.display_name or constraint.column})")
+        if self.primary_key is not None:
+            lines.append("PRIMARY KEY(" + ", ".join(self.primary_key.columns) + ")")
+        for constraint in self.unique:
+            lines.append("UNIQUE(" + ", ".join(constraint.columns) + ")")
+        for constraint in self.checks:
+            lines.append(f"CHECK({constraint.source})")
+        for constraint in self.scopes:
+            lines.append(f"SCOPE FOR({constraint.column}) IS {constraint.table}")
+        return lines

@@ -1,0 +1,1067 @@
+"""The embedded object-relational database engine.
+
+:class:`Database` is the stand-in for the Oracle 8i/9i instance the
+paper stored documents in.  It executes the SQL dialect of
+:mod:`repro.ordb.sql` — DDL for object/collection/REF types, object
+tables with constraints, object views — and evaluates queries with
+dot-notation navigation, constructors and CAST/MULTISET.
+
+Statement and row-level counters are kept in :attr:`Database.stats`
+because the reproduction benchmarks (CLM1/CLM2 in DESIGN.md) measure
+exactly the operational quantities the paper argues about: number of
+INSERT statements per document and number of scans/joins per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import identifiers
+from .constraints import (
+    CheckConstraint,
+    ConstraintSet,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    ScopeForConstraint,
+    UniqueConstraint,
+)
+from .datatypes import NestedTableType, ObjectType, RefType
+from .errors import (
+    CheckViolation,
+    DanglingReference,
+    IncompleteType,
+    NestedCollectionNotSupported,
+    NoSuchColumn,
+    NoSuchTable,
+    NotSupported,
+    NullNotAllowed,
+    OrdbError,
+    TypeMismatch,
+    UniqueViolation,
+    WrongArgumentCount,
+)
+from .expressions import (
+    AGGREGATE_FUNCTIONS,
+    Binding,
+    Env,
+    Evaluator,
+    collect_aggregates,
+    contains_aggregate,
+)
+from .results import Result
+from .schema import Catalog, Column, CompatibilityMode, Table, View
+from .sql import ast
+from .sql.lexer import split_statements
+from .sql.parser import parse_statement
+from .storage import Row, next_oid
+from .values import (
+    CollectionValue,
+    ObjectValue,
+    RefValue,
+    coerce_value,
+)
+from .datatypes import TypeAttribute
+
+
+@dataclass
+class QueryPlan:
+    """A (deliberately simple) description of how a SELECT runs."""
+
+    tables: list[str] = field(default_factory=list)
+    join_count: int = 0
+    has_subquery: bool = False
+    uses_dot_navigation: bool = False
+
+    def describe(self) -> str:
+        parts = [f"scan({table})" for table in self.tables]
+        text = " NESTED-LOOP-JOIN ".join(parts) if parts else "empty"
+        if self.uses_dot_navigation:
+            text += " +dot-navigation"
+        return text
+
+
+class Database:
+    """One in-memory object-relational database instance."""
+
+    def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9):
+        self.catalog = Catalog(mode)
+        self.evaluator = Evaluator(self)
+        self.stats: dict[str, int] = {}
+        self.reset_stats()
+
+    @property
+    def mode(self) -> CompatibilityMode:
+        return self.catalog.mode
+
+    def reset_stats(self) -> None:
+        """Zero the operation counters used by the benchmarks."""
+        self.stats = {
+            "statements": 0,
+            "inserts": 0,
+            "selects": 0,
+            "rows_scanned": 0,
+            "rows_inserted": 0,
+            "joins": 0,
+            "derefs": 0,
+        }
+
+    # -- public API -------------------------------------------------------------------
+
+    def execute(self, statement: str | ast.Statement) -> Result:
+        """Execute one statement (SQL text or a pre-parsed AST)."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        self.stats["statements"] += 1
+        if isinstance(statement, ast.SelectStmt):
+            self.stats["selects"] += 1
+            return self.execute_select(statement, None)
+        handler = self._HANDLERS.get(type(statement))
+        if handler is None:  # pragma: no cover - parser prevents this
+            raise NotSupported(
+                f"unsupported statement {type(statement).__name__}")
+        return handler(self, statement)
+
+    def executescript(self, script: str) -> list[Result]:
+        """Execute a multi-statement SQL script (Section 4: the
+        generated script runs 'without any modification')."""
+        return [self.execute(text) for text in split_statements(script)]
+
+    def explain(self, statement: str | ast.SelectStmt) -> QueryPlan:
+        """Describe how a SELECT would run, without running it."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if not isinstance(statement, ast.SelectStmt):
+            raise NotSupported("EXPLAIN is only available for SELECT")
+        plan = QueryPlan()
+        for item in statement.from_items:
+            if isinstance(item, ast.TableRef):
+                plan.tables.append(identifiers.normalize(item.name))
+            elif isinstance(item, ast.SubqueryRef):
+                inner = self.explain(item.query)
+                plan.tables.extend(inner.tables)
+                plan.has_subquery = True
+            else:
+                plan.tables.append("TABLE()")
+        plan.join_count = max(0, len(statement.from_items) - 1)
+        plan.uses_dot_navigation = _uses_dot_navigation(statement)
+        return plan
+
+    def dereference(self, ref: RefValue) -> ObjectValue | None:
+        """Follow a REF; dangling references yield NULL like Oracle."""
+        self.stats["derefs"] += 1
+        table = self.catalog.tables.get(ref.table)
+        if table is None:
+            return None
+        row = table.data.by_oid(ref.oid)
+        if row is None:
+            return None
+        return self._row_object(table, row)
+
+    def _row_object(self, table: Table, row: Row) -> ObjectValue:
+        object_type = self.catalog.object_type(table.of_type)
+        return ObjectValue(object_type.name, {
+            attribute.key: row.values.get(attribute.key)
+            for attribute in object_type.attributes
+        })
+
+    # -- DDL: types ---------------------------------------------------------------------
+
+    def _create_type_forward(self,
+                             statement: ast.CreateTypeForward) -> Result:
+        self.catalog.create_forward_type(statement.name)
+        return Result(message=f"Type {statement.name} declared"
+                              f" (incomplete).")
+
+    def _create_object_type(self,
+                            statement: ast.CreateObjectType) -> Result:
+        attributes = [
+            TypeAttribute(name, self.catalog.datatype_from_ref(type_ref))
+            for name, type_ref in statement.attributes
+        ]
+        self.catalog.create_object_type(statement.name, attributes,
+                                        replace=statement.or_replace)
+        return Result(message=f"Type {statement.name} created.")
+
+    def _create_varray_type(self,
+                            statement: ast.CreateVarrayType) -> Result:
+        element = self.catalog.datatype_from_ref(statement.element)
+        self.catalog.create_collection_type(
+            statement.name, element, limit=statement.limit,
+            replace=statement.or_replace)
+        return Result(message=f"Type {statement.name} created.")
+
+    def _create_nested_table_type(
+            self, statement: ast.CreateNestedTableType) -> Result:
+        element = self.catalog.datatype_from_ref(statement.element)
+        self.catalog.create_collection_type(
+            statement.name, element, limit=None,
+            replace=statement.or_replace)
+        return Result(message=f"Type {statement.name} created.")
+
+    def _drop_type(self, statement: ast.DropType) -> Result:
+        removed = self.catalog.drop_type(statement.name, statement.force)
+        return Result(message=f"Type {statement.name} dropped"
+                              f" ({len(removed)} object(s)).")
+
+    # -- DDL: tables -----------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> Result:
+        if statement.of_type is not None:
+            table = self._build_object_table(statement)
+        else:
+            table = self._build_relational_table(statement)
+        self._check_nested_storage(statement, table)
+        self.catalog.add_table(table)
+        return Result(message=f"Table {statement.name} created.")
+
+    def _build_relational_table(self,
+                                statement: ast.CreateTable) -> Table:
+        columns = [
+            Column(definition.name,
+                   self.catalog.datatype_from_ref(
+                       definition.type_ref, allow_incomplete_ref=False))
+            for definition in statement.columns
+        ]
+        table = Table(statement.name, columns)
+        for definition in statement.columns:
+            self._apply_column_constraints(table, definition.name,
+                                           definition.constraints)
+        self._apply_table_constraints(table, statement.constraints)
+        return table
+
+    def _build_object_table(self, statement: ast.CreateTable) -> Table:
+        object_type = self.catalog.object_type(statement.of_type)
+        if object_type.incomplete:
+            raise IncompleteType(
+                f"cannot create a table of incomplete type"
+                f" '{statement.of_type}'")
+        columns = [
+            Column(attribute.name, attribute.datatype)
+            for attribute in object_type.attributes
+        ]
+        table = Table(statement.name, columns, of_type=object_type.key)
+        for spec in statement.object_specs:
+            if table.column(spec.column) is None:
+                raise NoSuchColumn(
+                    f"'{spec.column}' is not an attribute of"
+                    f" {object_type.name}")
+            self._apply_column_constraints(table, spec.column,
+                                           spec.constraints)
+        self._apply_table_constraints(table, statement.constraints)
+        return table
+
+    def _apply_column_constraints(
+            self, table: Table, column_name: str,
+            constraints: tuple[ast.ColumnConstraint, ...]) -> None:
+        column = table.column(column_name)
+        assert column is not None
+        for constraint in constraints:
+            if constraint.kind == "NOT NULL":
+                table.constraints.not_null.append(
+                    NotNullConstraint(column.key, column.name))
+            elif constraint.kind == "PRIMARY KEY":
+                if table.constraints.primary_key is not None:
+                    raise NotSupported(
+                        "table already has a primary key")
+                table.constraints.primary_key = PrimaryKeyConstraint(
+                    (column.key,))
+            elif constraint.kind == "UNIQUE":
+                table.constraints.unique.append(
+                    UniqueConstraint((column.key,)))
+
+    def _apply_table_constraints(
+            self, table: Table,
+            constraints: tuple[ast.TableConstraint, ...]) -> None:
+        for constraint in constraints:
+            if constraint.kind == "PRIMARY KEY":
+                if table.constraints.primary_key is not None:
+                    raise NotSupported("table already has a primary key")
+                table.constraints.primary_key = PrimaryKeyConstraint(
+                    tuple(self._column_key(table, name)
+                          for name in constraint.columns),
+                    constraint.name)
+            elif constraint.kind == "UNIQUE":
+                table.constraints.unique.append(UniqueConstraint(
+                    tuple(self._column_key(table, name)
+                          for name in constraint.columns),
+                    constraint.name))
+            elif constraint.kind == "CHECK":
+                assert constraint.expression is not None
+                table.constraints.checks.append(CheckConstraint(
+                    constraint.expression,
+                    constraint.expression_source or "",
+                    constraint.name))
+            elif constraint.kind == "SCOPE":
+                self._apply_scope_constraint(table, constraint)
+
+    def _apply_scope_constraint(self, table: Table,
+                                constraint: ast.TableConstraint) -> None:
+        column = table.column(constraint.columns[0])
+        if column is None:
+            raise NoSuchColumn(
+                f"'{constraint.columns[0]}' is not a column of"
+                f" {table.name}")
+        if not isinstance(column.datatype, RefType):
+            raise TypeMismatch(
+                f"SCOPE FOR requires a REF column,"
+                f" '{column.name}' is {column.datatype.sql_name()}")
+        if identifiers.normalize(constraint.scope_table) == table.key:
+            # self-scoped REF (recursive/IDREF structures): the table
+            # being created is its own scope target
+            scope_table = table
+        else:
+            scope_table = self.catalog.table(constraint.scope_table)
+        if (not scope_table.is_object_table
+                or scope_table.of_type != column.datatype.target_key):
+            raise TypeMismatch(
+                f"SCOPE table '{constraint.scope_table}' is not an"
+                f" object table of {column.datatype.target_type}")
+        table.constraints.scopes.append(
+            ScopeForConstraint(column.key, scope_table.key))
+
+    @staticmethod
+    def _column_key(table: Table, name: str) -> str:
+        column = table.column(name)
+        if column is None:
+            raise NoSuchColumn(
+                f"'{name}' is not a column of {table.name}")
+        return column.key
+
+    def _check_nested_storage(self, statement: ast.CreateTable,
+                              table: Table) -> None:
+        clauses = {
+            identifiers.normalize(clause.column): clause.storage_name
+            for clause in statement.nested_table_clauses
+        }
+        for column in table.columns:
+            if isinstance(column.datatype, NestedTableType):
+                if column.key not in clauses:
+                    raise NestedCollectionNotSupported(
+                        f"must specify STORE AS table name for nested"
+                        f" table column '{column.name}'")
+                table.nested_storage[column.key] = clauses.pop(column.key)
+        if clauses:
+            extra = ", ".join(clauses)
+            raise NoSuchColumn(
+                f"NESTED TABLE clause names non-nested column(s):"
+                f" {extra}")
+
+    def _drop_table(self, statement: ast.DropTable) -> Result:
+        self.catalog.drop_table(statement.name)
+        return Result(message=f"Table {statement.name} dropped.")
+
+    # -- DDL: views -------------------------------------------------------------------------
+
+    def _create_view(self, statement: ast.CreateView) -> Result:
+        if statement.column_names:
+            star_items = any(
+                isinstance(item.expression, ast.Star)
+                for item in statement.query.items)
+            if (not star_items
+                    and len(statement.column_names)
+                    != len(statement.query.items)):
+                raise NotSupported(
+                    "view column list does not match select list")
+        view = View(statement.name, statement.query,
+                    statement.column_names)
+        self.catalog.add_view(view, replace=statement.or_replace)
+        return Result(message=f"View {statement.name} created.")
+
+    def _drop_view(self, statement: ast.DropView) -> Result:
+        self.catalog.drop_view(statement.name)
+        return Result(message=f"View {statement.name} dropped.")
+
+    # -- DML: insert -------------------------------------------------------------------------
+
+    def _insert(self, statement: ast.Insert) -> Result:
+        key = identifiers.normalize(statement.table)
+        if key in self.catalog.views:
+            raise NotSupported("INSERT into views is not supported")
+        table = self.catalog.table(statement.table)
+        self.stats["inserts"] += 1
+        if statement.query is not None:
+            result = self.execute_select(statement.query, None)
+            count = 0
+            for row in result.rows:
+                self._insert_row(table, statement.columns, list(row))
+                count += 1
+            return Result(rowcount=count,
+                          message=f"{count} row(s) inserted.")
+        values = [self.evaluator.eval(value, Env([]))
+                  for value in statement.values]
+        self._insert_row(table, statement.columns, values)
+        return Result(rowcount=1, message="1 row inserted.")
+
+    def _insert_row(self, table: Table, columns: tuple[str, ...],
+                    values: list[object]) -> None:
+        # INSERT INTO object_table VALUES (Type_X(...)) — a single
+        # object of the row type populates all columns at once.  The
+        # value's type name disambiguates this from a single-column
+        # positional insert.
+        if (table.is_object_table and not columns and len(values) == 1
+                and isinstance(values[0], ObjectValue)
+                and identifiers.normalize(values[0].type_name)
+                == table.of_type):
+            source = values[0]
+            values = [source.get(column.name) for column in table.columns]
+        if columns:
+            keys = [self._column_key(table, name) for name in columns]
+        else:
+            keys = table.column_keys()
+        if len(values) != len(keys):
+            raise WrongArgumentCount(
+                f"INSERT supplies {len(values)} values for"
+                f" {len(keys)} column(s)")
+        row_values: dict[str, object] = {
+            column.key: None for column in table.columns}
+        for column_key, value in zip(keys, values):
+            column = table.column(column_key)
+            assert column is not None
+            row_values[column_key] = coerce_value(
+                value, column.datatype, self.catalog.resolve_type)
+        self._enforce_constraints(table, row_values, existing_row=None)
+        row = Row(row_values,
+                  oid=next_oid() if table.is_object_table else None)
+        table.data.insert(row)
+        self.stats["rows_inserted"] += 1
+
+    # -- constraint enforcement -------------------------------------------------------------
+
+    def _enforce_constraints(self, table: Table,
+                             row_values: dict[str, object],
+                             existing_row: Row | None) -> None:
+        constraints: ConstraintSet = table.constraints
+        for column_key in constraints.not_null_columns():
+            if row_values.get(column_key) is None:
+                raise NullNotAllowed(
+                    f"cannot insert NULL into"
+                    f" {table.name}.{column_key}")
+        if constraints.primary_key is not None:
+            self._check_unique(table, row_values,
+                               constraints.primary_key.columns,
+                               existing_row, "primary key")
+        for unique in constraints.unique:
+            self._check_unique(table, row_values, unique.columns,
+                               existing_row, "unique")
+        for check in constraints.checks:
+            self._enforce_check(table, row_values, check)
+        for scope in constraints.scopes:
+            value = row_values.get(scope.column)
+            if isinstance(value, RefValue) and value.table != scope.table:
+                raise DanglingReference(
+                    f"REF in {table.name}.{scope.column} must point"
+                    f" into {scope.table}")
+
+    def _check_unique(self, table: Table, row_values: dict[str, object],
+                      columns: tuple[str, ...],
+                      existing_row: Row | None, kind: str) -> None:
+        candidate = tuple(row_values.get(column) for column in columns)
+        if all(value is None for value in candidate):
+            return
+        for row in table.data.rows:
+            if row is existing_row:
+                continue
+            stored = tuple(row.values.get(column) for column in columns)
+            if stored == candidate:
+                raise UniqueViolation(
+                    f"{kind} constraint violated on {table.name}"
+                    f"({', '.join(columns)})")
+
+    def _enforce_check(self, table: Table, row_values: dict[str, object],
+                       check: CheckConstraint) -> None:
+        binding = Binding(table.key, row_values, table, None)
+        verdict = self.evaluator.eval_predicate(check.expression,
+                                                Env([binding]))
+        if verdict is False:
+            raise CheckViolation(
+                f"check constraint ({check.source}) violated on"
+                f" {table.name}")
+
+    # -- DML: update / delete ------------------------------------------------------------------
+
+    def _update(self, statement: ast.Update) -> Result:
+        table = self.catalog.table(statement.table)
+        alias_key = identifiers.normalize(statement.alias
+                                          or statement.table)
+        count = 0
+        for row in list(table.data.rows):
+            binding = Binding(alias_key, row.values, table, row.oid)
+            env = Env([binding])
+            if statement.where is not None:
+                if self.evaluator.eval_predicate(statement.where,
+                                                 env) is not True:
+                    continue
+            new_values = dict(row.values)
+            for target, expression in statement.assignments:
+                column_key = self._assignment_target(table, alias_key,
+                                                     target)
+                column = table.column(column_key)
+                assert column is not None
+                value = self.evaluator.eval(expression, env)
+                new_values[column_key] = coerce_value(
+                    value, column.datatype, self.catalog.resolve_type)
+            self._enforce_constraints(table, new_values,
+                                      existing_row=row)
+            row.values.clear()
+            row.values.update(new_values)
+            count += 1
+        return Result(rowcount=count,
+                      message=f"{count} row(s) updated.")
+
+    @staticmethod
+    def _assignment_target(table: Table, alias_key: str,
+                           target: ast.ColumnPath) -> str:
+        parts = list(target.parts)
+        if (len(parts) > 1
+                and identifiers.normalize(parts[0]) == alias_key):
+            parts = parts[1:]
+        if len(parts) != 1:
+            raise NotSupported(
+                "UPDATE of nested attributes is not supported;"
+                " assign a whole object value instead")
+        column = table.column(parts[0])
+        if column is None:
+            raise NoSuchColumn(
+                f"'{parts[0]}' is not a column of {table.name}")
+        return column.key
+
+    def _delete(self, statement: ast.Delete) -> Result:
+        table = self.catalog.table(statement.table)
+        alias_key = identifiers.normalize(statement.alias
+                                          or statement.table)
+        doomed: list[Row] = []
+        for row in table.data.rows:
+            if statement.where is not None:
+                binding = Binding(alias_key, row.values, table, row.oid)
+                verdict = self.evaluator.eval_predicate(
+                    statement.where, Env([binding]))
+                if verdict is not True:
+                    continue
+            doomed.append(row)
+        for row in doomed:
+            table.data.delete(row)
+        return Result(rowcount=len(doomed),
+                      message=f"{len(doomed)} row(s) deleted.")
+
+    # -- SELECT ------------------------------------------------------------------------------
+
+    def execute_select(self, statement: ast.SelectStmt,
+                       outer_env: Env | None,
+                       limit: int | None = None) -> Result:
+        environments = self._enumerate_rows(statement, outer_env, limit)
+        aggregates: list[ast.FunctionCall] = []
+        for item in statement.items:
+            if not isinstance(item.expression, ast.Star):
+                collect_aggregates(item.expression, aggregates)
+        if statement.having is not None:
+            collect_aggregates(statement.having, aggregates)
+        if aggregates or statement.group_by:
+            return self._grouped_result(statement, environments,
+                                        aggregates)
+        columns, rows = self._project(statement, environments)
+        if statement.distinct:
+            rows = _distinct(rows)
+        rows = self._order(statement, columns, rows, environments=None)
+        if limit is not None:
+            rows = rows[:limit]
+        return Result(columns, rows)
+
+    def _enumerate_rows(self, statement: ast.SelectStmt,
+                        outer_env: Env | None,
+                        limit: int | None) -> list[Env]:
+        environments: list[Env] = []
+        short_circuit = (limit is not None and statement.order_by == ()
+                         and not statement.group_by
+                         and not statement.distinct)
+        per_level, residual = self._plan_predicates(statement)
+
+        def expand(index: int, frames: list[Binding]) -> bool:
+            if index == len(statement.from_items):
+                env = Env(list(frames), outer_env)
+                for conjunct in residual:
+                    if self.evaluator.eval_predicate(conjunct,
+                                                     env) is not True:
+                        return False
+                environments.append(env)
+                return bool(short_circuit
+                            and len(environments) >= (limit or 0))
+            item = statement.from_items[index]
+            partial = Env(list(frames), outer_env)
+            pushed = per_level[index]
+            for binding in self._bindings_for(item, partial):
+                self.stats["rows_scanned"] += 1
+                frames.append(binding)
+                env = Env(frames, outer_env) if pushed else None
+                passed = all(
+                    self.evaluator.eval_predicate(conjunct, env) is True
+                    for conjunct in pushed)
+                done = passed and expand(index + 1, frames)
+                frames.pop()
+                if done:
+                    return True
+            return False
+
+        if len(statement.from_items) > 1:
+            self.stats["joins"] += len(statement.from_items) - 1
+        expand(0, [])
+        return environments
+
+    def _plan_predicates(
+            self, statement: ast.SelectStmt
+    ) -> tuple[list[list[ast.Expr]], list[ast.Expr]]:
+        """Split WHERE into AND-conjuncts and push each down to the
+        earliest join level where all of its alias references are
+        bound.  Only conjuncts that reference nothing but explicit
+        from-item aliases (and contain no subqueries) are pushed; the
+        rest run after the full row is assembled, preserving SQL
+        semantics for correlation and ambiguity checking."""
+        levels: list[list[ast.Expr]] = [
+            [] for _ in statement.from_items]
+        residual: list[ast.Expr] = []
+        if statement.where is None or not statement.from_items:
+            if statement.where is not None:
+                residual.append(statement.where)
+            return levels, residual
+        alias_level: dict[str, int] = {}
+        for index, item in enumerate(statement.from_items):
+            name = getattr(item, "alias", None) or getattr(
+                item, "name", None)
+            if name:
+                alias_level[identifiers.normalize(name)] = index
+        for conjunct in _split_conjuncts(statement.where):
+            heads: set[str] = set()
+            pushable = _analyze_references(conjunct, heads)
+            if pushable and heads and all(
+                    head in alias_level for head in heads):
+                level = max(alias_level[head] for head in heads)
+                levels[level].append(conjunct)
+            else:
+                residual.append(conjunct)
+        return levels, residual
+
+    def _bindings_for(self, item: ast.FromItem, env: Env):
+        if isinstance(item, ast.TableRef):
+            key = identifiers.normalize(item.name)
+            if key in self.catalog.views:
+                yield from self._view_bindings(
+                    self.catalog.views[key], item.alias)
+                return
+            table = self.catalog.table(item.name)
+            alias_key = identifiers.normalize(item.alias or item.name)
+            for row in table.data.rows:
+                yield Binding(alias_key, row.values, table, row.oid)
+            return
+        if isinstance(item, ast.SubqueryRef):
+            result = self.execute_select(item.query, env)
+            alias_key = identifiers.normalize(item.alias or "SUBQUERY")
+            keys = [identifiers.normalize(name)
+                    for name in result.columns]
+            for row in result.rows:
+                yield Binding(alias_key, dict(zip(keys, row)))
+            return
+        assert isinstance(item, ast.TableFunctionRef)
+        value = self.evaluator.eval(item.expression, env)
+        alias_key = identifiers.normalize(item.alias or "COLLECTION")
+        if value is None:
+            return
+        if not isinstance(value, CollectionValue):
+            raise TypeMismatch("TABLE() requires a collection value")
+        element_type = self._collection_element_type(value)
+        for element in value.items:
+            if isinstance(element_type, ObjectType):
+                columns = {
+                    attribute.key: (element.get(attribute.key)
+                                    if isinstance(element, ObjectValue)
+                                    else None)
+                    for attribute in element_type.attributes
+                }
+            else:
+                columns = {"COLUMN_VALUE": element}
+            yield Binding(alias_key, columns)
+
+    def _collection_element_type(self, value: CollectionValue):
+        datatype = self.catalog.types.get(
+            identifiers.normalize(value.type_name))
+        if isinstance(datatype, (NestedTableType,)):
+            return datatype.element_type
+        if datatype is not None and hasattr(datatype, "element_type"):
+            return datatype.element_type
+        return None
+
+    def _view_bindings(self, view: View, alias: str | None):
+        result = self.execute_select(view.query, None)
+        names = (list(view.column_names)
+                 if view.column_names else result.columns)
+        keys = [identifiers.normalize(name) for name in names]
+        alias_key = identifiers.normalize(alias or view.name)
+        for row in result.rows:
+            yield Binding(alias_key, dict(zip(keys, row)))
+
+    # -- projection -----------------------------------------------------------------------------
+
+    def _project(self, statement: ast.SelectStmt,
+                 environments: list[Env]) -> tuple[list[str], list[tuple]]:
+        columns = self._output_columns(statement, environments)
+        rows: list[tuple] = []
+        for env in environments:
+            values: list[object] = []
+            for item in statement.items:
+                if isinstance(item.expression, ast.Star):
+                    values.extend(self._star_values(item.expression, env))
+                else:
+                    values.append(self.evaluator.eval(item.expression,
+                                                      env))
+            rows.append(tuple(values))
+        return columns, rows
+
+    def _output_columns(self, statement: ast.SelectStmt,
+                        environments: list[Env]) -> list[str]:
+        columns: list[str] = []
+        for index, item in enumerate(statement.items):
+            if isinstance(item.expression, ast.Star):
+                columns.extend(self._star_columns(item.expression,
+                                                  statement,
+                                                  environments))
+                continue
+            if item.alias is not None:
+                columns.append(item.alias.upper())
+            else:
+                columns.append(_derive_column_name(item.expression,
+                                                   index))
+        return columns
+
+    def _star_columns(self, star: ast.Star, statement: ast.SelectStmt,
+                      environments: list[Env]) -> list[str]:
+        if environments:
+            frames = environments[0].frames
+        else:
+            frames = [
+                binding for item in statement.from_items
+                for binding in self._empty_binding(item)
+            ]
+        names: list[str] = []
+        for frame in frames:
+            if (star.qualifier is not None
+                    and frame.alias_key
+                    != identifiers.normalize(star.qualifier)):
+                continue
+            names.extend(frame.columns.keys())
+        return names
+
+    def _empty_binding(self, item: ast.FromItem) -> list[Binding]:
+        """Synthesize a zero-row binding so ``SELECT *`` on an empty
+        table still reports column names."""
+        if isinstance(item, ast.TableRef):
+            key = identifiers.normalize(item.name)
+            if key in self.catalog.views:
+                view = self.catalog.views[key]
+                result = self.execute_select(view.query, None)
+                names = (list(view.column_names)
+                         if view.column_names else result.columns)
+                keys = {identifiers.normalize(n): None for n in names}
+                return [Binding(identifiers.normalize(
+                    item.alias or view.name), keys)]
+            table = self.catalog.table(item.name)
+            return [Binding(
+                identifiers.normalize(item.alias or item.name),
+                {column.key: None for column in table.columns}, table)]
+        return []
+
+    def _star_values(self, star: ast.Star, env: Env) -> list[object]:
+        values: list[object] = []
+        for frame in env.frames:
+            if (star.qualifier is not None
+                    and frame.alias_key
+                    != identifiers.normalize(star.qualifier)):
+                continue
+            values.extend(frame.columns.values())
+        return values
+
+    # -- grouping -----------------------------------------------------------------------------
+
+    def _grouped_result(self, statement: ast.SelectStmt,
+                        environments: list[Env],
+                        aggregates: list[ast.FunctionCall]) -> Result:
+        groups: list[tuple[tuple, list[Env]]] = []
+        index_by_key: dict[tuple, int] = {}
+        if statement.group_by:
+            for env in environments:
+                key = tuple(
+                    _hashable(self.evaluator.eval(expression, env))
+                    for expression in statement.group_by)
+                position = index_by_key.get(key)
+                if position is None:
+                    index_by_key[key] = len(groups)
+                    groups.append((key, [env]))
+                else:
+                    groups[position][1].append(env)
+        else:
+            groups.append(((), environments))
+
+        columns = [
+            item.alias.upper() if item.alias is not None
+            else _derive_column_name(item.expression, index)
+            for index, item in enumerate(statement.items)
+        ]
+        rows: list[tuple] = []
+        for _key, members in groups:
+            values = self._aggregate_values(aggregates, members)
+            self.evaluator.aggregate_values = values
+            try:
+                representative = (members[0] if members
+                                  else Env([], None))
+                if statement.having is not None:
+                    verdict = self.evaluator.eval_predicate(
+                        statement.having, representative)
+                    if verdict is not True:
+                        continue
+                row = tuple(
+                    self.evaluator.eval(item.expression, representative)
+                    for item in statement.items)
+            finally:
+                self.evaluator.aggregate_values = None
+            rows.append(row)
+        rows = self._order(statement, columns, rows, environments=None)
+        return Result(columns, rows)
+
+    def _aggregate_values(self, aggregates: list[ast.FunctionCall],
+                          members: list[Env]) -> dict:
+        values: dict[ast.FunctionCall, object] = {}
+        for aggregate in aggregates:
+            name = aggregate.name.upper()
+            if (name == "COUNT" and aggregate.arguments
+                    and isinstance(aggregate.arguments[0], ast.Star)):
+                values[aggregate] = len(members)
+                continue
+            if not aggregate.arguments:
+                raise NotSupported(f"{name} requires an argument")
+            samples = []
+            for env in members:
+                value = self.evaluator.eval(aggregate.arguments[0], env)
+                if value is not None:
+                    samples.append(value)
+            if aggregate.distinct:
+                samples = _distinct_values(samples)
+            values[aggregate] = _fold_aggregate(name, samples)
+        return values
+
+    # -- ordering -----------------------------------------------------------------------------
+
+    def _order(self, statement: ast.SelectStmt, columns: list[str],
+               rows: list[tuple], environments) -> list[tuple]:
+        if not statement.order_by:
+            return rows
+        keyed = []
+        for row in rows:
+            keys = []
+            for order_item in statement.order_by:
+                value = self._order_value(order_item.expression, columns,
+                                          row)
+                keys.append(_SortKey(value, order_item.ascending))
+            keyed.append((keys, row))
+        keyed.sort(key=lambda pair: pair[0])
+        return [row for _keys, row in keyed]
+
+    def _order_value(self, expression: ast.Expr, columns: list[str],
+                     row: tuple) -> object:
+        if isinstance(expression, ast.Literal) and isinstance(
+                expression.value, int):
+            position = expression.value
+            if not 1 <= position <= len(row):
+                raise NoSuchColumn(
+                    f"ORDER BY position {position} out of range")
+            return row[position - 1]
+        if isinstance(expression, ast.ColumnPath) and len(
+                expression.parts) == 1:
+            wanted = expression.parts[0].upper()
+            for index, column in enumerate(columns):
+                if column.upper() == wanted:
+                    return row[index]
+        raise NotSupported(
+            "ORDER BY supports output column names and positions")
+
+    _HANDLERS = {}
+
+
+Database._HANDLERS = {
+    ast.CreateTypeForward: Database._create_type_forward,
+    ast.CreateObjectType: Database._create_object_type,
+    ast.CreateVarrayType: Database._create_varray_type,
+    ast.CreateNestedTableType: Database._create_nested_table_type,
+    ast.CreateTable: Database._create_table,
+    ast.CreateView: Database._create_view,
+    ast.DropType: Database._drop_type,
+    ast.DropTable: Database._drop_table,
+    ast.DropView: Database._drop_view,
+    ast.Insert: Database._insert,
+    ast.Update: Database._update,
+    ast.Delete: Database._delete,
+}
+
+
+# -- module helpers --------------------------------------------------------------------
+
+
+def _split_conjuncts(expression: ast.Expr) -> list[ast.Expr]:
+    """Flatten a WHERE tree into its top-level AND conjuncts."""
+    if isinstance(expression, ast.BinaryOp) \
+            and expression.operator == "AND":
+        return (_split_conjuncts(expression.left)
+                + _split_conjuncts(expression.right))
+    return [expression]
+
+
+def _analyze_references(expression: ast.Expr,
+                        heads: set[str]) -> bool:
+    """Collect qualified-path heads; False when the conjunct is not
+    safe to push down (subqueries, unqualified columns, stars)."""
+    if isinstance(expression, ast.ColumnPath):
+        if len(expression.parts) < 2:
+            return False  # unqualified name: resolve with full row
+        heads.add(identifiers.normalize(expression.parts[0]))
+        return True
+    if isinstance(expression, (ast.Literal, ast.DateLiteral)):
+        return True
+    if isinstance(expression, ast.BinaryOp):
+        return (_analyze_references(expression.left, heads)
+                and _analyze_references(expression.right, heads))
+    if isinstance(expression, ast.UnaryOp):
+        return _analyze_references(expression.operand, heads)
+    if isinstance(expression, ast.IsNull):
+        return _analyze_references(expression.operand, heads)
+    if isinstance(expression, ast.Like):
+        return (_analyze_references(expression.operand, heads)
+                and _analyze_references(expression.pattern, heads))
+    if isinstance(expression, ast.Between):
+        return (_analyze_references(expression.operand, heads)
+                and _analyze_references(expression.low, heads)
+                and _analyze_references(expression.high, heads))
+    if isinstance(expression, ast.InList):
+        return (_analyze_references(expression.operand, heads)
+                and all(_analyze_references(item, heads)
+                        for item in expression.items))
+    if isinstance(expression, ast.AttributeAccess):
+        return _analyze_references(expression.base, heads)
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name.upper() in AGGREGATE_FUNCTIONS:
+            return False
+        return all(_analyze_references(argument, heads)
+                   for argument in expression.arguments)
+    if isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            if not (_analyze_references(condition, heads)
+                    and _analyze_references(value, heads)):
+                return False
+        return (expression.default is None
+                or _analyze_references(expression.default, heads))
+    # subqueries, EXISTS, CAST MULTISET, stars: not pushable
+    return False
+
+
+class _SortKey:
+    """Order NULLs last (ASC), honour direction, across mixed types."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value: object, ascending: bool):
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.ascending
+        if b is None:
+            return self.ascending
+        try:
+            less = a < b
+        except TypeError:
+            less = str(a) < str(b)
+        return less if self.ascending else not less
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _derive_column_name(expression: ast.Expr, index: int) -> str:
+    if isinstance(expression, ast.ColumnPath):
+        return expression.parts[-1].upper()
+    if isinstance(expression, ast.AttributeAccess):
+        return expression.attribute.upper()
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name.upper()
+    return f"EXPR{index + 1}"
+
+
+def _distinct(rows: list[tuple]) -> list[tuple]:
+    unique: list[tuple] = []
+    for row in rows:
+        if row not in unique:
+            unique.append(row)
+    return unique
+
+
+def _distinct_values(values: list[object]) -> list[object]:
+    unique: list[object] = []
+    for value in values:
+        if value not in unique:
+            unique.append(value)
+    return unique
+
+
+def _fold_aggregate(name: str, samples: list[object]) -> object:
+    if name == "COUNT":
+        return len(samples)
+    if not samples:
+        return None
+    if name == "MIN":
+        return min(samples)
+    if name == "MAX":
+        return max(samples)
+    from .expressions import _as_number
+
+    numbers = [_as_number(sample) for sample in samples]
+    total = sum(numbers)
+    if name == "SUM":
+        return total
+    assert name == "AVG"
+    from decimal import Decimal
+
+    return Decimal(total) / Decimal(len(numbers))
+
+
+def _hashable(value: object) -> object:
+    from .values import render_value
+
+    try:
+        hash(value)
+    except TypeError:  # pragma: no cover - defensive
+        return render_value(value)
+    if isinstance(value, (ObjectValue, CollectionValue)):
+        return render_value(value)
+    return value
+
+
+def _uses_dot_navigation(statement: ast.SelectStmt) -> bool:
+    def probe(expression: ast.Expr) -> bool:
+        if isinstance(expression, ast.ColumnPath):
+            return len(expression.parts) > 2
+        if isinstance(expression, ast.AttributeAccess):
+            return True
+        if isinstance(expression, ast.BinaryOp):
+            return probe(expression.left) or probe(expression.right)
+        if isinstance(expression, ast.UnaryOp):
+            return probe(expression.operand)
+        if isinstance(expression, (ast.IsNull, ast.Like, ast.Between)):
+            return probe(expression.operand)
+        if isinstance(expression, ast.FunctionCall):
+            return any(probe(a) for a in expression.arguments)
+        return False
+
+    for item in statement.items:
+        if not isinstance(item.expression, ast.Star) and probe(
+                item.expression):
+            return True
+    return statement.where is not None and probe(statement.where)

@@ -1,0 +1,641 @@
+"""Expression evaluation with SQL three-valued logic.
+
+The evaluator interprets the expression ASTs of
+:mod:`repro.ordb.sql.ast` against an environment of row bindings.
+Predicates evaluate to ``True`` / ``False`` / ``None`` (UNKNOWN); the
+paper's CHECK-constraint pitfall (Section 4.3) falls out of these
+semantics naturally — see :class:`repro.ordb.constraints.CheckConstraint`.
+
+Dot navigation implements the paper's headline query feature
+(Section 4.1): a path like ``S.attrStudent.attrCourse.attrProfessor``
+walks object attributes without joins, implicitly dereferencing REF
+values on the way (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from decimal import Decimal
+
+from . import identifiers
+from .datatypes import NestedTableType, ObjectType, VarrayType
+from .errors import (
+    NoSuchColumn,
+    NoSuchType,
+    NotSupported,
+    TypeMismatch,
+)
+from .schema import Table
+from .sql import ast
+from .values import (
+    CollectionValue,
+    ObjectValue,
+    RefValue,
+    construct_collection,
+    construct_object,
+)
+
+#: Aggregate function names recognized by the engine.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+
+class Binding:
+    """One FROM-item row visible under an alias."""
+
+    __slots__ = ("alias_key", "columns", "table", "oid")
+
+    def __init__(self, alias_key: str, columns: dict[str, object],
+                 table: Table | None = None, oid: int | None = None):
+        self.alias_key = alias_key
+        self.columns = columns
+        self.table = table
+        self.oid = oid
+
+
+class Env:
+    """A scope of bindings, chained to outer scopes for correlation."""
+
+    __slots__ = ("frames", "parent")
+
+    def __init__(self, frames: list[Binding], parent: "Env | None" = None):
+        self.frames = frames
+        self.parent = parent
+
+    def find_alias(self, alias_key: str) -> Binding | None:
+        for frame in self.frames:
+            if frame.alias_key == alias_key:
+                return frame
+        if self.parent is not None:
+            return self.parent.find_alias(alias_key)
+        return None
+
+    def find_column(self, column_key: str) -> tuple[bool, object]:
+        """Search unqualified column; returns (found, value)."""
+        matches = [
+            frame for frame in self.frames
+            if column_key in frame.columns
+        ]
+        if len(matches) > 1:
+            raise NoSuchColumn(
+                f"column '{column_key}' is ambiguous")
+        if matches:
+            return True, matches[0].columns[column_key]
+        if self.parent is not None:
+            return self.parent.find_column(column_key)
+        return False, None
+
+
+EMPTY_ENV = Env([])
+
+
+def contains_aggregate(expression: ast.Expr) -> bool:
+    """True if *expression* contains an aggregate function call."""
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name.upper() in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(a) for a in expression.arguments)
+    if isinstance(expression, ast.BinaryOp):
+        return (contains_aggregate(expression.left)
+                or contains_aggregate(expression.right))
+    if isinstance(expression, ast.UnaryOp):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.AttributeAccess):
+        return contains_aggregate(expression.base)
+    if isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            if contains_aggregate(condition) or contains_aggregate(value):
+                return True
+        return (expression.default is not None
+                and contains_aggregate(expression.default))
+    if isinstance(expression, (ast.IsNull, ast.Cast)):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.Like):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, ast.Between):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, (ast.InList, ast.InSubquery)):
+        return contains_aggregate(expression.operand)
+    return False
+
+
+def collect_aggregates(expression: ast.Expr,
+                       out: list[ast.FunctionCall]) -> None:
+    """Collect aggregate call nodes in *expression* into *out*."""
+    if isinstance(expression, ast.FunctionCall):
+        if expression.name.upper() in AGGREGATE_FUNCTIONS:
+            if expression not in out:
+                out.append(expression)
+            return
+        for argument in expression.arguments:
+            collect_aggregates(argument, out)
+    elif isinstance(expression, ast.BinaryOp):
+        collect_aggregates(expression.left, out)
+        collect_aggregates(expression.right, out)
+    elif isinstance(expression, ast.UnaryOp):
+        collect_aggregates(expression.operand, out)
+    elif isinstance(expression, ast.AttributeAccess):
+        collect_aggregates(expression.base, out)
+    elif isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            collect_aggregates(condition, out)
+            collect_aggregates(value, out)
+        if expression.default is not None:
+            collect_aggregates(expression.default, out)
+    elif isinstance(expression, (ast.IsNull, ast.Cast, ast.Like,
+                                 ast.Between, ast.InList,
+                                 ast.InSubquery)):
+        collect_aggregates(expression.operand, out)
+
+
+class Evaluator:
+    """Evaluates expressions; subqueries are delegated to the engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.catalog = engine.catalog
+        #: aggregate node -> computed value, set by the engine while
+        #: projecting grouped results.
+        self.aggregate_values: dict[ast.FunctionCall, object] | None = None
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def eval(self, expression: ast.Expr, env: Env) -> object:
+        method = getattr(self, "_eval_" + type(expression).__name__, None)
+        if method is None:  # pragma: no cover - defensive
+            raise NotSupported(
+                f"cannot evaluate {type(expression).__name__}")
+        return method(expression, env)
+
+    def eval_predicate(self, expression: ast.Expr, env: Env) -> bool | None:
+        """Evaluate as a truth value: True, False or None (UNKNOWN)."""
+        value = self.eval(expression, env)
+        if value is None or isinstance(value, bool):
+            return value
+        raise TypeMismatch("expression is not a condition")
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _eval_Literal(self, expression: ast.Literal, env: Env) -> object:
+        return expression.value
+
+    def _eval_DateLiteral(self, expression: ast.DateLiteral,
+                          env: Env) -> datetime.date:
+        try:
+            return datetime.date.fromisoformat(expression.text.strip())
+        except ValueError:
+            raise TypeMismatch(
+                f"bad DATE literal {expression.text!r}") from None
+
+    def _eval_Star(self, expression: ast.Star, env: Env) -> object:
+        raise NotSupported("'*' is only valid in a select list or"
+                           " COUNT(*)")
+
+    # -- paths --------------------------------------------------------------------
+
+    def _eval_ColumnPath(self, expression: ast.ColumnPath,
+                         env: Env) -> object:
+        parts = expression.parts
+        head_key = identifiers.normalize(parts[0])
+        binding = env.find_alias(head_key)
+        if binding is not None and len(parts) > 1:
+            second = identifiers.normalize(parts[1])
+            if second in binding.columns:
+                value = binding.columns[second]
+                return self._navigate(value, parts[2:], expression)
+            raise NoSuchColumn(
+                f"'{parts[1]}' is not a column of '{parts[0]}'")
+        found, value = env.find_column(head_key)
+        if found:
+            return self._navigate(value, parts[1:], expression)
+        if binding is not None:
+            raise NoSuchColumn(
+                f"'{parts[0]}' names a row alias, not a value")
+        if len(parts) == 1 and head_key == "SYSDATE":
+            return datetime.date.today()
+        raise NoSuchColumn(f"invalid identifier '{expression.source()}'")
+
+    def _navigate(self, value: object, attributes: tuple[str, ...],
+                  expression: ast.ColumnPath) -> object:
+        for attribute in attributes:
+            value = self._access(value, attribute, expression.source())
+            if value is None and attribute is not attributes[-1]:
+                # NULL propagates through the rest of the path
+                return None
+        return value
+
+    def _access(self, value: object, attribute: str,
+                source: str) -> object:
+        if value is None:
+            return None
+        if isinstance(value, RefValue):
+            value = self.engine.dereference(value)
+            if value is None:
+                return None
+        if isinstance(value, ObjectValue):
+            return value.get(attribute)
+        if isinstance(value, CollectionValue):
+            raise TypeMismatch(
+                f"cannot navigate into collection in '{source}';"
+                f" use TABLE(...) to unnest")
+        raise TypeMismatch(
+            f"cannot access attribute '{attribute}' of a scalar in"
+            f" '{source}'")
+
+    def _eval_AttributeAccess(self, expression: ast.AttributeAccess,
+                              env: Env) -> object:
+        base = self.eval(expression.base, env)
+        return self._access(base, expression.attribute, "expression")
+
+    # -- operators ------------------------------------------------------------------
+
+    def _eval_BinaryOp(self, expression: ast.BinaryOp, env: Env) -> object:
+        operator = expression.operator
+        if operator == "AND":
+            left = self.eval_predicate(expression.left, env)
+            if left is False:
+                return False
+            right = self.eval_predicate(expression.right, env)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if operator == "OR":
+            left = self.eval_predicate(expression.left, env)
+            if left is True:
+                return True
+            right = self.eval_predicate(expression.right, env)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.eval(expression.left, env)
+        right = self.eval(expression.right, env)
+        if operator == "||":
+            return _concat(left, right)
+        if operator in ("=", "<>", "<", ">", "<=", ">="):
+            return _compare(operator, left, right)
+        if left is None or right is None:
+            return None
+        if operator in ("+", "-", "*", "/"):
+            return _arithmetic(operator, left, right)
+        raise NotSupported(f"operator {operator!r}")  # pragma: no cover
+
+    def _eval_UnaryOp(self, expression: ast.UnaryOp, env: Env) -> object:
+        if expression.operator == "NOT":
+            value = self.eval_predicate(expression.operand, env)
+            if value is None:
+                return None
+            return not value
+        value = self.eval(expression.operand, env)
+        if value is None:
+            return None
+        number = _as_number(value)
+        return -number if expression.operator == "-" else number
+
+    def _eval_IsNull(self, expression: ast.IsNull, env: Env) -> bool:
+        value = self.eval(expression.operand, env)
+        result = value is None
+        return (not result) if expression.negated else result
+
+    def _eval_Like(self, expression: ast.Like, env: Env) -> bool | None:
+        value = self.eval(expression.operand, env)
+        pattern = self.eval(expression.pattern, env)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise TypeMismatch("LIKE requires string operands")
+        regex = _like_to_regex(pattern)
+        result = regex.fullmatch(value) is not None
+        return (not result) if expression.negated else result
+
+    def _eval_Between(self, expression: ast.Between,
+                      env: Env) -> bool | None:
+        value = self.eval(expression.operand, env)
+        low = self.eval(expression.low, env)
+        high = self.eval(expression.high, env)
+        lower = _compare(">=", value, low)
+        upper = _compare("<=", value, high)
+        if lower is None or upper is None:
+            return None
+        result = lower and upper
+        return (not result) if expression.negated else result
+
+    def _eval_InList(self, expression: ast.InList, env: Env) -> bool | None:
+        value = self.eval(expression.operand, env)
+        saw_null = False
+        for item in expression.items:
+            candidate = self.eval(item, env)
+            verdict = _compare("=", value, candidate)
+            if verdict is True:
+                return not expression.negated
+            if verdict is None:
+                saw_null = True
+        if saw_null:
+            return None
+        return expression.negated
+
+    def _eval_InSubquery(self, expression: ast.InSubquery,
+                         env: Env) -> bool | None:
+        value = self.eval(expression.operand, env)
+        result = self.engine.execute_select(expression.query, env)
+        saw_null = False
+        for row in result.rows:
+            verdict = _compare("=", value, row[0])
+            if verdict is True:
+                return not expression.negated
+            if verdict is None:
+                saw_null = True
+        if saw_null:
+            return None
+        return expression.negated
+
+    def _eval_Exists(self, expression: ast.Exists, env: Env) -> bool:
+        result = self.engine.execute_select(expression.query, env,
+                                            limit=1)
+        return bool(result.rows)
+
+    def _eval_ScalarSubquery(self, expression: ast.ScalarSubquery,
+                             env: Env) -> object:
+        result = self.engine.execute_select(expression.query, env)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise NotSupported(
+                "single-row subquery returns more than one row")
+        return result.rows[0][0]
+
+    def _eval_CastMultiset(self, expression: ast.CastMultiset,
+                           env: Env) -> CollectionValue:
+        collection_type = self.catalog.resolve_type(expression.type_name)
+        if not isinstance(collection_type, (VarrayType, NestedTableType)):
+            raise NoSuchType(
+                f"'{expression.type_name}' is not a collection type")
+        result = self.engine.execute_select(expression.query, env)
+        items = [row[0] for row in result.rows]
+        return construct_collection(
+            collection_type, items, self.catalog.resolve_type)
+
+    def _eval_Cast(self, expression: ast.Cast, env: Env) -> object:
+        value = self.eval(expression.operand, env)
+        datatype = self.catalog.datatype_from_ref(expression.type_ref)
+        if value is None:
+            return None
+        coerce = getattr(datatype, "coerce", None)
+        if coerce is None:
+            raise NotSupported(
+                f"CAST to {datatype.sql_name()} is not supported")
+        return coerce(value)
+
+    def _eval_CaseWhen(self, expression: ast.CaseWhen, env: Env) -> object:
+        for condition, value in expression.branches:
+            if self.eval_predicate(condition, env) is True:
+                return self.eval(value, env)
+        if expression.default is not None:
+            return self.eval(expression.default, env)
+        return None
+
+    # -- functions -------------------------------------------------------------------
+
+    def _eval_FunctionCall(self, expression: ast.FunctionCall,
+                           env: Env) -> object:
+        name = expression.name.upper()
+        if name in AGGREGATE_FUNCTIONS:
+            if (self.aggregate_values is not None
+                    and expression in self.aggregate_values):
+                return self.aggregate_values[expression]
+            raise NotSupported(
+                f"aggregate {name} not allowed in this context")
+        if name == "REF":
+            return self._ref_of(expression, env, want_ref=True)
+        if name == "VALUE":
+            return self._ref_of(expression, env, want_ref=False)
+        if name == "DEREF":
+            value = self._single_argument(expression, env)
+            if value is None:
+                return None
+            if not isinstance(value, RefValue):
+                raise TypeMismatch("DEREF requires a REF argument")
+            return self.engine.dereference(value)
+        # type constructor?
+        try:
+            datatype = self.catalog.resolve_type(expression.name)
+        except NoSuchType:
+            datatype = None
+        if isinstance(datatype, ObjectType):
+            arguments = [self.eval(a, env) for a in expression.arguments]
+            return construct_object(datatype, arguments,
+                                    self.catalog.resolve_type)
+        if isinstance(datatype, (VarrayType, NestedTableType)):
+            arguments = [self.eval(a, env) for a in expression.arguments]
+            return construct_collection(datatype, arguments,
+                                        self.catalog.resolve_type)
+        return self._scalar_function(name, expression, env)
+
+    def _ref_of(self, expression: ast.FunctionCall, env: Env,
+                want_ref: bool) -> object:
+        if (len(expression.arguments) != 1
+                or not isinstance(expression.arguments[0],
+                                  ast.ColumnPath)):
+            raise NotSupported("REF/VALUE take a single row alias")
+        path = expression.arguments[0]
+        if len(path.parts) != 1:
+            raise NotSupported("REF/VALUE take a single row alias")
+        binding = env.find_alias(identifiers.normalize(path.parts[0]))
+        if binding is None or binding.table is None:
+            raise NoSuchColumn(
+                f"'{path.parts[0]}' is not a row alias of an object"
+                f" table")
+        if not binding.table.is_object_table or binding.oid is None:
+            raise TypeMismatch(
+                f"table '{binding.table.name}' is not an object table")
+        if want_ref:
+            return RefValue(binding.oid, binding.table.key,
+                            binding.table.of_type)
+        object_type = self.catalog.object_type(binding.table.of_type)
+        return ObjectValue(object_type.name, {
+            attribute.key: binding.columns.get(attribute.key)
+            for attribute in object_type.attributes
+        })
+
+    def _single_argument(self, expression: ast.FunctionCall,
+                         env: Env) -> object:
+        if len(expression.arguments) != 1:
+            raise NotSupported(
+                f"{expression.name} takes exactly one argument")
+        return self.eval(expression.arguments[0], env)
+
+    def _scalar_function(self, name: str, expression: ast.FunctionCall,
+                         env: Env) -> object:
+        arguments = [self.eval(a, env) for a in expression.arguments]
+
+        def arg(index: int) -> object:
+            if index >= len(arguments):
+                raise NotSupported(
+                    f"{name} missing argument {index + 1}")
+            return arguments[index]
+
+        if name == "NVL":
+            return arg(1) if arg(0) is None else arg(0)
+        if name == "COALESCE":
+            for value in arguments:
+                if value is not None:
+                    return value
+            return None
+        if name == "UPPER":
+            value = arg(0)
+            return None if value is None else str(value).upper()
+        if name == "LOWER":
+            value = arg(0)
+            return None if value is None else str(value).lower()
+        if name == "LENGTH":
+            value = arg(0)
+            return None if value is None else len(str(value))
+        if name == "TRIM":
+            value = arg(0)
+            return None if value is None else str(value).strip()
+        if name == "SUBSTR":
+            value = arg(0)
+            if value is None:
+                return None
+            text = str(value)
+            start = int(_as_number(arg(1)))
+            begin = start - 1 if start > 0 else len(text) + start
+            if len(arguments) > 2:
+                length = int(_as_number(arg(2)))
+                return text[begin:begin + length]
+            return text[begin:]
+        if name == "CONCAT":
+            return _concat(arg(0), arg(1))
+        if name == "ABS":
+            value = arg(0)
+            return None if value is None else abs(_as_number(value))
+        if name == "MOD":
+            left, right = arg(0), arg(1)
+            if left is None or right is None:
+                return None
+            return _as_number(left) % _as_number(right)
+        if name == "ROUND":
+            value = arg(0)
+            if value is None:
+                return None
+            digits = int(_as_number(arg(1))) if len(arguments) > 1 else 0
+            return round(_as_number(value), digits)
+        if name == "TO_CHAR":
+            value = arg(0)
+            if value is None:
+                return None
+            if isinstance(value, Decimal):
+                return format(value.normalize(), "f")
+            return str(value)
+        if name == "TO_NUMBER":
+            value = arg(0)
+            return None if value is None else _as_number(value)
+        if name == "CARDINALITY":
+            value = arg(0)
+            if value is None:
+                return None
+            if not isinstance(value, CollectionValue):
+                raise TypeMismatch("CARDINALITY requires a collection")
+            return len(value)
+        raise NotSupported(f"unknown function {expression.name!r}")
+
+
+# -- scalar helpers -----------------------------------------------------------------
+
+
+def _concat(left: object, right: object) -> str:
+    left_text = "" if left is None else _to_display(left)
+    right_text = "" if right is None else _to_display(right)
+    return left_text + right_text
+
+
+def _to_display(value: object) -> str:
+    if isinstance(value, Decimal):
+        return format(value.normalize(), "f")
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def _as_number(value: object) -> Decimal | int:
+    if isinstance(value, bool):
+        raise TypeMismatch("boolean is not a number")
+    if isinstance(value, (int, Decimal)):
+        return value
+    if isinstance(value, float):
+        return Decimal(str(value))
+    if isinstance(value, str):
+        try:
+            return Decimal(value.strip())
+        except ArithmeticError:
+            raise TypeMismatch(f"invalid number {value!r}") from None
+    raise TypeMismatch(f"{type(value).__name__} is not a number")
+
+
+def _arithmetic(operator: str, left: object, right: object) -> object:
+    a = _as_number(left)
+    b = _as_number(right)
+    if operator == "+":
+        return a + b
+    if operator == "-":
+        return a - b
+    if operator == "*":
+        return a * b
+    if b == 0:
+        raise TypeMismatch("division by zero")
+    return Decimal(a) / Decimal(b)
+
+
+def _compare(operator: str, left: object, right: object) -> bool | None:
+    if left is None or right is None:
+        return None
+    ordering = _ordering(left, right)
+    if operator == "=":
+        return ordering == 0
+    if operator == "<>":
+        return ordering != 0
+    if ordering is None:
+        raise TypeMismatch("values are not comparable")
+    if operator == "<":
+        return ordering < 0
+    if operator == ">":
+        return ordering > 0
+    if operator == "<=":
+        return ordering <= 0
+    return ordering >= 0
+
+
+def _ordering(left: object, right: object) -> int | None:
+    """-1/0/1 ordering; None when only (in)equality is defined."""
+    if isinstance(left, (ObjectValue, CollectionValue, RefValue)) or \
+            isinstance(right, (ObjectValue, CollectionValue, RefValue)):
+        return 0 if left == right else None
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return (left > right) - (left < right)
+    # numeric comparison with implicit string conversion, like Oracle
+    try:
+        a = _as_number(left)
+        b = _as_number(right)
+    except TypeMismatch:
+        if isinstance(left, str) or isinstance(right, str):
+            a_text, b_text = _to_display(left), _to_display(right)
+            return (a_text > b_text) - (a_text < b_text)
+        raise
+    return (a > b) - (a < b)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out), re.DOTALL)

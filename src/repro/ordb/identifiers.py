@@ -1,0 +1,71 @@
+"""Identifier rules of the engine: length limit, reserved words, case.
+
+Section 5 of the paper calls out two naming hazards its conventions
+must survive: the 30-character maximum length of Oracle identifiers
+and collisions with SQL keywords (the example given is ``ORDER``).
+The engine enforces both, so the naming module's mitigations are
+actually exercised.
+"""
+
+from __future__ import annotations
+
+from .errors import IdentifierTooLong, InvalidIdentifier, ReservedWord
+
+#: Maximum identifier length, as in Oracle 8i/9i.
+MAX_IDENTIFIER_LENGTH = 30
+
+#: Reserved words that cannot name schema objects or columns.  This is
+#: the subset of Oracle's reserved words relevant to generated schemas;
+#: element names such as ORDER, GROUP or TABLE collide with these.
+RESERVED_WORDS = frozenset({
+    "ACCESS", "ADD", "ALL", "ALTER", "AND", "ANY", "AS", "ASC", "AUDIT",
+    "BETWEEN", "BY", "CHAR", "CHECK", "CLUSTER", "COLUMN", "COMMENT",
+    "COMPRESS", "CONNECT", "CREATE", "CURRENT", "DATE", "DECIMAL",
+    "DEFAULT", "DELETE", "DESC", "DISTINCT", "DROP", "ELSE", "EXCLUSIVE",
+    "EXISTS", "FILE", "FLOAT", "FOR", "FROM", "GRANT", "GROUP", "HAVING",
+    "IDENTIFIED", "IMMEDIATE", "IN", "INCREMENT", "INDEX", "INITIAL",
+    "INSERT", "INTEGER", "INTERSECT", "INTO", "IS", "LEVEL", "LIKE",
+    "LOCK", "LONG", "MAXEXTENTS", "MINUS", "MLSLABEL", "MODE", "MODIFY",
+    "NOAUDIT", "NOCOMPRESS", "NOT", "NOWAIT", "NULL", "NUMBER", "OF",
+    "OFFLINE", "ON", "ONLINE", "OPTION", "OR", "ORDER", "PCTFREE",
+    "PRIOR", "PRIVILEGES", "PUBLIC", "RAW", "RENAME", "RESOURCE",
+    "REVOKE", "ROW", "ROWID", "ROWNUM", "ROWS", "SELECT", "SESSION",
+    "SET", "SHARE", "SIZE", "SMALLINT", "START", "SUCCESSFUL", "SYNONYM",
+    "SYSDATE", "TABLE", "THEN", "TO", "TRIGGER", "UID", "UNION",
+    "UNIQUE", "UPDATE", "USER", "VALIDATE", "VALUES", "VARCHAR",
+    "VARCHAR2", "VIEW", "WHENEVER", "WHERE", "WITH",
+})
+
+
+def is_reserved(name: str) -> bool:
+    """True if *name* (any case) is a reserved word."""
+    return name.upper() in RESERVED_WORDS
+
+
+def normalize(name: str) -> str:
+    """Canonical catalog key for an identifier (Oracle uppercases)."""
+    return name.upper()
+
+
+def check(name: str, what: str = "identifier") -> str:
+    """Validate *name* and return its normalized form.
+
+    Raises the same family of errors Oracle would: too long
+    (ORA-00972), reserved (ORA-00904 family) or malformed.
+    """
+    if not name:
+        raise InvalidIdentifier(f"empty {what}")
+    if len(name) > MAX_IDENTIFIER_LENGTH:
+        raise IdentifierTooLong(
+            f"{what} '{name}' exceeds {MAX_IDENTIFIER_LENGTH} characters")
+    first = name[0]
+    if not (first.isalpha() or first == "_"):
+        raise InvalidIdentifier(
+            f"{what} '{name}' must start with a letter")
+    for ch in name[1:]:
+        if not (ch.isalnum() or ch in "_$#"):
+            raise InvalidIdentifier(
+                f"{what} '{name}' contains illegal character {ch!r}")
+    if is_reserved(name):
+        raise ReservedWord(f"{what} '{name}' is a reserved word")
+    return normalize(name)

@@ -1,0 +1,88 @@
+"""Result sets returned by the engine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .values import render_value
+
+
+class Result:
+    """An executed statement's outcome.
+
+    For SELECTs, ``columns`` and ``rows`` hold the projection; for DDL
+    and DML, ``rowcount`` reports affected rows and ``message`` a short
+    confirmation like a SQL client would print.
+    """
+
+    def __init__(self, columns: list[str] | None = None,
+                 rows: list[tuple] | None = None,
+                 rowcount: int = 0, message: str = ""):
+        self.columns = columns or []
+        self.rows = rows or []
+        self.rowcount = rowcount if rows is None else len(self.rows)
+        self.message = message
+
+    # -- convenience accessors ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows)
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> object:
+        """The single value of a single-row, single-column result."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        """All values of the named output column."""
+        wanted = name.upper()
+        for index, column in enumerate(self.columns):
+            if column.upper() == wanted:
+                return [row[index] for row in self.rows]
+        raise KeyError(f"no output column {name!r} in {self.columns}")
+
+    # -- display --------------------------------------------------------------------
+
+    def format_table(self, max_width: int = 40) -> str:
+        """Fixed-width rendering for examples and debugging."""
+        if not self.columns:
+            return self.message or f"{self.rowcount} row(s) affected"
+        rendered = [
+            [_clip(render_value(value), max_width) for value in row]
+            for row in self.rows
+        ]
+        widths = [len(column) for column in self.columns]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = " | ".join(
+            column.ljust(widths[index])
+            for index, column in enumerate(self.columns))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [header, separator]
+        for row in rendered:
+            lines.append(" | ".join(
+                cell.ljust(widths[index])
+                for index, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.columns:
+            return f"<Result {len(self.rows)} row(s) {self.columns}>"
+        return f"<Result {self.message or self.rowcount}>"
+
+
+def _clip(text: str, max_width: int) -> str:
+    if len(text) <= max_width:
+        return text
+    return text[:max_width - 3] + "..."

@@ -1,0 +1,406 @@
+"""Catalog: types, tables and views, with dependency tracking.
+
+The catalog is where the two *compatibility modes* live.  Section 2.2
+of the paper hinges on the difference between Oracle 8 (collections
+must not contain collections — forcing the REF workaround of
+Section 4.2) and Oracle 9 (arbitrary nesting).  Schema generation asks
+the catalog which mode it is in, and the engine enforces the rules on
+every CREATE TYPE regardless of who wrote the SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from . import identifiers
+from .constraints import ConstraintSet
+from .datatypes import (
+    CharType,
+    ClobType,
+    DataType,
+    DateType,
+    IntegerType,
+    NestedTableType,
+    NumberType,
+    ObjectType,
+    RefType,
+    TypeAttribute,
+    Varchar2,
+    VarrayType,
+    contains_collection,
+    is_collection,
+)
+from .errors import (
+    DependentObjectsExist,
+    IncompleteType,
+    InvalidDatatype,
+    NameInUse,
+    NestedCollectionNotSupported,
+    NoSuchTable,
+    NoSuchType,
+)
+from .sql import ast
+from .storage import TableData
+
+
+class CompatibilityMode(enum.Enum):
+    """Which Oracle release's type rules the engine enforces."""
+
+    ORACLE8 = "oracle8"
+    ORACLE9 = "oracle9"
+
+
+@dataclass
+class Column:
+    """One column of a table (or attribute of an object table)."""
+
+    name: str
+    datatype: DataType
+
+    @property
+    def key(self) -> str:
+        return identifiers.normalize(self.name)
+
+
+@dataclass
+class Table:
+    """A heap table or an object table (``of_type`` set)."""
+
+    name: str
+    columns: list[Column]
+    of_type: str | None = None  # normalized object type key
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    nested_storage: dict[str, str] = field(default_factory=dict)
+    data: TableData = field(default_factory=TableData)
+
+    @property
+    def key(self) -> str:
+        return identifiers.normalize(self.name)
+
+    @property
+    def is_object_table(self) -> bool:
+        return self.of_type is not None
+
+    def column(self, name: str) -> Column | None:
+        wanted = identifiers.normalize(name)
+        for column in self.columns:
+            if column.key == wanted:
+                return column
+        return None
+
+    def column_keys(self) -> list[str]:
+        return [column.key for column in self.columns]
+
+
+@dataclass
+class View:
+    """A stored query; object views included (Section 6.3)."""
+
+    name: str
+    query: ast.SelectStmt
+    column_names: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return identifiers.normalize(self.name)
+
+
+class Catalog:
+    """All schema objects of one database instance."""
+
+    def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9):
+        self.mode = mode
+        self.types: dict[str, DataType] = {}
+        self.tables: dict[str, Table] = {}
+        self.views: dict[str, View] = {}
+        #: names reserved by NESTED TABLE ... STORE AS clauses
+        self.storage_names: set[str] = set()
+
+    # -- namespace ---------------------------------------------------------------
+
+    def _assert_name_free(self, key: str, replacing: str | None = None) -> None:
+        owner = None
+        if key in self.types:
+            owner = "type"
+        elif key in self.tables:
+            owner = "table"
+        elif key in self.views:
+            owner = "view"
+        elif key in self.storage_names:
+            owner = "storage table"
+        if owner is not None and owner != replacing:
+            raise NameInUse(f"name '{key}' is already used by an"
+                            f" existing {owner}")
+
+    # -- type management ------------------------------------------------------------
+
+    def resolve_type(self, name: str) -> DataType:
+        key = identifiers.normalize(name)
+        datatype = self.types.get(key)
+        if datatype is None:
+            raise NoSuchType(f"type '{name}' does not exist")
+        return datatype
+
+    def object_type(self, name: str) -> ObjectType:
+        datatype = self.resolve_type(name)
+        if not isinstance(datatype, ObjectType):
+            raise NoSuchType(f"'{name}' is not an object type")
+        return datatype
+
+    def datatype_from_ref(self, type_ref: ast.TypeRef,
+                          allow_incomplete_ref: bool = True) -> DataType:
+        """Resolve a parsed type reference against the catalog."""
+        if isinstance(type_ref, ast.ScalarTypeRef):
+            return _scalar_from_keyword(type_ref.keyword,
+                                        type_ref.parameters)
+        if isinstance(type_ref, ast.RefTypeRef):
+            target = self.resolve_type(type_ref.target)
+            if not isinstance(target, ObjectType):
+                raise InvalidDatatype(
+                    f"REF target '{type_ref.target}' is not an object"
+                    f" type")
+            return RefType(identifiers.normalize(type_ref.target))
+        assert isinstance(type_ref, ast.NamedTypeRef)
+        datatype = self.resolve_type(type_ref.name)
+        if (isinstance(datatype, ObjectType) and datatype.incomplete
+                and not allow_incomplete_ref):
+            raise IncompleteType(
+                f"type '{type_ref.name}' is incomplete")
+        return datatype
+
+    def create_forward_type(self, name: str) -> ObjectType:
+        key = identifiers.check(name, "type name")
+        existing = self.types.get(key)
+        if existing is not None:
+            if isinstance(existing, ObjectType) and existing.incomplete:
+                return existing
+            raise NameInUse(f"type '{name}' already exists")
+        self._assert_name_free(key)
+        forward = ObjectType(name=name, attributes=[], incomplete=True)
+        self.types[key] = forward
+        return forward
+
+    def create_object_type(self, name: str,
+                           attributes: list[TypeAttribute],
+                           replace: bool = False) -> ObjectType:
+        key = identifiers.check(name, "type name")
+        for attribute in attributes:
+            identifiers.check(attribute.name, "attribute name")
+            self._check_attribute_type(attribute.datatype, key)
+        existing = self.types.get(key)
+        completing = (isinstance(existing, ObjectType)
+                      and existing.incomplete)
+        if existing is not None and not (replace or completing):
+            raise NameInUse(f"type '{name}' already exists")
+        if existing is None:
+            self._assert_name_free(key)
+        if completing:
+            # Complete the forward declaration *in place* so existing
+            # REF attributes keep pointing at the same type object.
+            assert isinstance(existing, ObjectType)
+            existing.attributes = list(attributes)
+            existing.incomplete = False
+            return existing
+        created = ObjectType(name=name, attributes=list(attributes))
+        self.types[key] = created
+        return created
+
+    def _check_attribute_type(self, datatype: DataType,
+                              owner_key: str) -> None:
+        if isinstance(datatype, ObjectType) and datatype.incomplete:
+            raise IncompleteType(
+                "an attribute cannot use an incomplete type directly;"
+                " use REF (Section 6.2)")
+        if (self.mode is CompatibilityMode.ORACLE8
+                and isinstance(datatype, (VarrayType, NestedTableType))
+                and contains_collection(datatype.element_type)):
+            raise NestedCollectionNotSupported(
+                "Oracle 8 mode: collections may not contain collections")
+
+    def create_collection_type(self, name: str, element: DataType,
+                               limit: int | None = None,
+                               replace: bool = False) -> DataType:
+        """Create a VARRAY (limit set) or nested-table type."""
+        key = identifiers.check(name, "type name")
+        if isinstance(element, ObjectType) and element.incomplete:
+            raise IncompleteType(
+                f"collection element type '{element.name}' is incomplete")
+        if self.mode is CompatibilityMode.ORACLE8:
+            if contains_collection(element):
+                raise NestedCollectionNotSupported(
+                    "Oracle 8 mode: the element type of a collection must"
+                    " not be or contain another collection (Section 2.2)")
+            if isinstance(element, ClobType):
+                raise NestedCollectionNotSupported(
+                    "Oracle 8 mode: the element type of a collection must"
+                    " not be a large object type (Section 2.2)")
+        existing = self.types.get(key)
+        if existing is not None and not replace:
+            raise NameInUse(f"type '{name}' already exists")
+        if existing is None:
+            self._assert_name_free(key)
+        if limit is not None:
+            created: DataType = VarrayType(name=name, limit=limit,
+                                           element_type=element)
+        else:
+            created = NestedTableType(name=name, element_type=element)
+        self.types[key] = created
+        return created
+
+    def drop_type(self, name: str, force: bool = False,
+                  _removing: set[str] | None = None) -> list[str]:
+        """Drop a type; returns the names of objects invalidated/dropped.
+
+        Without FORCE, any dependent raises ORA-02303 (the behaviour
+        Section 6.2 works around with DROP FORCE).  With FORCE the
+        dependents are cascaded: dependent types are dropped too and
+        dependent tables are removed.  Recursive type graphs
+        (Section 6.2) are handled by tracking in-progress removals.
+        """
+        key = identifiers.normalize(name)
+        if key not in self.types:
+            raise NoSuchType(f"type '{name}' does not exist")
+        dependents = self.type_dependents(key)
+        if dependents and not force:
+            raise DependentObjectsExist(
+                f"type '{name}' has dependents: {sorted(dependents)};"
+                f" use DROP TYPE ... FORCE")
+        removing = _removing if _removing is not None else set()
+        removing.add(key)
+        removed: list[str] = []
+        for dependent in dependents:
+            if dependent in removing:
+                continue
+            if dependent in self.tables:
+                del self.tables[dependent]
+                removed.append(dependent)
+            elif dependent in self.types and dependent != key:
+                removed.extend(self.drop_type(dependent, force=True,
+                                              _removing=removing))
+        self.types.pop(key, None)
+        removed.append(key)
+        return removed
+
+    def type_dependents(self, key: str) -> set[str]:
+        """Direct dependents (types and tables) of the type *key*."""
+        dependents: set[str] = set()
+        for other_key, datatype in self.types.items():
+            if other_key == key:
+                continue
+            if _type_references(datatype, key):
+                dependents.add(other_key)
+        for table_key, table in self.tables.items():
+            if table.of_type == key:
+                dependents.add(table_key)
+                continue
+            for column in table.columns:
+                if _type_references_shallow(column.datatype, key):
+                    dependents.add(table_key)
+                    break
+        return dependents
+
+    # -- table management ---------------------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        key = identifiers.check(table.name, "table name")
+        self._assert_name_free(key)
+        for column in table.columns:
+            identifiers.check(column.name, "column name")
+        self.tables[key] = table
+        self.storage_names.update(
+            identifiers.normalize(storage)
+            for storage in table.nested_storage.values()
+        )
+
+    def table(self, name: str) -> Table:
+        key = identifiers.normalize(name)
+        table = self.tables.get(key)
+        if table is None:
+            raise NoSuchTable(f"table or view '{name}' does not exist")
+        return table
+
+    def table_or_view(self, name: str) -> Table | View:
+        key = identifiers.normalize(name)
+        if key in self.tables:
+            return self.tables[key]
+        if key in self.views:
+            return self.views[key]
+        raise NoSuchTable(f"table or view '{name}' does not exist")
+
+    def drop_table(self, name: str) -> None:
+        key = identifiers.normalize(name)
+        if key not in self.tables:
+            raise NoSuchTable(f"table '{name}' does not exist")
+        table = self.tables.pop(key)
+        for storage in table.nested_storage.values():
+            self.storage_names.discard(identifiers.normalize(storage))
+
+    # -- view management -----------------------------------------------------------------
+
+    def add_view(self, view: View, replace: bool = False) -> None:
+        key = identifiers.check(view.name, "view name")
+        if key in self.views and replace:
+            self.views[key] = view
+            return
+        self._assert_name_free(key)
+        self.views[key] = view
+
+    def drop_view(self, name: str) -> None:
+        key = identifiers.normalize(name)
+        if key not in self.views:
+            raise NoSuchTable(f"view '{name}' does not exist")
+        del self.views[key]
+
+    # -- object tables for a type -----------------------------------------------------------
+
+    def object_tables_of(self, type_key: str) -> list[Table]:
+        """All object tables whose row type is *type_key*."""
+        return [
+            table for table in self.tables.values()
+            if table.of_type == type_key
+        ]
+
+
+def _scalar_from_keyword(keyword: str,
+                         parameters: tuple[int, ...]) -> DataType:
+    if keyword in ("VARCHAR", "VARCHAR2"):
+        length = parameters[0] if parameters else 4000
+        return Varchar2(length)
+    if keyword == "CHAR":
+        return CharType(parameters[0] if parameters else 1)
+    if keyword in ("NUMBER", "DECIMAL", "NUMERIC", "FLOAT"):
+        precision = parameters[0] if len(parameters) > 0 else None
+        scale = parameters[1] if len(parameters) > 1 else None
+        return NumberType(precision, scale)
+    if keyword in ("INTEGER", "INT", "SMALLINT"):
+        return IntegerType()
+    if keyword == "DATE":
+        return DateType()
+    if keyword == "CLOB":
+        return ClobType()
+    raise InvalidDatatype(f"unsupported datatype {keyword}")
+
+
+def _type_references(datatype: DataType, key: str) -> bool:
+    """True if *datatype* depends on the type named *key*."""
+    if isinstance(datatype, ObjectType):
+        for attribute in datatype.attributes:
+            if _type_references_shallow(attribute.datatype, key):
+                return True
+        return False
+    if isinstance(datatype, (VarrayType, NestedTableType)):
+        return _type_references_shallow(datatype.element_type, key)
+    return False
+
+
+def _type_references_shallow(datatype: DataType, key: str) -> bool:
+    if isinstance(datatype, ObjectType):
+        return identifiers.normalize(datatype.name) == key
+    if isinstance(datatype, (VarrayType, NestedTableType)):
+        if identifiers.normalize(datatype.name) == key:
+            return True
+        return _type_references_shallow(datatype.element_type, key)
+    if isinstance(datatype, RefType):
+        return datatype.target_key == key
+    return False

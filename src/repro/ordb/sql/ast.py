@@ -1,0 +1,401 @@
+"""Abstract syntax trees for the SQL dialect.
+
+Plain dataclasses, no behaviour: the parser builds them, the engine
+and the expression evaluator interpret them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal
+
+
+# ---------------------------------------------------------------------------
+# type references (appear in DDL)
+# ---------------------------------------------------------------------------
+
+
+class TypeRef:
+    """Base class for a type mention in DDL."""
+
+
+@dataclass(frozen=True)
+class ScalarTypeRef(TypeRef):
+    """A built-in scalar: VARCHAR2(4000), NUMBER(10,2), DATE, ..."""
+
+    keyword: str
+    parameters: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class NamedTypeRef(TypeRef):
+    """A user-defined type mentioned by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RefTypeRef(TypeRef):
+    """``REF type_name``."""
+
+    target: str
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: string, number, date or NULL (value=None)."""
+
+    value: str | int | Decimal | None
+
+
+@dataclass(frozen=True)
+class DateLiteral(Expr):
+    """``DATE 'YYYY-MM-DD'``."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ColumnPath(Expr):
+    """A dot-separated identifier chain: ``S.attrStudent.attrCourse``."""
+
+    parts: tuple[str, ...]
+
+    def source(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` in a select list or COUNT(*)."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """A function or type-constructor call."""
+
+    name: str
+    arguments: tuple[Expr, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class AttributeAccess(Expr):
+    """Postfix ``.name`` on a non-path expression, e.g. ``DEREF(r).x``."""
+
+    base: Expr
+    attribute: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Arithmetic, comparison, logical or concatenation operator."""
+
+    operator: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary ``-``, ``+`` or ``NOT``."""
+
+    operator: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (a, b, c)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expr
+    query: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``EXISTS (SELECT ...)``."""
+
+    query: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesized subquery used as a value."""
+
+    query: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class CastMultiset(Expr):
+    """``CAST (MULTISET (SELECT ...) AS collection_type)`` (Section 6.3)."""
+
+    query: "SelectStmt"
+    type_name: str
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST (expr AS type)`` for scalars."""
+
+    operand: Expr
+    type_ref: TypeRef
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """Searched CASE expression."""
+
+    branches: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None
+
+
+# ---------------------------------------------------------------------------
+# query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expr
+    alias: str | None = None
+
+
+class FromItem:
+    """Base class of FROM clause entries."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A table or view reference with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """``(SELECT ...) alias``."""
+
+    query: "SelectStmt"
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableFunctionRef(FromItem):
+    """``TABLE(collection_expr) alias`` — collection unnesting."""
+
+    expression: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# DDL statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnConstraint:
+    """Inline column constraint in CREATE TABLE."""
+
+    kind: str  # 'NOT NULL' | 'PRIMARY KEY' | 'UNIQUE'
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_ref: TypeRef
+    constraints: tuple[ColumnConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class TableConstraint:
+    """Out-of-line constraint: CHECK / PRIMARY KEY / UNIQUE / SCOPE FOR."""
+
+    kind: str
+    name: str | None = None
+    columns: tuple[str, ...] = ()
+    expression: Expr | None = None
+    expression_source: str | None = None
+    scope_table: str | None = None
+
+
+@dataclass(frozen=True)
+class ObjectColumnSpec:
+    """Per-attribute constraint line inside CREATE TABLE ... OF type."""
+
+    column: str
+    constraints: tuple[ColumnConstraint, ...]
+
+
+@dataclass(frozen=True)
+class NestedTableClause:
+    """``NESTED TABLE column STORE AS storage_name``."""
+
+    column: str
+    storage_name: str
+
+
+@dataclass(frozen=True)
+class CreateTypeForward:
+    """``CREATE TYPE name;`` — incomplete type (Section 6.2)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateObjectType:
+    name: str
+    attributes: tuple[tuple[str, TypeRef], ...]
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class CreateVarrayType:
+    name: str
+    limit: int
+    element: TypeRef
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class CreateNestedTableType:
+    name: str
+    element: TypeRef
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...] = ()
+    constraints: tuple[TableConstraint, ...] = ()
+    of_type: str | None = None
+    object_specs: tuple[ObjectColumnSpec, ...] = ()
+    nested_table_clauses: tuple[NestedTableClause, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    query: SelectStmt
+    column_names: tuple[str, ...] = ()
+    or_replace: bool = False
+    with_object_oid: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropType:
+    name: str
+    force: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class DropView:
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# DML statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] = ()
+    values: tuple[Expr, ...] = ()
+    query: SelectStmt | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    alias: str | None
+    assignments: tuple[tuple[ColumnPath, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    alias: str | None = None
+    where: Expr | None = None
+
+
+Statement = (
+    CreateTypeForward | CreateObjectType | CreateVarrayType
+    | CreateNestedTableType | CreateTable | CreateView
+    | DropType | DropTable | DropView
+    | Insert | Update | Delete | SelectStmt
+)

@@ -1,0 +1,55 @@
+"""Row storage for heap and object tables.
+
+Object tables (``CREATE TABLE ... OF type``) give every row an object
+identifier (OID); REF values point at those OIDs (Section 2.3).  OIDs
+are engine-unique monotone integers, so a dangling REF can never be
+re-bound to a new row by accident.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Engine-wide OID source; shared across tables like Oracle's OIDs.
+_OID_COUNTER = itertools.count(1)
+
+
+def next_oid() -> int:
+    """Allocate a fresh object identifier."""
+    return next(_OID_COUNTER)
+
+
+@dataclass
+class Row:
+    """One stored row: normalized column key -> value, plus OID."""
+
+    values: dict[str, object]
+    oid: int | None = None
+
+    def copy(self) -> "Row":
+        return Row(dict(self.values), self.oid)
+
+
+@dataclass
+class TableData:
+    """Physical contents of one table."""
+
+    rows: list[Row] = field(default_factory=list)
+    oid_index: dict[int, Row] = field(default_factory=dict)
+
+    def insert(self, row: Row) -> None:
+        self.rows.append(row)
+        if row.oid is not None:
+            self.oid_index[row.oid] = row
+
+    def delete(self, row: Row) -> None:
+        self.rows.remove(row)
+        if row.oid is not None:
+            self.oid_index.pop(row.oid, None)
+
+    def by_oid(self, oid: int) -> Row | None:
+        return self.oid_index.get(oid)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,152 @@
+"""The attribute-table mapping of Florescu & Kossmann (reference [5]).
+
+A horizontal partition of the edge table: one table per distinct
+element/attribute name.  Still structure-oriented and still heavily
+decomposing, but path queries touch smaller tables than the single
+EDGE table.
+"""
+
+from __future__ import annotations
+
+from repro.ordb.engine import Database
+from repro.xmlkit.dom import CDATASection, Document, Element, Text
+from .shredder import (
+    LoadReport,
+    NodeIdAllocator,
+    clip_value,
+    document_root,
+    sanitize_name,
+    sql_quote,
+)
+
+
+class AttributeMapping:
+    """One ``A_<name>`` table per element/attribute name + VAL table."""
+
+    def __init__(self) -> None:
+        #: original name -> sanitized table name (populated by prepare)
+        self.tables: dict[str, str] = {}
+        self._used: set[str] = set()
+
+    # -- schema -------------------------------------------------------------------
+
+    def table_for(self, name: str) -> str:
+        table = self.tables.get(name)
+        if table is None:
+            table = sanitize_name(name, prefix="A_", used=self._used)
+            self.tables[name] = table
+        return table
+
+    def prepare(self, names: list[str]) -> None:
+        """Pre-register tables for the given element/attribute names."""
+        for name in names:
+            self.table_for(name)
+
+    def schema_statements(self) -> list[str]:
+        statements = [
+            f"CREATE TABLE {table}("
+            f" DOCID INTEGER NOT NULL,"
+            f" SOURCE INTEGER NOT NULL,"
+            f" ORDINAL INTEGER NOT NULL,"
+            f" FLAG VARCHAR2(4) NOT NULL,"
+            f" TARGET INTEGER NOT NULL)"
+            for table in self.tables.values()
+        ]
+        statements.append(
+            "CREATE TABLE VAL_TAB("
+            " DOCID INTEGER NOT NULL,"
+            " NODEID INTEGER NOT NULL,"
+            " VAL VARCHAR2(4000))")
+        return statements
+
+    def install(self, db: Database) -> None:
+        for statement in self.schema_statements():
+            db.execute(statement)
+
+    def collect_names(self, document: Document | Element) -> list[str]:
+        """All element and attribute names used in *document*."""
+        names: list[str] = []
+        seen: set[str] = set()
+        for node in document_root(document).iter():
+            if isinstance(node, Element):
+                if node.tag not in seen:
+                    seen.add(node.tag)
+                    names.append(node.tag)
+                for attribute in node.attributes:
+                    marked = "@" + attribute
+                    if marked not in seen:
+                        seen.add(marked)
+                        names.append(marked)
+        return names
+
+    # -- loading -------------------------------------------------------------------
+
+    def shred(self, document: Document | Element,
+              doc_id: int) -> LoadReport:
+        report = LoadReport(doc_id)
+        ids = NodeIdAllocator()
+        self._shred_element(document_root(document), 0, 1, doc_id, ids,
+                            report)
+        return report
+
+    def load(self, db: Database, document: Document | Element,
+             doc_id: int) -> LoadReport:
+        report = self.shred(document, doc_id)
+        for statement in report.statements:
+            db.execute(statement)
+        return report
+
+    def _shred_element(self, element: Element, parent_id: int,
+                       ordinal: int, doc_id: int, ids: NodeIdAllocator,
+                       report: LoadReport) -> None:
+        node_id = ids.allocate()
+        table = self.table_for(element.tag)
+        report.statements.append(
+            f"INSERT INTO {table} VALUES({doc_id}, {parent_id},"
+            f" {ordinal}, 'ref', {node_id})")
+        child_ordinal = 0
+        for name, attribute in element.attributes.items():
+            child_ordinal += 1
+            value_id = ids.allocate()
+            attr_table = self.table_for("@" + name)
+            report.statements.append(
+                f"INSERT INTO {attr_table} VALUES({doc_id}, {node_id},"
+                f" {child_ordinal}, 'val', {value_id})")
+            report.statements.append(
+                f"INSERT INTO VAL_TAB VALUES({doc_id}, {value_id},"
+                f" {sql_quote(clip_value(attribute.value))})")
+        for child in element.children:
+            if isinstance(child, Element):
+                child_ordinal += 1
+                self._shred_element(child, node_id, child_ordinal,
+                                    doc_id, ids, report)
+            elif isinstance(child, (Text, CDATASection)):
+                if not child.data.strip(" \t\r\n"):
+                    continue
+                child_ordinal += 1
+                # text hangs off its element directly in VAL_TAB:
+                # NODEID is the owning element's node id.
+                report.statements.append(
+                    f"INSERT INTO VAL_TAB VALUES({doc_id}, {node_id},"
+                    f" {sql_quote(clip_value(child.data))})")
+
+    # -- querying ------------------------------------------------------------------
+
+    def path_query(self, path: list[str], doc_id: int = 1) -> str:
+        """Join chain across the per-name tables for */a/b/c*."""
+        joins: list[str] = []
+        conditions: list[str] = []
+        for index, step in enumerate(path):
+            table = self.table_for(step)
+            joins.append(f"{table} e{index + 1}")
+            conditions.append(f"e{index + 1}.DOCID = {doc_id}")
+            if index == 0:
+                conditions.append("e1.SOURCE = 0")
+            else:
+                conditions.append(
+                    f"e{index + 1}.SOURCE = e{index}.TARGET")
+        joins.append("VAL_TAB v")
+        conditions.append(f"v.DOCID = {doc_id}")
+        conditions.append(f"v.NODEID = e{len(path)}.TARGET")
+        return ("SELECT v.VAL FROM " + ", ".join(joins)
+                + " WHERE " + " AND ".join(conditions))

@@ -1,0 +1,176 @@
+"""The edge-table mapping of Florescu & Kossmann (reference [5]).
+
+Every parent-child relationship of the document graph becomes one row
+of a single ``EDGE`` table; character data lands in a separate
+``VAL_TAB`` table.  The schema is document-independent ("structure
+oriented"), which is exactly why loading a document explodes into many
+INSERT statements — the drawback the paper quantifies against its
+object-relational single-INSERT mapping.
+"""
+
+from __future__ import annotations
+
+from repro.ordb.engine import Database
+from repro.xmlkit.dom import Document, Element, Text, CDATASection
+from .shredder import (
+    LoadReport,
+    NodeIdAllocator,
+    clip_value,
+    document_root,
+    sql_quote,
+)
+
+_SCHEMA = """
+CREATE TABLE EDGE(
+  DOCID INTEGER NOT NULL,
+  SOURCE INTEGER NOT NULL,
+  ORDINAL INTEGER NOT NULL,
+  NAME VARCHAR2(200) NOT NULL,
+  FLAG VARCHAR2(4) NOT NULL,
+  TARGET INTEGER NOT NULL);
+CREATE TABLE VAL_TAB(
+  DOCID INTEGER NOT NULL,
+  NODEID INTEGER NOT NULL,
+  VAL VARCHAR2(4000));
+"""
+
+
+class EdgeMapping:
+    """Create, load and query the edge-table representation."""
+
+    #: names understood by the FLAG column
+    FLAG_ELEMENT = "ref"
+    FLAG_VALUE = "val"
+
+    def schema_statements(self) -> list[str]:
+        from repro.ordb.sql.lexer import split_statements
+
+        return split_statements(_SCHEMA)
+
+    def install(self, db: Database) -> None:
+        """Create the generic tables in *db*."""
+        for statement in self.schema_statements():
+            db.execute(statement)
+
+    # -- loading ---------------------------------------------------------------
+
+    def shred(self, document: Document | Element,
+              doc_id: int) -> LoadReport:
+        """Produce the INSERT statements that store one document."""
+        report = LoadReport(doc_id)
+        ids = NodeIdAllocator()
+        root = document_root(document)
+        self._shred_element(root, parent_id=0, ordinal=1, doc_id=doc_id,
+                            ids=ids, report=report)
+        return report
+
+    def load(self, db: Database, document: Document | Element,
+             doc_id: int) -> LoadReport:
+        """Shred and execute; returns the report for measurement."""
+        report = self.shred(document, doc_id)
+        for statement in report.statements:
+            db.execute(statement)
+        return report
+
+    def _shred_element(self, element: Element, parent_id: int,
+                       ordinal: int, doc_id: int, ids: NodeIdAllocator,
+                       report: LoadReport) -> None:
+        node_id = ids.allocate()
+        report.statements.append(
+            f"INSERT INTO EDGE VALUES({doc_id}, {parent_id}, {ordinal},"
+            f" {sql_quote(element.tag)}, '{self.FLAG_ELEMENT}',"
+            f" {node_id})")
+        child_ordinal = 0
+        for name, attribute in element.attributes.items():
+            child_ordinal += 1
+            value_id = ids.allocate()
+            report.statements.append(
+                f"INSERT INTO EDGE VALUES({doc_id}, {node_id},"
+                f" {child_ordinal}, {sql_quote('@' + name)},"
+                f" '{self.FLAG_VALUE}', {value_id})")
+            report.statements.append(
+                f"INSERT INTO VAL_TAB VALUES({doc_id}, {value_id},"
+                f" {sql_quote(clip_value(attribute.value))})")
+        for child in element.children:
+            if isinstance(child, Element):
+                child_ordinal += 1
+                self._shred_element(child, node_id, child_ordinal,
+                                    doc_id, ids, report)
+            elif isinstance(child, (Text, CDATASection)):
+                if not child.data.strip(" \t\r\n"):
+                    continue  # information loss: layout whitespace
+                child_ordinal += 1
+                value_id = ids.allocate()
+                report.statements.append(
+                    f"INSERT INTO EDGE VALUES({doc_id}, {node_id},"
+                    f" {child_ordinal}, '#text', '{self.FLAG_VALUE}',"
+                    f" {value_id})")
+                report.statements.append(
+                    f"INSERT INTO VAL_TAB VALUES({doc_id}, {value_id},"
+                    f" {sql_quote(clip_value(child.data))})")
+            # comments, PIs and entity references are dropped: the
+            # information loss Section 1 attributes to these mappings.
+
+    # -- querying ----------------------------------------------------------------
+
+    def path_query(self, path: list[str], doc_id: int = 1) -> str:
+        """SQL retrieving the text of elements at */a/b/c*.
+
+        Each path step becomes a self-join of EDGE — the join chain the
+        paper's dot notation avoids (CLM2).
+        """
+        joins = []
+        conditions = [f"e1.DOCID = {doc_id}", "e1.SOURCE = 0",
+                      f"e1.NAME = {sql_quote(path[0])}"]
+        for index in range(1, len(path)):
+            conditions.append(
+                f"e{index + 1}.SOURCE = e{index}.TARGET")
+            conditions.append(
+                f"e{index + 1}.NAME = {sql_quote(path[index])}")
+            conditions.append(f"e{index + 1}.DOCID = {doc_id}")
+        for index in range(len(path)):
+            joins.append(f"EDGE e{index + 1}")
+        last = len(path)
+        joins.append(f"EDGE t")
+        joins.append("VAL_TAB v")
+        conditions.append(f"t.SOURCE = e{last}.TARGET")
+        conditions.append("t.NAME = '#text'")
+        conditions.append(f"t.DOCID = {doc_id}")
+        conditions.append("v.NODEID = t.TARGET")
+        conditions.append(f"v.DOCID = {doc_id}")
+        return ("SELECT v.VAL FROM " + ", ".join(joins)
+                + " WHERE " + " AND ".join(conditions))
+
+    # -- reconstruction -------------------------------------------------------------
+
+    def reconstruct(self, db: Database, doc_id: int) -> Element:
+        """Rebuild the element tree of one document from the tables."""
+        edges = db.execute(
+            f"SELECT e.SOURCE, e.ORDINAL, e.NAME, e.FLAG, e.TARGET"
+            f" FROM EDGE e WHERE e.DOCID = {doc_id}").rows
+        values = dict(db.execute(
+            f"SELECT v.NODEID, v.VAL FROM VAL_TAB v"
+            f" WHERE v.DOCID = {doc_id}").rows)
+        children: dict[int, list[tuple]] = {}
+        for source, ordinal, name, flag, target in edges:
+            children.setdefault(int(source), []).append(
+                (int(ordinal), name, flag, int(target)))
+        for bucket in children.values():
+            bucket.sort()
+
+        def build(node_id: int, tag: str) -> Element:
+            element = Element(tag)
+            for _ordinal, name, flag, target in children.get(node_id, []):
+                if flag == self.FLAG_ELEMENT:
+                    element.append(build(target, name))
+                elif name == "#text":
+                    element.append(Text(str(values.get(target, ""))))
+                else:
+                    element.set(name[1:], str(values.get(target, "")))
+            return element
+
+        roots = children.get(0, [])
+        if not roots:
+            raise ValueError(f"document {doc_id} not found in EDGE table")
+        _ordinal, name, _flag, target = roots[0]
+        return build(target, name)

@@ -1,0 +1,281 @@
+"""DTD inlining in the style of Shanmugasundaram et al. (reference [9]).
+
+The "shared inlining" idea: give a relation only to element types that
+need one — the root, set-valued elements, elements shared by several
+parents, and recursive elements — and fold every other descendant into
+its owner's relation as path-named columns.  This is the strongest of
+the generic relational baselines: far fewer INSERTs than edge tables,
+but still multiple statements per document and join-based navigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtd.model import DTD
+from repro.dtd.tree import recursive_elements, shared_elements
+from repro.ordb.engine import Database
+from repro.xmlkit.dom import Document, Element
+from .shredder import (
+    LoadReport,
+    clip_value,
+    document_root,
+    sanitize_name,
+    sql_quote,
+)
+
+
+@dataclass
+class InlinedColumn:
+    """A scalar column inlined into a relation."""
+
+    name: str  # SQL column name
+    path: tuple[str, ...]  # element path below the relation's element
+    is_attribute: bool = False
+    attribute: str | None = None
+
+
+@dataclass
+class Relation:
+    """One generated relation and its inlined columns."""
+
+    element: str
+    table: str
+    columns: list[InlinedColumn] = field(default_factory=list)
+    has_parent: bool = False
+    has_text: bool = False
+
+    def create_statement(self) -> str:
+        parts = [f"ID{self.table} INTEGER PRIMARY KEY"]
+        if self.has_parent:
+            parts.append("PARENTID INTEGER")
+            parts.append("PARENTCODE VARCHAR2(64)")
+        parts.append("ORDINAL INTEGER")
+        if self.has_text:
+            parts.append("VAL VARCHAR2(4000)")
+        parts.extend(
+            f"{column.name} VARCHAR2(4000)" for column in self.columns)
+        return f"CREATE TABLE {self.table}(" + ", ".join(parts) + ")"
+
+
+class InliningMapping:
+    """Shared-inlining schema generation, loading and path queries."""
+
+    def __init__(self, dtd: DTD, root: str | None = None):
+        self.dtd = dtd
+        if root is None:
+            candidates = dtd.root_candidates()
+            if len(candidates) != 1:
+                raise ValueError(
+                    f"cannot infer unique root from DTD: {candidates}")
+            root = candidates[0]
+        self.root = root
+        self.relations: dict[str, Relation] = {}
+        self._used_tables: set[str] = set()
+        self._build()
+
+    # -- schema analysis --------------------------------------------------------
+
+    def _needs_relation(self, name: str) -> bool:
+        return name in self._relation_elements
+
+    def _build(self) -> None:
+        shared = shared_elements(self.dtd)
+        recursive = recursive_elements(self.dtd)
+        repeated: set[str] = set()
+        for declaration in self.dtd.elements.values():
+            for child in declaration.content.child_summary():
+                if child.repeatable:
+                    repeated.add(child.name)
+        self._relation_elements = (
+            {self.root} | shared | recursive | repeated)
+        # only elements actually reachable & declared get relations
+        for name in list(self._relation_elements):
+            if self.dtd.element(name) is None:
+                self._relation_elements.discard(name)
+        for name in self.dtd.declaration_order:
+            if name in self._relation_elements:
+                self._make_relation(name)
+
+    def _make_relation(self, element_name: str) -> None:
+        table = sanitize_name(element_name, prefix="R_",
+                              used=self._used_tables)
+        declaration = self.dtd.element(element_name)
+        relation = Relation(
+            element=element_name,
+            table=table,
+            has_parent=element_name != self.root,
+            has_text=bool(declaration
+                          and not declaration.content.has_element_children),
+        )
+        used_columns: set[str] = set()
+        self._inline_into(relation, element_name, (), used_columns,
+                          depth=0)
+        self.relations[element_name] = relation
+
+    def _inline_into(self, relation: Relation, element_name: str,
+                     path: tuple[str, ...], used_columns: set[str],
+                     depth: int) -> None:
+        if depth > 32:
+            return
+        for attr_name in self.dtd.attributes_of(element_name):
+            raw = ("_".join(path + (attr_name,)) if path
+                   else f"{element_name}_{attr_name}")
+            column = sanitize_name(raw, used=used_columns)
+            relation.columns.append(InlinedColumn(
+                column, path, is_attribute=True, attribute=attr_name))
+        declaration = self.dtd.element(element_name)
+        if declaration is None:
+            return
+        for child in declaration.content.child_summary():
+            if self._needs_relation(child.name):
+                continue  # reached via PARENTID from its own relation
+            child_path = path + (child.name,)
+            child_declaration = self.dtd.element(child.name)
+            child_simple = (child_declaration is not None
+                            and not child_declaration.content
+                            .has_element_children)
+            if child_simple:
+                column = sanitize_name("_".join(child_path),
+                                       used=used_columns)
+                relation.columns.append(InlinedColumn(column, child_path))
+            self._inline_into(relation, child.name, child_path,
+                              used_columns, depth + 1)
+
+    # -- schema ------------------------------------------------------------------
+
+    def schema_statements(self) -> list[str]:
+        return [relation.create_statement()
+                for relation in self.relations.values()]
+
+    def install(self, db: Database) -> None:
+        for statement in self.schema_statements():
+            db.execute(statement)
+
+    # -- loading -------------------------------------------------------------------
+
+    def shred(self, document: Document | Element,
+              doc_id: int) -> LoadReport:
+        report = LoadReport(doc_id)
+        self._next_id = doc_id * 1_000_000
+        root = document_root(document)
+        if root.tag != self.root:
+            raise ValueError(
+                f"document root <{root.tag}> does not match mapping"
+                f" root <{self.root}>")
+        self._shred_element(root, None, None, 1, report)
+        return report
+
+    def load(self, db: Database, document: Document | Element,
+             doc_id: int) -> LoadReport:
+        report = self.shred(document, doc_id)
+        for statement in report.statements:
+            db.execute(statement)
+        return report
+
+    def _shred_element(self, element: Element, parent_id: int | None,
+                       parent_code: str | None, ordinal: int,
+                       report: LoadReport) -> int:
+        relation = self.relations[element.tag]
+        self._next_id += 1
+        row_id = self._next_id
+        values: list[str] = [str(row_id)]
+        if relation.has_parent:
+            values.append("NULL" if parent_id is None else str(parent_id))
+            values.append("NULL" if parent_code is None
+                          else sql_quote(parent_code))
+        values.append(str(ordinal))
+        if relation.has_text:
+            values.append(sql_quote(clip_value(element.text())))
+        for column in relation.columns:
+            values.append(self._column_value(element, column))
+        report.statements.append(
+            f"INSERT INTO {relation.table} VALUES("
+            + ", ".join(values) + ")")
+        child_ordinal = 0
+        for child in element.child_elements:
+            if child.tag in self.relations:
+                child_ordinal += 1
+                self._shred_element(child, row_id, relation.table,
+                                    child_ordinal, report)
+            else:
+                self._shred_descendant_relations(child, row_id,
+                                                 relation.table, report)
+        return row_id
+
+    def _shred_descendant_relations(self, element: Element,
+                                    owner_id: int, owner_code: str,
+                                    report: LoadReport) -> None:
+        """Relation-mapped elements nested below inlined ones still get
+        rows, parented to the nearest relation-owning ancestor."""
+        ordinal = 0
+        for child in element.child_elements:
+            if child.tag in self.relations:
+                ordinal += 1
+                self._shred_element(child, owner_id, owner_code, ordinal,
+                                    report)
+            else:
+                self._shred_descendant_relations(child, owner_id,
+                                                 owner_code, report)
+
+    def _column_value(self, element: Element,
+                      column: InlinedColumn) -> str:
+        target: Element | None = element
+        for step in column.path:
+            target = target.find(step) if target is not None else None
+        if target is None:
+            return "NULL"
+        if column.is_attribute:
+            value = target.get(column.attribute)
+            return "NULL" if value is None else sql_quote(
+                clip_value(value))
+        return sql_quote(clip_value(target.text()))
+
+    # -- querying -------------------------------------------------------------------
+
+    def path_query(self, path: list[str]) -> str:
+        """SQL for the text at */a/b/.../leaf* with parent-child joins.
+
+        Only path steps that own relations become joins; inlined steps
+        are column lookups — this is why inlining beats edge tables on
+        joins, while the object-relational mapping needs none at all.
+        """
+        hops: list[Relation] = []
+        index = 0
+        while index < len(path):
+            step = path[index]
+            if step in self.relations:
+                hops.append(self.relations[step])
+                index += 1
+            else:
+                break
+        remainder = tuple(path[index:])
+        if not hops:
+            raise ValueError(
+                f"path must start at relation element '{self.root}'")
+        last = hops[-1]
+        if remainder:
+            column = self._find_column(last, remainder)
+            select = f"t{len(hops)}.{column}"
+        elif last.has_text:
+            select = f"t{len(hops)}.VAL"
+        else:
+            select = f"t{len(hops)}.ID{last.table}"
+        joins = [f"{hop.table} t{position + 1}"
+                 for position, hop in enumerate(hops)]
+        conditions: list[str] = []
+        for position in range(1, len(hops)):
+            conditions.append(
+                f"t{position + 1}.PARENTID = t{position}."
+                f"ID{hops[position - 1].table}")
+        where = (" WHERE " + " AND ".join(conditions)) if conditions else ""
+        return f"SELECT {select} FROM " + ", ".join(joins) + where
+
+    def _find_column(self, relation: Relation,
+                     path: tuple[str, ...]) -> str:
+        for column in relation.columns:
+            if column.path == path and not column.is_attribute:
+                return column.name
+        raise ValueError(
+            f"no inlined column for path {'/'.join(path)} in"
+            f" {relation.table}")

@@ -1,0 +1,161 @@
+"""Canned documents exercising specific paper sections.
+
+Each corpus entry is a (dtd_text, document_text) pair used by the
+integration tests and the domain examples: recursive organizations
+(Section 6.2), ID/IDREF bibliographies (Section 4.4), document-centric
+articles with mixed content, comments, PIs and entities (Sections 1,
+5, 6.1), and the Fig. 3 shared-element faculty.
+"""
+
+from __future__ import annotations
+
+#: Section 6.2's recursive Professor/Dept structure, embedded in a
+#: department tree ("a DTD can be designed in such a way that an
+#: element can be part of any other element").
+ORG_CHART_DTD = """\
+<!ELEMENT Organization (Dept*)>
+<!ELEMENT Dept (DName, Head?, Dept*)>
+<!ELEMENT Head (PName, Subject*)>
+<!ELEMENT DName (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+"""
+
+ORG_CHART_DOCUMENT = """\
+<Organization>
+  <Dept>
+    <DName>Computer Science</DName>
+    <Head><PName>Kudrass</PName><Subject>Databases</Subject></Head>
+    <Dept>
+      <DName>Information Systems</DName>
+      <Head><PName>Conrad</PName></Head>
+    </Dept>
+    <Dept>
+      <DName>Graphics</DName>
+      <Dept><DName>CAD Lab</DName></Dept>
+    </Dept>
+  </Dept>
+  <Dept><DName>Mathematics</DName></Dept>
+</Organization>
+"""
+
+#: Section 4.4: ID/IDREF. Citations cross-reference articles.
+BIBLIOGRAPHY_DTD = """\
+<!ELEMENT Bibliography (Article+)>
+<!ELEMENT Article (Title, Author+, Cites*)>
+<!ATTLIST Article key ID #REQUIRED year CDATA #IMPLIED>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT Author (#PCDATA)>
+<!ELEMENT Cites EMPTY>
+<!ATTLIST Cites ref IDREF #REQUIRED>
+"""
+
+BIBLIOGRAPHY_DOCUMENT = """\
+<Bibliography>
+  <Article key="FK99" year="1999">
+    <Title>Storing and Querying XML Data using an RDBMS</Title>
+    <Author>Florescu</Author><Author>Kossmann</Author>
+  </Article>
+  <Article key="Sha99" year="1999">
+    <Title>Relational Databases for Querying XML Documents</Title>
+    <Author>Shanmugasundaram</Author>
+    <Cites ref="FK99"/>
+  </Article>
+  <Article key="KC02" year="2002">
+    <Title>Management of XML Documents in Object-Relational
+ Databases</Title>
+    <Author>Kudrass</Author><Author>Conrad</Author>
+    <Cites ref="FK99"/><Cites ref="Sha99"/>
+  </Article>
+</Bibliography>
+"""
+
+#: Document-centric content: mixed content, comments, PIs, CDATA and
+#: entity references — everything Sections 1/5/6.1 worry about.
+ARTICLE_DTD = """\
+<!ELEMENT ArticleDoc (Meta, Body)>
+<!ELEMENT Meta (DocTitle, Issue?)>
+<!ELEMENT Body (Para+)>
+<!ELEMENT Para (#PCDATA | Em | Code)*>
+<!ELEMENT Em (#PCDATA)>
+<!ELEMENT Code (#PCDATA)>
+<!ELEMENT DocTitle (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ENTITY corp "Leipzig University of Applied Science">
+<!ENTITY db "object-relational database">
+"""
+
+ARTICLE_DOCUMENT = """\
+<?xml version="1.0"?>
+<!DOCTYPE ArticleDoc [
+<!ELEMENT ArticleDoc (Meta, Body)>
+<!ELEMENT Meta (DocTitle, Issue?)>
+<!ELEMENT Body (Para+)>
+<!ELEMENT Para (#PCDATA | Em | Code)*>
+<!ELEMENT Em (#PCDATA)>
+<!ELEMENT Code (#PCDATA)>
+<!ELEMENT DocTitle (#PCDATA)>
+<!ELEMENT Issue (#PCDATA)>
+<!ENTITY corp "Leipzig University of Applied Science">
+<!ENTITY db "object-relational database">
+]>
+<ArticleDoc>
+  <!-- editorial note: verified against the CMS -->
+  <?page-layout two-column?>
+  <Meta>
+    <DocTitle>Storing XML at &corp;</DocTitle>
+    <Issue>2002-03</Issue>
+  </Meta>
+  <Body>
+    <Para>Documents can be stored in an &db; without a native
+ XML system.</Para>
+    <Para>Mixed content is flattened by the mapping.</Para>
+  </Body>
+</ArticleDoc>
+"""
+
+#: Fig. 3: the Address element has two parents (Professor, Student).
+SHARED_ELEMENT_DTD = """\
+<!ELEMENT Faculty (Professor, Student)>
+<!ELEMENT Professor (PName, Address, Student*)>
+<!ELEMENT Address (Street, City)>
+<!ELEMENT Student (Address, SName)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+"""
+
+SHARED_ELEMENT_DOCUMENT = """\
+<Faculty>
+  <Professor>
+    <PName>Kudrass</PName>
+    <Address><Street>Main St 1</Street><City>Leipzig</City></Address>
+    <Student>
+      <Address><Street>Elm St 2</Street><City>Leipzig</City></Address>
+      <SName>Conrad</SName>
+    </Student>
+  </Professor>
+  <Student>
+    <Address><Street>Oak St 3</Street><City>Halle</City></Address>
+    <SName>Meier</SName>
+  </Student>
+</Faculty>
+"""
+
+#: Section 4.3's optional Address with mandatory Street.
+CHECK_CONSTRAINT_DTD = """\
+<!ELEMENT CourseList (Course*)>
+<!ELEMENT Course (Name, Address?)>
+<!ELEMENT Address (Street, City?)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+"""
+
+CORPUS = {
+    "org_chart": (ORG_CHART_DTD, ORG_CHART_DOCUMENT),
+    "bibliography": (BIBLIOGRAPHY_DTD, BIBLIOGRAPHY_DOCUMENT),
+    "article": (ARTICLE_DTD, ARTICLE_DOCUMENT),
+    "shared_element": (SHARED_ELEMENT_DTD, SHARED_ELEMENT_DOCUMENT),
+}

@@ -1,0 +1,138 @@
+"""Seeded synthetic DTD and document generators.
+
+Used by the parameter sweeps: documents of controlled depth, fanout,
+optionality and set-valuedness, so the benchmarks can show *where* the
+object-relational mapping's advantages grow (deep nesting) and where
+its limits bite (wide repetition in Oracle 8 mode).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.xmlkit.dom import Document
+from repro.xmlkit.parser import parse
+
+_WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
+          "theta", "iota", "kappa", "lambda", "mu")
+
+
+@dataclass(frozen=True)
+class SyntheticShape:
+    """Parameters of a generated document type."""
+
+    depth: int = 3              # nesting levels below the root
+    fanout: int = 3             # distinct child element types per level
+    repeat_ratio: float = 0.4   # fraction of children declared '*'
+    optional_ratio: float = 0.3  # fraction of children declared '?'
+    attributes_per_element: int = 0
+    seed: int = 42
+
+
+def synthetic_dtd_text(shape: SyntheticShape) -> str:
+    """A DTD with the requested shape; element names are L{level}E{i}."""
+    rng = random.Random(shape.seed)
+    lines: list[str] = []
+
+    def declare(level: int, name: str) -> None:
+        if level >= shape.depth:
+            lines.append(f"<!ELEMENT {name} (#PCDATA)>")
+            return
+        children = []
+        for index in range(shape.fanout):
+            child = f"L{level + 1}E{index}"
+            roll = rng.random()
+            if roll < shape.repeat_ratio:
+                children.append(child + "*")
+            elif roll < shape.repeat_ratio + shape.optional_ratio:
+                children.append(child + "?")
+            else:
+                children.append(child)
+        lines.append(f"<!ELEMENT {name} ({','.join(children)})>")
+        if shape.attributes_per_element:
+            attrs = " ".join(
+                f"a{index} CDATA #IMPLIED"
+                for index in range(shape.attributes_per_element))
+            lines.append(f"<!ATTLIST {name} {attrs}>")
+
+    declare(0, "Root")
+    for level in range(1, shape.depth + 1):
+        for index in range(shape.fanout):
+            declare(level, f"L{level}E{index}")
+    return "\n".join(lines)
+
+
+def synthetic_dtd(shape: SyntheticShape) -> DTD:
+    return parse_dtd(synthetic_dtd_text(shape))
+
+
+def synthetic_document_xml(shape: SyntheticShape,
+                           repeat_count: int = 2,
+                           seed: int | None = None) -> str:
+    """A valid document for :func:`synthetic_dtd_text`'s DTD."""
+    dtd = synthetic_dtd(shape)
+    rng = random.Random(shape.seed if seed is None else seed)
+
+    def emit(name: str, out: list[str]) -> None:
+        declaration = dtd.element(name)
+        if declaration is None or declaration.content.is_pcdata_only:
+            out.append(f"<{name}>{rng.choice(_WORDS)}</{name}>")
+            return
+        out.append(f"<{name}>")
+        for child in declaration.content.child_summary():
+            count = 1
+            if child.repeatable:
+                count = repeat_count
+            elif child.optional and rng.random() < 0.5:
+                count = 0
+            for _ in range(count):
+                emit(child.name, out)
+        out.append(f"</{name}>")
+
+    out: list[str] = []
+    emit("Root", out)
+    return "".join(out)
+
+
+def synthetic_document(shape: SyntheticShape, repeat_count: int = 2,
+                       seed: int | None = None) -> Document:
+    return parse(synthetic_document_xml(shape, repeat_count, seed))
+
+
+def deep_chain_dtd(depth: int) -> str:
+    """A linear chain DTD: N0 contains N1 contains ... (CLM2 sweep)."""
+    lines = []
+    for level in range(depth):
+        lines.append(f"<!ELEMENT N{level} (N{level + 1})>")
+    lines.append(f"<!ELEMENT N{depth} (#PCDATA)>")
+    return "\n".join(lines)
+
+
+def deep_chain_document_xml(depth: int, value: str = "leaf") -> str:
+    """The single-path document matching :func:`deep_chain_dtd`."""
+    opening = "".join(f"<N{level}>" for level in range(depth + 1))
+    closing = "".join(f"</N{level}>" for level in range(depth, -1, -1))
+    return f"{opening}{value}{closing}"
+
+
+def wide_star_dtd(children: int) -> str:
+    """A root with one repeated child list (CLM1 sweep)."""
+    lines = ["<!ELEMENT Root (Item*)>",
+             "<!ELEMENT Item (K,V)>",
+             "<!ELEMENT K (#PCDATA)>",
+             "<!ELEMENT V (#PCDATA)>"]
+    del children  # shape is fixed; count is a document property
+    return "\n".join(lines)
+
+
+def wide_star_document_xml(items: int, seed: int = 7) -> str:
+    rng = random.Random(seed)
+    parts = ["<Root>"]
+    for index in range(items):
+        parts.append(f"<Item><K>k{index}</K>"
+                     f"<V>{rng.choice(_WORDS)}</V></Item>")
+    parts.append("</Root>")
+    return "".join(parts)

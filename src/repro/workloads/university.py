@@ -1,0 +1,141 @@
+"""The university document type of the paper (Appendix A / Fig. 4).
+
+Provides the exact DTD and sample document the paper uses throughout
+Sections 2–4, plus a seeded generator that scales the same structure
+to arbitrary sizes for the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.xmlkit.dom import Document
+from repro.xmlkit.parser import parse
+
+#: The DTD of Appendix A (CreditPts is optional, Subject repeats).
+UNIVERSITY_DTD = """\
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+"""
+
+#: The sample document of Appendix A (Fig. 4), with the DTD inline.
+SAMPLE_DOCUMENT = f"""\
+<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE University [
+{UNIVERSITY_DTD}]>
+<University>
+  <StudyCourse>&cs;</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName>
+    <FName>Matthias</FName>
+    <Course>
+      <Name>Database Systems II</Name>
+      <Professor>
+        <PName>Kudrass</PName>
+        <Subject>Database Systems</Subject>
+        <Subject>Operat. Systems</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+    <Course>
+      <Name>CAD Intro</Name>
+      <Professor>
+        <PName>Jaeger</PName>
+        <Subject>CAD</Subject>
+        <Subject>CAE</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+  <Student StudNr="00011">
+    <LName>Meier</LName>
+    <FName>Ralf</FName>
+  </Student>
+</University>
+"""
+
+_LAST_NAMES = ("Conrad", "Meier", "Schulz", "Lehmann", "Fischer",
+               "Wagner", "Becker", "Hoffmann", "Koch", "Richter")
+_FIRST_NAMES = ("Matthias", "Ralf", "Anna", "Jonas", "Lena", "Paul",
+                "Marie", "Felix", "Clara", "David")
+_COURSES = ("Database Systems II", "CAD Intro", "Operating Systems",
+            "Compiler Construction", "Computer Graphics",
+            "Distributed Systems", "Information Retrieval",
+            "Software Engineering")
+_PROFESSORS = ("Kudrass", "Jaeger", "Weicker", "Hartmann", "Vogel")
+_SUBJECTS = ("Database Systems", "Operat. Systems", "CAD", "CAE",
+             "Algorithms", "Networks", "Theory")
+_DEPARTMENTS = ("Computer Science", "Mathematics",
+                "Electrical Engineering")
+
+
+def university_dtd() -> DTD:
+    """The parsed Appendix A DTD."""
+    return parse_dtd(UNIVERSITY_DTD)
+
+
+def sample_document() -> Document:
+    """The parsed Appendix A document (with DTD attached)."""
+    return parse(SAMPLE_DOCUMENT)
+
+
+def make_university_xml(students: int = 10,
+                        courses_per_student: int = 3,
+                        professors_per_course: int = 1,
+                        subjects_per_professor: int = 2,
+                        seed: int = 2002) -> str:
+    """A seeded, valid university document of the given shape."""
+    rng = random.Random(seed)
+    lines = ["<University>",
+             "  <StudyCourse>Computer Science</StudyCourse>"]
+    for index in range(students):
+        lines.append(f'  <Student StudNr="{10000 + index}">')
+        lines.append(f"    <LName>{rng.choice(_LAST_NAMES)}</LName>")
+        lines.append(f"    <FName>{rng.choice(_FIRST_NAMES)}</FName>")
+        for _course in range(courses_per_student):
+            lines.append("    <Course>")
+            lines.append(f"      <Name>{rng.choice(_COURSES)}</Name>")
+            for _prof in range(professors_per_course):
+                lines.append("      <Professor>")
+                lines.append(
+                    f"        <PName>{rng.choice(_PROFESSORS)}</PName>")
+                for _subject in range(max(1, subjects_per_professor)):
+                    lines.append(
+                        f"        <Subject>{rng.choice(_SUBJECTS)}"
+                        f"</Subject>")
+                lines.append(
+                    f"        <Dept>{rng.choice(_DEPARTMENTS)}</Dept>")
+                lines.append("      </Professor>")
+            if rng.random() < 0.7:
+                lines.append(
+                    f"      <CreditPts>{rng.randint(2, 8)}</CreditPts>")
+            lines.append("    </Course>")
+        lines.append("  </Student>")
+    lines.append("</University>")
+    return "\n".join(lines)
+
+
+def make_university(students: int = 10, courses_per_student: int = 3,
+                    professors_per_course: int = 1,
+                    subjects_per_professor: int = 2,
+                    seed: int = 2002) -> Document:
+    """Parsed version of :func:`make_university_xml`."""
+    return parse(make_university_xml(
+        students, courses_per_student, professors_per_course,
+        subjects_per_professor, seed))

@@ -1,0 +1,62 @@
+"""XML substrate: parser, DOM, entities and serializer.
+
+This package replaces the Oracle XDK parser used by the paper's
+XML2Oracle tool (Fig. 1).  The public surface is:
+
+>>> from repro.xmlkit import parse, serialize
+>>> doc = parse("<a><b>hi</b></a>")
+>>> doc.root_element.find("b").text()
+'hi'
+>>> serialize(doc.root_element)
+'<a><b>hi</b></a>'
+"""
+
+from .dom import (
+    Attribute,
+    CDATASection,
+    Comment,
+    Document,
+    DocumentType,
+    Element,
+    EntityReference,
+    Node,
+    ProcessingInstruction,
+    Text,
+    build_element,
+)
+from .entities import EntityDefinition, EntityTable, PREDEFINED_ENTITIES
+from .errors import (
+    EntityError,
+    SerializationError,
+    XMLError,
+    XMLSyntaxError,
+    XMLValidityError,
+)
+from .parser import XMLParser, parse
+from .serializer import Serializer, serialize
+
+__all__ = [
+    "Attribute",
+    "CDATASection",
+    "Comment",
+    "Document",
+    "DocumentType",
+    "Element",
+    "EntityDefinition",
+    "EntityError",
+    "EntityReference",
+    "EntityTable",
+    "Node",
+    "PREDEFINED_ENTITIES",
+    "ProcessingInstruction",
+    "SerializationError",
+    "Serializer",
+    "Text",
+    "XMLError",
+    "XMLParser",
+    "XMLSyntaxError",
+    "XMLValidityError",
+    "build_element",
+    "parse",
+    "serialize",
+]

@@ -1,0 +1,308 @@
+"""A small DOM: the in-memory tree produced by the XML parser.
+
+The original XML2Oracle tool worked on two DOM trees (Fig. 1 of the
+paper): one for the XML document, one for the DTD.  This module provides
+the document side.  Unlike ``xml.dom.minidom`` it keeps *everything* a
+round-trip needs: comments, processing instructions, CDATA sections,
+unexpanded entity references, the XML declaration and the document type
+declaration, because Section 6.1 of the paper is precisely about what is
+lost when such nodes are not preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Node:
+    """Base class for all tree nodes."""
+
+    #: set by subclasses; mirrors the DOM nodeType vocabulary.
+    node_type: str = "node"
+
+    def __init__(self) -> None:
+        self.parent: Node | None = None
+
+    # -- tree navigation ---------------------------------------------------
+
+    @property
+    def children(self) -> list[Node]:
+        """Child nodes; leaf node classes return an empty list."""
+        return []
+
+    def iter(self) -> Iterator[Node]:
+        """Yield this node and every descendant in document order."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def text_content(self) -> str:
+        """Concatenated character data of this node and its descendants."""
+        parts: list[str] = []
+        for node in self.iter():
+            if isinstance(node, (Text, CDATASection)):
+                parts.append(node.data)
+            elif isinstance(node, EntityReference) and node.expansion is not None:
+                parts.append(node.expansion)
+        return "".join(parts)
+
+    def root(self) -> Node:
+        """Return the topmost ancestor (the node itself if detached)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class _ParentNode(Node):
+    """Shared implementation for nodes that own children."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._children: list[Node] = []
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    def append(self, child: Node) -> Node:
+        """Attach *child* as the last child and return it."""
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def remove(self, child: Node) -> None:
+        """Detach *child*; raises ValueError if it is not a child."""
+        self._children.remove(child)
+        child.parent = None
+
+    def replace(self, old: Node, new: Node) -> None:
+        """Replace child *old* with *new* in place."""
+        index = self._children.index(old)
+        old.parent = None
+        new.parent = self
+        self._children[index] = new
+
+
+class Attribute:
+    """A single attribute of an element.
+
+    ``specified`` distinguishes attributes written in the document from
+    attributes injected from DTD default declarations — the paper's
+    meta-table needs this distinction to avoid round-trip inflation.
+    """
+
+    def __init__(self, name: str, value: str, specified: bool = True):
+        self.name = name
+        self.value = value
+        self.specified = specified
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Attribute({self.name!r}, {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return (self.name, self.value) == (other.name, other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.value))
+
+
+class Element(_ParentNode):
+    """An element node with ordered attributes and children."""
+
+    node_type = "element"
+
+    def __init__(self, tag: str):
+        super().__init__()
+        self.tag = tag
+        self.attributes: dict[str, Attribute] = {}
+
+    # -- attribute access --------------------------------------------------
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute *name*, or *default*."""
+        attr = self.attributes.get(name)
+        return attr.value if attr is not None else default
+
+    def set(self, name: str, value: str, specified: bool = True) -> None:
+        """Create or overwrite attribute *name*."""
+        self.attributes[name] = Attribute(name, value, specified)
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self.attributes
+
+    # -- element-centric navigation -----------------------------------------
+
+    @property
+    def child_elements(self) -> list["Element"]:
+        """Direct element children, in document order."""
+        return [c for c in self._children if isinstance(c, Element)]
+
+    def find(self, tag: str) -> "Element | None":
+        """First direct child element with the given tag, or None."""
+        for child in self.child_elements:
+            if child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All direct child elements with the given tag."""
+        return [c for c in self.child_elements if c.tag == tag]
+
+    def iter_elements(self, tag: str | None = None) -> Iterator["Element"]:
+        """Yield this element and descendant elements, optionally filtered."""
+        for node in self.iter():
+            if isinstance(node, Element) and (tag is None or node.tag == tag):
+                yield node
+
+    def text(self) -> str:
+        """Character data directly inside this element (not descendants)."""
+        parts = []
+        for child in self._children:
+            if isinstance(child, (Text, CDATASection)):
+                parts.append(child.data)
+            elif isinstance(child, EntityReference) and child.expansion is not None:
+                parts.append(child.expansion)
+        return "".join(parts)
+
+    def has_element_children(self) -> bool:
+        return any(isinstance(c, Element) for c in self._children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag} attrs={list(self.attributes)}>"
+
+
+class Text(Node):
+    """Character data."""
+
+    node_type = "text"
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+    def is_whitespace(self) -> bool:
+        """True if the node contains only XML whitespace."""
+        return not self.data.strip(" \t\r\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Text({self.data!r})"
+
+
+class CDATASection(Node):
+    """A ``<![CDATA[...]]>`` section; data is stored unescaped."""
+
+    node_type = "cdata"
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+
+class Comment(Node):
+    """A ``<!-- ... -->`` comment."""
+
+    node_type = "comment"
+
+    def __init__(self, data: str):
+        super().__init__()
+        self.data = data
+
+
+class ProcessingInstruction(Node):
+    """A ``<?target data?>`` processing instruction."""
+
+    node_type = "pi"
+
+    def __init__(self, target: str, data: str):
+        super().__init__()
+        self.target = target
+        self.data = data
+
+
+class EntityReference(Node):
+    """An unexpanded general entity reference ``&name;``.
+
+    The parser normally expands entities in place (the behaviour the
+    paper describes for the XDK parser); when expansion is disabled the
+    reference node is kept and ``expansion`` carries the replacement
+    text so queries can still see through it.
+    """
+
+    node_type = "entity_ref"
+
+    def __init__(self, name: str, expansion: str | None = None):
+        super().__init__()
+        self.name = name
+        self.expansion = expansion
+
+
+class DocumentType(Node):
+    """The ``<!DOCTYPE ...>`` declaration attached to a document.
+
+    ``internal_subset`` is the raw text between ``[`` and ``]``; the
+    parsed form lives in :class:`repro.dtd.model.DTD` (``dtd``).
+    """
+
+    node_type = "doctype"
+
+    def __init__(self, name: str, public_id: str | None = None,
+                 system_id: str | None = None,
+                 internal_subset: str | None = None):
+        super().__init__()
+        self.name = name
+        self.public_id = public_id
+        self.system_id = system_id
+        self.internal_subset = internal_subset
+        self.dtd = None  # type: object | None
+
+
+class Document(_ParentNode):
+    """The document node: prolog information plus the element tree."""
+
+    node_type = "document"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.xml_version: str | None = None
+        self.encoding: str | None = None
+        self.standalone: bool | None = None
+        self.doctype: DocumentType | None = None
+
+    @property
+    def root_element(self) -> Element:
+        """The single top-level element; raises if the tree is empty."""
+        for child in self._children:
+            if isinstance(child, Element):
+                return child
+        raise ValueError("document has no root element")
+
+    def misc_nodes(self) -> list[Node]:
+        """Comments/PIs that appear outside the root element."""
+        return [c for c in self._children if not isinstance(c, Element)]
+
+    def count_nodes(self, node_type: str | None = None) -> int:
+        """Total number of nodes (of one type) in the document."""
+        return sum(
+            1 for node in self.iter()
+            if node_type is None or node.node_type == node_type
+        )
+
+
+def build_element(tag: str, attributes: dict[str, str] | None = None,
+                  children: Iterable[Node | str] = ()) -> Element:
+    """Convenience constructor used heavily by tests and workloads.
+
+    Strings in *children* become :class:`Text` nodes.
+    """
+    element = Element(tag)
+    for name, value in (attributes or {}).items():
+        element.set(name, value)
+    for child in children:
+        if isinstance(child, str):
+            element.append(Text(child))
+        else:
+            element.append(child)
+    return element

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the XML substrate.
+
+All parse-time errors carry a source position (1-based line and column)
+so callers can report actionable diagnostics, mirroring what the Oracle
+XDK parser used by the original XML2Oracle tool reported.
+"""
+
+from __future__ import annotations
+
+
+class XMLError(Exception):
+    """Base class for every error raised by :mod:`repro.xmlkit`."""
+
+
+class XMLSyntaxError(XMLError):
+    """The document is not well-formed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position of the offending character, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        if line is not None:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+
+
+class XMLValidityError(XMLError):
+    """The document is well-formed but violates its DTD."""
+
+    def __init__(self, message: str, element: str | None = None):
+        self.message = message
+        self.element = element
+        if element is not None:
+            super().__init__(f"{message} (element <{element}>)")
+        else:
+            super().__init__(message)
+
+
+class EntityError(XMLSyntaxError):
+    """An entity reference could not be resolved or expands illegally."""
+
+
+class SerializationError(XMLError):
+    """A DOM tree contains content that cannot be serialized."""

@@ -1,0 +1,157 @@
+"""Serialization of DOM trees back to XML text.
+
+The serializer is the other half of the round-trip problem discussed in
+Sections 5–6.1 of the paper: what comes out of the database has to be
+turned into a document again, optionally re-substituting the entity
+references that the storage pipeline expanded.
+"""
+
+from __future__ import annotations
+
+from .dom import (
+    CDATASection,
+    Comment,
+    Document,
+    DocumentType,
+    Element,
+    EntityReference,
+    Node,
+    ProcessingInstruction,
+    Text,
+)
+from .entities import escape_attribute, escape_text, resubstitute
+from .errors import SerializationError
+
+
+class Serializer:
+    """Configurable DOM-to-text writer.
+
+    Parameters
+    ----------
+    indent:
+        When a non-empty string, element-only content is pretty-printed
+        with that unit of indentation.  Mixed content is never reflowed.
+    entity_definitions:
+        Optional mapping ``name -> replacement text``; literal
+        occurrences of replacement texts in character data are rewritten
+        back to ``&name;`` (Section 6.1 recovery).
+    """
+
+    def __init__(self, indent: str = "",
+                 entity_definitions: dict[str, str] | None = None):
+        self.indent = indent
+        self.entity_definitions = entity_definitions or {}
+
+    # -- public API -----------------------------------------------------------
+
+    def serialize(self, node: Node) -> str:
+        """Serialize *node* (a Document or any subtree) to a string."""
+        parts: list[str] = []
+        if isinstance(node, Document):
+            self._write_document(node, parts)
+        else:
+            self._write_node(node, parts, level=0)
+        return "".join(parts)
+
+    # -- document level ----------------------------------------------------------
+
+    def _write_document(self, document: Document, parts: list[str]) -> None:
+        if document.xml_version is not None:
+            parts.append(f'<?xml version="{document.xml_version}"')
+            if document.encoding is not None:
+                parts.append(f' encoding="{document.encoding}"')
+            if document.standalone is not None:
+                value = "yes" if document.standalone else "no"
+                parts.append(f' standalone="{value}"')
+            parts.append("?>\n")
+        for child in document.children:
+            self._write_node(child, parts, level=0)
+            if not isinstance(child, Text):
+                last = parts[-1] if parts else ""
+                if self.indent and not last.endswith("\n"):
+                    parts.append("\n")
+
+    def _write_doctype(self, doctype: DocumentType, parts: list[str]) -> None:
+        parts.append(f"<!DOCTYPE {doctype.name}")
+        if doctype.public_id is not None:
+            parts.append(
+                f' PUBLIC "{doctype.public_id}" "{doctype.system_id or ""}"')
+        elif doctype.system_id is not None:
+            parts.append(f' SYSTEM "{doctype.system_id}"')
+        if doctype.internal_subset is not None:
+            parts.append(f" [{doctype.internal_subset}]")
+        parts.append(">")
+
+    # -- node dispatch --------------------------------------------------------------
+
+    def _write_node(self, node: Node, parts: list[str], level: int) -> None:
+        if isinstance(node, Element):
+            self._write_element(node, parts, level)
+        elif isinstance(node, Text):
+            parts.append(self._text(node.data))
+        elif isinstance(node, CDATASection):
+            if "]]>" in node.data:
+                raise SerializationError("CDATA section contains ']]>'")
+            parts.append(f"<![CDATA[{node.data}]]>")
+        elif isinstance(node, Comment):
+            if "--" in node.data:
+                raise SerializationError("comment contains '--'")
+            parts.append(f"<!--{node.data}-->")
+        elif isinstance(node, ProcessingInstruction):
+            if node.data:
+                parts.append(f"<?{node.target} {node.data}?>")
+            else:
+                parts.append(f"<?{node.target}?>")
+        elif isinstance(node, EntityReference):
+            parts.append(f"&{node.name};")
+        elif isinstance(node, DocumentType):
+            self._write_doctype(node, parts)
+        else:  # pragma: no cover - defensive
+            raise SerializationError(
+                f"cannot serialize node type {node.node_type!r}")
+
+    def _write_element(self, element: Element, parts: list[str],
+                       level: int) -> None:
+        parts.append(f"<{element.tag}")
+        for attr in element.attributes.values():
+            parts.append(f' {attr.name}="{escape_attribute(attr.value)}"')
+        if not element.children:
+            parts.append("/>")
+            return
+        parts.append(">")
+        pretty = bool(self.indent) and self._is_element_only(element)
+        inner = self.indent * (level + 1)
+        for child in element.children:
+            if pretty and isinstance(child, Text) and child.is_whitespace():
+                continue
+            if pretty:
+                parts.append(f"\n{inner}")
+            self._write_node(child, parts, level + 1)
+        if pretty:
+            parts.append(f"\n{self.indent * level}")
+        parts.append(f"</{element.tag}>")
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _text(self, data: str) -> str:
+        escaped = escape_text(data)
+        if self.entity_definitions:
+            escaped = resubstitute(escaped, {
+                name: escape_text(value)
+                for name, value in self.entity_definitions.items()
+            })
+        return escaped
+
+    @staticmethod
+    def _is_element_only(element: Element) -> bool:
+        return all(
+            isinstance(c, Element)
+            or (isinstance(c, Text) and c.is_whitespace())
+            for c in element.children
+        )
+
+
+def serialize(node: Node, indent: str = "",
+              entity_definitions: dict[str, str] | None = None) -> str:
+    """Serialize *node* with a throwaway :class:`Serializer`."""
+    return Serializer(indent, entity_definitions).serialize(node)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XML2Oracle
+from repro.dtd import parse_dtd
+from repro.ordb import CompatibilityMode, Database
+from repro.workloads import (
+    SAMPLE_DOCUMENT,
+    UNIVERSITY_DTD,
+    sample_document,
+    university_dtd,
+)
+from repro.xmlkit import parse
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh Oracle-9-mode database."""
+    return Database()
+
+
+@pytest.fixture
+def db8() -> Database:
+    """A fresh Oracle-8-mode database."""
+    return Database(CompatibilityMode.ORACLE8)
+
+
+@pytest.fixture
+def uni_dtd():
+    """The Appendix A DTD, parsed."""
+    return university_dtd()
+
+
+@pytest.fixture
+def uni_document():
+    """The Appendix A sample document, parsed."""
+    return sample_document()
+
+
+@pytest.fixture
+def uni_tool(uni_document):
+    """An XML2Oracle instance with the university schema registered."""
+    tool = XML2Oracle()
+    tool.register_schema(uni_document.doctype.dtd)
+    return tool
+
+
+@pytest.fixture
+def stored_university(uni_tool, uni_document):
+    """The sample document stored; returns (tool, handle)."""
+    stored = uni_tool.store(uni_document, doc_name="appendix_a.xml")
+    return uni_tool, stored

@@ -1,0 +1,219 @@
+"""Mapping analysis: the Fig. 2 case tree as plan decisions."""
+
+import pytest
+
+from repro.core import MappingConfig, analyze
+from repro.core.plan import ElementKind, Storage
+from repro.dtd import parse_dtd
+from repro.ordb import CompatibilityMode
+from repro.workloads import university_dtd
+
+
+class TestElementClassification:
+    def test_simple_vs_complex(self):
+        plan = analyze(parse_dtd(
+            "<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>"))
+        assert plan.element("a").kind is ElementKind.COMPLEX
+        assert plan.element("b").kind is ElementKind.SIMPLE
+
+    def test_mixed_empty_any(self):
+        plan = analyze(parse_dtd("""
+            <!ELEMENT r (m, e, y)>
+            <!ELEMENT m (#PCDATA|x)*> <!ELEMENT x (#PCDATA)>
+            <!ELEMENT e EMPTY>
+            <!ELEMENT y ANY>
+        """))
+        assert plan.element("m").kind is ElementKind.MIXED
+        assert plan.element("e").kind is ElementKind.EMPTY
+        assert plan.element("y").kind is ElementKind.ANY
+
+    def test_mixed_content_warning_recorded(self):
+        plan = analyze(parse_dtd(
+            "<!ELEMENT r (#PCDATA|b)*> <!ELEMENT b (#PCDATA)>"))
+        assert any("mixed content" in warning
+                   for warning in plan.warnings)
+
+    def test_undeclared_child_warned_and_simple(self):
+        plan = analyze(parse_dtd("<!ELEMENT r (mystery)>"))
+        assert plan.element("mystery").kind is ElementKind.SIMPLE
+        assert any("not declared" in warning
+                   for warning in plan.warnings)
+
+
+class TestStorageDecisions:
+    def test_simple_single_is_scalar_column(self):
+        plan = analyze(parse_dtd(
+            "<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>"))
+        link = plan.element("a").link_to("b")
+        assert link.storage is Storage.SCALAR_COLUMN
+        assert link.column == "attrb"
+
+    def test_simple_repeated_is_scalar_collection(self):
+        plan = analyze(parse_dtd(
+            "<!ELEMENT a (b+)> <!ELEMENT b (#PCDATA)>"))
+        link = plan.element("a").link_to("b")
+        assert link.storage is Storage.SCALAR_COLLECTION
+        assert link.collection_type == "TypeVA_b"
+
+    def test_complex_single_is_object_column(self):
+        plan = analyze(parse_dtd(
+            "<!ELEMENT a (b)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>"))
+        assert plan.element("a").link_to("b").storage \
+            is Storage.OBJECT_COLUMN
+
+    def test_complex_repeated_oracle9_is_object_collection(self):
+        plan = analyze(university_dtd())
+        link = plan.element("Student").link_to("Course")
+        assert link.storage is Storage.OBJECT_COLLECTION
+
+    def test_simple_with_attributes_is_object(self):
+        plan = analyze(parse_dtd("""
+            <!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>
+            <!ATTLIST b k CDATA #IMPLIED>
+        """))
+        b = plan.element("b")
+        assert b.object_type == "Type_b"
+        assert b.text_column == "attrb"
+        assert plan.element("a").link_to("b").storage \
+            is Storage.OBJECT_COLUMN
+
+    def test_root_is_table_stored(self):
+        plan = analyze(university_dtd())
+        assert plan.root.is_table_stored
+        assert plan.root.table == "TabUniversity"
+        assert plan.root.id_column == "IDUniversity"
+
+
+class TestOracle8Decisions:
+    def test_collection_bearing_child_becomes_child_table(self):
+        plan = analyze(university_dtd(),
+                       mode=CompatibilityMode.ORACLE8)
+        # Professor holds the Subject+ collection -> cannot live in a
+        # collection in Oracle 8 -> child table (Section 4.2)
+        link = plan.element("Course").link_to("Professor")
+        assert link.storage is Storage.CHILD_TABLE
+        assert plan.element("Professor").is_table_stored
+
+    def test_flat_child_may_stay_collection(self):
+        plan = analyze(parse_dtd("""
+            <!ELEMENT a (b*)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>
+        """), mode=CompatibilityMode.ORACLE8)
+        assert plan.element("a").link_to("b").storage \
+            is Storage.OBJECT_COLLECTION
+
+    def test_parent_of_child_table_is_promoted(self):
+        plan = analyze(university_dtd(),
+                       mode=CompatibilityMode.ORACLE8)
+        # Course has a CHILD_TABLE child (Professor), so Course itself
+        # must be a row object; Student's collection of Course becomes
+        # a collection of REFs.
+        assert plan.element("Course").is_table_stored
+        link = plan.element("Student").link_to("Course")
+        assert link.storage is Storage.REF_COLLECTION
+
+    def test_oracle9_never_uses_child_tables(self):
+        plan = analyze(university_dtd())
+        storages = {link.storage for element in plan.elements.values()
+                    for link in element.links}
+        assert Storage.CHILD_TABLE not in storages
+
+
+class TestRecursion:
+    _DTD = parse_dtd("""
+        <!ELEMENT r (p)>
+        <!ELEMENT p (n, d)>
+        <!ELEMENT d (n, p*)>
+        <!ELEMENT n (#PCDATA)>
+    """)
+
+    def test_backedge_is_ref_collection(self):
+        plan = analyze(self._DTD)
+        link = plan.element("d").link_to("p")
+        assert link.storage is Storage.REF_COLLECTION
+        assert link.collection_type == "TypeRef_p"
+
+    def test_recursive_element_marked_and_table_stored(self):
+        plan = analyze(self._DTD)
+        assert plan.element("p").recursive
+        assert plan.element("p").is_table_stored
+
+    def test_single_occurrence_backedge_is_ref_column(self):
+        plan = analyze(parse_dtd("""
+            <!ELEMENT r (a)> <!ELEMENT a (x, a?)>
+            <!ELEMENT x (#PCDATA)>
+        """))
+        link = plan.element("a").link_to("a")
+        assert link.storage is Storage.REF_COLUMN
+
+
+class TestSharedElements:
+    def test_shared_element_one_plan(self):
+        plan = analyze(parse_dtd("""
+            <!ELEMENT r (x, y)>
+            <!ELEMENT x (addr)> <!ELEMENT y (addr)>
+            <!ELEMENT addr (#PCDATA)>
+        """))
+        assert plan.element("addr").shared
+        assert plan.element("x").link_to("addr").child \
+            is plan.element("y").link_to("addr").child
+
+
+class TestAttributesAndIdrefs:
+    _DTD_TEXT = """
+        <!ELEMENT bib (article+)>
+        <!ELEMENT article (title)>
+        <!ATTLIST article key ID #REQUIRED
+                          cites IDREF #IMPLIED
+                          note CDATA #IMPLIED>
+        <!ELEMENT title (#PCDATA)>
+    """
+
+    def test_attributes_inline_by_default(self):
+        plan = analyze(parse_dtd(self._DTD_TEXT))
+        article = plan.element("article")
+        assert article.attr_list is None
+        assert {a.xml_name for a in article.attributes} == \
+            {"key", "cites", "note"}
+
+    def test_attribute_list_wrapper_mode(self):
+        config = MappingConfig(attribute_list_types=True)
+        plan = analyze(parse_dtd(self._DTD_TEXT), config)
+        article = plan.element("article")
+        assert article.attr_list is not None
+        assert article.attr_list.type_name == "TypeAttrL_article"
+        assert article.attr_list.column == "attrListarticle"
+
+    def test_idref_without_target_hint_warns(self):
+        plan = analyze(parse_dtd(self._DTD_TEXT))
+        assert any("IDREF" in warning for warning in plan.warnings)
+        attribute = plan.element("article").attribute_plan("cites")
+        assert attribute.ref_target is None
+
+    def test_idref_with_target_hint(self):
+        plan = analyze(parse_dtd(self._DTD_TEXT),
+                       idref_targets={("article", "cites"): "article"})
+        attribute = plan.element("article").attribute_plan("cites")
+        assert attribute.ref_target == "article"
+        assert plan.element("article").is_table_stored
+
+    def test_idref_mapping_disabled(self):
+        config = MappingConfig(map_idrefs_to_refs=False)
+        plan = analyze(parse_dtd(self._DTD_TEXT), config,
+                       idref_targets={("article", "cites"): "article"})
+        attribute = plan.element("article").attribute_plan("cites")
+        assert attribute.ref_target is None
+
+
+class TestRootSelection:
+    def test_ambiguous_root_needs_hint(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>")
+        with pytest.raises(ValueError, match="unique root"):
+            analyze(dtd)
+        plan = analyze(dtd, root="a")
+        assert plan.root.name == "a"
+
+    def test_describe_is_readable(self):
+        plan = analyze(university_dtd())
+        text = plan.describe()
+        assert "University" in text
+        assert "object-coll" in text

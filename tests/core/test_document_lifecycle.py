@@ -1,0 +1,141 @@
+"""Document lifecycle: store many, fetch, delete, edge cases."""
+
+import pytest
+
+from repro.core import XML2Oracle, compare
+from repro.ordb import CompatibilityMode
+from repro.workloads import (
+    ORG_CHART_DOCUMENT,
+    ORG_CHART_DTD,
+    SAMPLE_DOCUMENT,
+    UNIVERSITY_DTD,
+    make_university,
+)
+from repro.xmlkit import parse
+
+
+class TestDelete:
+    def test_delete_removes_rows_and_metadata(self, uni_tool):
+        stored = uni_tool.store(parse(SAMPLE_DOCUMENT))
+        assert uni_tool.sql(
+            "SELECT COUNT(*) FROM TabUniversity").scalar() == 1
+        deleted = uni_tool.delete(stored.doc_id)
+        assert deleted >= 1
+        assert uni_tool.sql(
+            "SELECT COUNT(*) FROM TabUniversity").scalar() == 0
+        assert uni_tool.metadata.document_count() == 0
+        with pytest.raises(LookupError):
+            uni_tool.fetch(stored.doc_id)
+
+    def test_delete_only_the_named_document(self, uni_tool):
+        first = uni_tool.store(make_university(students=2, seed=1))
+        second = uni_tool.store(make_university(students=3, seed=2))
+        uni_tool.delete(first.doc_id)
+        rebuilt = uni_tool.fetch(second.doc_id)
+        assert len(rebuilt.root_element.find_all("Student")) == 3
+
+    def test_delete_doc_1_keeps_doc_10(self):
+        """'D1.%' must not swallow 'D10.*' rows."""
+        tool = XML2Oracle(metadata=False)
+        tool.register_schema(ORG_CHART_DTD)
+        handles = [tool.store(parse(ORG_CHART_DOCUMENT))
+                   for _ in range(10)]
+        assert handles[-1].doc_id == 10
+        before = tool.sql("SELECT COUNT(*) FROM TabDept").scalar()
+        tool.delete(1)
+        after = tool.sql("SELECT COUNT(*) FROM TabDept").scalar()
+        assert before - after == 5  # exactly document 1's depts
+        assert compare(parse(ORG_CHART_DOCUMENT),
+                       tool.fetch(10)).score == 1.0
+
+    def test_delete_multi_table_document(self):
+        """Oracle-8 documents span several tables; all are cleaned."""
+        tool = XML2Oracle(mode=CompatibilityMode.ORACLE8)
+        tool.register_schema(UNIVERSITY_DTD)
+        stored = tool.store(parse(SAMPLE_DOCUMENT))
+        tool.delete(stored.doc_id)
+        for table in ("TabUniversity", "TabStudent", "TabCourse",
+                      "TabProfessor"):
+            assert tool.sql(
+                f"SELECT COUNT(*) FROM {table}").scalar() == 0
+
+    def test_delete_unknown_document(self, uni_tool):
+        with pytest.raises(LookupError):
+            uni_tool.delete(404)
+
+    def test_store_after_delete_reuses_nothing(self, uni_tool):
+        first = uni_tool.store(make_university(students=1))
+        uni_tool.delete(first.doc_id)
+        second = uni_tool.store(make_university(students=1))
+        assert second.doc_id == first.doc_id + 1
+
+
+class TestEdgeCases:
+    def test_minimal_document(self, uni_tool):
+        document = parse("<University>"
+                         "<StudyCourse>CS</StudyCourse></University>")
+        stored = uni_tool.store(document)
+        rebuilt = uni_tool.fetch(stored.doc_id)
+        assert compare(document, rebuilt).score == 1.0
+        assert rebuilt.root_element.find_all("Student") == []
+
+    def test_unicode_content(self, uni_tool):
+        document = parse(
+            "<University><StudyCourse>Informatik — Größe 中文 🎓"
+            "</StudyCourse></University>")
+        stored = uni_tool.store(document)
+        value = uni_tool.query("/University/StudyCourse",
+                               doc_id=stored.doc_id).scalar()
+        assert value == "Informatik — Größe 中文 🎓"
+
+    def test_special_sql_characters_in_content(self, uni_tool):
+        document = parse(
+            "<University><StudyCourse>O'Brien; DROP TABLE--"
+            "</StudyCourse></University>")
+        stored = uni_tool.store(document)
+        assert "TABUNIVERSITY" in uni_tool.db.catalog.tables
+        value = uni_tool.query("/University/StudyCourse",
+                               doc_id=stored.doc_id).scalar()
+        assert value == "O'Brien; DROP TABLE--"
+
+    def test_text_at_varchar_limit(self, uni_tool):
+        from repro.ordb import ValueTooLarge
+
+        fits = "x" * 4000
+        document = parse(f"<University><StudyCourse>{fits}"
+                         f"</StudyCourse></University>")
+        uni_tool.store(document)
+        too_long = "x" * 4001
+        oversized = parse(f"<University><StudyCourse>{too_long}"
+                          f"</StudyCourse></University>")
+        with pytest.raises(ValueTooLarge):
+            uni_tool.store(oversized)
+
+    def test_clob_accepts_long_text(self):
+        from repro.core import MappingConfig
+
+        tool = XML2Oracle(
+            config=MappingConfig(use_clob_for_text=True))
+        tool.register_schema(UNIVERSITY_DTD)
+        long_text = "y" * 100_000
+        document = parse(f"<University><StudyCourse>{long_text}"
+                         f"</StudyCourse></University>")
+        stored = tool.store(document)
+        value = tool.query("/University/StudyCourse",
+                           doc_id=stored.doc_id).scalar()
+        assert value == long_text
+
+    def test_whitespace_only_leaves(self, uni_tool):
+        document = parse("<University><StudyCourse>  </StudyCourse>"
+                         "</University>")
+        stored = uni_tool.store(document)
+        assert uni_tool.query("/University/StudyCourse",
+                              doc_id=stored.doc_id).scalar() == "  "
+
+    def test_hundred_documents(self, uni_tool):
+        for seed in range(100):
+            uni_tool.store(make_university(students=1, seed=seed))
+        assert uni_tool.sql(
+            "SELECT COUNT(*) FROM TabUniversity").scalar() == 100
+        middle = uni_tool.fetch(50)
+        assert middle.root_element.tag == "University"

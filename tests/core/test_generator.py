@@ -1,0 +1,233 @@
+"""Schema generation: the emitted DDL executes and matches Section 4."""
+
+import pytest
+
+from repro.core import MappingConfig, analyze, generate_schema
+from repro.core.plan import CollectionFlavor
+from repro.dtd import parse_dtd
+from repro.ordb import CompatibilityMode, Database
+from repro.workloads import university_dtd
+
+
+def build(dtd_text_or_dtd, config=None,
+          mode=CompatibilityMode.ORACLE9, **kwargs):
+    dtd = (parse_dtd(dtd_text_or_dtd)
+           if isinstance(dtd_text_or_dtd, str) else dtd_text_or_dtd)
+    plan = analyze(dtd, config, mode, **kwargs)
+    return plan, generate_schema(plan)
+
+
+class TestUniversitySchema:
+    def test_script_matches_paper_section_4_2(self):
+        _plan, script = build(university_dtd())
+        text = script.text
+        # the paper's generated types, with attr prefixes
+        assert "CREATE TYPE TypeVA_Subject AS" in text
+        assert "CREATE TYPE Type_Professor AS OBJECT" in text
+        assert "attrPName" in text and "attrSubject TypeVA_Subject" \
+            in text
+        assert "CREATE TYPE TypeVA_Professor AS" in text
+        assert "CREATE TYPE Type_Course AS OBJECT" in text
+        assert "CREATE TYPE TypeVA_Course AS" in text
+        assert "CREATE TYPE Type_Student AS OBJECT" in text
+        assert "attrStudNr" in text
+        assert "CREATE TABLE TabUniversity OF Type_University" in text
+
+    def test_script_executes_in_oracle9(self):
+        _plan, script = build(university_dtd())
+        db = Database()
+        for statement in script.statements:
+            db.execute(statement)
+        assert "TABUNIVERSITY" in db.catalog.tables
+
+    def test_default_leaf_type_is_varchar_4000(self):
+        _plan, script = build(university_dtd())
+        assert "VARCHAR2(4000)" in script.text
+
+    def test_counts(self):
+        _plan, script = build(university_dtd())
+        assert script.table_count == 1
+        assert script.collection_count == 4  # Subject/Prof/Course/Student
+
+
+class TestConfigVariants:
+    def test_clob_option(self):
+        config = MappingConfig(use_clob_for_text=True)
+        _plan, script = build(university_dtd(), config)
+        assert "CLOB" in script.text
+        assert "VARCHAR2(4000)" not in script.text
+
+    def test_custom_text_length(self):
+        config = MappingConfig(text_length=255)
+        _plan, script = build(university_dtd(), config)
+        assert "VARCHAR2(255)" in script.text
+
+    def test_nested_table_flavor(self):
+        config = MappingConfig(
+            collection_flavor=CollectionFlavor.NESTED_TABLE)
+        _plan, script = build(university_dtd(), config)
+        assert "TypeNT_Subject AS TABLE OF" in script.text
+        assert "NESTED TABLE" in script.text
+        assert "STORE AS" in script.text
+        db = Database()
+        for statement in script.statements:
+            db.execute(statement)
+
+    def test_varray_limit(self):
+        config = MappingConfig(varray_limit=42)
+        _plan, script = build(university_dtd(), config)
+        assert "VARRAY(42)" in script.text
+
+    def test_not_null_disabled(self):
+        config = MappingConfig(not_null_constraints=False)
+        _plan, script = build(university_dtd(), config)
+        assert "NOT NULL" not in script.text
+
+    def test_attribute_list_types(self):
+        config = MappingConfig(attribute_list_types=True)
+        _plan, script = build(university_dtd(), config)
+        assert "CREATE TYPE TypeAttrL_Student AS OBJECT" in script.text
+        assert "attrListStudent TypeAttrL_Student" in script.text
+        db = Database()
+        for statement in script.statements:
+            db.execute(statement)
+
+
+class TestConstraints:
+    def test_mandatory_children_not_null(self):
+        _plan, script = build(university_dtd())
+        create_table = script.statements[-1]
+        assert "attrStudyCourse NOT NULL" in create_table
+
+    def test_optional_children_nullable(self):
+        _plan, script = build("""
+            <!ELEMENT a (b?, c)> <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+        """)
+        create_table = script.statements[-1]
+        assert "attrb NOT NULL" not in create_table
+        assert "attrc NOT NULL" in create_table
+
+    def test_required_attribute_not_null(self):
+        _plan, script = build("""
+            <!ELEMENT a (#PCDATA)>
+            <!ATTLIST a must CDATA #REQUIRED may CDATA #IMPLIED>
+        """)
+        create_table = script.statements[-1]
+        assert "attrmust NOT NULL" in create_table
+        assert "attrmay NOT NULL" not in create_table
+
+    def test_check_constraints_opt_in(self):
+        # the Section 4.3 scenario: TabCourse OF Type_Course with an
+        # optional Address whose Street is mandatory
+        source = """
+            <!ELEMENT Course (Name, Address?)>
+            <!ELEMENT Address (Street, City?)>
+            <!ELEMENT Name (#PCDATA)> <!ELEMENT Street (#PCDATA)>
+            <!ELEMENT City (#PCDATA)>
+        """
+        _plan, default_script = build(source, root="Course")
+        assert "CHECK" not in default_script.text
+        config = MappingConfig(check_constraints=True)
+        _plan, script = build(source, config, root="Course")
+        assert "CHECK (attrAddress.attrStreet IS NOT NULL)" \
+            in script.text
+
+    def test_id_column_is_primary_key(self):
+        _plan, script = build(university_dtd())
+        assert "IDUniversity PRIMARY KEY" in script.text
+
+
+class TestOracle8Generation:
+    def test_script_executes_in_oracle8(self):
+        plan, script = build(university_dtd(),
+                             mode=CompatibilityMode.ORACLE8)
+        db = Database(CompatibilityMode.ORACLE8)
+        for statement in script.statements:
+            db.execute(statement)
+        assert "TABPROFESSOR" in db.catalog.tables
+
+    def test_child_holds_ref_to_parent(self):
+        _plan, script = build(university_dtd(),
+                              mode=CompatibilityMode.ORACLE8)
+        assert "refCourse REF Type_Course" in script.text
+
+    def test_scope_for_emitted(self):
+        _plan, script = build(university_dtd(),
+                              mode=CompatibilityMode.ORACLE8)
+        assert "SCOPE FOR (refCourse) IS TabCourse" in script.text
+
+    def test_scope_can_be_disabled(self):
+        config = MappingConfig(scope_constraints=False)
+        _plan, script = build(university_dtd(), config,
+                              mode=CompatibilityMode.ORACLE8)
+        assert "SCOPE FOR" not in script.text
+
+    def test_oracle9_script_fails_in_oracle8_engine(self):
+        """The nested-collection schema is exactly what Oracle 8
+        rejects (Section 2.2)."""
+        from repro.ordb import NestedCollectionNotSupported
+
+        _plan, script = build(university_dtd())
+        db8 = Database(CompatibilityMode.ORACLE8)
+        with pytest.raises(NestedCollectionNotSupported):
+            for statement in script.statements:
+                db8.execute(statement)
+
+
+class TestRecursionGeneration:
+    def test_forward_declaration_emitted_first(self):
+        _plan, script = build("""
+            <!ELEMENT r (p)> <!ELEMENT p (n, d)>
+            <!ELEMENT d (n, p*)> <!ELEMENT n (#PCDATA)>
+        """)
+        statements = script.statements
+        forward = statements.index("CREATE TYPE Type_p")
+        complete = next(index for index, text in enumerate(statements)
+                        if text.startswith("CREATE TYPE Type_p AS"))
+        assert forward < complete
+
+    def test_table_of_ref_for_recursion(self):
+        _plan, script = build("""
+            <!ELEMENT r (p)> <!ELEMENT p (n, d)>
+            <!ELEMENT d (n, p*)> <!ELEMENT n (#PCDATA)>
+        """)
+        assert "CREATE TYPE TypeRef_p AS TABLE OF REF Type_p" \
+            in script.text
+
+    def test_recursive_script_executes(self):
+        _plan, script = build("""
+            <!ELEMENT r (p)> <!ELEMENT p (n, d)>
+            <!ELEMENT d (n, p*)> <!ELEMENT n (#PCDATA)>
+        """)
+        db = Database()
+        for statement in script.statements:
+            db.execute(statement)
+
+    def test_mutual_recursion_executes_in_both_modes(self):
+        source = """
+            <!ELEMENT r (a)> <!ELEMENT a (t, b?)>
+            <!ELEMENT b (t, a?)> <!ELEMENT t (#PCDATA)>
+        """
+        for mode in (CompatibilityMode.ORACLE9,
+                     CompatibilityMode.ORACLE8):
+            _plan, script = build(source, mode=mode)
+            db = Database(mode)
+            for statement in script.statements:
+                db.execute(statement)
+
+
+class TestSchemaIds:
+    def test_two_schemas_coexist(self):
+        from repro.core.naming import NameGenerator
+
+        db = Database()
+        dtd = university_dtd()
+        plan1 = analyze(dtd, names=NameGenerator())
+        for statement in generate_schema(plan1).statements:
+            db.execute(statement)
+        plan2 = analyze(dtd, names=NameGenerator(schema_id="S2"))
+        for statement in generate_schema(plan2).statements:
+            db.execute(statement)
+        assert "TABUNIVERSITY" in db.catalog.tables
+        assert "TABUNIVERSITY_S2" in db.catalog.tables

@@ -1,0 +1,207 @@
+"""Meta-data registry (Section 5/6.1/7) and fidelity measurement."""
+
+import pytest
+
+from repro.core import MetadataRegistry, XML2Oracle, analyze, compare
+from repro.core.roundtrip import extract_facts, identical
+from repro.ordb import Database
+from repro.workloads import (
+    ARTICLE_DOCUMENT,
+    sample_document,
+    university_dtd,
+)
+from repro.xmlkit import parse
+
+
+class TestMetadataSchema:
+    def test_tables_created(self, db):
+        MetadataRegistry(db)
+        for table in ("TABMETADATA", "TABENTITY", "TABMISCNODE"):
+            assert table in db.catalog.tables
+
+    def test_idempotent(self, db):
+        MetadataRegistry(db)
+        MetadataRegistry(db)  # second init must not re-create
+
+
+class TestDocumentRegistration:
+    def test_document_row(self, db):
+        registry = MetadataRegistry(db)
+        plan = analyze(university_dtd())
+        registry.register_document(1, sample_document(), plan,
+                                   doc_name="appendix_a.xml",
+                                   url="file:///appendix_a.xml")
+        info = registry.document_info(1)
+        assert info[0] == "appendix_a.xml"
+        assert info[3] == "1.0"
+        assert registry.document_count() == 1
+
+    def test_doc_data_distinguishes_element_and_attribute(self, db):
+        registry = MetadataRegistry(db)
+        plan = analyze(university_dtd())
+        entries = registry.doc_data_entries(plan)
+        kinds = {(kind, xml_name)
+                 for kind, xml_name, _db_name, _db_type in entries}
+        # StudNr is an XML attribute; LName is an element: the
+        # distinction Section 5 says the schema alone cannot keep
+        assert ("attribute", "StudNr") in kinds
+        assert ("element", "LName") in kinds
+
+    def test_doc_data_maps_db_names(self, db):
+        registry = MetadataRegistry(db)
+        plan = analyze(university_dtd())
+        entries = {db_name: (kind, xml_name)
+                   for kind, xml_name, db_name, _t
+                   in registry.doc_data_entries(plan)}
+        assert entries["attrStudNr"] == ("attribute", "StudNr")
+        assert entries["attrLName"] == ("element", "LName")
+        assert entries["Type_Professor"] == ("element", "Professor")
+
+
+class TestEntities:
+    def test_entity_storage_and_lookup(self, db):
+        registry = MetadataRegistry(db)
+        registry.register_entities("S1", {"cs": "Computer Science"})
+        assert registry.entities_for("S1") == {
+            "cs": "Computer Science"}
+        assert registry.entities_for("S2") == {}
+
+
+class TestMiscNodes:
+    def test_comments_and_pis_recorded(self, db):
+        registry = MetadataRegistry(db)
+        document = parse("<!--pre--><a><!--in--><b/>"
+                         "<?pi data?></a><!--post-->")
+        count = registry.register_misc_nodes(1, document)
+        assert count == 4
+        kinds = [kind for _p, kind, _t, _c in registry.misc_nodes(1)]
+        assert kinds.count("comment") == 3
+        assert kinds.count("pi") == 1
+
+    def test_restore_into_tree(self, db):
+        registry = MetadataRegistry(db)
+        document = parse("<a><!--note--><b/><?pi d?></a>")
+        registry.register_misc_nodes(1, document)
+        bare = parse("<a><b/></a>")
+        restored = registry.restore_misc_nodes(
+            1, bare.root_element, bare)
+        assert restored == 2
+        kinds = [c.node_type for c in bare.root_element.children]
+        assert "comment" in kinds and "pi" in kinds
+
+
+class TestFidelityMetric:
+    def test_identical_documents_score_one(self):
+        document = sample_document()
+        report = compare(document, document)
+        assert report.score == 1.0
+        assert report.order_preserved
+        assert identical(document, document)
+
+    def test_missing_element_detected(self):
+        original = parse("<a><b>1</b><c>2</c></a>")
+        damaged = parse("<a><b>1</b></a>")
+        report = compare(original, damaged)
+        assert report.preserved["elements"] == 2
+        assert report.total["elements"] == 3
+        assert report.score < 1.0
+
+    def test_lost_comment_detected(self):
+        original = parse("<a><!--x--><b/></a>")
+        stripped = parse("<a><b/></a>")
+        report = compare(original, stripped)
+        assert report.category_score("comments") == 0.0
+        assert report.category_score("elements") == 1.0
+
+    def test_changed_attribute_detected(self):
+        report = compare(parse('<a k="1"/>'), parse('<a k="2"/>'))
+        assert report.category_score("attributes") == 0.0
+
+    def test_order_loss_detected(self):
+        original = parse("<a><b/><c/></a>")
+        swapped = parse("<a><c/><b/></a>")
+        report = compare(original, swapped)
+        assert report.score == 1.0  # same facts
+        assert not report.order_preserved
+        assert not identical(original, swapped)
+
+    def test_whitespace_normalization(self):
+        original = parse("<a>hello   world</a>")
+        squashed = parse("<a>hello world</a>")
+        assert compare(original, squashed).score == 1.0
+        assert compare(original, squashed,
+                       normalize_space=False).score < 1.0
+
+    def test_extract_facts_counts(self):
+        counters, order = extract_facts(
+            parse('<a k="v">t<b/><!--c--></a>'))
+        assert sum(counters["elements"].values()) == 2
+        assert sum(counters["attributes"].values()) == 1
+        assert sum(counters["comments"].values()) == 1
+        assert order == ["a", "a/b"]
+
+    def test_describe_mentions_categories(self):
+        report = compare(parse("<a><!--x--></a>"), parse("<a/>"))
+        text = report.describe()
+        assert "comments" in text and "fidelity" in text
+
+
+class TestEndToEndInformationPreservation:
+    def test_article_document_full_roundtrip(self):
+        """Document-centric content with comments, PIs and entities:
+        fidelity 1.0 thanks to the Section 6.1/7 meta-data extensions."""
+        tool = XML2Oracle()
+        document = parse(ARTICLE_DOCUMENT)
+        tool.register_schema(document.doctype.dtd)
+        tool.store(document)
+        rebuilt = tool.fetch(1)
+        report = compare(document, rebuilt)
+        assert report.category_score("comments") == 1.0
+        assert report.category_score("pis") == 1.0
+        # mixed-content markup is the one documented loss
+        assert report.category_score("text") == 1.0
+
+    def test_entity_resubstitution_in_text(self):
+        tool = XML2Oracle()
+        document = parse(ARTICLE_DOCUMENT)
+        tool.register_schema(document.doctype.dtd)
+        tool.store(document)
+        text = tool.fetch_text(1)
+        assert "&corp;" in text
+        assert "&db;" in text
+
+    def test_without_metadata_info_is_lost(self):
+        tool = XML2Oracle(metadata=False)
+        document = parse(ARTICLE_DOCUMENT)
+        tool.register_schema(document.doctype.dtd)
+        tool.store(document)
+        rebuilt = tool.fetch(1)
+        report = compare(document, rebuilt)
+        assert report.category_score("comments") == 0.0
+        assert report.category_score("pis") == 0.0
+
+
+class TestNamespaceRecording:
+    def test_default_namespace_in_metadata(self, db):
+        from repro.core import analyze
+        from repro.workloads import university_dtd
+
+        registry = MetadataRegistry(db)
+        plan = analyze(university_dtd())
+        document = parse(
+            '<University xmlns="http://htwk-leipzig.de/uni">'
+            "<StudyCourse>CS</StudyCourse></University>")
+        registry.register_document(7, document, plan)
+        info = registry.document_info(7)
+        assert info[6] == "http://htwk-leipzig.de/uni"
+
+    def test_no_namespace_is_null(self, db):
+        from repro.core import analyze
+        from repro.workloads import university_dtd
+
+        registry = MetadataRegistry(db)
+        plan = analyze(university_dtd())
+        document = parse("<University>"
+                         "<StudyCourse>CS</StudyCourse></University>")
+        registry.register_document(8, document, plan)
+        assert registry.document_info(8)[6] is None

@@ -1,0 +1,72 @@
+"""The mixed-as-markup extension: removing the flattening loss."""
+
+import pytest
+
+from repro.core import MappingConfig, XML2Oracle, compare
+from repro.xmlkit import parse
+
+_DTD = """
+<!ELEMENT Doc (Para+)>
+<!ELEMENT Para (#PCDATA | Em | Code)*>
+<!ELEMENT Em (#PCDATA)>
+<!ELEMENT Code (#PCDATA)>
+"""
+
+_DOCUMENT = ("<Doc><Para>plain <Em>bold</Em> and"
+             " <Code>x &lt; y</Code> end</Para>"
+             "<Para>second</Para></Doc>")
+
+
+def make_tool(markup: bool) -> XML2Oracle:
+    tool = XML2Oracle(config=MappingConfig(mixed_as_markup=markup))
+    tool.register_schema(_DTD)
+    return tool
+
+
+class TestPaperDefaultFlattens:
+    def test_text_kept_markup_lost(self):
+        tool = make_tool(markup=False)
+        stored = tool.store(parse(_DOCUMENT))
+        rebuilt = tool.fetch(stored.doc_id)
+        para = rebuilt.root_element.find("Para")
+        assert para.find("Em") is None
+        assert para.text() == "plain bold and x < y end"
+        report = compare(parse(_DOCUMENT), rebuilt)
+        assert report.category_score("elements") < 1.0
+
+
+class TestMarkupExtension:
+    def test_full_fidelity(self):
+        tool = make_tool(markup=True)
+        stored = tool.store(parse(_DOCUMENT))
+        rebuilt = tool.fetch(stored.doc_id)
+        report = compare(parse(_DOCUMENT), rebuilt)
+        assert report.score == 1.0, report.describe()
+        assert report.order_preserved
+
+    def test_inline_elements_restored(self):
+        tool = make_tool(markup=True)
+        stored = tool.store(parse(_DOCUMENT))
+        para = tool.fetch(stored.doc_id).root_element.find("Para")
+        assert para.find("Em").text() == "bold"
+        assert para.find("Code").text() == "x < y"
+
+    def test_escaping_survives(self):
+        source = "<Doc><Para>a &amp; b &lt; c</Para></Doc>"
+        tool = make_tool(markup=True)
+        stored = tool.store(parse(source))
+        para = tool.fetch(stored.doc_id).root_element.find("Para")
+        assert para.text() == "a & b < c"
+
+    def test_repeated_mixed_elements(self):
+        tool = make_tool(markup=True)
+        stored = tool.store(parse(_DOCUMENT))
+        paras = tool.fetch(stored.doc_id).root_element.find_all("Para")
+        assert len(paras) == 2
+        assert paras[1].text() == "second"
+
+    def test_mixed_text_still_queryable_as_markup(self):
+        tool = make_tool(markup=True)
+        tool.store(parse(_DOCUMENT))
+        value = tool.query("/Doc/Para").rows[0][0]
+        assert "<Em>bold</Em>" in str(value)

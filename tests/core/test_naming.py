@@ -1,0 +1,124 @@
+"""Naming conventions of Table 1 (experiment TAB1)."""
+
+import pytest
+
+from repro.core.naming import (
+    NameGenerator,
+    SchemaIdAllocator,
+    clean_xml_name,
+)
+from repro.ordb.identifiers import MAX_IDENTIFIER_LENGTH, is_reserved
+
+
+@pytest.fixture
+def names():
+    return NameGenerator()
+
+
+class TestTable1Conventions:
+    """One test per row of Table 1."""
+
+    def test_tab_prefix_for_tables(self, names):
+        assert names.table("Professor") == "TabProfessor"
+
+    def test_attr_prefix_for_simple_elements(self, names):
+        assert names.attribute("LName") == "attrLName"
+
+    def test_attr_prefix_for_xml_attributes(self, names):
+        assert names.xml_attribute("StudNr") == "attrStudNr"
+
+    def test_attrlist_prefix(self, names):
+        assert names.attribute_list("B") == "attrListB"
+
+    def test_id_prefix(self, names):
+        assert names.id_column("Student") == "IDStudent"
+
+    def test_type_prefix(self, names):
+        assert names.object_type("Course") == "Type_Course"
+
+    def test_typeattrl_prefix(self, names):
+        assert names.attrlist_type("B") == "TypeAttrL_B"
+
+    def test_typeva_prefix(self, names):
+        assert names.varray_type("Subject") == "TypeVA_Subject"
+
+    def test_oview_prefix(self, names):
+        assert names.object_view("University") == "OView_University"
+
+
+class TestExtensions:
+    def test_nested_table_prefix(self, names):
+        assert names.nested_table_type("Subject") == "TypeNT_Subject"
+
+    def test_ref_collection_prefix(self, names):
+        assert names.ref_collection_type("Professor") == \
+            "TypeRef_Professor"
+
+    def test_parent_ref_column(self, names):
+        assert names.parent_ref_column("Course") == "refCourse"
+
+    def test_storage_table(self, names):
+        assert names.storage_table("Subject") == "TabSubject_List"
+
+
+class TestUniquenessAndLegality:
+    def test_same_request_is_stable(self, names):
+        assert names.table("X") == names.table("X")
+
+    def test_element_vs_attribute_namespaces(self, names):
+        first = names.attribute("Name")
+        second = names.xml_attribute("Name")
+        assert first != second  # same prefix, disambiguated
+
+    def test_collision_disambiguated(self, names):
+        # two raw names that clean to the same identifier
+        first = names.table("A.B")
+        second = names.table("A_B")
+        assert first != second
+
+    def test_reserved_word_avoided(self, names):
+        table = names.table("le")  # "Table" is reserved
+        assert not is_reserved(table)
+
+    def test_length_clamped(self, names):
+        long_name = "Element" * 10
+        table = names.table(long_name)
+        assert len(table) <= MAX_IDENTIFIER_LENGTH
+
+    def test_long_names_stay_unique(self, names):
+        base = "VeryLongElementNameThatOverflows"
+        first = names.table(base + "X")
+        second = names.table(base + "Y")
+        assert first != second
+        assert len(first) <= MAX_IDENTIFIER_LENGTH
+        assert len(second) <= MAX_IDENTIFIER_LENGTH
+
+    def test_illegal_characters_cleaned(self):
+        assert clean_xml_name("ns:tag-1.2") == "ns_tag_1_2"
+
+    def test_leading_digit_prefixed(self):
+        assert clean_xml_name("1abc").startswith("X")
+
+
+class TestSchemaIds:
+    def test_allocator_sequence(self):
+        allocator = SchemaIdAllocator()
+        assert allocator.allocate() == "S1"
+        assert allocator.allocate() == "S2"
+
+    def test_schema_id_suffix(self):
+        names = NameGenerator(schema_id="S2")
+        assert names.table("Student") == "TabStudent_S2"
+        assert names.object_type("Student") == "Type_Student_S2"
+
+    def test_suffix_respects_length_limit(self):
+        names = NameGenerator(schema_id="S2")
+        long_name = "Q" * 40
+        generated = names.table(long_name)
+        assert len(generated) <= MAX_IDENTIFIER_LENGTH
+        assert generated.endswith("_S2")
+
+    def test_identical_elements_differ_across_schemas(self):
+        first = NameGenerator()
+        second = NameGenerator(schema_id="S2")
+        assert first.table("Student") != second.table("Student")

@@ -1,0 +1,116 @@
+"""Object views over shredded relational data (Section 6.3, CLM7)."""
+
+import pytest
+
+from repro.core import (
+    ObjectViewBuilder,
+    UnsupportedForViews,
+    analyze,
+    generate_schema,
+)
+from repro.core.loader import load_document
+from repro.dtd import parse_dtd
+from repro.ordb import Database, ObjectValue
+from repro.relational import InliningMapping
+from repro.workloads import sample_document, university_dtd
+
+
+@pytest.fixture(scope="module")
+def bridge():
+    """OR types + shredded relational data + generated views."""
+    dtd = university_dtd()
+    plan = analyze(dtd)
+    relational = InliningMapping(dtd)
+    db = Database()
+    for statement in generate_schema(plan).statements:
+        db.execute(statement)
+    relational.install(db)
+    relational.load(db, sample_document(), 1)
+    builder = ObjectViewBuilder(plan, relational)
+    for statement in builder.build_all():
+        db.execute(statement)
+    return db, plan, relational, builder
+
+
+class TestViewGeneration:
+    def test_view_names_follow_table_1(self, bridge):
+        _db, _plan, _relational, builder = bridge
+        assert builder.view_name("University") == "OView_University"
+
+    def test_views_for_relation_backed_elements(self, bridge):
+        db, _plan, relational, _builder = bridge
+        assert "OVIEW_UNIVERSITY" in db.catalog.views
+        assert "OVIEW_PROFESSOR" in db.catalog.views
+
+    def test_view_sql_uses_cast_multiset(self, bridge):
+        _db, plan, relational, builder = bridge
+        sql = builder.build_view("University")
+        assert "CAST(MULTISET(" in sql
+        assert "AS TypeVA_Student)" in sql
+
+
+class TestViewResults:
+    def test_root_view_returns_object(self, bridge):
+        db, _plan, _relational, _builder = bridge
+        value = db.execute(
+            "SELECT v.University FROM OView_University v").scalar()
+        assert isinstance(value, ObjectValue)
+        assert value.get("attrStudyCourse") == "Computer Science"
+
+    def test_view_object_matches_natively_stored_object(self, bridge):
+        db, plan, _relational, _builder = bridge
+        for statement in load_document(plan, sample_document(),
+                                       1).statements:
+            db.execute(statement)
+        native = db.execute(
+            "SELECT VALUE(t) FROM TabUniversity t").scalar()
+        viewed = db.execute(
+            "SELECT v.University FROM OView_University v").scalar()
+        # identical except the synthetic id (rows vs view-derived)
+        assert (native.get("attrStudyCourse")
+                == viewed.get("attrStudyCourse"))
+        native_students = native.get("attrStudent")
+        viewed_students = viewed.get("attrStudent")
+        assert len(native_students) == len(viewed_students)
+        assert (native_students[0].get("attrLName")
+                == viewed_students[0].get("attrLName"))
+        native_courses = native_students[0].get("attrCourse")
+        viewed_courses = viewed_students[0].get("attrCourse")
+        assert ([c.get("attrName") for c in native_courses]
+                == [c.get("attrName") for c in viewed_courses])
+
+    def test_professor_view_subjects(self, bridge):
+        db, _plan, _relational, _builder = bridge
+        result = db.execute(
+            "SELECT v.Professor.attrPName, v.Professor.attrSubject"
+            " FROM OView_Professor v")
+        by_name = {row[0]: list(row[1]) for row in result.rows}
+        assert by_name["Kudrass"] == ["Database Systems",
+                                      "Operat. Systems"]
+        assert by_name["Jaeger"] == ["CAD", "CAE"]
+
+    def test_dot_navigation_through_view(self, bridge):
+        db, _plan, _relational, _builder = bridge
+        result = db.execute(
+            "SELECT s.attrLName FROM OView_University v,"
+            " TABLE(v.University.attrStudent) s")
+        assert {row[0] for row in result.rows} == {"Conrad", "Meier"}
+
+
+class TestUnsupportedCases:
+    def test_recursive_plans_rejected(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (p*)> <!ELEMENT p (n, p*)>
+            <!ELEMENT n (#PCDATA)>
+        """)
+        plan = analyze(dtd)
+        relational = InliningMapping(dtd)
+        builder = ObjectViewBuilder(plan, relational)
+        with pytest.raises(UnsupportedForViews):
+            builder.build_view("r")
+
+    def test_element_without_relation_rejected(self, bridge):
+        _db, plan, relational, _builder = bridge
+        builder = ObjectViewBuilder(plan, relational)
+        with pytest.raises(UnsupportedForViews):
+            builder.build_view("LName")  # inlined, no relation

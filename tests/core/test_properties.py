@@ -1,0 +1,96 @@
+"""Property-based round-trip tests over synthetic document types."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import XML2Oracle, compare
+from repro.workloads import (
+    SyntheticShape,
+    make_university_xml,
+    synthetic_document_xml,
+    synthetic_dtd_text,
+)
+from repro.xmlkit import parse
+
+_shapes = st.builds(
+    SyntheticShape,
+    depth=st.integers(min_value=1, max_value=3),
+    fanout=st.integers(min_value=1, max_value=3),
+    repeat_ratio=st.floats(min_value=0.0, max_value=0.8),
+    optional_ratio=st.floats(min_value=0.0, max_value=0.2),
+    attributes_per_element=st.integers(min_value=0, max_value=2),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=_shapes, doc_seed=st.integers(min_value=0, max_value=999))
+def test_synthetic_roundtrip_fidelity(shape, doc_seed):
+    """Any data-centric synthetic document survives a store/fetch
+    cycle with perfect fidelity (the core invariant of the mapping)."""
+    dtd_text = synthetic_dtd_text(shape)
+    document_text = synthetic_document_xml(shape, repeat_count=2,
+                                           seed=doc_seed)
+    tool = XML2Oracle()
+    tool.register_schema(dtd_text, root="Root")
+    stored = tool.store(parse(document_text))
+    rebuilt = tool.fetch(stored.doc_id)
+    report = compare(parse(document_text), rebuilt)
+    assert report.score == 1.0, report.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=_shapes)
+def test_synthetic_single_insert(shape):
+    """Oracle-9 nesting always needs exactly one INSERT per document
+    when no REF storage is involved (no IDREFs/recursion here)."""
+    dtd_text = synthetic_dtd_text(shape)
+    document_text = synthetic_document_xml(shape)
+    tool = XML2Oracle(metadata=False)
+    tool.register_schema(dtd_text, root="Root")
+    stored = tool.store(parse(document_text))
+    assert stored.load_result.insert_count == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(students=st.integers(min_value=0, max_value=12),
+       courses=st.integers(min_value=0, max_value=4),
+       seed=st.integers(min_value=0, max_value=9999))
+def test_university_roundtrip_any_size(students, courses, seed):
+    tool = XML2Oracle()
+    from repro.workloads import UNIVERSITY_DTD
+
+    tool.register_schema(UNIVERSITY_DTD)
+    text = make_university_xml(students=students,
+                               courses_per_student=courses, seed=seed)
+    stored = tool.store(parse(text))
+    rebuilt = tool.fetch(stored.doc_id)
+    assert compare(parse(text), rebuilt).score == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=_shapes)
+def test_schema_generation_is_deterministic(shape):
+    tool_a = XML2Oracle()
+    tool_b = XML2Oracle()
+    dtd_text = synthetic_dtd_text(shape)
+    schema_a = tool_a.register_schema(dtd_text, root="Root")
+    schema_b = tool_b.register_schema(dtd_text, root="Root")
+    assert schema_a.script.text == schema_b.script.text
+
+
+@settings(max_examples=10, deadline=None)
+@given(shape=_shapes, doc_seed=st.integers(min_value=0, max_value=99))
+def test_synthetic_roundtrip_oracle8(shape, doc_seed):
+    """The Oracle-8 REF workaround preserves all facts too (order may
+    be regrouped, which compare() scores separately)."""
+    from repro.ordb import CompatibilityMode
+
+    dtd_text = synthetic_dtd_text(shape)
+    document_text = synthetic_document_xml(shape, repeat_count=2,
+                                           seed=doc_seed)
+    tool = XML2Oracle(mode=CompatibilityMode.ORACLE8, metadata=False)
+    tool.register_schema(dtd_text, root="Root")
+    stored = tool.store(parse(document_text))
+    rebuilt = tool.fetch(stored.doc_id)
+    report = compare(parse(document_text), rebuilt)
+    assert report.score == 1.0, report.describe()

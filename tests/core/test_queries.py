@@ -1,0 +1,133 @@
+"""Path queries rendered as dot-notation SQL (Section 4.1 claims)."""
+
+import pytest
+
+from repro.core import PathQueryBuilder, analyze, generate_schema
+from repro.core.loader import load_document
+from repro.ordb import CompatibilityMode, Database
+from repro.workloads import sample_document, university_dtd
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    plan = analyze(university_dtd())
+    db = Database()
+    for statement in generate_schema(plan).statements:
+        db.execute(statement)
+    for statement in load_document(plan, sample_document(),
+                                   1).statements:
+        db.execute(statement)
+    return db, plan
+
+
+@pytest.fixture(scope="module")
+def loaded8():
+    plan = analyze(university_dtd(), mode=CompatibilityMode.ORACLE8)
+    db = Database(CompatibilityMode.ORACLE8)
+    for statement in generate_schema(plan).statements:
+        db.execute(statement)
+    for statement in load_document(plan, sample_document(),
+                                   1).statements:
+        db.execute(statement)
+    return db, plan
+
+
+class TestQueryShape:
+    def test_single_table_with_unnests(self, loaded):
+        _db, plan = loaded
+        query = PathQueryBuilder(plan).build(
+            "/University/Student/Course/Professor/PName")
+        assert query.join_count == 0
+        assert query.unnest_count == 3
+        assert query.sql.count("TABLE(") == 3
+        assert "TabUniversity" in query.sql
+
+    def test_scalar_path_is_pure_dot_notation(self, loaded):
+        _db, plan = loaded
+        query = PathQueryBuilder(plan).build("/University/StudyCourse")
+        assert query.from_count == 1
+        assert query.sql == ("SELECT t1.attrStudyCourse FROM"
+                             " TabUniversity t1")
+
+    def test_oracle8_path_uses_joins(self, loaded8):
+        _db, plan = loaded8
+        query = PathQueryBuilder(plan).build(
+            "/University/Student/Course/Professor/PName")
+        assert query.join_count >= 1  # child tables reappear as joins
+
+    def test_doc_id_filter(self, loaded):
+        _db, plan = loaded
+        query = PathQueryBuilder(plan).build("/University/StudyCourse",
+                                             doc_id=3)
+        assert "IDUniversity = 'D3'" in query.sql
+
+
+class TestQueryResults:
+    def test_leaf_values(self, loaded):
+        db, plan = loaded
+        query = PathQueryBuilder(plan).build(
+            "/University/Student/Course/Professor/Subject")
+        values = {row[0] for row in db.execute(query.sql).rows}
+        assert values == {"Database Systems", "Operat. Systems",
+                          "CAD", "CAE"}
+
+    def test_predicate(self, loaded):
+        db, plan = loaded
+        query = PathQueryBuilder(plan).build(
+            "/University/Student",
+            predicate=("Course/Professor/PName", "=", "Kudrass"),
+            select="LName")
+        assert db.execute(query.sql).rows == [("Conrad",)]
+
+    def test_attribute_select(self, loaded):
+        db, plan = loaded
+        query = PathQueryBuilder(plan).build(
+            "/University/Student", select="StudNr")
+        values = [row[0] for row in db.execute(query.sql).rows]
+        assert values == ["23374", "00011"]
+
+    def test_attribute_predicate(self, loaded):
+        db, plan = loaded
+        query = PathQueryBuilder(plan).build(
+            "/University/Student", predicate=("StudNr", "=", "00011"),
+            select="LName")
+        assert db.execute(query.sql).rows == [("Meier",)]
+
+    def test_same_results_in_both_modes(self, loaded, loaded8):
+        db9, plan9 = loaded
+        db8, plan8 = loaded8
+        path = "/University/Student/Course/Name"
+        names9 = sorted(row[0] for row in db9.execute(
+            PathQueryBuilder(plan9).build(path).sql).rows)
+        names8 = sorted(row[0] for row in db8.execute(
+            PathQueryBuilder(plan8).build(path).sql).rows)
+        assert names9 == names8 == ["CAD Intro", "Database Systems II"]
+
+    def test_paper_sample_query_shape(self, loaded):
+        """Singular version of the paper's 4.1 query: dot path in the
+        WHERE clause, no join."""
+        db, _plan = loaded
+        result = db.execute(
+            "SELECT s.attrLName FROM TabUniversity u,"
+            " TABLE(u.attrStudent) s, TABLE(s.attrCourse) c,"
+            " TABLE(c.attrProfessor) p"
+            " WHERE p.attrPName = 'Jaeger'")
+        assert result.rows == [("Conrad",)]
+
+
+class TestErrors:
+    def test_path_must_start_at_root(self, loaded):
+        _db, plan = loaded
+        with pytest.raises(ValueError, match="root"):
+            PathQueryBuilder(plan).build("/Student/LName")
+
+    def test_unknown_step(self, loaded):
+        _db, plan = loaded
+        with pytest.raises(ValueError, match="not a child"):
+            PathQueryBuilder(plan).build("/University/Nothing")
+
+    def test_unknown_predicate_step(self, loaded):
+        _db, plan = loaded
+        with pytest.raises(ValueError, match="not found"):
+            PathQueryBuilder(plan).build(
+                "/University/Student", predicate=("Zzz", "=", "1"))

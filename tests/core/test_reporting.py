@@ -1,0 +1,50 @@
+"""The comparison reporting module (backs EXPERIMENTS.md's tables)."""
+
+import pytest
+
+from repro.core.reporting import compare_mappings
+from repro.workloads import make_university, university_dtd
+
+_PATH = ["University", "Student", "Course", "Professor", "PName"]
+
+
+@pytest.fixture(scope="module")
+def report():
+    return compare_mappings(university_dtd(),
+                            make_university(students=6), _PATH)
+
+
+class TestComparisonReport:
+    def test_all_five_mappings_measured(self, report):
+        labels = [m.label for m in report.measurements]
+        assert labels == ["or_oracle9", "or_oracle8", "inlining",
+                          "attribute", "edge"]
+
+    def test_all_mappings_agree_on_result_rows(self, report):
+        row_counts = {m.query_rows for m in report.measurements}
+        assert len(row_counts) == 1
+
+    def test_clm1_ordering(self, report):
+        assert report.ordering_holds()
+
+    def test_or9_single_insert(self, report):
+        assert report.by_label("or_oracle9").insert_statements == 1
+
+    def test_or9_joinless(self, report):
+        assert report.by_label("or_oracle9").query_joins == 0
+
+    def test_edge_join_heavy(self, report):
+        assert report.by_label("edge").query_joins >= len(_PATH)
+
+    def test_format_table(self, report):
+        table = report.format_table()
+        assert "or_oracle9" in table
+        assert "edge" in table
+        assert table.count("\n") == 6  # header + rule + 5 rows
+
+    def test_unknown_label(self, report):
+        with pytest.raises(KeyError):
+            report.by_label("nope")
+
+    def test_node_count_recorded(self, report):
+        assert report.document_nodes > 50

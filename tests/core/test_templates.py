@@ -1,0 +1,155 @@
+"""Template-driven export (Section 6.3's application)."""
+
+import pytest
+
+from repro.core import analyze, generate_schema
+from repro.core.objectviews import ObjectViewBuilder
+from repro.core.templates import (
+    TemplateError,
+    TemplateProcessor,
+    process_template,
+)
+from repro.ordb import Database
+from repro.relational import InliningMapping
+from repro.workloads import sample_document, university_dtd
+from repro.xmlkit import parse, serialize
+
+
+@pytest.fixture
+def people_db(db):
+    db.executescript("""
+        CREATE TABLE people(name VARCHAR2(40), age NUMBER);
+        INSERT INTO people VALUES('Anna', 34);
+        INSERT INTO people VALUES('Bernd', NULL);
+    """)
+    return db
+
+
+class TestScalarQueries:
+    def test_rows_and_columns_become_elements(self, people_db):
+        result = process_template(people_db, """
+            <Report>
+              <sql:query>SELECT p.name, p.age FROM people p</sql:query>
+            </Report>""")
+        rows = result.root_element.find_all("row")
+        assert len(rows) == 2
+        assert rows[0].find("NAME").text() == "Anna"
+        assert rows[0].find("AGE").text() == "34"
+
+    def test_null_omitted_by_default(self, people_db):
+        result = process_template(people_db, """
+            <R><sql:query>SELECT p.name, p.age FROM people p
+            </sql:query></R>""")
+        bernd = result.root_element.find_all("row")[1]
+        assert bernd.find("AGE") is None
+
+    def test_null_empty_mode(self, people_db):
+        result = process_template(people_db, """
+            <R><sql:query null="empty">
+            SELECT p.name, p.age FROM people p</sql:query></R>""")
+        bernd = result.root_element.find_all("row")[1]
+        assert bernd.find("AGE") is not None
+        assert bernd.find("AGE").text() == ""
+
+    def test_custom_row_element(self, people_db):
+        result = process_template(people_db, """
+            <R><sql:query row-element="Person">
+            SELECT p.name FROM people p</sql:query></R>""")
+        assert len(result.root_element.find_all("Person")) == 2
+
+    def test_column_alias_names_element(self, people_db):
+        result = process_template(people_db, """
+            <R><sql:query>SELECT UPPER(p.name) AS shouting
+            FROM people p</sql:query></R>""")
+        assert result.root_element.find("row") \
+            .find("SHOUTING").text() == "ANNA"
+
+    def test_static_content_preserved(self, people_db):
+        result = process_template(people_db, """
+            <Report version="1">
+              <Title>People</Title>
+              <sql:query>SELECT p.name FROM people p</sql:query>
+              <Footer>end</Footer>
+            </Report>""")
+        root = result.root_element
+        assert root.get("version") == "1"
+        assert root.find("Title").text() == "People"
+        assert root.find("Footer").text() == "end"
+        # static and generated nodes interleave at the query position
+        tags = [c.tag for c in root.child_elements]
+        assert tags == ["Title", "row", "row", "Footer"]
+
+    def test_multiple_queries(self, people_db):
+        result = process_template(people_db, """
+            <R>
+              <sql:query row-element="A">SELECT COUNT(*) c
+               FROM people</sql:query>
+              <sql:query row-element="B">SELECT MAX(p.age) m
+               FROM people p</sql:query>
+            </R>""")
+        assert result.root_element.find("A").find("C").text() == "2"
+        assert result.root_element.find("B").find("M").text() == "34"
+
+    def test_empty_query_rejected(self, people_db):
+        with pytest.raises(TemplateError):
+            process_template(people_db,
+                             "<R><sql:query>  </sql:query></R>")
+
+    def test_bad_null_mode_rejected(self, people_db):
+        with pytest.raises(TemplateError):
+            process_template(people_db, """
+                <R><sql:query null="bogus">SELECT 1 FROM people
+                </sql:query></R>""")
+
+
+class TestObjectExpansion:
+    @pytest.fixture(scope="class")
+    def view_db(self):
+        dtd = university_dtd()
+        plan = analyze(dtd)
+        db = Database()
+        for statement in generate_schema(plan).statements:
+            db.execute(statement)
+        relational = InliningMapping(dtd)
+        relational.install(db)
+        relational.load(db, sample_document(), 1)
+        for statement in ObjectViewBuilder(plan,
+                                           relational).build_all():
+            db.execute(statement)
+        return db
+
+    def test_object_view_rows_expand_recursively(self, view_db):
+        """The Section 6.3 scenario: views embedded in a template."""
+        result = process_template(view_db, """
+            <Faculty>
+              <sql:query row-element="Entry">
+                SELECT v.Professor FROM OView_Professor v
+              </sql:query>
+            </Faculty>""")
+        entries = result.root_element.find_all("Entry")
+        assert len(entries) == 2
+        first = entries[0].find("PROFESSOR")
+        assert first.find("ATTRPNAME").text() == "Kudrass"
+        subjects = first.find("ATTRSUBJECT").find_all("item")
+        assert [s.text() for s in subjects] == [
+            "Database Systems", "Operat. Systems"]
+
+    def test_serialized_output_is_wellformed(self, view_db):
+        result = process_template(view_db, """
+            <Out><sql:query>SELECT v.Professor.attrPName
+             FROM OView_Professor v</sql:query></Out>""")
+        text = serialize(result)
+        again = parse(text)
+        assert len(again.root_element.find_all("row")) == 2
+
+
+class TestProcessorReuse:
+    def test_processor_handles_documents(self, people_db):
+        processor = TemplateProcessor(people_db)
+        template = parse("<R><sql:query>SELECT p.name FROM people p"
+                         "</sql:query></R>")
+        first = processor.process(template)
+        second = processor.process(template)
+        assert serialize(first) == serialize(second)
+        # the template itself is untouched
+        assert template.root_element.find("sql:query") is not None

@@ -1,0 +1,119 @@
+"""Section 7 future-work extension: type annotations for leaves.
+
+The paper's drawback list: "no type concept in DTDs -> simple elements
+and attributes can only be assigned the VARCHAR datatype in the
+database".  The ``MappingConfig.type_hints`` layer supplies the
+missing types (the paper's planned XML Schema analysis would have).
+"""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.core import MappingConfig, XML2Oracle, analyze, generate_schema
+from repro.ordb import InvalidNumber
+from repro.workloads import UNIVERSITY_DTD, university_dtd
+from repro.xmlkit import parse
+
+_HINTS = {"CreditPts": "NUMBER", "StudNr": "INTEGER"}
+
+
+def tool_with_hints() -> XML2Oracle:
+    tool = XML2Oracle(config=MappingConfig(type_hints=_HINTS))
+    tool.register_schema(university_dtd())
+    return tool
+
+
+class TestSchemaGeneration:
+    def test_hinted_element_column_type(self):
+        config = MappingConfig(type_hints=_HINTS)
+        script = generate_schema(analyze(university_dtd(), config))
+        assert "attrCreditPts NUMBER" in script.text
+        assert "attrStudNr INTEGER" in script.text
+
+    def test_unhinted_leaves_stay_varchar(self):
+        config = MappingConfig(type_hints=_HINTS)
+        script = generate_schema(analyze(university_dtd(), config))
+        assert "attrLName VARCHAR2(4000)" in script.text
+
+    def test_hint_on_collection_element(self):
+        from repro.dtd import parse_dtd
+
+        config = MappingConfig(type_hints={"n": "NUMBER"})
+        script = generate_schema(analyze(
+            parse_dtd("<!ELEMENT r (n*)> <!ELEMENT n (#PCDATA)>"),
+            config))
+        assert "AS VARRAY(1000) OF NUMBER" in script.text
+
+    def test_hint_with_parameters(self):
+        from repro.dtd import parse_dtd
+
+        config = MappingConfig(type_hints={"price": "NUMBER(10,2)"})
+        script = generate_schema(analyze(
+            parse_dtd("<!ELEMENT r (price)>"
+                      " <!ELEMENT price (#PCDATA)>"), config))
+        assert "attrprice NUMBER(10,2)" in script.text
+
+
+class TestLoadingWithHints:
+    def test_values_are_typed_in_database(self):
+        tool = tool_with_hints()
+        tool.store(parse(
+            "<University><StudyCourse>CS</StudyCourse>"
+            '<Student StudNr="23374"><LName>C</LName><FName>M</FName>'
+            "<Course><Name>DB</Name><CreditPts>4</CreditPts></Course>"
+            "</Student></University>"))
+        result = tool.sql(
+            "SELECT s.attrStudNr, c.attrCreditPts"
+            " FROM TabUniversity u, TABLE(u.attrStudent) s,"
+            " TABLE(s.attrCourse) c")
+        student_number, credits = result.first()
+        assert student_number == 23374  # INTEGER, not string
+        assert credits == Decimal(4)
+
+    def test_numeric_comparison_works(self):
+        tool = tool_with_hints()
+        tool.store(parse(
+            "<University><StudyCourse>CS</StudyCourse>"
+            '<Student StudNr="1"><LName>A</LName><FName>a</FName>'
+            "<Course><Name>X</Name><CreditPts>8</CreditPts></Course>"
+            "</Student>"
+            '<Student StudNr="2"><LName>B</LName><FName>b</FName>'
+            "<Course><Name>Y</Name><CreditPts>2</CreditPts></Course>"
+            "</Student></University>"))
+        result = tool.sql(
+            "SELECT s.attrLName FROM TabUniversity u,"
+            " TABLE(u.attrStudent) s, TABLE(s.attrCourse) c"
+            " WHERE c.attrCreditPts > 5")
+        assert result.rows == [("A",)]
+
+    def test_non_numeric_text_rejected_at_load(self):
+        tool = XML2Oracle(config=MappingConfig(type_hints=_HINTS),
+                          validate_documents=False)
+        tool.register_schema(university_dtd())
+        with pytest.raises(InvalidNumber):
+            tool.store(parse(
+                "<University><StudyCourse>CS</StudyCourse>"
+                '<Student StudNr="x"><LName>C</LName><FName>M</FName>'
+                "</Student></University>"))
+
+    def test_roundtrip_preserves_values(self):
+        from repro.core import compare
+
+        tool = tool_with_hints()
+        source = parse(
+            "<University><StudyCourse>CS</StudyCourse>"
+            '<Student StudNr="23374"><LName>C</LName><FName>M</FName>'
+            "<Course><Name>DB</Name><CreditPts>4</CreditPts></Course>"
+            "</Student></University>")
+        stored = tool.store(source)
+        rebuilt = tool.fetch(stored.doc_id)
+        assert compare(source, rebuilt).score == 1.0
+
+
+class TestHintedAttributesInWrapperMode:
+    def test_attrlist_member_typed(self):
+        config = MappingConfig(type_hints={"StudNr": "INTEGER"},
+                               attribute_list_types=True)
+        script = generate_schema(analyze(university_dtd(), config))
+        assert "attrStudNr INTEGER" in script.text

@@ -1,0 +1,112 @@
+"""Glushkov content-model automata: acceptance and determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtd import NondeterministicModelError, parse_dtd
+from repro.dtd.automata import ContentAutomaton
+
+
+def automaton(model: str) -> ContentAutomaton:
+    dtd = parse_dtd(f"<!ELEMENT X {model}>")
+    return ContentAutomaton(dtd.element("X").content.particle)
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("model,accepted,rejected", [
+        ("(a)", [["a"]], [[], ["a", "a"], ["b"]]),
+        ("(a?)", [[], ["a"]], [["a", "a"]]),
+        ("(a*)", [[], ["a"], ["a"] * 5], [["b"]]),
+        ("(a+)", [["a"], ["a", "a"]], [[]]),
+        ("(a,b)", [["a", "b"]], [["a"], ["b", "a"], ["a", "b", "b"]]),
+        ("(a|b)", [["a"], ["b"]], [[], ["a", "b"]]),
+        ("(a,(b|c),d)", [["a", "b", "d"], ["a", "c", "d"]],
+         [["a", "d"], ["a", "b", "c", "d"]]),
+        ("((a,b)+)", [["a", "b"], ["a", "b", "a", "b"]],
+         [["a"], ["a", "b", "a"]]),
+        ("(a,b?,c*)", [["a"], ["a", "b"], ["a", "c", "c"],
+                       ["a", "b", "c"]], [["b"], ["a", "b", "b"]]),
+        ("((a|b)*,c)", [["c"], ["a", "b", "a", "c"]], [["a"], []]),
+    ])
+    def test_models(self, model, accepted, rejected):
+        compiled = automaton(model)
+        for sequence in accepted:
+            assert compiled.matches(sequence), (model, sequence)
+        for sequence in rejected:
+            assert not compiled.matches(sequence), (model, sequence)
+
+    def test_explain_reports_position(self):
+        compiled = automaton("(a,b)")
+        message = compiled.explain(["a", "c"])
+        assert "position 2" in message
+        assert "'c'" in message
+
+    def test_explain_reports_premature_end(self):
+        compiled = automaton("(a,b)")
+        assert "prematurely" in compiled.explain(["a"])
+
+    def test_explain_none_on_success(self):
+        assert automaton("(a,b)").explain(["a", "b"]) is None
+
+
+class TestDeterminism:
+    def test_classic_nondeterministic_model(self):
+        # ((a,b)|(a,c)) is the spec's canonical violation
+        with pytest.raises(NondeterministicModelError):
+            automaton("((a,b)|(a,c))")
+
+    def test_deterministic_rewrite_is_fine(self):
+        compiled = automaton("(a,(b|c))")
+        assert compiled.matches(["a", "b"])
+        assert compiled.matches(["a", "c"])
+
+    def test_star_overlap_detected(self):
+        with pytest.raises(NondeterministicModelError):
+            automaton("(a*,a)")
+
+
+# -- property-based cross-check against a brute-force expander -------------
+
+
+def _enumerate(model: str, alphabet: tuple[str, ...],
+               max_length: int) -> set[tuple[str, ...]]:
+    """All accepted sequences up to max_length, by exhaustive search."""
+    compiled = automaton(model)
+    accepted: set[tuple[str, ...]] = set()
+
+    def extend(sequence: tuple[str, ...]) -> None:
+        if compiled.matches(list(sequence)):
+            accepted.add(sequence)
+        if len(sequence) >= max_length:
+            return
+        for symbol in alphabet:
+            extend(sequence + (symbol,))
+
+    extend(())
+    return accepted
+
+
+def test_exhaustive_small_alphabet():
+    accepted = _enumerate("(a,b?,c*)", ("a", "b", "c"), 4)
+    expected = {
+        ("a",), ("a", "b"), ("a", "c"), ("a", "c", "c"),
+        ("a", "b", "c"), ("a", "c", "c", "c"), ("a", "b", "c", "c"),
+    }
+    assert accepted == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=6))
+def test_star_of_choice_accepts_everything(sequence):
+    assert automaton("((a|b)*)").matches(sequence)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["a", "b"]), max_size=8))
+def test_sequence_star_equivalence(sequence):
+    """((a,b)*) accepts exactly alternating ab pairs."""
+    compiled = automaton("((a,b)*)")
+    expected = (len(sequence) % 2 == 0 and
+                all(symbol == ("a" if index % 2 == 0 else "b")
+                    for index, symbol in enumerate(sequence)))
+    assert compiled.matches(sequence) == expected

@@ -1,0 +1,84 @@
+"""Property test: content automata agree with a regex oracle.
+
+Each content particle has an obvious regular-expression translation
+over single-character symbols.  For randomly generated (deterministic)
+content models, the Glushkov automaton and Python's ``re`` engine must
+accept exactly the same symbol sequences.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+import re
+
+from repro.dtd.automata import (
+    ContentAutomaton,
+    NondeterministicModelError,
+)
+from repro.dtd.content import (
+    ChoiceParticle,
+    NameParticle,
+    Occurrence,
+    Particle,
+    SequenceParticle,
+)
+
+_SYMBOLS = "abcd"
+
+_occurrences = st.sampled_from(list(Occurrence))
+
+
+@st.composite
+def particles(draw, depth: int = 3) -> Particle:
+    if depth == 0:
+        return NameParticle(draw(st.sampled_from(_SYMBOLS)),
+                            draw(_occurrences))
+    kind = draw(st.integers(min_value=0, max_value=2))
+    if kind == 0:
+        return NameParticle(draw(st.sampled_from(_SYMBOLS)),
+                            draw(_occurrences))
+    children = draw(st.lists(particles(depth=depth - 1), min_size=1,
+                             max_size=3))
+    occurrence = draw(_occurrences)
+    if kind == 1:
+        return SequenceParticle(children, occurrence)
+    return ChoiceParticle(children, occurrence)
+
+
+def to_regex(particle: Particle) -> str:
+    if isinstance(particle, NameParticle):
+        body = re.escape(particle.name)
+    elif isinstance(particle, SequenceParticle):
+        body = "".join(to_regex(item) for item in particle.items)
+    else:
+        assert isinstance(particle, ChoiceParticle)
+        body = "|".join(to_regex(alt)
+                        for alt in particle.alternatives)
+    return f"(?:{body}){particle.occurrence.value}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(particle=particles(),
+       sequence=st.lists(st.sampled_from(_SYMBOLS), max_size=7))
+def test_automaton_matches_regex_oracle(particle, sequence):
+    try:
+        automaton = ContentAutomaton(particle)
+    except NondeterministicModelError:
+        assume(False)  # XML rejects these models; nothing to compare
+        return
+    pattern = re.compile(to_regex(particle))
+    expected = pattern.fullmatch("".join(sequence)) is not None
+    assert automaton.matches(list(sequence)) == expected, \
+        (particle.to_source(), sequence)
+
+
+@settings(max_examples=150, deadline=None)
+@given(particle=particles())
+def test_explain_consistent_with_matches(particle):
+    try:
+        automaton = ContentAutomaton(particle)
+    except NondeterministicModelError:
+        assume(False)
+        return
+    for sequence in ([], ["a"], ["a", "b"], ["d", "d"]):
+        matched = automaton.matches(sequence)
+        explanation = automaton.explain(sequence)
+        assert matched == (explanation is None)

@@ -1,0 +1,139 @@
+"""Content-model AST and the Fig. 2 child-summary classification."""
+
+import pytest
+
+from repro.dtd import (
+    ChoiceParticle,
+    ContentKind,
+    ContentSpec,
+    NameParticle,
+    Occurrence,
+    SequenceParticle,
+    parse_dtd,
+)
+
+
+def _summary(model: str):
+    dtd = parse_dtd(f"<!ELEMENT X {model}>")
+    return {child.name: child
+            for child in dtd.element("X").content.child_summary()}
+
+
+class TestOccurrence:
+    def test_star_is_optional_and_repeatable(self):
+        occurrence = Occurrence.ZERO_OR_MORE
+        assert occurrence.optional and occurrence.repeatable
+
+    def test_plus_is_mandatory_and_repeatable(self):
+        occurrence = Occurrence.ONE_OR_MORE
+        assert not occurrence.optional and occurrence.repeatable
+
+    def test_question_is_optional_only(self):
+        occurrence = Occurrence.OPTIONAL
+        assert occurrence.optional and not occurrence.repeatable
+
+    def test_one_is_neither(self):
+        occurrence = Occurrence.ONE
+        assert not occurrence.optional and not occurrence.repeatable
+
+
+class TestClassification:
+    def test_pcdata_is_simple(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        content = dtd.element("a").content
+        assert content.is_pcdata_only
+        assert not content.has_element_children
+
+    def test_mixed_with_names(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA|b|c)*>")
+        content = dtd.element("a").content
+        assert content.is_mixed
+        assert content.element_names() == ["b", "c"]
+
+    def test_empty(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        assert dtd.element("a").content.kind is ContentKind.EMPTY
+
+    def test_any(self):
+        dtd = parse_dtd("<!ELEMENT a ANY>")
+        assert dtd.element("a").content.kind is ContentKind.ANY
+
+
+class TestChildSummary:
+    def test_plain_sequence_all_mandatory(self):
+        summary = _summary("(a,b,c)")
+        assert all(child.mandatory and not child.repeatable
+                   for child in summary.values())
+
+    def test_operators(self):
+        summary = _summary("(a?,b*,c+,d)")
+        assert summary["a"].optional and not summary["a"].repeatable
+        assert summary["b"].optional and summary["b"].repeatable
+        assert not summary["c"].optional and summary["c"].repeatable
+        assert summary["d"].mandatory and not summary["d"].repeatable
+
+    def test_choice_children_are_optional(self):
+        summary = _summary("(a|b)")
+        assert summary["a"].optional
+        assert summary["b"].optional
+
+    def test_group_operator_distributes(self):
+        summary = _summary("((a,b)*)")
+        assert summary["a"].repeatable and summary["a"].optional
+        assert summary["b"].repeatable
+
+    def test_repeated_mention_is_repeatable(self):
+        summary = _summary("(a,x,a)")
+        assert summary["a"].repeatable
+
+    def test_mixed_children_optional_repeatable(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA|b)*>")
+        (child,) = dtd.element("a").content.child_summary()
+        assert child.optional and child.repeatable
+
+    def test_nested_choice_in_sequence(self):
+        summary = _summary("(a,(b|c),d)")
+        assert summary["a"].mandatory
+        assert summary["b"].optional
+        assert summary["c"].optional
+        assert summary["d"].mandatory
+
+    def test_single_alternative_choice_is_mandatory(self):
+        # (a) is a one-item group, not a real choice
+        summary = _summary("((a))")
+        assert summary["a"].mandatory
+
+    def test_document_order_preserved(self):
+        dtd = parse_dtd("<!ELEMENT X (z,m,a)>")
+        names = [c.name
+                 for c in dtd.element("X").content.child_summary()]
+        assert names == ["z", "m", "a"]
+
+
+class TestRendering:
+    @pytest.mark.parametrize("model", [
+        "(a,b)", "(a|b)", "(a?,b*,c+)", "((a,b)|c)*",
+        "(#PCDATA)", "(#PCDATA|em|strong)*", "EMPTY", "ANY",
+    ])
+    def test_to_source_reparses_equivalently(self, model):
+        dtd = parse_dtd(f"<!ELEMENT X {model}>")
+        rendered = dtd.element("X").content.to_source()
+        dtd2 = parse_dtd(f"<!ELEMENT X {rendered}>")
+        assert (dtd2.element("X").content.to_source()
+                == dtd.element("X").content.to_source())
+
+
+class TestParticleApi:
+    def test_element_names_dedupe_in_order(self):
+        particle = SequenceParticle([
+            NameParticle("a"), NameParticle("b"), NameParticle("a")])
+        assert particle.element_names() == ["a", "b"]
+
+    def test_choice_requires_alternatives(self):
+        particle = ChoiceParticle([NameParticle("x")],
+                                  Occurrence.ZERO_OR_MORE)
+        assert particle.to_source() == "(x)*"
+
+    def test_children_requires_particle(self):
+        with pytest.raises(ValueError):
+            ContentSpec(ContentKind.CHILDREN)

@@ -1,0 +1,75 @@
+"""DTD declaration objects: rendering and convenience queries."""
+
+import pytest
+
+from repro.dtd import (
+    AttributeDecl,
+    AttributeType,
+    DefaultKind,
+    parse_dtd,
+)
+
+
+class TestAttributeRendering:
+    @pytest.mark.parametrize("declaration,expected", [
+        (AttributeDecl("a", AttributeType.CDATA, DefaultKind.REQUIRED),
+         "a CDATA #REQUIRED"),
+        (AttributeDecl("a", AttributeType.ID, DefaultKind.IMPLIED),
+         "a ID #IMPLIED"),
+        (AttributeDecl("a", AttributeType.CDATA, DefaultKind.FIXED,
+                       "v"),
+         'a CDATA #FIXED "v"'),
+        (AttributeDecl("a", AttributeType.CDATA, DefaultKind.DEFAULT,
+                       "d"),
+         'a CDATA "d"'),
+        (AttributeDecl("a", AttributeType.ENUMERATION,
+                       DefaultKind.IMPLIED, None, ("x", "y")),
+         "a (x|y) #IMPLIED"),
+        (AttributeDecl("a", AttributeType.NOTATION,
+                       DefaultKind.IMPLIED, None, ("gif",)),
+         "a NOTATION (gif) #IMPLIED"),
+    ])
+    def test_to_source(self, declaration, expected):
+        assert declaration.to_source() == expected
+
+    def test_required_and_optional_predicates(self):
+        required = AttributeDecl("a", AttributeType.CDATA,
+                                 DefaultKind.REQUIRED)
+        implied = AttributeDecl("b", AttributeType.CDATA,
+                                DefaultKind.IMPLIED)
+        defaulted = AttributeDecl("c", AttributeType.CDATA,
+                                  DefaultKind.DEFAULT, "d")
+        assert required.required and not required.optional
+        assert implied.optional and not implied.required
+        assert not defaulted.required and not defaulted.optional
+
+    def test_tokenized_predicate(self):
+        assert AttributeType.ID.is_tokenized
+        assert AttributeType.NMTOKEN.is_tokenized
+        assert not AttributeType.CDATA.is_tokenized
+
+
+class TestDtdQueries:
+    def test_multiple_root_candidates(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (c)> <!ELEMENT b (c)> <!ELEMENT c (#PCDATA)>
+        """)
+        assert dtd.root_candidates() == ["a", "b"]
+
+    def test_mutually_recursive_dtd_has_no_candidates(self):
+        dtd = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (a)>")
+        assert dtd.root_candidates() == []
+
+    def test_element_lookup(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        assert dtd.element("a") is not None
+        assert dtd.element("b") is None
+
+    def test_attributes_of_unknown_element_is_empty(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        assert dtd.attributes_of("zzz") == {}
+
+    def test_element_decl_to_source(self):
+        dtd = parse_dtd("<!ELEMENT a (b?,c*)>"
+                        "<!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>")
+        assert dtd.element("a").to_source() == "<!ELEMENT a (b?,c*)>"

@@ -1,0 +1,221 @@
+"""DTD parser: declarations, entities, conditional sections."""
+
+import pytest
+
+from repro.dtd import AttributeType, DefaultKind, parse_dtd
+from repro.xmlkit.errors import XMLSyntaxError
+
+
+class TestElementDeclarations:
+    def test_simple(self):
+        dtd = parse_dtd("<!ELEMENT name (#PCDATA)>")
+        assert dtd.element("name").content.is_pcdata_only
+
+    def test_declaration_order_is_kept(self):
+        dtd = parse_dtd("<!ELEMENT b (#PCDATA)> <!ELEMENT a (#PCDATA)>")
+        assert dtd.declaration_order == ["b", "a"]
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="declared twice"):
+            parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT a (#PCDATA)>")
+
+    def test_complex_model(self):
+        dtd = parse_dtd("<!ELEMENT a ((b,c?)|d+)*>")
+        names = dtd.element("a").content.element_names()
+        assert names == ["b", "c", "d"]
+
+    def test_mixed_without_star_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!ELEMENT a (#PCDATA|b)>")
+
+    def test_mixed_separator_must_not_be_comma(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!ELEMENT a (#PCDATA,b)*>")
+
+    def test_mixing_separators_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="mixed"):
+            parse_dtd("<!ELEMENT a (b,c|d)>")
+
+
+class TestAttlistDeclarations:
+    def test_types_and_defaults(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (#PCDATA)>
+            <!ATTLIST e
+              i ID #REQUIRED
+              r IDREF #IMPLIED
+              c CDATA "dflt"
+              f CDATA #FIXED "fx"
+              n NMTOKEN #IMPLIED
+              v (yes|no) "no">
+        """)
+        attrs = dtd.attributes_of("e")
+        assert attrs["i"].attribute_type is AttributeType.ID
+        assert attrs["i"].default_kind is DefaultKind.REQUIRED
+        assert attrs["r"].attribute_type is AttributeType.IDREF
+        assert attrs["c"].default_value == "dflt"
+        assert attrs["f"].default_kind is DefaultKind.FIXED
+        assert attrs["f"].default_value == "fx"
+        assert attrs["v"].attribute_type is AttributeType.ENUMERATION
+        assert attrs["v"].enumeration == ("yes", "no")
+
+    def test_multiple_attlists_merge(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (#PCDATA)>
+            <!ATTLIST e a CDATA #IMPLIED>
+            <!ATTLIST e b CDATA #IMPLIED>
+        """)
+        assert set(dtd.attributes_of("e")) == {"a", "b"}
+
+    def test_first_attribute_declaration_wins(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (#PCDATA)>
+            <!ATTLIST e a CDATA "one">
+            <!ATTLIST e a CDATA "two">
+        """)
+        assert dtd.attributes_of("e")["a"].default_value == "one"
+
+    def test_notation_attribute(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (#PCDATA)>
+            <!ATTLIST e fmt NOTATION (gif|png) #IMPLIED>
+        """)
+        attr = dtd.attributes_of("e")["fmt"]
+        assert attr.attribute_type is AttributeType.NOTATION
+        assert attr.enumeration == ("gif", "png")
+
+    def test_char_reference_in_default(self):
+        dtd = parse_dtd("""
+            <!ELEMENT e (#PCDATA)>
+            <!ATTLIST e a CDATA "x&#65;y">
+        """)
+        assert dtd.attributes_of("e")["a"].default_value == "xAy"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd("<!ELEMENT e (#PCDATA)>"
+                      "<!ATTLIST e a BOGUS #IMPLIED>")
+
+
+class TestEntityDeclarations:
+    def test_internal_general(self):
+        dtd = parse_dtd('<!ENTITY cs "Computer Science">')
+        assert dtd.entities.expand_general("cs") == "Computer Science"
+
+    def test_external_general_recorded(self):
+        dtd = parse_dtd('<!ENTITY chap SYSTEM "chap.xml">')
+        definition = dtd.entities.lookup_general("chap")
+        assert definition.system_id == "chap.xml"
+        assert not definition.is_internal
+
+    def test_unparsed_entity(self):
+        dtd = parse_dtd('<!NOTATION gif SYSTEM "viewer">'
+                        '<!ENTITY pic SYSTEM "p.gif" NDATA gif>')
+        assert dtd.entities.lookup_general("pic").is_unparsed
+
+    def test_parameter_entity_expansion_in_declarations(self):
+        dtd = parse_dtd("""
+            <!ENTITY % inline "b | i">
+            <!ELEMENT p (#PCDATA | %inline;)*>
+            <!ELEMENT b (#PCDATA)> <!ELEMENT i (#PCDATA)>
+        """)
+        assert set(dtd.element("p").content.mixed_names) == {"b", "i"}
+
+    def test_parameter_entity_holding_declarations(self):
+        dtd = parse_dtd("""
+            <!ENTITY % decls "<!ELEMENT x (#PCDATA)>">
+            %decls;
+        """)
+        assert dtd.element("x") is not None
+
+    def test_undefined_parameter_entity(self):
+        with pytest.raises(XMLSyntaxError, match="undefined parameter"):
+            parse_dtd("<!ELEMENT a (%nope;)>")
+
+    def test_entity_value_keeps_general_references(self):
+        dtd = parse_dtd('<!ENTITY a "x"> <!ENTITY b "&a;y">')
+        assert dtd.entities.lookup_general("b").replacement == "&a;y"
+        assert dtd.entities.expand_general("b") == "xy"
+
+    def test_char_reference_in_entity_value(self):
+        dtd = parse_dtd('<!ENTITY e "A&#66;C">')
+        assert dtd.entities.lookup_general("e").replacement == "ABC"
+
+    def test_recursive_parameter_entities_bounded(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_dtd('<!ENTITY % a "%b;"> <!ENTITY % b "%a;">'
+                      "<!ELEMENT e (%a;)>")
+
+
+class TestConditionalSections:
+    def test_include(self):
+        dtd = parse_dtd("<![INCLUDE[<!ELEMENT a (#PCDATA)>]]>")
+        assert dtd.element("a") is not None
+
+    def test_ignore(self):
+        dtd = parse_dtd("<![IGNORE[<!ELEMENT a (#PCDATA)>]]>")
+        assert dtd.element("a") is None
+
+    def test_keyword_via_parameter_entity(self):
+        dtd = parse_dtd("""
+            <!ENTITY % draft "INCLUDE">
+            <![%draft;[<!ELEMENT a (#PCDATA)>]]>
+        """)
+        assert dtd.element("a") is not None
+
+    def test_nested_sections(self):
+        dtd = parse_dtd(
+            "<![IGNORE[<![INCLUDE[<!ELEMENT a (#PCDATA)>]]>]]>"
+            "<!ELEMENT b (#PCDATA)>")
+        assert dtd.element("a") is None
+        assert dtd.element("b") is not None
+
+
+class TestNotationsAndMisc:
+    def test_notation_system(self):
+        dtd = parse_dtd('<!NOTATION gif SYSTEM "image/gif">')
+        assert dtd.notations["gif"].system_id == "image/gif"
+
+    def test_notation_public(self):
+        dtd = parse_dtd('<!NOTATION n PUBLIC "pub-id">')
+        assert dtd.notations["n"].public_id == "pub-id"
+
+    def test_comments_and_pis_are_skipped(self):
+        dtd = parse_dtd("""
+            <!-- a comment with <!ELEMENT fake (x)> inside -->
+            <?processing instruction?>
+            <!ELEMENT real (#PCDATA)>
+        """)
+        assert dtd.element("fake") is None
+        assert dtd.element("real") is not None
+
+
+class TestDtdQueries:
+    def test_root_candidates(self):
+        dtd = parse_dtd("""
+            <!ELEMENT root (child)> <!ELEMENT child (#PCDATA)>
+        """)
+        assert dtd.root_candidates() == ["root"]
+
+    def test_undeclared_children(self):
+        dtd = parse_dtd("<!ELEMENT a (b,c)> <!ELEMENT b (#PCDATA)>")
+        assert dtd.undeclared_children() == {"a": ["c"]}
+
+    def test_id_attribute_lookup(self):
+        dtd = parse_dtd("<!ELEMENT e (#PCDATA)>"
+                        "<!ATTLIST e k ID #REQUIRED other CDATA #IMPLIED>")
+        assert dtd.id_attribute_of("e").name == "k"
+        assert dtd.id_attribute_of("missing") is None
+
+    def test_to_source_reparses(self):
+        dtd = parse_dtd("""
+            <!ELEMENT a (b+,c?)> <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+            <!ATTLIST a k ID #REQUIRED>
+            <!ENTITY e "text">
+        """)
+        again = parse_dtd(dtd.to_source())
+        assert set(again.elements) == set(dtd.elements)
+        assert again.attributes_of("a")["k"].attribute_type \
+            is AttributeType.ID
+        assert again.entities.expand_general("e") == "text"

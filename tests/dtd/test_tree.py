@@ -1,0 +1,135 @@
+"""DTD tree and element graph (Fig. 1 tree, Section 6.2 hazards)."""
+
+import pytest
+
+from repro.dtd import (
+    RecursionError_,
+    build_tree,
+    containment_cycles,
+    element_graph,
+    parse_dtd,
+    recursive_elements,
+    shared_elements,
+)
+from repro.workloads import UNIVERSITY_DTD
+
+
+class TestTreeConstruction:
+    def test_university_tree_shape(self):
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        tree = build_tree(dtd)
+        assert tree.name == "University"
+        student = tree.children[1]
+        assert student.name == "Student"
+        assert student.is_set_valued and student.is_optional
+        assert "StudNr" in student.attributes
+        course = student.children[2]
+        professor = course.children[1]
+        subject = professor.children[1]
+        assert subject.is_set_valued and not subject.is_optional
+
+    def test_occurrence_markers_in_pretty(self):
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        text = build_tree(dtd).pretty()
+        assert "Student*" in text
+        assert "Subject+" in text
+        assert "CreditPts?" in text
+
+    def test_root_inference_fails_on_ambiguity(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>")
+        with pytest.raises(ValueError, match="unique root"):
+            build_tree(dtd)
+
+    def test_explicit_root(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (a)>")
+        tree = build_tree(dtd, root="b")
+        assert tree.children[0].name == "a"
+
+    def test_unknown_root_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        with pytest.raises(ValueError, match="not declared"):
+            build_tree(dtd, root="zzz")
+
+    def test_undeclared_child_treated_as_simple(self):
+        dtd = parse_dtd("<!ELEMENT a (mystery)>")
+        tree = build_tree(dtd, root="a")
+        assert tree.children[0].is_simple
+
+
+class TestSharedElements:
+    _FIG3 = parse_dtd("""
+        <!ELEMENT Faculty (Professor, Student)>
+        <!ELEMENT Professor (PName, Address)>
+        <!ELEMENT Address (Street, City)>
+        <!ELEMENT Student (Address, SName)>
+        <!ELEMENT PName (#PCDATA)> <!ELEMENT SName (#PCDATA)>
+        <!ELEMENT Street (#PCDATA)> <!ELEMENT City (#PCDATA)>
+    """)
+
+    def test_shared_detection(self):
+        assert shared_elements(self._FIG3) == {"Address"}
+
+    def test_tree_duplicates_shared_element(self):
+        tree = build_tree(self._FIG3)
+        addresses = [node for node in tree.walk()
+                     if node.name == "Address"]
+        assert len(addresses) == 2
+        assert addresses[0].duplicate_of is None
+        assert addresses[1].duplicate_of == "Address"
+
+    def test_graph_has_single_shared_node(self):
+        graph = element_graph(self._FIG3)
+        assert graph.in_degree("Address") == 2
+
+
+class TestRecursion:
+    _REC = parse_dtd("""
+        <!ELEMENT Root (Professor)>
+        <!ELEMENT Professor (PName, Dept)>
+        <!ELEMENT Dept (DName, Professor*)>
+        <!ELEMENT PName (#PCDATA)> <!ELEMENT DName (#PCDATA)>
+    """)
+
+    def test_recursive_detection(self):
+        assert recursive_elements(self._REC) == {"Professor", "Dept"}
+
+    def test_self_recursion(self):
+        dtd = parse_dtd("<!ELEMENT part (part*)>")
+        assert recursive_elements(dtd) == {"part"}
+
+    def test_cycles_enumerated(self):
+        cycles = containment_cycles(self._REC)
+        assert any(set(cycle) == {"Professor", "Dept"}
+                   for cycle in cycles)
+
+    def test_tree_raises_without_flag(self):
+        with pytest.raises(RecursionError_) as info:
+            build_tree(self._REC)
+        assert "Professor" in str(info.value)
+
+    def test_tree_with_recursion_marks_backedge(self):
+        tree = build_tree(self._REC, allow_recursion=True)
+        backedges = [node for node in tree.walk()
+                     if node.duplicate_of == node.name
+                     and node.name == "Professor"
+                     and not node.children]
+        assert backedges
+
+    def test_non_recursive_dtd_has_no_recursion(self):
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        assert recursive_elements(dtd) == set()
+
+
+class TestGraph:
+    def test_edge_attributes_carry_occurrence(self):
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        graph = element_graph(dtd)
+        occurrence = graph.edges["University", "Student"]["occurrence"]
+        assert occurrence.repeatable and occurrence.optional
+        occurrence = graph.edges["Professor", "Dept"]["occurrence"]
+        assert not occurrence.repeatable and not occurrence.optional
+
+    def test_all_declared_elements_are_nodes(self):
+        dtd = parse_dtd(UNIVERSITY_DTD)
+        graph = element_graph(dtd)
+        assert set(dtd.declaration_order) <= set(graph.nodes)

@@ -1,0 +1,165 @@
+"""Document validation against a DTD (Fig. 1's validity check)."""
+
+import pytest
+
+from repro.dtd import Validator, parse_dtd, validate
+from repro.xmlkit import XMLValidityError, parse
+
+_DTD = parse_dtd("""
+    <!ELEMENT course (title, credit?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT credit (#PCDATA)>
+    <!ATTLIST course
+       id ID #REQUIRED
+       level (ba|ma) "ba"
+       dept CDATA #IMPLIED>
+""")
+
+
+def check(source: str, dtd=_DTD):
+    return validate(parse(source), dtd)
+
+
+class TestContentValidation:
+    def test_valid_document(self):
+        report = check('<course id="c1"><title>DB</title></course>')
+        assert report.valid
+
+    def test_missing_mandatory_child(self):
+        report = check('<course id="c1"></course>')
+        assert not report.valid
+
+    def test_wrong_child_order(self):
+        report = check('<course id="c1"><credit>4</credit>'
+                       "<title>DB</title></course>")
+        assert not report.valid
+
+    def test_undeclared_element(self):
+        report = check('<course id="c1"><title>DB</title>'
+                       "<bogus/></course>")
+        assert any("not declared" in str(e) for e in report.errors)
+
+    def test_character_data_in_element_content(self):
+        report = check('<course id="c1">oops<title>DB</title></course>')
+        assert any("character data" in str(e) for e in report.errors)
+
+    def test_whitespace_in_element_content_is_fine(self):
+        report = check('<course id="c1">\n  <title>DB</title>\n'
+                       "</course>")
+        assert report.valid
+
+    def test_empty_element_with_content(self):
+        dtd = parse_dtd("<!ELEMENT e EMPTY>")
+        report = validate(parse("<e>boom</e>"), dtd)
+        assert not report.valid
+
+    def test_any_element_accepts_everything(self):
+        dtd = parse_dtd("<!ELEMENT e ANY> <!ELEMENT x (#PCDATA)>")
+        report = validate(parse("<e>t<x>y</x></e>"), dtd)
+        assert report.valid
+
+    def test_mixed_content_allows_listed_only(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA|em)*>"
+                        "<!ELEMENT em (#PCDATA)>"
+                        "<!ELEMENT b (#PCDATA)>")
+        assert validate(parse("<p>x<em>y</em></p>"), dtd).valid
+        assert not validate(parse("<p><b>y</b></p>"), dtd).valid
+
+
+class TestAttributeValidation:
+    def test_required_attribute_missing(self):
+        report = check("<course><title>DB</title></course>")
+        assert any("required attribute" in str(e)
+                   for e in report.errors)
+
+    def test_undeclared_attribute(self):
+        report = check('<course id="c1" boom="1">'
+                       "<title>DB</title></course>")
+        assert any("not declared" in str(e) for e in report.errors)
+
+    def test_enumeration_violation(self):
+        report = check('<course id="c1" level="phd">'
+                       "<title>DB</title></course>")
+        assert not report.valid
+
+    def test_default_applied(self):
+        document = parse('<course id="c1"><title>DB</title></course>')
+        validate(document, _DTD)
+        attribute = document.root_element.attributes["level"]
+        assert attribute.value == "ba"
+        assert not attribute.specified
+
+    def test_defaults_can_be_disabled(self):
+        document = parse('<course id="c1"><title>DB</title></course>')
+        Validator(_DTD, apply_defaults=False).validate(document)
+        assert "level" not in document.root_element.attributes
+
+    def test_fixed_attribute_mismatch(self):
+        dtd = parse_dtd('<!ELEMENT e (#PCDATA)>'
+                        '<!ATTLIST e v CDATA #FIXED "1">')
+        report = validate(parse('<e v="2">x</e>'), dtd)
+        assert any("#FIXED" in str(e) for e in report.errors)
+
+    def test_nmtoken_validation(self):
+        dtd = parse_dtd("<!ELEMENT e (#PCDATA)>"
+                        "<!ATTLIST e t NMTOKEN #IMPLIED>")
+        assert validate(parse('<e t="tok-1">x</e>'), dtd).valid
+        assert not validate(parse('<e t="two tokens">x</e>'),
+                            dtd).valid
+
+
+class TestIdIdref:
+    _ID_DTD = parse_dtd("""
+        <!ELEMENT bib (item*)>
+        <!ELEMENT item (#PCDATA)>
+        <!ATTLIST item k ID #REQUIRED r IDREF #IMPLIED
+                       rs IDREFS #IMPLIED>
+    """)
+
+    def test_valid_references(self):
+        report = validate(parse(
+            '<bib><item k="a" r="b">x</item>'
+            '<item k="b" rs="a b">y</item></bib>'), self._ID_DTD)
+        assert report.valid
+        assert set(report.ids) == {"a", "b"}
+
+    def test_duplicate_id(self):
+        report = validate(parse(
+            '<bib><item k="a">x</item><item k="a">y</item></bib>'),
+            self._ID_DTD)
+        assert any("duplicate ID" in str(e) for e in report.errors)
+
+    def test_dangling_idref(self):
+        report = validate(parse('<bib><item k="a" r="zz">x</item></bib>'),
+                          self._ID_DTD)
+        assert any("does not match any ID" in str(e)
+                   for e in report.errors)
+
+    def test_dangling_idrefs_token(self):
+        report = validate(parse(
+            '<bib><item k="a" rs="a zz">x</item></bib>'), self._ID_DTD)
+        assert not report.valid
+
+    def test_id_value_must_be_name(self):
+        report = validate(parse('<bib><item k="1bad">x</item></bib>'),
+                          self._ID_DTD)
+        assert any("not a Name" in str(e) for e in report.errors)
+
+
+class TestReporting:
+    def test_all_errors_collected(self):
+        report = check("<course><bogus/><title>DB</title>"
+                       "<title>DB2</title></course>")
+        assert len(report.errors) >= 2
+
+    def test_assert_valid_raises_first(self):
+        with pytest.raises(XMLValidityError):
+            Validator(_DTD).assert_valid(
+                parse("<course><title>DB</title></course>"))
+
+    def test_doctype_name_mismatch(self):
+        document = parse("<!DOCTYPE other [<!ELEMENT other (#PCDATA)>]>"
+                         "<other>x</other>")
+        # validate against the course DTD: root name differs
+        report = validate(document, _DTD)
+        assert not report.valid

@@ -1,0 +1,118 @@
+"""CLM5: the Section 4.3 constraint acceptance matrix.
+
+The paper's findings: NOT NULL works for mandatory top-level columns
+and #REQUIRED attributes; it cannot be expressed for set-valued
+columns or attributes nested in optional complex columns; CHECK
+constraints for the latter backfire ('non-desired error message').
+"""
+
+import pytest
+
+from repro.core import MappingConfig, XML2Oracle
+from repro.ordb import CheckViolation, NullNotAllowed
+from repro.xmlkit import parse
+
+_COURSE_ROOT_DTD = """
+<!ELEMENT Course (Name, Address?)>
+<!ELEMENT Address (Street, City?)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+"""
+
+
+def make_tool(check_constraints: bool) -> XML2Oracle:
+    tool = XML2Oracle(
+        config=MappingConfig(check_constraints=check_constraints),
+        validate_documents=False)
+    tool.register_schema(_COURSE_ROOT_DTD, root="Course")
+    return tool
+
+
+class TestWithoutCheckConstraints:
+    """The paper's recommended configuration."""
+
+    def test_valid_documents_load(self):
+        tool = make_tool(check_constraints=False)
+        tool.store(parse("<Course><Name>CAD</Name>"
+                         "<Address><Street>Main</Street></Address>"
+                         "</Course>"))
+        tool.store(parse("<Course><Name>OS</Name></Course>"))
+
+    def test_mandatory_name_enforced(self):
+        tool = make_tool(check_constraints=False)
+        with pytest.raises(NullNotAllowed):
+            tool.store(_course_without_name())
+
+    def test_inner_mandatory_street_not_enforced(self):
+        """The documented gap: without CHECK, an invalid inner NULL
+        slips through (NOT NULL cannot reach inside object columns)."""
+        tool = make_tool(check_constraints=False)
+        tool.store(parse("<Course><Name>CAD</Name>"
+                         "<Address><City>Leipzig</City></Address>"
+                         "</Course>"), )  # invalid per DTD, accepted
+
+
+class TestWithCheckConstraints:
+    """The Section 4.3 experiment, quote by quote."""
+
+    def test_desired_error(self):
+        """'The following INSERT statement produces a desired error
+        message because it is not allowed to create a new address
+        with a city but without a street.'"""
+        tool = make_tool(check_constraints=True)
+        with pytest.raises(CheckViolation):
+            tool.store(parse("<Course><Name>CAD Intro</Name>"
+                             "<Address><City>Leipzig</City></Address>"
+                             "</Course>"))
+
+    def test_non_desired_error(self):
+        """'Let's assume a new course is inserted ... without any
+        address data ... which results in a non-desired error
+        message.'"""
+        tool = make_tool(check_constraints=True)
+        with pytest.raises(CheckViolation):
+            tool.store(parse("<Course><Name>Operating Systems</Name>"
+                             "</Course>"))
+
+    def test_complete_address_accepted(self):
+        tool = make_tool(check_constraints=True)
+        stored = tool.store(parse(
+            "<Course><Name>DB II</Name>"
+            "<Address><Street>Main St</Street>"
+            "<City>Leipzig</City></Address></Course>"))
+        assert stored.doc_id == 1
+
+    def test_conclusion_check_unusable_for_optional_elements(self):
+        """Summary measurement: with CHECK on, a DTD-valid document
+        (optional address absent) is rejected -> the constraint is
+        wrong, exactly the paper's conclusion."""
+        valid_but_rejected = parse(
+            "<Course><Name>Operating Systems</Name></Course>")
+        from repro.dtd import Validator, parse_dtd
+
+        validator = Validator(parse_dtd(_COURSE_ROOT_DTD))
+        assert validator.validate(valid_but_rejected).valid
+        tool = make_tool(check_constraints=True)
+        with pytest.raises(CheckViolation):
+            tool.store(valid_but_rejected)
+
+
+class TestSetValuedColumns:
+    def test_plus_collections_are_not_not_null(self):
+        """Section 4.3: 'Set-valued attributes cannot be defined as
+        NOT NULL altogether' — a '+' child produces no NOT NULL."""
+        tool = XML2Oracle(validate_documents=False)
+        schema = tool.register_schema(
+            "<!ELEMENT r (i+)> <!ELEMENT i (#PCDATA)>")
+        create_table = schema.script.statements[-1]
+        assert "attri NOT NULL" not in create_table
+        # so an (invalid) empty document loads silently
+        tool.store(parse("<r></r>"))
+
+
+def _course_without_name():
+    document = parse("<Course><Name>x</Name></Course>")
+    name = document.root_element.find("Name")
+    document.root_element.remove(name)
+    return document

@@ -1,0 +1,38 @@
+"""Every example script runs cleanly from a fresh interpreter."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples")
+    .glob("*.py"))
+
+_EXPECTED_MARKERS = {
+    "quickstart.py": "round-trip fidelity",
+    "content_management.py": "fidelity with meta-data",
+    "bibliography_idref.py": "citation edges",
+    "recursive_org_chart.py": "with FORCE:",
+    "relational_comparison.py": "holds",
+    "template_export.py": "expanded report",
+}
+
+
+def test_example_inventory():
+    """The README's example table and the directory stay in sync."""
+    names = {path.name for path in _EXAMPLES}
+    assert names == set(_EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize(
+    "script", _EXAMPLES, ids=[path.stem for path in _EXAMPLES])
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    marker = _EXPECTED_MARKERS[script.name]
+    assert marker in completed.stdout, (
+        f"expected {marker!r} in {script.name} output")

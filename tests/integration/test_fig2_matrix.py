@@ -1,0 +1,117 @@
+"""FIG2: every case of the Fig. 2 mapping-algorithm tree maps,
+executes, loads and round-trips.
+
+The matrix: {simple, complex} elements x {single, iteration} x
+{optional, mandatory}, and attributes {IMPLIED, REQUIRED} —
+"The algorithm works for all possible combinations of the cases
+mentioned above."
+"""
+
+import pytest
+
+from repro.core import XML2Oracle, compare
+from repro.ordb import CompatibilityMode, NullNotAllowed
+from repro.xmlkit import parse
+
+#: One DTD exercising the full case matrix at once.
+MATRIX_DTD = """
+<!ELEMENT Matrix (SimpleMand, SimpleOpt?, SimpleStar*, SimplePlus+,
+                  ComplexMand, ComplexOpt?, ComplexStar*, ComplexPlus+)>
+<!ELEMENT SimpleMand (#PCDATA)>
+<!ELEMENT SimpleOpt (#PCDATA)>
+<!ELEMENT SimpleStar (#PCDATA)>
+<!ELEMENT SimplePlus (#PCDATA)>
+<!ELEMENT ComplexMand (Leaf)>
+<!ELEMENT ComplexOpt (Leaf)>
+<!ELEMENT ComplexStar (Leaf, Leaf2?)>
+<!ELEMENT ComplexPlus (Leaf)>
+<!ELEMENT Leaf (#PCDATA)>
+<!ELEMENT Leaf2 (#PCDATA)>
+<!ATTLIST Matrix
+    required CDATA #REQUIRED
+    implied CDATA #IMPLIED>
+<!ATTLIST ComplexStar tag CDATA #IMPLIED>
+"""
+
+FULL_DOCUMENT = """
+<Matrix required="r" implied="i">
+  <SimpleMand>sm</SimpleMand>
+  <SimpleOpt>so</SimpleOpt>
+  <SimpleStar>s1</SimpleStar><SimpleStar>s2</SimpleStar>
+  <SimplePlus>p1</SimplePlus>
+  <ComplexMand><Leaf>cm</Leaf></ComplexMand>
+  <ComplexOpt><Leaf>co</Leaf></ComplexOpt>
+  <ComplexStar tag="t1"><Leaf>cs1</Leaf><Leaf2>x</Leaf2></ComplexStar>
+  <ComplexStar><Leaf>cs2</Leaf></ComplexStar>
+  <ComplexPlus><Leaf>cp</Leaf></ComplexPlus>
+</Matrix>
+"""
+
+MINIMAL_DOCUMENT = """
+<Matrix required="r">
+  <SimpleMand>sm</SimpleMand>
+  <SimplePlus>p1</SimplePlus>
+  <ComplexMand><Leaf>cm</Leaf></ComplexMand>
+  <ComplexPlus><Leaf>cp</Leaf></ComplexPlus>
+</Matrix>
+"""
+
+
+@pytest.mark.parametrize("mode", [CompatibilityMode.ORACLE9,
+                                  CompatibilityMode.ORACLE8])
+class TestMatrix:
+    def test_full_document_roundtrip(self, mode):
+        tool = XML2Oracle(mode=mode)
+        tool.register_schema(MATRIX_DTD)
+        stored = tool.store(parse(FULL_DOCUMENT))
+        rebuilt = tool.fetch(stored.doc_id)
+        report = compare(parse(FULL_DOCUMENT), rebuilt)
+        assert report.score == 1.0, report.describe()
+
+    def test_minimal_document_roundtrip(self, mode):
+        tool = XML2Oracle(mode=mode)
+        tool.register_schema(MATRIX_DTD)
+        stored = tool.store(parse(MINIMAL_DOCUMENT))
+        rebuilt = tool.fetch(stored.doc_id)
+        report = compare(parse(MINIMAL_DOCUMENT), rebuilt)
+        assert report.score == 1.0, report.describe()
+
+    def test_required_attribute_enforced(self, mode):
+        tool = XML2Oracle(mode=mode, validate_documents=False)
+        tool.register_schema(MATRIX_DTD)
+        missing_required = parse(
+            MINIMAL_DOCUMENT.replace(' required="r"', ""))
+        with pytest.raises(NullNotAllowed):
+            tool.store(missing_required)
+
+    def test_mandatory_simple_child_enforced(self, mode):
+        tool = XML2Oracle(mode=mode, validate_documents=False)
+        tool.register_schema(MATRIX_DTD)
+        missing_child = parse(MINIMAL_DOCUMENT.replace(
+            "<SimpleMand>sm</SimpleMand>", ""))
+        with pytest.raises(NullNotAllowed):
+            tool.store(missing_child)
+
+    def test_queries_reach_every_case(self, mode):
+        tool = XML2Oracle(mode=mode)
+        tool.register_schema(MATRIX_DTD)
+        tool.store(parse(FULL_DOCUMENT))
+        assert tool.query("/Matrix/SimpleMand").scalar() == "sm"
+        stars = tool.query("/Matrix/SimpleStar")
+        assert [row[0] for row in stars.rows] == ["s1", "s2"]
+        assert tool.query("/Matrix/ComplexMand/Leaf").scalar() == "cm"
+        plus = tool.query("/Matrix/ComplexStar/Leaf")
+        assert {row[0] for row in plus.rows} == {"cs1", "cs2"}
+
+
+def test_oracle8_and_oracle9_agree_on_content():
+    results = {}
+    for mode in (CompatibilityMode.ORACLE9, CompatibilityMode.ORACLE8):
+        tool = XML2Oracle(mode=mode)
+        tool.register_schema(MATRIX_DTD)
+        tool.store(parse(FULL_DOCUMENT))
+        results[mode] = sorted(
+            row[0] for row in tool.query(
+                "/Matrix/ComplexStar/Leaf").rows)
+    assert (results[CompatibilityMode.ORACLE9]
+            == results[CompatibilityMode.ORACLE8])

@@ -1,0 +1,123 @@
+"""Multiple document types in one database (Section 5's SchemaIDs).
+
+"SchemaIDs are necessary to deal with identical element names from
+different DTDs.  Those elements may have different subelements, which
+would result in errors when generating the database schema."
+"""
+
+import pytest
+
+from repro.core import XML2Oracle, compare
+from repro.workloads import (
+    BIBLIOGRAPHY_DOCUMENT,
+    BIBLIOGRAPHY_DTD,
+    ORG_CHART_DOCUMENT,
+    ORG_CHART_DTD,
+    SAMPLE_DOCUMENT,
+    UNIVERSITY_DTD,
+)
+from repro.xmlkit import parse
+
+#: a second "University" DTD with *different* structure: the clash
+#: Section 5 describes.
+CLASHING_DTD = """
+<!ELEMENT University (Title, Campus*)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT Campus (#PCDATA)>
+"""
+
+CLASHING_DOCUMENT = """
+<University><Title>HTWK</Title>
+<Campus>Leipzig</Campus><Campus>Markkleeberg</Campus></University>
+"""
+
+
+class TestSchemaIdDisambiguation:
+    def test_identical_root_names_coexist(self):
+        tool = XML2Oracle()
+        first = tool.register_schema(UNIVERSITY_DTD)
+        second = tool.register_schema(CLASHING_DTD)
+        assert first.plan.root.table == "TabUniversity"
+        assert second.plan.root.table == "TabUniversity_S2"
+
+    def test_both_variants_store_and_query(self):
+        tool = XML2Oracle()
+        uni = tool.register_schema(UNIVERSITY_DTD)
+        clash = tool.register_schema(CLASHING_DTD)
+        tool.store(parse(SAMPLE_DOCUMENT), schema=uni)
+        tool.store(parse(CLASHING_DOCUMENT), schema=clash)
+        students = tool.query("/University/Student/LName", schema=uni)
+        campuses = tool.query("/University/Campus", schema=clash)
+        assert {row[0] for row in students.rows} == {"Conrad", "Meier"}
+        assert {row[0] for row in campuses.rows} == {
+            "Leipzig", "Markkleeberg"}
+
+    def test_root_lookup_prefers_latest(self):
+        """Without an explicit schema, the facade resolves the root
+        name to the most recently registered document type."""
+        tool = XML2Oracle()
+        tool.register_schema(UNIVERSITY_DTD)
+        tool.register_schema(CLASHING_DTD)
+        stored = tool.store(parse(CLASHING_DOCUMENT))
+        assert stored.schema.plan.root.table == "TabUniversity_S2"
+
+
+class TestHeterogeneousDatabase:
+    def test_three_document_types_roundtrip(self):
+        tool = XML2Oracle()
+        tool.register_schema(UNIVERSITY_DTD)
+        tool.register_schema(BIBLIOGRAPHY_DTD,
+                             sample_document=BIBLIOGRAPHY_DOCUMENT)
+        tool.register_schema(ORG_CHART_DTD)
+        originals = {
+            "University": parse(SAMPLE_DOCUMENT),
+            "Bibliography": parse(BIBLIOGRAPHY_DOCUMENT),
+            "Organization": parse(ORG_CHART_DOCUMENT),
+        }
+        stored = {name: tool.store(document)
+                  for name, document in originals.items()}
+        for name, handle in stored.items():
+            rebuilt = tool.fetch(handle.doc_id)
+            report = compare(originals[name], rebuilt)
+            assert report.score == 1.0, (name, report.describe())
+
+    def test_metadata_tracks_all_documents(self):
+        tool = XML2Oracle()
+        tool.register_schema(UNIVERSITY_DTD)
+        tool.register_schema(ORG_CHART_DTD)
+        tool.store(parse(SAMPLE_DOCUMENT), doc_name="uni.xml")
+        tool.store(parse(ORG_CHART_DOCUMENT), doc_name="org.xml")
+        assert tool.metadata.document_count() == 2
+        assert tool.metadata.document_info(1)[0] == "uni.xml"
+        assert tool.metadata.document_info(2)[0] == "org.xml"
+
+    def test_schema_ids_recorded_in_metadata(self):
+        tool = XML2Oracle()
+        first = tool.register_schema(UNIVERSITY_DTD)
+        second = tool.register_schema(ORG_CHART_DTD)
+        tool.store(parse(SAMPLE_DOCUMENT))
+        tool.store(parse(ORG_CHART_DOCUMENT))
+        assert tool.metadata.document_info(1)[2] == first.schema_id
+        assert tool.metadata.document_info(2)[2] == second.schema_id
+
+    def test_entities_scoped_per_schema(self):
+        tool = XML2Oracle()
+        uni = tool.register_schema(parse(SAMPLE_DOCUMENT).doctype.dtd)
+        org = tool.register_schema(ORG_CHART_DTD)
+        assert tool.metadata.entities_for(uni.schema_id) == {
+            "cs": "Computer Science"}
+        assert tool.metadata.entities_for(org.schema_id) == {}
+
+
+class TestIsolation:
+    def test_dropping_one_schema_leaves_the_other(self):
+        tool = XML2Oracle()
+        tool.register_schema(UNIVERSITY_DTD)
+        tool.register_schema(CLASHING_DTD)
+        tool.store(parse(SAMPLE_DOCUMENT),
+                   schema=tool.schemas[0])
+        tool.sql("DROP TYPE Type_University_S2 FORCE")
+        # the first schema's data is untouched
+        assert tool.sql(
+            "SELECT COUNT(*) FROM TabUniversity").scalar() == 1
+        assert "TABUNIVERSITY_S2" not in tool.db.catalog.tables

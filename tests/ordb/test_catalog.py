@@ -1,0 +1,102 @@
+"""Catalog internals: dependencies, resolution, namespaces."""
+
+import pytest
+
+from repro.ordb import (
+    Catalog,
+    CompatibilityMode,
+    Database,
+    InvalidDatatype,
+    NoSuchType,
+)
+from repro.ordb.schema import _scalar_from_keyword
+from repro.ordb.sql import ast
+
+
+@pytest.fixture
+def catalog(db):
+    db.executescript("""
+        CREATE TYPE leaf AS OBJECT(v VARCHAR2(5));
+        CREATE TYPE coll AS VARRAY(3) OF leaf;
+        CREATE TYPE holder AS OBJECT(c coll, r REF leaf);
+        CREATE TABLE t_leaf OF leaf;
+        CREATE TABLE t_holder OF holder;
+    """)
+    return db.catalog
+
+
+class TestDependencies:
+    def test_collection_depends_on_element(self, catalog):
+        assert "COLL" in catalog.type_dependents("LEAF")
+
+    def test_object_depends_on_attribute_types(self, catalog):
+        assert "HOLDER" in catalog.type_dependents("COLL")
+
+    def test_ref_counts_as_dependency(self, catalog):
+        assert "HOLDER" in catalog.type_dependents("LEAF")
+
+    def test_tables_count_as_dependents(self, catalog):
+        dependents = catalog.type_dependents("LEAF")
+        assert "T_LEAF" in dependents
+
+    def test_independent_type_has_no_dependents(self, catalog):
+        assert catalog.type_dependents("HOLDER") == {"T_HOLDER"}
+
+    def test_object_tables_of(self, catalog):
+        tables = catalog.object_tables_of("LEAF")
+        assert [table.key for table in tables] == ["T_LEAF"]
+
+
+class TestResolution:
+    def test_resolve_unknown_type(self, catalog):
+        with pytest.raises(NoSuchType):
+            catalog.resolve_type("nope")
+
+    def test_object_type_rejects_collections(self, catalog):
+        with pytest.raises(NoSuchType, match="not an object type"):
+            catalog.object_type("coll")
+
+    def test_ref_target_must_be_object_type(self, catalog):
+        with pytest.raises(InvalidDatatype):
+            catalog.datatype_from_ref(ast.RefTypeRef("coll"))
+
+    def test_scalar_keyword_mapping(self):
+        assert _scalar_from_keyword("VARCHAR", (80,)).length == 80
+        assert _scalar_from_keyword("VARCHAR2", ()).length == 4000
+        assert _scalar_from_keyword("NUMBER", (10, 2)).scale == 2
+        assert _scalar_from_keyword("INT", ()).sql_name() == "INTEGER"
+        with pytest.raises(InvalidDatatype):
+            _scalar_from_keyword("BLOB", ())
+
+    def test_mode_recorded(self):
+        assert Catalog().mode is CompatibilityMode.ORACLE9
+        assert Database(CompatibilityMode.ORACLE8).catalog.mode \
+            is CompatibilityMode.ORACLE8
+
+
+class TestNamespace:
+    def test_view_name_conflicts_with_table(self, db):
+        from repro.ordb import NameInUse
+
+        db.execute("CREATE TABLE taken(a INTEGER)")
+        with pytest.raises(NameInUse):
+            db.execute("CREATE VIEW taken AS SELECT t.a FROM taken t")
+
+    def test_dropping_table_frees_storage_names(self, db):
+        db.executescript("""
+            CREATE TYPE nt AS TABLE OF VARCHAR2(5);
+            CREATE TABLE t(c nt) NESTED TABLE c STORE AS seg;
+        """)
+        db.execute("DROP TABLE t")
+        # the storage segment name is reusable again
+        db.execute("CREATE TABLE seg(x INTEGER)")
+
+    def test_view_and_table_lookup(self, db):
+        from repro.ordb import NoSuchTable
+
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("CREATE VIEW v AS SELECT t.a FROM t")
+        assert db.catalog.table_or_view("t").key == "T"
+        assert db.catalog.table_or_view("v").key == "V"
+        with pytest.raises(NoSuchTable):
+            db.catalog.table_or_view("w")

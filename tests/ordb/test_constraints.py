@@ -1,0 +1,189 @@
+"""Constraint enforcement, including the Section 4.3 behaviours."""
+
+import pytest
+
+from repro.ordb import (
+    CheckViolation,
+    DanglingReference,
+    Database,
+    NullNotAllowed,
+    UniqueViolation,
+)
+
+
+class TestNotNull:
+    def test_reject_null_insert(self, db):
+        db.execute("CREATE TABLE t(a INTEGER NOT NULL)")
+        with pytest.raises(NullNotAllowed):
+            db.execute("INSERT INTO t VALUES(NULL)")
+
+    def test_reject_null_by_omission(self, db):
+        db.execute("CREATE TABLE t(a INTEGER NOT NULL, b INTEGER)")
+        with pytest.raises(NullNotAllowed):
+            db.execute("INSERT INTO t(b) VALUES(1)")
+
+    def test_update_cannot_null_out(self, db):
+        db.execute("CREATE TABLE t(a INTEGER NOT NULL)")
+        db.execute("INSERT INTO t VALUES(1)")
+        with pytest.raises(NullNotAllowed):
+            db.execute("UPDATE t SET a = NULL")
+
+    def test_object_table_attribute_not_null(self, db):
+        db.execute("CREATE TYPE ty AS OBJECT(a VARCHAR2(5),"
+                   " b VARCHAR2(5))")
+        db.execute("CREATE TABLE t OF ty(a NOT NULL)")
+        with pytest.raises(NullNotAllowed):
+            db.execute("INSERT INTO t VALUES(NULL, 'x')")
+        db.execute("INSERT INTO t VALUES('x', NULL)")
+
+
+class TestPrimaryKeyUnique:
+    def test_pk_rejects_duplicate(self, db):
+        db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES(1)")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO t VALUES(1)")
+
+    def test_pk_implies_not_null(self, db):
+        db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY)")
+        with pytest.raises(NullNotAllowed):
+            db.execute("INSERT INTO t VALUES(NULL)")
+
+    def test_composite_pk(self, db):
+        db.execute("CREATE TABLE t(a INTEGER, b INTEGER,"
+                   " PRIMARY KEY (a, b))")
+        db.execute("INSERT INTO t VALUES(1, 1)")
+        db.execute("INSERT INTO t VALUES(1, 2)")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO t VALUES(1, 1)")
+
+    def test_unique_allows_nulls(self, db):
+        db.execute("CREATE TABLE t(a INTEGER UNIQUE)")
+        db.execute("INSERT INTO t VALUES(NULL)")
+        db.execute("INSERT INTO t VALUES(NULL)")
+        db.execute("INSERT INTO t VALUES(1)")
+        with pytest.raises(UniqueViolation):
+            db.execute("INSERT INTO t VALUES(1)")
+
+    def test_update_respects_unique(self, db):
+        db.execute("CREATE TABLE t(a INTEGER UNIQUE)")
+        db.execute("INSERT INTO t VALUES(1)")
+        db.execute("INSERT INTO t VALUES(2)")
+        with pytest.raises(UniqueViolation):
+            db.execute("UPDATE t SET a = 1 WHERE a = 2")
+
+    def test_update_row_to_itself_is_fine(self, db):
+        db.execute("CREATE TABLE t(a INTEGER UNIQUE)")
+        db.execute("INSERT INTO t VALUES(1)")
+        db.execute("UPDATE t SET a = 1 WHERE a = 1")
+
+
+class TestCheck:
+    def test_simple_check(self, db):
+        db.execute("CREATE TABLE t(a INTEGER, CHECK (a > 0))")
+        db.execute("INSERT INTO t VALUES(1)")
+        with pytest.raises(CheckViolation):
+            db.execute("INSERT INTO t VALUES(0)")
+
+    def test_check_passes_on_unknown(self, db):
+        # SQL semantics: CHECK fails only when FALSE, not UNKNOWN
+        db.execute("CREATE TABLE t(a INTEGER, CHECK (a > 0))")
+        db.execute("INSERT INTO t VALUES(NULL)")
+
+    def test_paper_section_4_3_desired_error(self, db):
+        """Address present but street missing -> desired rejection."""
+        db.executescript("""
+            CREATE TYPE Type_Address AS OBJECT(
+                attrStreet VARCHAR2(4000), attrCity VARCHAR2(4000));
+            CREATE TYPE Type_Course AS OBJECT(
+                attrName VARCHAR2(4000), attrAddress Type_Address);
+            CREATE TABLE TabCourse OF Type_Course(
+                attrName NOT NULL,
+                CHECK (attrAddress.attrStreet IS NOT NULL));
+        """)
+        with pytest.raises(CheckViolation):
+            db.execute("INSERT INTO TabCourse VALUES('CAD Intro',"
+                       " Type_Address(NULL, 'Leipzig'))")
+
+    def test_paper_section_4_3_non_desired_error(self, db):
+        """Whole address NULL -> *also* rejected: the paper's
+        'non-desired error message' that makes CHECK unusable for
+        optional complex elements."""
+        db.executescript("""
+            CREATE TYPE Type_Address AS OBJECT(
+                attrStreet VARCHAR2(4000), attrCity VARCHAR2(4000));
+            CREATE TYPE Type_Course AS OBJECT(
+                attrName VARCHAR2(4000), attrAddress Type_Address);
+            CREATE TABLE TabCourse OF Type_Course(
+                attrName NOT NULL,
+                CHECK (attrAddress.attrStreet IS NOT NULL));
+        """)
+        with pytest.raises(CheckViolation):
+            db.execute("INSERT INTO TabCourse VALUES("
+                       "'Operating Systems', NULL)")
+
+    def test_valid_address_accepted(self, db):
+        db.executescript("""
+            CREATE TYPE Type_Address AS OBJECT(
+                attrStreet VARCHAR2(4000), attrCity VARCHAR2(4000));
+            CREATE TYPE Type_Course AS OBJECT(
+                attrName VARCHAR2(4000), attrAddress Type_Address);
+            CREATE TABLE TabCourse OF Type_Course(
+                attrName NOT NULL,
+                CHECK (attrAddress.attrStreet IS NOT NULL));
+        """)
+        db.execute("INSERT INTO TabCourse VALUES('DB II',"
+                   " Type_Address('Main St', 'Leipzig'))")
+        assert db.execute(
+            "SELECT COUNT(*) FROM TabCourse").scalar() == 1
+
+    def test_check_enforced_on_update(self, db):
+        db.execute("CREATE TABLE t(a INTEGER, CHECK (a < 10))")
+        db.execute("INSERT INTO t VALUES(5)")
+        with pytest.raises(CheckViolation):
+            db.execute("UPDATE t SET a = 20")
+
+
+class TestScopeFor:
+    def _setup(self, db: Database) -> None:
+        db.executescript("""
+            CREATE TYPE p AS OBJECT(n VARCHAR2(10));
+            CREATE TABLE good OF p;
+            CREATE TABLE other OF p;
+            CREATE TYPE holder AS OBJECT(r REF p);
+            CREATE TABLE t OF holder(SCOPE FOR (r) IS good);
+            INSERT INTO good VALUES('g');
+            INSERT INTO other VALUES('o');
+        """)
+
+    def test_scoped_ref_accepted(self, db):
+        self._setup(db)
+        db.execute("INSERT INTO t VALUES((SELECT REF(g) FROM good g))")
+
+    def test_out_of_scope_ref_rejected(self, db):
+        self._setup(db)
+        with pytest.raises(DanglingReference):
+            db.execute(
+                "INSERT INTO t VALUES((SELECT REF(o) FROM other o))")
+
+    def test_null_ref_accepted(self, db):
+        self._setup(db)
+        db.execute("INSERT INTO t VALUES(NULL)")
+
+
+class TestConstraintPlacement:
+    def test_constraints_not_allowed_in_type_ddl(self, db):
+        """Sections 2.1/4.3: constraints belong to tables, not types."""
+        from repro.ordb import ParseError
+
+        with pytest.raises(ParseError):
+            db.execute("CREATE TYPE t AS OBJECT("
+                       "a VARCHAR2(5) NOT NULL)")
+
+    def test_describe_lists_constraints(self, db):
+        db.execute("CREATE TABLE t(a INTEGER PRIMARY KEY,"
+                   " b INTEGER NOT NULL, CHECK (b > 0))")
+        text = "\n".join(db.catalog.table("t").constraints.describe())
+        assert "PRIMARY KEY" in text
+        assert "NOT NULL" in text
+        assert "CHECK" in text

@@ -1,0 +1,259 @@
+"""DDL execution: types, tables, views, drops, dependencies."""
+
+import pytest
+
+from repro.ordb import (
+    CompatibilityMode,
+    Database,
+    DependentObjectsExist,
+    IdentifierTooLong,
+    IncompleteType,
+    NameInUse,
+    NestedCollectionNotSupported,
+    NoSuchTable,
+    NoSuchType,
+    ObjectType,
+    ReservedWord,
+    VarrayType,
+)
+
+
+class TestCreateType:
+    def test_object_type_in_catalog(self, db):
+        db.execute("CREATE TYPE t AS OBJECT(a VARCHAR2(10))")
+        created = db.catalog.resolve_type("t")
+        assert isinstance(created, ObjectType)
+        assert created.attribute("a") is not None
+
+    def test_lookup_is_case_insensitive(self, db):
+        db.execute("CREATE TYPE MyType AS OBJECT(a DATE)")
+        assert db.catalog.resolve_type("MYTYPE") is \
+            db.catalog.resolve_type("mytype")
+
+    def test_duplicate_type_rejected(self, db):
+        db.execute("CREATE TYPE t AS OBJECT(a DATE)")
+        with pytest.raises(NameInUse):
+            db.execute("CREATE TYPE t AS OBJECT(b DATE)")
+
+    def test_or_replace(self, db):
+        db.execute("CREATE TYPE t AS OBJECT(a DATE)")
+        db.execute("CREATE OR REPLACE TYPE t AS OBJECT(b DATE)")
+        assert db.catalog.object_type("t").attribute("b") is not None
+
+    def test_forward_then_complete(self, db):
+        db.execute("CREATE TYPE t")
+        assert db.catalog.object_type("t").incomplete
+        db.execute("CREATE TYPE t AS OBJECT(a VARCHAR2(5))")
+        assert not db.catalog.object_type("t").incomplete
+
+    def test_forward_completion_preserves_identity(self, db):
+        """REFs taken against the incomplete type keep working."""
+        db.execute("CREATE TYPE t")
+        before = db.catalog.object_type("t")
+        db.execute("CREATE TYPE t AS OBJECT(a VARCHAR2(5))")
+        assert db.catalog.object_type("t") is before
+
+    def test_attribute_of_incomplete_type_rejected(self, db):
+        db.execute("CREATE TYPE fwd")
+        with pytest.raises(IncompleteType):
+            db.execute("CREATE TYPE u AS OBJECT(x fwd)")
+
+    def test_ref_to_incomplete_type_allowed(self, db):
+        db.execute("CREATE TYPE fwd")
+        db.execute("CREATE TYPE u AS OBJECT(x REF fwd)")
+
+    def test_unknown_attribute_type(self, db):
+        with pytest.raises(NoSuchType):
+            db.execute("CREATE TYPE t AS OBJECT(a MysteryType)")
+
+    def test_reserved_word_name_rejected(self, db):
+        """Section 5: element names like ORDER collide with keywords."""
+        with pytest.raises(ReservedWord):
+            db.execute("CREATE TABLE Order_(a INTEGER,"
+                       " Order VARCHAR2(5))")
+
+    def test_identifier_too_long(self, db):
+        name = "T" * 31
+        with pytest.raises(IdentifierTooLong):
+            db.execute(f"CREATE TYPE {name} AS OBJECT(a DATE)")
+
+
+class TestCollectionsAndModes:
+    def test_varray_created(self, db):
+        db.execute("CREATE TYPE v AS VARRAY(3) OF VARCHAR2(10)")
+        assert isinstance(db.catalog.resolve_type("v"), VarrayType)
+
+    def test_oracle9_allows_nested_collections(self, db):
+        db.execute("CREATE TYPE inner_v AS VARRAY(3) OF VARCHAR2(10)")
+        db.execute("CREATE TYPE outer_v AS VARRAY(3) OF inner_v")
+
+    def test_oracle8_rejects_collection_of_collection(self, db8):
+        db8.execute("CREATE TYPE inner_v AS VARRAY(3) OF VARCHAR2(10)")
+        with pytest.raises(NestedCollectionNotSupported):
+            db8.execute("CREATE TYPE outer_v AS VARRAY(3) OF inner_v")
+
+    def test_oracle8_rejects_object_embedding_collection(self, db8):
+        db8.execute("CREATE TYPE s AS VARRAY(9) OF VARCHAR2(10)")
+        db8.execute("CREATE TYPE prof AS OBJECT(n VARCHAR2(10), subj s)")
+        with pytest.raises(NestedCollectionNotSupported):
+            db8.execute("CREATE TYPE profs AS TABLE OF prof")
+
+    def test_oracle8_rejects_clob_elements(self, db8):
+        with pytest.raises(NestedCollectionNotSupported):
+            db8.execute("CREATE TYPE c AS VARRAY(3) OF CLOB")
+
+    def test_oracle9_allows_clob_elements(self, db):
+        db.execute("CREATE TYPE c AS VARRAY(3) OF CLOB")
+
+    def test_oracle8_allows_collection_of_plain_object(self, db8):
+        db8.execute("CREATE TYPE p AS OBJECT(n VARCHAR2(10))")
+        db8.execute("CREATE TYPE ps AS TABLE OF p")
+
+    def test_collection_of_ref_is_fine_in_oracle8(self, db8):
+        db8.execute("CREATE TYPE p AS OBJECT(n VARCHAR2(10))")
+        db8.execute("CREATE TYPE refs AS TABLE OF REF p")
+
+
+class TestCreateTable:
+    def test_relational_table(self, db):
+        db.execute("CREATE TABLE t(a INTEGER, b VARCHAR2(10))")
+        table = db.catalog.table("t")
+        assert [c.name for c in table.columns] == ["a", "b"]
+        assert not table.is_object_table
+
+    def test_object_table_columns_from_type(self, db):
+        db.execute("CREATE TYPE ty AS OBJECT(x DATE, y NUMBER)")
+        db.execute("CREATE TABLE tab OF ty")
+        table = db.catalog.table("tab")
+        assert table.is_object_table
+        assert [c.name for c in table.columns] == ["x", "y"]
+
+    def test_object_table_of_incomplete_type_rejected(self, db):
+        db.execute("CREATE TYPE fwd")
+        with pytest.raises(IncompleteType):
+            db.execute("CREATE TABLE t OF fwd")
+
+    def test_nested_table_column_requires_store_as(self, db):
+        db.execute("CREATE TYPE nt AS TABLE OF VARCHAR2(10)")
+        with pytest.raises(NestedCollectionNotSupported,
+                           match="STORE AS"):
+            db.execute("CREATE TABLE t(a nt)")
+
+    def test_nested_table_with_store_as(self, db):
+        db.execute("CREATE TYPE nt AS TABLE OF VARCHAR2(10)")
+        db.execute("CREATE TABLE t(a nt) NESTED TABLE a STORE AS a_st")
+        assert db.catalog.table("t").nested_storage["A"] == "a_st"
+
+    def test_store_as_name_enters_namespace(self, db):
+        db.execute("CREATE TYPE nt AS TABLE OF VARCHAR2(10)")
+        db.execute("CREATE TABLE t(a nt) NESTED TABLE a STORE AS a_st")
+        with pytest.raises(NameInUse):
+            db.execute("CREATE TABLE a_st(x INTEGER)")
+
+    def test_varray_column_needs_no_store_as(self, db):
+        db.execute("CREATE TYPE va AS VARRAY(5) OF VARCHAR2(10)")
+        db.execute("CREATE TABLE t(a va)")
+
+    def test_table_and_type_share_namespace(self, db):
+        db.execute("CREATE TYPE x AS OBJECT(a DATE)")
+        with pytest.raises(NameInUse):
+            db.execute("CREATE TABLE x(a INTEGER)")
+
+
+class TestDrop:
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(NoSuchTable):
+            db.catalog.table("t")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(NoSuchTable):
+            db.execute("DROP TABLE nothere")
+
+    def test_drop_type_with_dependent_type(self, db):
+        db.execute("CREATE TYPE a AS OBJECT(x VARCHAR2(5))")
+        db.execute("CREATE TYPE b AS OBJECT(y a)")
+        with pytest.raises(DependentObjectsExist):
+            db.execute("DROP TYPE a")
+
+    def test_drop_type_with_dependent_table(self, db):
+        db.execute("CREATE TYPE a AS OBJECT(x VARCHAR2(5))")
+        db.execute("CREATE TABLE t OF a")
+        with pytest.raises(DependentObjectsExist):
+            db.execute("DROP TYPE a")
+
+    def test_drop_type_force_cascades(self, db):
+        """Section 6.2: 'the deletion of any type must be propagated
+        to all dependents by using DROP FORCE statements'."""
+        db.execute("CREATE TYPE a AS OBJECT(x VARCHAR2(5))")
+        db.execute("CREATE TYPE b AS OBJECT(y a)")
+        db.execute("CREATE TABLE t OF b")
+        db.execute("DROP TYPE a FORCE")
+        with pytest.raises(NoSuchType):
+            db.catalog.resolve_type("b")
+        with pytest.raises(NoSuchTable):
+            db.catalog.table("t")
+
+    def test_ref_dependency_detected(self, db):
+        db.execute("CREATE TYPE a AS OBJECT(x VARCHAR2(5))")
+        db.execute("CREATE TYPE b AS OBJECT(r REF a)")
+        with pytest.raises(DependentObjectsExist):
+            db.execute("DROP TYPE a")
+
+    def test_drop_free_type(self, db):
+        db.execute("CREATE TYPE a AS OBJECT(x VARCHAR2(5))")
+        db.execute("DROP TYPE a")
+        with pytest.raises(NoSuchType):
+            db.catalog.resolve_type("a")
+
+
+class TestViews:
+    def test_create_and_query_view(self, db):
+        db.execute("CREATE TABLE t(a INTEGER, b VARCHAR2(10))")
+        db.execute("INSERT INTO t VALUES(1, 'x')")
+        db.execute("CREATE VIEW v AS SELECT t.b FROM t WHERE t.a = 1")
+        assert db.execute("SELECT * FROM v").rows == [("x",)]
+
+    def test_view_column_aliases(self, db):
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("INSERT INTO t VALUES(7)")
+        db.execute("CREATE VIEW v(renamed) AS SELECT t.a FROM t")
+        assert db.execute("SELECT v.renamed FROM v").rows == [(7,)]
+
+    def test_or_replace_view(self, db):
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("CREATE VIEW v AS SELECT t.a FROM t")
+        db.execute("CREATE OR REPLACE VIEW v AS"
+                   " SELECT t.a + 1 x FROM t")
+        db.execute("INSERT INTO t VALUES(1)")
+        assert db.execute("SELECT v.x FROM v").scalar() == 2
+
+    def test_drop_view(self, db):
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("CREATE VIEW v AS SELECT t.a FROM t")
+        db.execute("DROP VIEW v")
+        with pytest.raises(NoSuchTable):
+            db.execute("SELECT * FROM v")
+
+    def test_mismatched_column_list_rejected(self, db):
+        from repro.ordb import NotSupported
+
+        db.execute("CREATE TABLE t(a INTEGER)")
+        with pytest.raises(NotSupported):
+            db.execute("CREATE VIEW v(x, y) AS SELECT t.a FROM t")
+
+
+def test_executescript_runs_generated_script():
+    db = Database(CompatibilityMode.ORACLE9)
+    results = db.executescript("""
+        -- the paper's Section 2.1 example
+        CREATE TYPE Type_Professor AS OBJECT(
+            PName VARCHAR(80),
+            Subject VARCHAR(120));
+        CREATE TABLE TabProfessor OF Type_Professor(
+            PName PRIMARY KEY);
+        INSERT INTO TabProfessor VALUES ('Jaeger', 'CAD');
+    """)
+    assert len(results) == 3
+    assert db.execute("SELECT COUNT(*) FROM TabProfessor").scalar() == 1

@@ -1,0 +1,94 @@
+"""Query plans and engine introspection."""
+
+import pytest
+
+from repro.ordb import Database, NotSupported
+
+
+@pytest.fixture
+def three_tables(db):
+    db.executescript("""
+        CREATE TABLE a(x INTEGER); CREATE TABLE b(y INTEGER);
+        CREATE TABLE c(z INTEGER);
+        CREATE VIEW v AS SELECT a.x FROM a;
+    """)
+    return db
+
+
+class TestExplain:
+    def test_single_scan(self, three_tables):
+        plan = three_tables.explain("SELECT a.x FROM a")
+        assert plan.tables == ["A"]
+        assert plan.join_count == 0
+
+    def test_join_count(self, three_tables):
+        plan = three_tables.explain(
+            "SELECT a.x FROM a, b, c WHERE a.x = b.y AND b.y = c.z")
+        assert plan.join_count == 2
+        assert plan.tables == ["A", "B", "C"]
+
+    def test_subquery_in_from_flattened(self, three_tables):
+        plan = three_tables.explain(
+            "SELECT q.x FROM (SELECT a.x FROM a) q, b")
+        assert plan.has_subquery
+        assert "A" in plan.tables and "B" in plan.tables
+
+    def test_table_function_marker(self, three_tables):
+        three_tables.executescript("""
+            CREATE TYPE va AS VARRAY(5) OF VARCHAR2(5);
+            CREATE TABLE t(c va);
+        """)
+        plan = three_tables.explain(
+            "SELECT s.COLUMN_VALUE FROM t, TABLE(t.c) s")
+        assert "TABLE()" in plan.tables
+
+    def test_dot_navigation_detected(self, three_tables):
+        three_tables.executescript("""
+            CREATE TYPE inner_t AS OBJECT(p VARCHAR2(5));
+            CREATE TYPE outer_t AS OBJECT(q inner_t);
+            CREATE TABLE deep(o outer_t);
+        """)
+        plan = three_tables.explain("SELECT d.o.q.p FROM deep d")
+        assert plan.uses_dot_navigation
+        flat = three_tables.explain("SELECT a.x FROM a")
+        assert not flat.uses_dot_navigation
+
+    def test_describe_output(self, three_tables):
+        plan = three_tables.explain(
+            "SELECT a.x FROM a, b WHERE a.x = b.y")
+        text = plan.describe()
+        assert "scan(A)" in text
+        assert "NESTED-LOOP-JOIN" in text
+
+    def test_explain_rejects_non_select(self, three_tables):
+        with pytest.raises(NotSupported):
+            three_tables.explain("DELETE FROM a")
+
+    def test_explain_does_not_execute(self, three_tables):
+        three_tables.execute("INSERT INTO a VALUES(1)")
+        before = dict(three_tables.stats)
+        three_tables.explain("SELECT a.x FROM a")
+        assert three_tables.stats["rows_scanned"] == \
+            before["rows_scanned"]
+
+
+class TestStatements:
+    def test_executescript_returns_all_results(self, db):
+        results = db.executescript(
+            "CREATE TABLE t(a INTEGER); INSERT INTO t VALUES(1);"
+            " SELECT t.a FROM t;")
+        assert len(results) == 3
+        assert results[2].rows == [(1,)]
+
+    def test_statement_counter(self, db):
+        db.executescript("CREATE TABLE t(a INTEGER);"
+                         " INSERT INTO t VALUES(1)")
+        assert db.stats["statements"] == 2
+
+    def test_pre_parsed_ast_accepted(self, db):
+        from repro.ordb import parse_statement
+
+        db.execute("CREATE TABLE t(a INTEGER)")
+        statement = parse_statement("INSERT INTO t VALUES(9)")
+        db.execute(statement)
+        assert db.execute("SELECT t.a FROM t").scalar() == 9

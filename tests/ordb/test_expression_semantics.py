@@ -1,0 +1,130 @@
+"""Expression corner cases: three-valued logic, negations, coercion."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.ordb import Database
+
+
+@pytest.fixture
+def t(db):
+    db.executescript("""
+        CREATE TABLE t(s VARCHAR2(20), n NUMBER);
+        INSERT INTO t VALUES('alpha', 1);
+        INSERT INTO t VALUES('beta', 2);
+        INSERT INTO t VALUES(NULL, 3);
+        INSERT INTO t VALUES('delta', NULL);
+    """)
+    return db
+
+
+class TestNegatedPredicates:
+    def test_not_like(self, t):
+        rows = t.execute("SELECT t.s FROM t WHERE t.s NOT LIKE 'a%'")
+        assert {r[0] for r in rows} == {"beta", "delta"}
+        # NULL s is UNKNOWN, excluded from both LIKE and NOT LIKE
+        like_count = len(t.execute(
+            "SELECT t.s FROM t WHERE t.s LIKE 'a%'").rows)
+        assert like_count + len(rows.rows) == 3
+
+    def test_not_between(self, t):
+        rows = t.execute(
+            "SELECT t.n FROM t WHERE t.n NOT BETWEEN 1 AND 2")
+        assert [r[0] for r in rows.rows] == [Decimal(3)]
+
+    def test_not_in_with_null_in_list_matches_nothing(self, t):
+        rows = t.execute(
+            "SELECT t.n FROM t WHERE t.n NOT IN (1, NULL)")
+        # x NOT IN (1, NULL) is never TRUE in three-valued logic
+        assert rows.rows == []
+
+    def test_in_with_null_still_finds_members(self, t):
+        rows = t.execute("SELECT t.n FROM t WHERE t.n IN (1, NULL)")
+        assert [r[0] for r in rows.rows] == [Decimal(1)]
+
+    def test_not_in_subquery_with_nulls(self, t):
+        t.executescript("""
+            CREATE TABLE u(v NUMBER);
+            INSERT INTO u VALUES(1); INSERT INTO u VALUES(NULL);
+        """)
+        rows = t.execute(
+            "SELECT t.n FROM t WHERE t.n NOT IN (SELECT u.v FROM u)")
+        assert rows.rows == []
+
+
+class TestCoercion:
+    def test_number_vs_string_comparison(self, t):
+        # Oracle-style implicit conversion: '2' compares numerically
+        rows = t.execute("SELECT t.s FROM t WHERE t.n = '2'")
+        assert rows.rows == [("beta",)]
+
+    def test_concat_with_number(self, t):
+        value = t.execute(
+            "SELECT t.s || '-' || t.n FROM t WHERE t.s = 'alpha'"
+        ).scalar()
+        assert value == "alpha-1"
+
+    def test_concat_with_null_is_empty(self, t):
+        value = t.execute(
+            "SELECT 'x' || t.s FROM t WHERE t.n = 3").scalar()
+        assert value == "x"
+
+    def test_arithmetic_with_string_number(self, t):
+        value = t.execute(
+            "SELECT t.n + '10' FROM t WHERE t.s = 'alpha'").scalar()
+        assert value == Decimal(11)
+
+    def test_unary_minus(self, t):
+        value = t.execute(
+            "SELECT -t.n FROM t WHERE t.s = 'beta'").scalar()
+        assert value == Decimal(-2)
+
+    def test_unary_minus_of_null(self, t):
+        value = t.execute(
+            "SELECT -t.n FROM t WHERE t.s = 'delta'").scalar()
+        assert value is None
+
+
+class TestCaseExpressions:
+    def test_branches_in_order(self, t):
+        rows = t.execute("""
+            SELECT t.s, CASE WHEN t.n = 1 THEN 'one'
+                             WHEN t.n < 3 THEN 'small'
+                             ELSE 'big' END
+            FROM t WHERE t.n IS NOT NULL ORDER BY 1
+        """)
+        by_name = dict(rows.rows)
+        assert by_name[None] == "big"  # s NULL, n=3
+        assert by_name["alpha"] == "one"
+        assert by_name["beta"] == "small"
+
+    def test_unknown_condition_skips_branch(self, t):
+        value = t.execute(
+            "SELECT CASE WHEN t.n > 0 THEN 'y' ELSE 'n' END FROM t"
+            " WHERE t.s = 'delta'").scalar()
+        assert value == "n"  # n NULL -> condition UNKNOWN -> ELSE
+
+
+class TestBooleanAlgebra:
+    @pytest.mark.parametrize("predicate,expected", [
+        ("t.n > 1 AND t.s IS NOT NULL", {"beta"}),
+        ("t.n > 1 OR t.s = 'alpha'", {"alpha", "beta", None}),
+        ("NOT (t.s = 'alpha')", {"beta", "delta"}),
+        ("t.n IS NULL AND t.s IS NOT NULL", {"delta"}),
+    ])
+    def test_filters(self, t, predicate, expected):
+        rows = t.execute(f"SELECT t.s FROM t WHERE {predicate}")
+        assert {r[0] for r in rows.rows} == expected
+
+    def test_and_short_circuits_unknown(self, t):
+        # FALSE AND UNKNOWN is FALSE -> no row, no error either
+        rows = t.execute(
+            "SELECT t.s FROM t WHERE 1 = 2 AND t.n / 1 > 0")
+        assert rows.rows == []
+
+    def test_or_absorbs_unknown(self, t):
+        # TRUE OR UNKNOWN is TRUE
+        rows = t.execute(
+            "SELECT COUNT(*) FROM t WHERE 1 = 1 OR t.n > 99")
+        assert rows.scalar() == 4

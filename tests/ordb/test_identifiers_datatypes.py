@@ -1,0 +1,162 @@
+"""Identifier rules and scalar datatype coercions."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.ordb import identifiers
+from repro.ordb.datatypes import (
+    CharType,
+    ClobType,
+    DateType,
+    IntegerType,
+    NestedTableType,
+    NumberType,
+    ObjectType,
+    RefType,
+    TypeAttribute,
+    Varchar2,
+    VarrayType,
+    contains_collection,
+    is_collection,
+)
+from repro.ordb.errors import (
+    IdentifierTooLong,
+    InvalidIdentifier,
+    InvalidNumber,
+    ReservedWord,
+    TypeMismatch,
+    ValueTooLarge,
+)
+
+
+class TestIdentifiers:
+    def test_normalize_uppercases(self):
+        assert identifiers.normalize("TabCourse") == "TABCOURSE"
+
+    def test_check_valid(self):
+        assert identifiers.check("Type_Professor") == "TYPE_PROFESSOR"
+
+    def test_max_length_30(self):
+        identifiers.check("A" * 30)
+        with pytest.raises(IdentifierTooLong):
+            identifiers.check("A" * 31)
+
+    @pytest.mark.parametrize("bad", ["", "1abc", "a b", "a-b", "a;b"])
+    def test_malformed(self, bad):
+        with pytest.raises(InvalidIdentifier):
+            identifiers.check(bad)
+
+    @pytest.mark.parametrize("word", ["ORDER", "order", "Table",
+                                      "SELECT", "GROUP", "DATE"])
+    def test_reserved(self, word):
+        assert identifiers.is_reserved(word)
+        with pytest.raises(ReservedWord):
+            identifiers.check(word)
+
+    def test_dollar_and_hash_allowed_after_first(self):
+        assert identifiers.check("a$b#c") == "A$B#C"
+
+
+class TestVarchar2:
+    def test_accepts_within_length(self):
+        assert Varchar2(5).coerce("abc") == "abc"
+
+    def test_rejects_over_length(self):
+        with pytest.raises(ValueTooLarge):
+            Varchar2(3).coerce("abcd")
+
+    def test_number_rendering(self):
+        assert Varchar2(10).coerce(42) == "42"
+        assert Varchar2(10).coerce(Decimal("1.50")) == "1.5"
+
+    def test_date_rendering(self):
+        assert Varchar2(12).coerce(datetime.date(2002, 3, 25)) == \
+            "2002-03-25"
+
+    def test_boolean_rejected(self):
+        with pytest.raises(TypeMismatch):
+            Varchar2(10).coerce(True)
+
+
+class TestNumbers:
+    def test_number_passthrough(self):
+        assert NumberType().coerce(7) == Decimal(7)
+
+    def test_number_from_string(self):
+        assert NumberType().coerce(" 3.5 ") == Decimal("3.5")
+
+    def test_bad_string(self):
+        with pytest.raises(InvalidNumber):
+            NumberType().coerce("zzz")
+
+    def test_scale_quantizes(self):
+        assert NumberType(10, 2).coerce("1.005") == Decimal("1.00")
+
+    def test_precision_only_rounds_to_integer(self):
+        assert NumberType(5).coerce("2.6") == Decimal("3")
+
+    def test_integer(self):
+        assert IntegerType().coerce("12") == 12
+        assert IntegerType().coerce(12.7) == 12
+
+
+class TestOtherScalars:
+    def test_char_pads(self):
+        assert CharType(4).coerce("ab") == "ab  "
+
+    def test_char_overflow(self):
+        with pytest.raises(ValueTooLarge):
+            CharType(2).coerce("abc")
+
+    def test_date_from_iso(self):
+        assert DateType().coerce("2002-03-25") == \
+            datetime.date(2002, 3, 25)
+
+    def test_date_from_datetime(self):
+        value = DateType().coerce(datetime.datetime(2002, 3, 25, 10))
+        assert value == datetime.date(2002, 3, 25)
+
+    def test_bad_date(self):
+        with pytest.raises(TypeMismatch):
+            DateType().coerce("not a date")
+
+    def test_clob_unbounded(self):
+        assert ClobType().coerce("x" * 100_000) == "x" * 100_000
+
+
+class TestCompositeTypePredicates:
+    def test_is_collection(self):
+        varray = VarrayType("v", 3, Varchar2(10))
+        nested = NestedTableType("n", Varchar2(10))
+        assert is_collection(varray)
+        assert is_collection(nested)
+        assert not is_collection(Varchar2(10))
+
+    def test_contains_collection_direct(self):
+        assert contains_collection(VarrayType("v", 3, Varchar2(1)))
+
+    def test_contains_collection_through_object(self):
+        inner = VarrayType("v", 3, Varchar2(1))
+        holder = ObjectType("o", [TypeAttribute("a", inner)])
+        assert contains_collection(holder)
+        wrapper = ObjectType("w", [TypeAttribute("h", holder)])
+        assert contains_collection(wrapper)
+
+    def test_plain_object_has_no_collection(self):
+        plain = ObjectType("o", [TypeAttribute("a", Varchar2(1)),
+                                 TypeAttribute("r", RefType("x"))])
+        assert not contains_collection(plain)
+
+    def test_object_type_attribute_lookup_case_insensitive(self):
+        plain = ObjectType("o", [TypeAttribute("MyAttr", Varchar2(1))])
+        assert plain.attribute("myattr") is not None
+        assert plain.attribute("missing") is None
+
+    def test_sql_names(self):
+        assert Varchar2(80).sql_name() == "VARCHAR2(80)"
+        assert NumberType(10, 2).sql_name() == "NUMBER(10,2)"
+        assert NumberType().sql_name() == "NUMBER"
+        assert RefType("T").sql_name() == "REF T"
+        assert CharType(2).sql_name() == "CHAR(2)"

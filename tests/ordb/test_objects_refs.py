@@ -1,0 +1,266 @@
+"""Object-relational features: constructors, collections, REFs, views."""
+
+import pytest
+
+from repro.ordb import (
+    CollectionValue,
+    Database,
+    NoSuchColumn,
+    NotSupported,
+    ObjectValue,
+    RefValue,
+    TypeMismatch,
+    ValueTooLarge,
+    WrongArgumentCount,
+)
+
+
+@pytest.fixture
+def uni(db):
+    """The paper's Section 2 schema, executed as written."""
+    db.executescript("""
+        CREATE TYPE Type_Professor AS OBJECT(
+            PName VARCHAR(80), Subject VARCHAR(120));
+        CREATE TYPE Type_Course AS OBJECT(
+            Name VARCHAR(100), Professor Type_Professor);
+        CREATE TABLE Course_Offering(
+            Department VARCHAR(120), Course Type_Course);
+        INSERT INTO Course_Offering VALUES ('CS',
+            Type_Course('CAD Intro', Type_Professor('Jaeger','CAD')));
+    """)
+    return db
+
+
+class TestObjectColumns:
+    def test_constructor_nesting(self, uni):
+        value = uni.execute(
+            "SELECT c.Course FROM Course_Offering c").scalar()
+        assert isinstance(value, ObjectValue)
+        inner = value.get("Professor")
+        assert inner.get("PName") == "Jaeger"
+
+    def test_dot_navigation(self, uni):
+        assert uni.execute(
+            "SELECT c.Course.Professor.PName FROM Course_Offering c"
+        ).scalar() == "Jaeger"
+
+    def test_dot_navigation_in_where(self, uni):
+        result = uni.execute(
+            "SELECT c.Department FROM Course_Offering c"
+            " WHERE c.Course.Professor.Subject = 'CAD'")
+        assert result.rows == [("CS",)]
+
+    def test_null_propagates_through_path(self, uni):
+        uni.execute("INSERT INTO Course_Offering VALUES ('EE', NULL)")
+        result = uni.execute(
+            "SELECT c.Course.Professor.PName FROM Course_Offering c"
+            " WHERE c.Department = 'EE'")
+        assert result.rows == [(None,)]
+
+    def test_constructor_arity_checked(self, uni):
+        with pytest.raises(WrongArgumentCount):
+            uni.execute("INSERT INTO Course_Offering VALUES ('CS',"
+                        " Type_Course('only-one-arg'))")
+
+    def test_wrong_object_type_rejected(self, uni):
+        with pytest.raises(TypeMismatch):
+            uni.execute("INSERT INTO Course_Offering VALUES ('CS',"
+                        " Type_Professor('not','acourse'))")
+
+    def test_attribute_length_enforced_inside_constructor(self, uni):
+        with pytest.raises(ValueTooLarge):
+            uni.execute(
+                "INSERT INTO Course_Offering VALUES ('CS',"
+                f" Type_Course('{'x' * 101}', NULL))")
+
+
+class TestCollections:
+    def test_varray_roundtrip(self, db):
+        db.executescript("""
+            CREATE TYPE TypeVA_Subject AS VARRAY(5) OF VARCHAR(200);
+            CREATE TABLE TabProf(
+                Name VARCHAR(80), Subject TypeVA_Subject);
+            INSERT INTO TabProf VALUES('K',
+                TypeVA_Subject('DB', 'OS'));
+        """)
+        value = db.execute("SELECT t.Subject FROM TabProf t").scalar()
+        assert isinstance(value, CollectionValue)
+        assert list(value) == ["DB", "OS"]
+
+    def test_varray_limit_enforced(self, db):
+        db.execute("CREATE TYPE v AS VARRAY(2) OF VARCHAR(10)")
+        db.execute("CREATE TABLE t(c v)")
+        with pytest.raises(ValueTooLarge):
+            db.execute("INSERT INTO t VALUES(v('a','b','c'))")
+
+    def test_nested_table_unbounded(self, db):
+        db.execute("CREATE TYPE nt AS TABLE OF VARCHAR(10)")
+        db.execute("CREATE TABLE t(c nt) NESTED TABLE c STORE AS cs")
+        items = ", ".join(f"'s{i}'" for i in range(50))
+        db.execute(f"INSERT INTO t VALUES(nt({items}))")
+        value = db.execute("SELECT t.c FROM t").scalar()
+        assert len(value) == 50
+
+    def test_table_unnesting(self, db):
+        db.executescript("""
+            CREATE TYPE v AS VARRAY(5) OF VARCHAR(10);
+            CREATE TABLE t(k VARCHAR(5), c v);
+            INSERT INTO t VALUES('a', v('1','2'));
+            INSERT INTO t VALUES('b', v('3'));
+        """)
+        result = db.execute(
+            "SELECT t.k, s.COLUMN_VALUE FROM t, TABLE(t.c) s")
+        assert result.rows == [("a", "1"), ("a", "2"), ("b", "3")]
+
+    def test_unnesting_object_collection(self, db):
+        db.executescript("""
+            CREATE TYPE p AS OBJECT(n VARCHAR(10), a NUMBER);
+            CREATE TYPE ps AS VARRAY(5) OF p;
+            CREATE TABLE t(c ps);
+            INSERT INTO t VALUES(ps(p('x', 1), p('y', 2)));
+        """)
+        result = db.execute(
+            "SELECT e.n FROM t, TABLE(t.c) e WHERE e.a > 1")
+        assert result.rows == [("y",)]
+
+    def test_unnesting_null_collection_yields_nothing(self, db):
+        db.executescript("""
+            CREATE TYPE v AS VARRAY(5) OF VARCHAR(10);
+            CREATE TABLE t(c v);
+            INSERT INTO t VALUES(NULL);
+        """)
+        assert db.execute(
+            "SELECT s.COLUMN_VALUE FROM t, TABLE(t.c) s").rows == []
+
+    def test_navigation_into_collection_requires_table(self, db):
+        db.executescript("""
+            CREATE TYPE v AS VARRAY(5) OF VARCHAR(10);
+            CREATE TABLE t(c v);
+            INSERT INTO t VALUES(v('a'));
+        """)
+        with pytest.raises(TypeMismatch, match="TABLE"):
+            db.execute("SELECT t.c.x FROM t")
+
+    def test_cardinality(self, db):
+        db.executescript("""
+            CREATE TYPE v AS VARRAY(5) OF VARCHAR(10);
+            CREATE TABLE t(c v);
+            INSERT INTO t VALUES(v('a','b','c'));
+        """)
+        assert db.execute(
+            "SELECT CARDINALITY(t.c) FROM t").scalar() == 3
+
+
+@pytest.fixture
+def reftables(db):
+    db.executescript("""
+        CREATE TYPE Type_Professor AS OBJECT(
+            PName VARCHAR(80), Dept VARCHAR(80));
+        CREATE TYPE Type_Course AS OBJECT(
+            Name VARCHAR(200), Prof_Ref REF Type_Professor);
+        CREATE TABLE TabProfessor OF Type_Professor(PName PRIMARY KEY);
+        CREATE TABLE TabCourse OF Type_Course;
+        INSERT INTO TabProfessor VALUES('Jaeger', 'CS');
+        INSERT INTO TabCourse VALUES('CAD',
+            (SELECT REF(p) FROM TabProfessor p
+             WHERE p.PName = 'Jaeger'));
+    """)
+    return db
+
+
+class TestReferences:
+    def test_ref_function_returns_ref(self, reftables):
+        value = reftables.execute(
+            "SELECT REF(p) FROM TabProfessor p").scalar()
+        assert isinstance(value, RefValue)
+
+    def test_deref(self, reftables):
+        value = reftables.execute(
+            "SELECT DEREF(c.Prof_Ref) FROM TabCourse c").scalar()
+        assert isinstance(value, ObjectValue)
+        assert value.get("PName") == "Jaeger"
+
+    def test_implicit_deref_in_path(self, reftables):
+        assert reftables.execute(
+            "SELECT c.Prof_Ref.Dept FROM TabCourse c").scalar() == "CS"
+
+    def test_value_function(self, reftables):
+        value = reftables.execute(
+            "SELECT VALUE(p) FROM TabProfessor p").scalar()
+        assert isinstance(value, ObjectValue)
+        assert value.type_name == "Type_Professor"
+
+    def test_value_on_non_object_table(self, reftables):
+        reftables.execute("CREATE TABLE flat(x INTEGER)")
+        reftables.execute("INSERT INTO flat VALUES(1)")
+        with pytest.raises((TypeMismatch, NoSuchColumn)):
+            reftables.execute("SELECT VALUE(f) FROM flat f")
+
+    def test_dangling_ref_dereferences_to_null(self, reftables):
+        reftables.execute("DELETE FROM TabProfessor")
+        assert reftables.execute(
+            "SELECT DEREF(c.Prof_Ref) FROM TabCourse c").scalar() is None
+        assert reftables.execute(
+            "SELECT c.Prof_Ref.Dept FROM TabCourse c").scalar() is None
+
+    def test_ref_equality_in_where(self, reftables):
+        result = reftables.execute(
+            "SELECT c.Name FROM TabCourse c, TabProfessor p"
+            " WHERE c.Prof_Ref = REF(p)")
+        assert result.rows == [("CAD",)]
+
+    def test_deref_requires_ref(self, reftables):
+        with pytest.raises(TypeMismatch):
+            reftables.execute("SELECT DEREF(c.Name) FROM TabCourse c")
+
+
+class TestObjectViews:
+    def test_object_view_with_cast_multiset(self, db):
+        """The Section 6.3 example, mechanically."""
+        db.executescript("""
+            CREATE TYPE TypeVA_Subject AS VARRAY(100) OF VARCHAR(4000);
+            CREATE TYPE Type_Professor AS OBJECT(
+                attrPName VARCHAR(4000),
+                attrSubject TypeVA_Subject,
+                attrDept VARCHAR(4000));
+            CREATE TABLE tabProfessor(
+                IDProfessor INTEGER PRIMARY KEY,
+                attrPName VARCHAR(4000), attrDept VARCHAR(4000));
+            CREATE TABLE tabSubject(
+                IDSubject INTEGER PRIMARY KEY,
+                IDProfessor INTEGER, attrSubject VARCHAR(4000));
+            INSERT INTO tabProfessor VALUES(1, 'Kudrass', 'CS');
+            INSERT INTO tabSubject VALUES(1, 1, 'Database Systems');
+            INSERT INTO tabSubject VALUES(2, 1, 'Operating Systems');
+            INSERT INTO tabProfessor VALUES(2, 'Jaeger', 'CS');
+            INSERT INTO tabSubject VALUES(3, 2, 'CAD');
+            CREATE VIEW OView_Professor AS
+              SELECT Type_Professor(p.attrPName,
+                CAST(MULTISET(SELECT s.attrSubject FROM tabSubject s
+                              WHERE p.IDProfessor = s.IDProfessor)
+                     AS TypeVA_Subject),
+                p.attrDept) AS Professor
+              FROM tabProfessor p;
+        """)
+        result = db.execute(
+            "SELECT v.Professor.attrPName, v.Professor FROM"
+            " OView_Professor v")
+        assert [row[0] for row in result.rows] == ["Kudrass", "Jaeger"]
+        kudrass = result.rows[0][1]
+        assert list(kudrass.get("attrSubject")) == [
+            "Database Systems", "Operating Systems"]
+
+    def test_view_over_view(self, db):
+        db.executescript("""
+            CREATE TABLE t(a INTEGER);
+            INSERT INTO t VALUES(1);
+            CREATE VIEW v1 AS SELECT t.a + 1 b FROM t;
+            CREATE VIEW v2 AS SELECT v1.b * 10 c FROM v1;
+        """)
+        assert db.execute("SELECT v2.c FROM v2").scalar() == 20
+
+    def test_insert_into_view_rejected(self, db):
+        db.execute("CREATE TABLE t(a INTEGER)")
+        db.execute("CREATE VIEW v AS SELECT t.a FROM t")
+        with pytest.raises(NotSupported):
+            db.execute("INSERT INTO v VALUES(1)")

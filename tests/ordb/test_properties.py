@@ -1,0 +1,108 @@
+"""Property-based tests on the engine."""
+
+from decimal import Decimal
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ordb import Database, UniqueViolation
+from repro.relational.shredder import sql_quote
+
+_texts = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           exclude_categories=("Cs", "Cc")),
+    max_size=20)
+
+_numbers = st.integers(min_value=-10**9, max_value=10**9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(_texts, _numbers), max_size=12))
+def test_insert_select_roundtrip(rows):
+    db = Database()
+    db.execute("CREATE TABLE t(s VARCHAR2(100), n NUMBER)")
+    for text, number in rows:
+        db.execute(f"INSERT INTO t VALUES({sql_quote(text)}, {number})")
+    result = db.execute("SELECT t.s, t.n FROM t")
+    assert [(s, int(n)) for s, n in result.rows] == rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_numbers, min_size=1, max_size=15))
+def test_aggregates_match_python(values):
+    db = Database()
+    db.execute("CREATE TABLE t(n NUMBER)")
+    for value in values:
+        db.execute(f"INSERT INTO t VALUES({value})")
+    row = db.execute(
+        "SELECT COUNT(*), MIN(t.n), MAX(t.n), SUM(t.n) FROM t").first()
+    assert row == (len(values), Decimal(min(values)),
+                   Decimal(max(values)), Decimal(sum(values)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_numbers, max_size=15))
+def test_order_by_sorts(values):
+    db = Database()
+    db.execute("CREATE TABLE t(n NUMBER)")
+    for value in values:
+        db.execute(f"INSERT INTO t VALUES({value})")
+    result = db.execute("SELECT t.n FROM t ORDER BY n")
+    assert [int(n) for (n,) in result.rows] == sorted(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_numbers, min_size=1, max_size=20))
+def test_primary_key_uniqueness_invariant(values):
+    db = Database()
+    db.execute("CREATE TABLE t(n NUMBER PRIMARY KEY)")
+    seen = set()
+    for value in values:
+        if value in seen:
+            try:
+                db.execute(f"INSERT INTO t VALUES({value})")
+                raise AssertionError("duplicate accepted")
+            except UniqueViolation:
+                pass
+        else:
+            db.execute(f"INSERT INTO t VALUES({value})")
+            seen.add(value)
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == len(seen)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_texts)
+def test_string_escaping_is_safe(text):
+    db = Database()
+    db.execute("CREATE TABLE t(s VARCHAR2(100))")
+    db.execute(f"INSERT INTO t VALUES({sql_quote(text)})")
+    assert db.execute(
+        f"SELECT COUNT(*) FROM t WHERE s = {sql_quote(text)}"
+    ).scalar() == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_texts, max_size=8))
+def test_varray_preserves_order_and_content(items):
+    db = Database()
+    db.execute("CREATE TYPE v AS VARRAY(20) OF VARCHAR2(100)")
+    db.execute("CREATE TABLE t(c v)")
+    rendered = ", ".join(sql_quote(item) for item in items)
+    db.execute(f"INSERT INTO t VALUES(v({rendered}))")
+    value = db.execute("SELECT t.c FROM t").scalar()
+    assert list(value) == items
+    unnested = db.execute(
+        "SELECT s.COLUMN_VALUE FROM t, TABLE(t.c) s")
+    assert [row[0] for row in unnested.rows] == items
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(_numbers, _numbers), max_size=10))
+def test_delete_complements_select(pairs):
+    db = Database()
+    db.execute("CREATE TABLE t(a NUMBER, b NUMBER)")
+    for a, b in pairs:
+        db.execute(f"INSERT INTO t VALUES({a}, {b})")
+    kept = [(a, b) for a, b in pairs if not a > b]
+    db.execute("DELETE FROM t WHERE a > b")
+    result = db.execute("SELECT t.a, t.b FROM t")
+    assert [(int(a), int(b)) for a, b in result.rows] == kept

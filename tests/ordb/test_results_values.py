@@ -1,0 +1,148 @@
+"""Result sets and runtime value rendering."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.ordb import Database, ObjectValue, RefValue, render_value
+from repro.ordb.results import Result
+from repro.ordb.values import CollectionValue, deep_size
+
+
+class TestResultAccessors:
+    def setup_method(self):
+        self.result = Result(["A", "B"], [(1, "x"), (2, "y")])
+
+    def test_len_and_iter(self):
+        assert len(self.result) == 2
+        assert list(self.result) == [(1, "x"), (2, "y")]
+
+    def test_fetchall_copies(self):
+        rows = self.result.fetchall()
+        rows.append((3, "z"))
+        assert len(self.result.rows) == 2
+
+    def test_first_and_scalar(self):
+        assert self.result.first() == (1, "x")
+        assert self.result.scalar() == 1
+
+    def test_scalar_on_empty(self):
+        assert Result(["A"], []).scalar() is None
+
+    def test_column_by_name(self):
+        assert self.result.column("b") == ["x", "y"]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            self.result.column("zzz")
+
+    def test_rowcount_for_dml(self):
+        result = Result(rowcount=3, message="3 rows updated")
+        assert result.rowcount == 3
+        assert result.format_table() == "3 rows updated"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        result = Result(["NAME", "N"], [("Anna", 1), ("Bernhard", 22)])
+        lines = result.format_table().splitlines()
+        assert lines[0].startswith("NAME")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+        # all rows padded to equal width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_value_clipping(self):
+        result = Result(["T"], [("x" * 100,)])
+        table = result.format_table(max_width=10)
+        assert "..." in table
+
+    def test_null_rendering(self):
+        result = Result(["V"], [(None,)])
+        assert "NULL" in result.format_table()
+
+
+class TestRenderValue:
+    def test_null(self):
+        assert render_value(None) == "NULL"
+
+    def test_string_quoting(self):
+        assert render_value("O'Reilly") == "'O''Reilly'"
+
+    def test_decimal_normalized(self):
+        assert render_value(Decimal("4.500")) == "4.5"
+
+    def test_date(self):
+        assert render_value(datetime.date(2002, 3, 25)) == \
+            "DATE '2002-03-25'"
+
+    def test_object_value(self):
+        value = ObjectValue("T", {"A": "x", "B": None})
+        assert repr(value) == "T('x', NULL)"
+
+    def test_collection_value(self):
+        value = CollectionValue("V", ["a", "b"])
+        assert repr(value) == "V('a', 'b')"
+
+    def test_ref_value(self):
+        assert repr(RefValue(3, "TAB", "TY")) == "REF(TAB:3)"
+
+
+class TestValueSemantics:
+    def test_object_equality(self):
+        a = ObjectValue("T", {"X": 1})
+        b = ObjectValue("t", {"x": 1})
+        assert a == b
+
+    def test_object_inequality_different_type(self):
+        assert ObjectValue("T", {"X": 1}) != ObjectValue("U", {"X": 1})
+
+    def test_collection_equality(self):
+        assert CollectionValue("V", [1, 2]) == CollectionValue("v",
+                                                               [1, 2])
+        assert CollectionValue("V", [1]) != CollectionValue("V", [2])
+
+    def test_ref_equality(self):
+        assert RefValue(1, "t", "ty") == RefValue(1, "T", "TY")
+        assert RefValue(1, "t", "ty") != RefValue(2, "t", "ty")
+
+    def test_object_attribute_access(self):
+        value = ObjectValue("T", {"MyAttr": 5})
+        assert value.get("myattr") == 5
+        assert value.has("MYATTR")
+        assert not value.has("other")
+
+    def test_deep_size(self):
+        nested = ObjectValue("T", {
+            "A": "x",
+            "B": CollectionValue("V", ["1", "2",
+                                       ObjectValue("U", {"C": "y"})]),
+            "D": None,
+        })
+        assert deep_size(nested) == 4
+
+
+class TestDateColumns:
+    def test_date_roundtrip_through_engine(self):
+        db = Database()
+        db.execute("CREATE TABLE t(d DATE)")
+        db.execute("INSERT INTO t VALUES(DATE '2002-03-25')")
+        value = db.execute("SELECT t.d FROM t").scalar()
+        assert value == datetime.date(2002, 3, 25)
+
+    def test_date_comparison(self):
+        db = Database()
+        db.execute("CREATE TABLE t(d DATE)")
+        db.execute("INSERT INTO t VALUES(DATE '2002-03-25')")
+        db.execute("INSERT INTO t VALUES(DATE '2001-01-01')")
+        result = db.execute(
+            "SELECT t.d FROM t WHERE t.d > DATE '2001-12-31'")
+        assert len(result.rows) == 1
+
+    def test_string_coerced_to_date_column(self):
+        db = Database()
+        db.execute("CREATE TABLE t(d DATE)")
+        db.execute("INSERT INTO t VALUES('2002-03-25')")
+        assert db.execute("SELECT t.d FROM t").scalar() == \
+            datetime.date(2002, 3, 25)

@@ -1,0 +1,132 @@
+"""Edge-table and attribute-table baselines (Florescu & Kossmann)."""
+
+import pytest
+
+from repro.ordb import Database
+from repro.relational import (
+    AttributeMapping,
+    EdgeMapping,
+    reconstruct_edge,
+)
+from repro.workloads import make_university, sample_document
+from repro.core.roundtrip import compare
+from repro.xmlkit import parse
+
+
+@pytest.fixture
+def edge_db():
+    db = Database()
+    mapping = EdgeMapping()
+    mapping.install(db)
+    return db, mapping
+
+
+class TestEdgeMapping:
+    def test_insert_count_grows_with_nodes(self, edge_db):
+        db, mapping = edge_db
+        small = mapping.shred(parse("<a><b>x</b></a>"), 1)
+        large = mapping.shred(make_university(students=5), 2)
+        assert small.insert_count < large.insert_count
+
+    def test_every_element_text_attr_costs_inserts(self, edge_db):
+        _db, mapping = edge_db
+        report = mapping.shred(parse('<a k="v"><b>x</b></a>'), 1)
+        # a, @k + value, b, text + value -> 6 inserts
+        assert report.insert_count == 6
+
+    def test_path_query_finds_values(self, edge_db):
+        db, mapping = edge_db
+        mapping.load(db, sample_document(), 1)
+        query = mapping.path_query(
+            ["University", "Student", "LName"], doc_id=1)
+        values = {row[0] for row in db.execute(query).rows}
+        assert values == {"Conrad", "Meier"}
+
+    def test_path_query_join_count_equals_depth_plus_value(self,
+                                                           edge_db):
+        db, mapping = edge_db
+        query = mapping.path_query(
+            ["University", "Student", "Course", "Name"], doc_id=1)
+        plan = db.explain(query)
+        # one scan per path step, plus text edge, plus value table
+        assert plan.join_count == 5
+
+    def test_reconstruction_preserves_structure(self, edge_db):
+        db, mapping = edge_db
+        document = sample_document()
+        mapping.load(db, document, 1)
+        rebuilt = reconstruct_edge(db, 1)
+        report = compare(document, rebuilt)
+        assert report.category_score("elements") == 1.0
+        assert report.category_score("attributes") == 1.0
+        assert report.category_score("text") == 1.0
+
+    def test_reconstruction_loses_comments(self, edge_db):
+        db, mapping = edge_db
+        document = parse("<a><!-- note --><b>x</b><?pi d?></a>")
+        mapping.load(db, document, 1)
+        rebuilt = reconstruct_edge(db, 1)
+        report = compare(document, rebuilt)
+        assert report.category_score("comments") == 0.0
+        assert report.category_score("pis") == 0.0
+        assert report.category_score("elements") == 1.0
+
+    def test_multiple_documents_isolated(self, edge_db):
+        db, mapping = edge_db
+        mapping.load(db, parse("<a><b>one</b></a>"), 1)
+        mapping.load(db, parse("<a><b>two</b></a>"), 2)
+        query = mapping.path_query(["a", "b"], doc_id=2)
+        assert db.execute(query).rows == [("two",)]
+
+    def test_missing_document_raises(self, edge_db):
+        db, _mapping = edge_db
+        with pytest.raises(ValueError):
+            reconstruct_edge(db, 99)
+
+
+class TestAttributeMapping:
+    def test_one_table_per_name(self):
+        mapping = AttributeMapping()
+        document = parse('<a k="v"><b/><b/><c/></a>')
+        names = mapping.collect_names(document)
+        assert names == ["a", "@k", "b", "c"]
+        mapping.prepare(names)
+        statements = mapping.schema_statements()
+        # 4 name tables + VAL_TAB
+        assert len(statements) == 5
+
+    def test_load_and_query(self):
+        db = Database()
+        mapping = AttributeMapping()
+        document = sample_document()
+        mapping.prepare(mapping.collect_names(document))
+        mapping.install(db)
+        mapping.load(db, document, 1)
+        query = mapping.path_query(
+            ["University", "Student", "FName"], doc_id=1)
+        values = {row[0] for row in db.execute(query).rows}
+        assert values == {"Matthias", "Ralf"}
+
+    def test_fewer_inserts_than_edge(self):
+        document = sample_document()
+        edge_report = EdgeMapping().shred(document, 1)
+        mapping = AttributeMapping()
+        mapping.prepare(mapping.collect_names(document))
+        attr_report = mapping.shred(document, 1)
+        assert attr_report.insert_count < edge_report.insert_count
+
+    def test_name_sanitization(self):
+        mapping = AttributeMapping()
+        table = mapping.table_for("weird-name.1")
+        assert table.startswith("A_")
+        assert "-" not in table and "." not in table
+
+    def test_reserved_word_names_survive(self):
+        db = Database()
+        mapping = AttributeMapping()
+        document = parse("<ORDER><GROUP>x</GROUP></ORDER>")
+        mapping.prepare(mapping.collect_names(document))
+        mapping.install(db)
+        mapping.load(db, document, 1)
+        query = mapping.path_query(["ORDER", "GROUP"], doc_id=1)
+        assert db.execute(query).rows == [("x",)]

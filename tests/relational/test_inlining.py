@@ -1,0 +1,141 @@
+"""Shared-inlining baseline (Shanmugasundaram et al.)."""
+
+import pytest
+
+from repro.core.roundtrip import compare
+from repro.dtd import parse_dtd
+from repro.ordb import Database
+from repro.relational import InliningMapping, reconstruct_inlined
+from repro.workloads import (
+    UNIVERSITY_DTD,
+    make_university,
+    sample_document,
+    university_dtd,
+)
+from repro.xmlkit import parse
+
+
+@pytest.fixture
+def uni_mapping():
+    return InliningMapping(university_dtd())
+
+
+class TestSchemaAnalysis:
+    def test_relations_for_repeated_elements_only(self, uni_mapping):
+        assert set(uni_mapping.relations) == {
+            "University", "Student", "Course", "Professor", "Subject"}
+
+    def test_single_valued_children_inlined(self, uni_mapping):
+        student = uni_mapping.relations["Student"]
+        columns = {column.name for column in student.columns}
+        assert {"LName", "FName", "Student_StudNr"} <= columns
+
+    def test_repeated_simple_element_gets_val_relation(self,
+                                                       uni_mapping):
+        subject = uni_mapping.relations["Subject"]
+        assert subject.has_text
+        assert not subject.columns
+
+    def test_root_has_no_parent_columns(self, uni_mapping):
+        create = uni_mapping.relations["University"].create_statement()
+        assert "PARENTID" not in create
+
+    def test_shared_elements_get_relations(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (x, y)>
+            <!ELEMENT x (addr)> <!ELEMENT y (addr)>
+            <!ELEMENT addr (#PCDATA)>
+        """)
+        mapping = InliningMapping(dtd)
+        # addr is shared -> own relation; x, y inlined into root
+        assert "addr" in mapping.relations
+        assert "x" not in mapping.relations
+
+    def test_recursive_elements_get_relations(self):
+        dtd = parse_dtd("""
+            <!ELEMENT r (part)>
+            <!ELEMENT part (pname, part*)>
+            <!ELEMENT pname (#PCDATA)>
+        """)
+        mapping = InliningMapping(dtd)
+        assert "part" in mapping.relations
+
+    def test_root_must_be_inferable(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)>")
+        with pytest.raises(ValueError):
+            InliningMapping(dtd)
+
+
+class TestLoading:
+    def test_insert_counts(self, uni_mapping):
+        report = uni_mapping.shred(sample_document(), 1)
+        # 1 university + 2 students + 2 courses + 2 professors
+        # + 4 subjects = 11
+        assert report.insert_count == 11
+
+    def test_far_fewer_inserts_than_nodes(self, uni_mapping):
+        document = make_university(students=20)
+        node_count = sum(1 for _ in document.root_element.iter())
+        report = uni_mapping.shred(document, 1)
+        assert report.insert_count < node_count / 2
+
+    def test_wrong_root_rejected(self, uni_mapping):
+        with pytest.raises(ValueError, match="root"):
+            uni_mapping.shred(parse("<Other/>"), 1)
+
+
+class TestQuerying:
+    def test_inlined_column_no_join(self, uni_mapping):
+        query = uni_mapping.path_query(
+            ["University", "Student", "LName"])
+        assert query.count("JOIN") == 0
+        # two relations though: University and Student
+        assert "R_Student" in query
+
+    def test_execution(self, uni_mapping):
+        db = Database()
+        uni_mapping.install(db)
+        uni_mapping.load(db, sample_document(), 1)
+        query = uni_mapping.path_query(
+            ["University", "Student", "Course", "Professor", "PName"])
+        values = {row[0] for row in db.execute(query).rows}
+        assert values == {"Kudrass", "Jaeger"}
+
+    def test_join_count_counts_relations(self, uni_mapping):
+        db = Database()
+        query = uni_mapping.path_query(
+            ["University", "Student", "Course", "Professor", "PName"])
+        plan = db.explain(query)
+        assert plan.join_count == 3  # 4 relations chained
+
+    def test_repeated_leaf_selects_val(self, uni_mapping):
+        query = uni_mapping.path_query(
+            ["University", "Student", "Course", "Professor", "Subject"])
+        assert ".VAL" in query
+
+    def test_unknown_column_raises(self, uni_mapping):
+        with pytest.raises(ValueError):
+            uni_mapping.path_query(["University", "Student", "Bogus"])
+
+
+class TestReconstruction:
+    def test_structure_survives(self, uni_mapping):
+        db = Database()
+        uni_mapping.install(db)
+        document = sample_document()
+        uni_mapping.load(db, document, 1)
+        rebuilt = reconstruct_inlined(uni_mapping, db, 1)
+        report = compare(document, rebuilt)
+        assert report.category_score("elements") == 1.0
+        assert report.category_score("text") == 1.0
+        assert report.category_score("attributes") == 1.0
+
+    def test_multiple_documents(self, uni_mapping):
+        db = Database()
+        uni_mapping.install(db)
+        uni_mapping.load(db, make_university(students=2, seed=1), 1)
+        uni_mapping.load(db, make_university(students=3, seed=2), 2)
+        first = reconstruct_inlined(uni_mapping, db, 1)
+        second = reconstruct_inlined(uni_mapping, db, 2)
+        assert len(first.find_all("Student")) == 2
+        assert len(second.find_all("Student")) == 3

@@ -1,0 +1,93 @@
+"""Shared shredding helpers."""
+
+import pytest
+
+from repro.ordb import Database
+from repro.relational import AttributeMapping, LoadReport, sanitize_name, sql_quote
+from repro.relational.shredder import (
+    NodeIdAllocator,
+    clip_value,
+    document_root,
+)
+from repro.xmlkit import parse
+
+
+class TestSqlQuote:
+    def test_plain(self):
+        assert sql_quote("abc") == "'abc'"
+
+    def test_escapes_quotes(self):
+        assert sql_quote("O'Reilly") == "'O''Reilly'"
+
+    def test_quoted_value_roundtrips_through_engine(self):
+        db = Database()
+        db.execute("CREATE TABLE t(v VARCHAR2(50))")
+        nasty = "a'; DROP TABLE t; --"
+        db.execute(f"INSERT INTO t VALUES({sql_quote(nasty)})")
+        assert db.execute("SELECT t.v FROM t").scalar() == nasty
+        assert "T" in db.catalog.tables
+
+
+class TestSanitizeName:
+    def test_plain_name(self):
+        assert sanitize_name("Student") == "Student"
+
+    def test_illegal_characters_replaced(self):
+        assert sanitize_name("ns:tag-1") == "ns_tag_1"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("1abc").startswith("X")
+
+    def test_reserved_word_suffixed(self):
+        name = sanitize_name("ORDER")
+        from repro.ordb import is_reserved
+
+        assert not is_reserved(name)
+
+    def test_length_clamped(self):
+        assert len(sanitize_name("x" * 100)) <= 30
+
+    def test_uniqueness_with_used_set(self):
+        used: set[str] = set()
+        first = sanitize_name("Name", prefix="A_", used=used)
+        second = sanitize_name("Name", prefix="A_", used=used)
+        assert first != second
+
+    def test_long_names_stay_unique(self):
+        used: set[str] = set()
+        base = "q" * 40
+        names = {sanitize_name(base, used=used) for _ in range(5)}
+        assert len(names) == 5
+
+
+class TestHelpers:
+    def test_clip_value(self):
+        assert clip_value("x" * 5000) == "x" * 4000
+        assert clip_value("short") == "short"
+
+    def test_document_root_accepts_both(self):
+        document = parse("<a><b/></a>")
+        assert document_root(document).tag == "a"
+        assert document_root(document.root_element).tag == "a"
+
+    def test_node_id_allocator(self):
+        ids = NodeIdAllocator()
+        assert [ids.allocate() for _ in range(3)] == [1, 2, 3]
+
+    def test_load_report_counts(self):
+        report = LoadReport(1, ["INSERT 1", "INSERT 2"])
+        assert report.insert_count == 2
+        assert report.doc_id == 1
+
+
+class TestAttributeTableNames:
+    def test_at_prefix_for_xml_attributes(self):
+        mapping = AttributeMapping()
+        element_table = mapping.table_for("Student")
+        attribute_table = mapping.table_for("@StudNr")
+        assert element_table != attribute_table
+        assert attribute_table.startswith("A_")
+
+    def test_stable_assignment(self):
+        mapping = AttributeMapping()
+        assert mapping.table_for("x") == mapping.table_for("x")

@@ -1,0 +1,21 @@
+"""The examples embedded in module docstrings stay truthful."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.xml2oracle
+import repro.ordb
+import repro.xmlkit
+
+_MODULES = [repro, repro.xmlkit, repro.ordb, repro.core.xml2oracle]
+
+
+@pytest.mark.parametrize("module", _MODULES,
+                         ids=[m.__name__ for m in _MODULES])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, "expected at least one example"

@@ -1,0 +1,98 @@
+"""Workload generators: determinism and validity."""
+
+from repro.dtd import Validator, parse_dtd
+from repro.workloads import (
+    CORPUS,
+    SyntheticShape,
+    UNIVERSITY_DTD,
+    deep_chain_document_xml,
+    deep_chain_dtd,
+    make_university,
+    make_university_xml,
+    sample_document,
+    synthetic_document_xml,
+    synthetic_dtd,
+    synthetic_dtd_text,
+    university_dtd,
+    wide_star_document_xml,
+    wide_star_dtd,
+)
+from repro.xmlkit import parse
+
+
+class TestUniversity:
+    def test_sample_document_is_valid(self):
+        document = sample_document()
+        report = Validator(document.doctype.dtd).validate(document)
+        assert report.valid
+
+    def test_generated_documents_are_valid(self):
+        dtd = university_dtd()
+        for students in (0, 1, 10):
+            document = make_university(students=students)
+            assert Validator(dtd).validate(document).valid
+
+    def test_generation_is_deterministic(self):
+        assert make_university_xml(seed=7) == make_university_xml(seed=7)
+
+    def test_seeds_differ(self):
+        assert make_university_xml(seed=1) != make_university_xml(seed=2)
+
+    def test_shape_parameters(self):
+        document = make_university(students=4, courses_per_student=2)
+        students = document.root_element.find_all("Student")
+        assert len(students) == 4
+        assert all(len(s.find_all("Course")) == 2 for s in students)
+
+
+class TestSynthetic:
+    def test_dtd_parses(self):
+        shape = SyntheticShape(depth=2, fanout=2)
+        dtd = synthetic_dtd(shape)
+        assert dtd.element("Root") is not None
+
+    def test_documents_validate(self):
+        shape = SyntheticShape(depth=3, fanout=2, seed=11)
+        dtd = synthetic_dtd(shape)
+        document = parse(synthetic_document_xml(shape, seed=5))
+        assert Validator(dtd).validate(document).valid
+
+    def test_deterministic(self):
+        shape = SyntheticShape(seed=3)
+        assert synthetic_dtd_text(shape) == synthetic_dtd_text(shape)
+        assert (synthetic_document_xml(shape, seed=1)
+                == synthetic_document_xml(shape, seed=1))
+
+    def test_attributes_emitted(self):
+        shape = SyntheticShape(depth=1, attributes_per_element=2)
+        assert "<!ATTLIST" in synthetic_dtd_text(shape)
+
+    def test_deep_chain(self):
+        dtd = parse_dtd(deep_chain_dtd(5))
+        document = parse(deep_chain_document_xml(5))
+        assert Validator(dtd).validate(document).valid
+        # depth-5 nesting: N0 ... N5
+        node = document.root_element
+        for level in range(1, 6):
+            node = node.find(f"N{level}")
+        assert node.text() == "leaf"
+
+    def test_wide_star(self):
+        dtd = parse_dtd(wide_star_dtd(0))
+        document = parse(wide_star_document_xml(25))
+        assert Validator(dtd).validate(document).valid
+        assert len(document.root_element.find_all("Item")) == 25
+
+
+class TestCorpus:
+    def test_all_corpus_documents_are_valid(self):
+        for name, (dtd_text, document_text) in CORPUS.items():
+            dtd = parse_dtd(dtd_text)
+            document = parse(document_text)
+            report = Validator(dtd).validate(document)
+            assert report.valid, (name, [str(e) for e in
+                                         report.errors[:3]])
+
+    def test_university_dtd_constant_matches_fixture(self):
+        assert parse_dtd(UNIVERSITY_DTD).declaration_order \
+            == university_dtd().declaration_order

@@ -1,0 +1,77 @@
+"""Character classification rules (XML 1.0 productions)."""
+
+import pytest
+
+from repro.xmlkit import chars
+
+
+class TestXmlChar:
+    def test_printable_ascii_is_legal(self):
+        for ch in "abcXYZ019 <>&'\"":
+            assert chars.is_xml_char(ch)
+
+    def test_whitespace_controls_are_legal(self):
+        for ch in "\t\n\r":
+            assert chars.is_xml_char(ch)
+
+    def test_other_controls_are_illegal(self):
+        for code in (0x00, 0x01, 0x08, 0x0B, 0x0C, 0x1F):
+            assert not chars.is_xml_char(chr(code))
+
+    def test_surrogate_block_is_illegal(self):
+        assert not chars.is_xml_char("\ud800")
+        assert not chars.is_xml_char("\udfff")
+
+    def test_fffe_ffff_are_illegal(self):
+        assert not chars.is_xml_char("￾")
+        assert not chars.is_xml_char("￿")
+
+    def test_supplementary_planes_are_legal(self):
+        assert chars.is_xml_char("\U0001F600")
+
+
+class TestNames:
+    def test_simple_names(self):
+        for name in ("a", "Abc", "_x", "ns:tag", "a-b.c", "x1"):
+            assert chars.is_name(name), name
+
+    def test_bad_names(self):
+        for name in ("", "1a", "-a", ".a", "a b", "a<b"):
+            assert not chars.is_name(name), name
+
+    def test_unicode_name(self):
+        assert chars.is_name("Élément")
+
+    def test_digits_cannot_start_but_can_continue(self):
+        assert not chars.is_name_start_char("5")
+        assert chars.is_name_char("5")
+
+
+class TestNmtoken:
+    def test_nmtoken_can_start_with_digit(self):
+        assert chars.is_nmtoken("123abc")
+
+    def test_empty_is_not_nmtoken(self):
+        assert not chars.is_nmtoken("")
+
+    def test_space_is_not_nmtoken_char(self):
+        assert not chars.is_nmtoken("a b")
+
+
+class TestPubid:
+    def test_typical_public_id(self):
+        assert chars.is_pubid_literal(
+            "-//W3C//DTD XHTML 1.0 Strict//EN")
+
+    def test_illegal_pubid_characters(self):
+        assert not chars.is_pubid_literal("abc{def}")
+
+
+@pytest.mark.parametrize("ch", list(" \t\r\n"))
+def test_whitespace_members(ch):
+    assert chars.is_whitespace(ch)
+
+
+def test_non_whitespace():
+    assert not chars.is_whitespace("x")
+    assert not chars.is_whitespace("\f")

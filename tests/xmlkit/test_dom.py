@@ -1,0 +1,124 @@
+"""DOM node behaviour."""
+
+from repro.xmlkit import (
+    Comment,
+    Document,
+    Element,
+    Text,
+    build_element,
+    parse,
+)
+
+
+class TestElementNavigation:
+    def setup_method(self):
+        self.doc = parse(
+            "<root><a>1</a><b/><a>2</a><c><a>3</a></c></root>")
+        self.root = self.doc.root_element
+
+    def test_find_first(self):
+        assert self.root.find("a").text() == "1"
+
+    def test_find_missing(self):
+        assert self.root.find("zzz") is None
+
+    def test_find_all_direct_only(self):
+        assert [e.text() for e in self.root.find_all("a")] == ["1", "2"]
+
+    def test_iter_elements_recursive(self):
+        assert [e.text() for e in self.root.iter_elements("a")] == \
+            ["1", "2", "3"]
+
+    def test_child_elements_skips_text(self):
+        doc = parse("<r>x<a/>y</r>")
+        assert [e.tag for e in doc.root_element.child_elements] == ["a"]
+
+    def test_root_property(self):
+        inner = self.root.find("c").find("a")
+        assert inner.root() is self.doc
+
+
+class TestTreeMutation:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+
+    def test_remove_detaches(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_replace(self):
+        parent = Element("p")
+        old = parent.append(Element("old"))
+        new = Element("new")
+        parent.replace(old, new)
+        assert parent.children == [new]
+        assert old.parent is None
+
+
+class TestTextContent:
+    def test_text_only_direct(self):
+        doc = parse("<a>x<b>y</b>z</a>")
+        assert doc.root_element.text() == "xz"
+
+    def test_text_content_recursive(self):
+        doc = parse("<a>x<b>y</b>z</a>")
+        assert doc.root_element.text_content() == "xyz"
+
+    def test_whitespace_detection(self):
+        assert Text("  \n\t ").is_whitespace()
+        assert not Text(" x ").is_whitespace()
+
+
+class TestDocument:
+    def test_root_element_required(self):
+        document = Document()
+        try:
+            document.root_element
+            raise AssertionError("expected ValueError")
+        except ValueError:
+            pass
+
+    def test_count_nodes(self):
+        doc = parse("<a><b/>text<!--c--></a>")
+        assert doc.count_nodes("element") == 2
+        assert doc.count_nodes("comment") == 1
+
+    def test_misc_nodes(self):
+        doc = parse("<!--before--><a/><!--after-->")
+        assert len(doc.misc_nodes()) == 2
+
+
+class TestBuildElement:
+    def test_strings_become_text(self):
+        element = build_element("x", {"k": "v"}, ["hello"])
+        assert element.get("k") == "v"
+        assert isinstance(element.children[0], Text)
+
+    def test_nested_nodes(self):
+        element = build_element("x", children=[
+            build_element("y", children=["inner"]), Comment("c")])
+        assert element.find("y").text() == "inner"
+
+
+class TestAttributes:
+    def test_specified_flag(self):
+        element = Element("e")
+        element.set("a", "1", specified=False)
+        assert not element.attributes["a"].specified
+
+    def test_has_attribute(self):
+        element = Element("e")
+        element.set("a", "1")
+        assert element.has_attribute("a")
+        assert not element.has_attribute("b")
+
+    def test_overwrite(self):
+        element = Element("e")
+        element.set("a", "1")
+        element.set("a", "2")
+        assert element.get("a") == "2"

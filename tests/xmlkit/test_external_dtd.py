@@ -1,0 +1,62 @@
+"""External DTD subsets via a user-supplied loader."""
+
+import pytest
+
+from repro.xmlkit import XMLParser, parse
+
+_EXTERNAL_DTD = """
+<!ELEMENT note (to, body)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+<!ENTITY sig "Kudrass">
+"""
+
+_DOCUMENT = ('<!DOCTYPE note SYSTEM "note.dtd">'
+             "<note><to>Conrad</to><body>Hello &sig;</body></note>")
+
+
+def loader(system_id: str) -> str:
+    assert system_id == "note.dtd"
+    return _EXTERNAL_DTD
+
+
+class TestExternalSubset:
+    def test_offline_default_records_but_does_not_fetch(self):
+        # an undefined entity from the unfetched subset is an error
+        from repro.xmlkit import XMLSyntaxError
+
+        with pytest.raises(XMLSyntaxError, match="undefined entity"):
+            parse(_DOCUMENT)
+
+    def test_loader_supplies_the_subset(self):
+        document = XMLParser(dtd_loader=loader).parse(_DOCUMENT)
+        assert document.doctype.system_id == "note.dtd"
+        assert document.doctype.dtd.element("note") is not None
+        body = document.root_element.find("body")
+        assert body.text() == "Hello Kudrass"
+
+    def test_loaded_dtd_supports_validation(self):
+        from repro.dtd import validate
+
+        document = XMLParser(dtd_loader=loader).parse(_DOCUMENT)
+        assert validate(document, document.doctype.dtd).valid
+
+    def test_internal_subset_wins_over_loader(self):
+        source = ('<!DOCTYPE n SYSTEM "other.dtd" ['
+                  "<!ELEMENT n (#PCDATA)>]><n>x</n>")
+
+        def must_not_fetch(system_id: str) -> str:
+            raise AssertionError("loader must not be called")
+
+        document = XMLParser(dtd_loader=must_not_fetch).parse(source)
+        assert document.doctype.dtd.element("n") is not None
+
+    def test_file_loader_roundtrip(self, tmp_path):
+        dtd_path = tmp_path / "note.dtd"
+        dtd_path.write_text(_EXTERNAL_DTD)
+
+        def file_loader(system_id: str) -> str:
+            return (tmp_path / system_id).read_text()
+
+        document = XMLParser(dtd_loader=file_loader).parse(_DOCUMENT)
+        assert document.root_element.find("to").text() == "Conrad"

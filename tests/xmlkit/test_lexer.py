@@ -1,0 +1,114 @@
+"""The shared character scanner."""
+
+import pytest
+
+from repro.xmlkit.errors import XMLSyntaxError
+from repro.xmlkit.lexer import Scanner
+
+
+class TestNavigation:
+    def test_peek_does_not_consume(self):
+        scanner = Scanner("abc")
+        assert scanner.peek() == "a"
+        assert scanner.peek(1) == "b"
+        assert scanner.pos == 0
+
+    def test_peek_past_end(self):
+        scanner = Scanner("a")
+        assert scanner.peek(5) == ""
+
+    def test_advance_returns_consumed(self):
+        scanner = Scanner("abcdef")
+        assert scanner.advance(3) == "abc"
+        assert scanner.pos == 3
+
+    def test_advance_clamps_at_end(self):
+        scanner = Scanner("ab")
+        assert scanner.advance(10) == "ab"
+        assert scanner.at_end
+
+    def test_position_tracking(self):
+        scanner = Scanner("ab\ncd")
+        scanner.advance(4)
+        assert scanner.line == 2
+        assert scanner.column == 2
+
+
+class TestMatching:
+    def test_match_consumes_on_success(self):
+        scanner = Scanner("<?xml")
+        assert scanner.match("<?")
+        assert scanner.pos == 2
+
+    def test_match_leaves_on_failure(self):
+        scanner = Scanner("<?xml")
+        assert not scanner.match("<!")
+        assert scanner.pos == 0
+
+    def test_expect_raises_with_context(self):
+        scanner = Scanner("xyz")
+        with pytest.raises(XMLSyntaxError, match="start tag"):
+            scanner.expect(">", context="start tag")
+
+    def test_lookahead(self):
+        scanner = Scanner("hello")
+        assert scanner.lookahead("hel")
+        assert not scanner.lookahead("world")
+
+
+class TestCompositeReads:
+    def test_skip_whitespace(self):
+        scanner = Scanner("  \t\n x")
+        assert scanner.skip_whitespace()
+        assert scanner.peek() == "x"
+        assert not scanner.skip_whitespace()
+
+    def test_require_whitespace(self):
+        scanner = Scanner("x")
+        with pytest.raises(XMLSyntaxError, match="whitespace"):
+            scanner.require_whitespace("after keyword")
+
+    def test_read_name(self):
+        scanner = Scanner("tag-name rest")
+        assert scanner.read_name() == "tag-name"
+        assert scanner.peek() == " "
+
+    def test_read_name_rejects_digit_start(self):
+        scanner = Scanner("1bad")
+        with pytest.raises(XMLSyntaxError):
+            scanner.read_name()
+
+    def test_read_nmtoken_allows_digit_start(self):
+        scanner = Scanner("1ok rest")
+        assert scanner.read_nmtoken() == "1ok"
+
+    def test_read_quoted_double(self):
+        scanner = Scanner('"value" tail')
+        assert scanner.read_quoted() == "value"
+
+    def test_read_quoted_single(self):
+        scanner = Scanner("'va\"lue'")
+        assert scanner.read_quoted() == 'va"lue'
+
+    def test_read_quoted_unterminated(self):
+        scanner = Scanner('"oops')
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            scanner.read_quoted()
+
+    def test_read_until(self):
+        scanner = Scanner("body-->tail")
+        assert scanner.read_until("-->", "comment") == "body"
+        assert scanner.peek() == "t"
+
+    def test_read_until_missing_terminator(self):
+        scanner = Scanner("body")
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            scanner.read_until("-->", "comment")
+
+    def test_error_carries_position(self):
+        scanner = Scanner("ab\ncd")
+        scanner.advance(4)
+        with pytest.raises(XMLSyntaxError) as info:
+            scanner.error("boom")
+        assert info.value.line == 2
+        assert info.value.column == 2

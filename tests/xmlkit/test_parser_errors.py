@@ -1,0 +1,74 @@
+"""XML parser: ill-formed input raises positioned errors."""
+
+import pytest
+
+from repro.xmlkit import XMLSyntaxError, parse
+
+
+@pytest.mark.parametrize("source", [
+    "",                           # no root element
+    "<a>",                        # unterminated element
+    "<a></b>",                    # mismatched end tag
+    "<a><b></a></b>",             # improper nesting
+    "<a/><b/>",                   # two root elements
+    "<a x=1/>",                   # unquoted attribute
+    '<a x="1" x="2"/>',           # duplicate attribute
+    '<a x="<"/>',                 # '<' in attribute value
+    "<a>&undefined;</a>",         # unknown entity
+    "<a>&#xZZ;</a>",              # bad char reference
+    "<a>]]></a>",                 # CDATA end in content
+    "<a><!-- -- --></a>",         # double hyphen in comment
+    "<a><?xml version=\"1.0\"?></a>",  # reserved PI target
+    "<a><![CDATA[x]]</a>",        # unterminated CDATA
+    "<?xml version='2.5'?><a/>",  # unsupported version
+    "<!DOCTYPE a []><!DOCTYPE a []><a/>",  # double doctype
+    "<a>text after root</a> trailing",     # content in epilog
+    "<a attr = ></a>",            # missing attribute value
+    "<a><b attr></b></a>",        # attribute without '='
+])
+def test_ill_formed_documents_raise(source):
+    with pytest.raises(XMLSyntaxError):
+        parse(source)
+
+
+def test_error_carries_position():
+    with pytest.raises(XMLSyntaxError) as info:
+        parse("<a>\n  <b></c>\n</a>")
+    assert info.value.line == 2
+    assert info.value.column is not None
+
+
+def test_illegal_control_character_position():
+    with pytest.raises(XMLSyntaxError) as info:
+        parse("<a>bad\x00char</a>")
+    assert "U+0000" in str(info.value)
+
+
+def test_recursive_entities_rejected():
+    with pytest.raises(XMLSyntaxError) as info:
+        parse('<!DOCTYPE a [<!ENTITY x "&y;"><!ENTITY y "&x;">]>'
+              "<a>&x;</a>")
+    assert "recursive" in str(info.value)
+
+
+def test_billion_laughs_is_bounded():
+    subset = ['<!ENTITY e0 "ha">']
+    for index in range(1, 12):
+        subset.append(
+            f'<!ENTITY e{index} "{"&e%d;" % (index - 1) * 10}">')
+    source = ("<!DOCTYPE a [" + "".join(subset) + "]>"
+              "<a>&e11;&e11;&e11;</a>")
+    with pytest.raises(XMLSyntaxError):
+        parse(source)
+
+
+def test_unparsed_entity_in_content_rejected():
+    source = ('<!DOCTYPE a [<!NOTATION gif SYSTEM "g">'
+              '<!ENTITY pic SYSTEM "p.gif" NDATA gif>]><a>&pic;</a>')
+    with pytest.raises(XMLSyntaxError):
+        parse(source)
+
+
+def test_whitespace_required_between_attributes():
+    with pytest.raises(XMLSyntaxError):
+        parse('<a x="1"y="2"/>')

@@ -1,0 +1,82 @@
+"""Property-based tests: serialize/parse round-trips on random trees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlkit import Element, Text, parse, serialize
+
+#: names kept small and XML-safe
+_names = st.from_regex(r"[A-Za-z][A-Za-z0-9._-]{0,8}", fullmatch=True)
+
+#: character data without whitespace-only ambiguity
+_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_categories=("Cs", "Cc"),
+    ),
+    min_size=1, max_size=24,
+).filter(lambda s: s.strip(" \t\r\n") == s and s.strip())
+
+_attr_value = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           exclude_categories=("Cs", "Cc")),
+    max_size=16,
+).map(lambda s: " ".join(s.split()))
+
+
+@st.composite
+def elements(draw, depth: int = 3):
+    element = Element(draw(_names))
+    for name in draw(st.lists(_names, max_size=3, unique=True)):
+        element.set(name, draw(_attr_value))
+    if depth > 0:
+        children = draw(st.lists(st.one_of(
+            _text.map(Text),
+            elements(depth=depth - 1),
+        ), max_size=3))
+        previous_was_text = False
+        for child in children:
+            is_text = isinstance(child, Text)
+            if is_text and previous_was_text:
+                continue  # adjacent text nodes merge on reparse
+            element.append(child)
+            previous_was_text = is_text
+    return element
+
+
+def _shape(element: Element):
+    """Canonical structure: tag, attrs, merged-text children."""
+    children = []
+    for child in element.children:
+        if isinstance(child, Element):
+            children.append(_shape(child))
+        else:
+            children.append(("#text", child.data))
+    return (element.tag,
+            sorted((a.name, a.value)
+                   for a in element.attributes.values()),
+            children)
+
+
+@settings(max_examples=150, deadline=None)
+@given(elements())
+def test_serialize_parse_preserves_structure(element):
+    text = serialize(element)
+    parsed = parse(text).root_element
+    assert _shape(parsed) == _shape(element)
+
+
+@settings(max_examples=150, deadline=None)
+@given(elements())
+def test_serialization_is_deterministic(element):
+    assert serialize(element) == serialize(element)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=st.characters(codec="utf-8",
+                                      exclude_categories=("Cs", "Cc")),
+               max_size=64))
+def test_any_text_survives_escaping(data):
+    element = Element("t")
+    element.append(Text(data))
+    parsed = parse(serialize(element)).root_element
+    assert parsed.text() == data

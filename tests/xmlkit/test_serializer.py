@@ -1,0 +1,111 @@
+"""Serialization and text round-trips."""
+
+import pytest
+
+from repro.xmlkit import (
+    CDATASection,
+    Comment,
+    Element,
+    SerializationError,
+    Serializer,
+    Text,
+    parse,
+    serialize,
+)
+
+
+class TestBasicSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_text_is_escaped(self):
+        element = Element("a")
+        element.append(Text("x < y & z"))
+        assert serialize(element) == "<a>x &lt; y &amp; z</a>"
+
+    def test_attributes_are_escaped(self):
+        element = Element("a")
+        element.set("x", 'va"l & <')
+        assert serialize(element) == '<a x="va&quot;l &amp; &lt;"/>'
+
+    def test_cdata(self):
+        element = Element("a")
+        element.append(CDATASection("<raw>"))
+        assert serialize(element) == "<a><![CDATA[<raw>]]></a>"
+
+    def test_comment(self):
+        element = Element("a")
+        element.append(Comment(" hey "))
+        assert serialize(element) == "<a><!-- hey --></a>"
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("source", [
+        "<a/>",
+        "<a><b>x</b><b>y</b></a>",
+        '<a k="v"><c/>text</a>',
+        "<a><!--c--><?pi d?><![CDATA[raw]]></a>",
+        "<p>one<b>two</b> three</p>",
+    ])
+    def test_parse_serialize_parse(self, source):
+        first = parse(source)
+        text = serialize(first.root_element)
+        second = parse(text)
+        assert serialize(second.root_element) == text
+
+    def test_document_round_trip_keeps_declaration(self):
+        doc = parse('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        text = serialize(doc)
+        assert text.startswith(
+            '<?xml version="1.0" encoding="UTF-8"?>')
+
+    def test_doctype_round_trip(self):
+        source = "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>"
+        text = serialize(parse(source))
+        assert "<!DOCTYPE a [" in text
+        assert "<!ELEMENT a (#PCDATA)>" in text
+
+
+class TestPrettyPrinting:
+    def test_element_only_content_is_indented(self):
+        doc = parse("<a><b><c/></b></a>")
+        text = serialize(doc.root_element, indent="  ")
+        assert text == "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+
+    def test_mixed_content_is_not_reflowed(self):
+        doc = parse("<p>one<b>two</b></p>")
+        assert serialize(doc.root_element, indent="  ") == \
+            "<p>one<b>two</b></p>"
+
+
+class TestEntityResubstitution:
+    def test_definitions_reappear_as_references(self):
+        doc = parse('<!DOCTYPE a [<!ENTITY cs "Computer Science">]>'
+                    "<a>I study Computer Science.</a>")
+        definitions = doc.doctype.dtd.entities.internal_general()
+        text = Serializer(entity_definitions=definitions).serialize(
+            doc.root_element)
+        assert text == "<a>I study &cs;.</a>"
+
+    def test_resubstituted_text_reparses_with_dtd(self):
+        source = ('<!DOCTYPE a [<!ENTITY cs "Computer Science">]>'
+                  "<a>Computer Science</a>")
+        doc = parse(source)
+        definitions = doc.doctype.dtd.entities.internal_general()
+        text = Serializer(entity_definitions=definitions).serialize(doc)
+        again = parse(text)
+        assert again.root_element.text() == "Computer Science"
+
+
+class TestSerializationErrors:
+    def test_comment_with_double_hyphen(self):
+        element = Element("a")
+        element.append(Comment("bad -- comment"))
+        with pytest.raises(SerializationError):
+            serialize(element)
+
+    def test_cdata_with_terminator(self):
+        element = Element("a")
+        element.append(CDATASection("bad ]]> data"))
+        with pytest.raises(SerializationError):
+            serialize(element)
