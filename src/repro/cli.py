@@ -9,6 +9,7 @@ this CLI exposes the same pipeline as one-shot commands:
    python -m repro load    doc.xml            # emit DDL + INSERTs
    python -m repro query   doc.xml /Uni/Name  # run a path query
    python -m repro roundtrip doc.xml          # fidelity report
+   python -m repro ingest  a.xml b.xml c.xml  # transactional bulk load
    python -m repro demo                       # Appendix A walkthrough
 
 Documents must carry their DTD in the internal subset (as the
@@ -21,7 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core import XML2Oracle, compare
+from repro.core import RetryPolicy, XML2Oracle, compare
 from repro.core.plan import MappingConfig
 from repro.dtd import parse_dtd
 from repro.ordb import CompatibilityMode
@@ -119,6 +120,63 @@ def cmd_roundtrip(args) -> int:
     return 0 if report.score == 1.0 else 1
 
 
+def cmd_ingest(args) -> int:
+    paths = [Path(name) for name in args.documents]
+    tool = _make_tool(args)
+    # the sample document feeds IDREF-target inference (Section 4.4);
+    # without one, IDREF attributes stay plain VARCHAR columns
+    sample = None
+    internal = None
+    for path in paths:
+        try:
+            probe = parse_xml(path.read_text())
+        except Exception:
+            continue  # bad file: quarantined by store_many below
+        if sample is None:
+            sample = probe
+        if probe.doctype is not None and probe.doctype.dtd:
+            internal = probe
+            break
+    if args.dtd:
+        dtd = parse_dtd(Path(args.dtd).read_text())
+    elif internal is not None:
+        dtd, sample = internal.doctype.dtd, internal
+    else:
+        raise SystemExit(
+            "error: no readable document carries an internal DTD"
+            " subset; pass --dtd FILE")
+    tool.register_schema(dtd, root=args.root, sample_document=sample)
+    if args.fault:
+        site, _, position = args.fault.partition(":")
+        if not position.isdigit():
+            raise SystemExit(
+                "error: --fault must be SITE:INDEX, e.g. storage:3")
+        try:
+            tool.db.faults.arm(site=site or None, at=int(position))
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    try:
+        texts = [path.read_text() for path in paths]
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    try:
+        report = tool.store_many(
+            texts,
+            continue_on_error=args.continue_on_error,
+            retry=policy,
+            doc_names=[path.name for path in paths])
+    except Exception as error:
+        print(f"error: batch aborted, all documents rolled back:"
+              f" {error}", file=sys.stderr)
+        print("hint: --continue-on-error quarantines bad documents"
+              " instead", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def cmd_demo(args) -> int:
     from repro.workloads import SAMPLE_DOCUMENT
 
@@ -199,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit", action="store_true",
         help="also print the reconstructed document")
     roundtrip_parser.set_defaults(handler=cmd_roundtrip)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="bulk-load documents in one transaction with"
+             " per-document savepoints, retries and quarantine")
+    common(ingest_parser, with_document=False)
+    ingest_parser.add_argument("documents", nargs="+",
+                               help="XML document files")
+    ingest_parser.add_argument(
+        "--dtd", help="external DTD file (defaults to the first"
+                      " document's internal subset)")
+    ingest_parser.add_argument(
+        "--root", help="root element (defaults to inference)")
+    ingest_parser.add_argument(
+        "--continue-on-error", action="store_true",
+        help="quarantine failing documents and keep going instead of"
+             " rolling back the whole batch")
+    ingest_parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts for transient faults (default 2)")
+    ingest_parser.add_argument(
+        "--fault", metavar="SITE:INDEX",
+        help="inject a fault at the INDEX-th boundary of SITE"
+             " (parse, statement or storage; testing aid)")
+    ingest_parser.set_defaults(handler=cmd_ingest)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the Appendix A walkthrough")

@@ -13,6 +13,14 @@ Public surface:
 """
 
 from .analyzer import Analyzer, analyze
+from .ingest import (
+    NO_RETRY,
+    DocumentOutcome,
+    IngestReport,
+    RetryPolicy,
+    classify,
+    error_code,
+)
 from .generator import (
     SchemaGenerator,
     SchemaScript,
@@ -59,6 +67,9 @@ __all__ = [
     "ComparisonReport",
     "CollectionFlavor",
     "DocumentLoader",
+    "DocumentOutcome",
+    "IngestReport",
+    "NO_RETRY",
     "ElementKind",
     "ElementPlan",
     "FidelityReport",
@@ -73,6 +84,7 @@ __all__ = [
     "PathQueryBuilder",
     "RegisteredSchema",
     "Retriever",
+    "RetryPolicy",
     "SchemaGenerator",
     "SchemaIdAllocator",
     "SchemaScript",
@@ -85,8 +97,10 @@ __all__ = [
     "XML2Oracle",
     "analyze",
     "build_path_query",
+    "classify",
     "compare",
     "compare_mappings",
+    "error_code",
     "extract_facts",
     "generate_schema",
     "identical",

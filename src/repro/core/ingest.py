@@ -1,0 +1,130 @@
+"""Bulk-ingestion resilience: error taxonomy, retries, quarantine.
+
+One stored XML document is a *cluster* of statements (the nested
+INSERT of Section 4.2, extra INSERTs for ID targets, deferred IDREF
+UPDATEs of Section 4.4, meta-table rows of Section 5), so corpus
+loading needs machinery the paper's interactive tool never did:
+
+* an **error taxonomy** — :func:`classify` splits failures into
+  ``transient`` (connection-style faults, busy resources; worth a
+  retry) and ``permanent`` (validity errors, constraint violations,
+  dangling IDREFs; retrying cannot help);
+* a **retry policy** — bounded attempts with exponential backoff.
+  The sleep function is injected so tests and benchmarks never wait
+  on a wall clock;
+* a **quarantine report** — per-document outcomes with the ORA code,
+  classification and attempt count, so a batch run can continue past
+  bad documents and still account for every one of them.
+
+:meth:`repro.core.XML2Oracle.store_many` drives these against the
+transactional engine: one transaction around the batch, one savepoint
+per document.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ordb.errors import is_transient
+
+#: Classification labels used throughout.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def classify(error: BaseException) -> str:
+    """``transient`` or ``permanent`` (see module docstring)."""
+    return TRANSIENT if is_transient(error) else PERMANENT
+
+
+def error_code(error: BaseException) -> str:
+    """The ORA code of an engine error, or the exception type name."""
+    return getattr(error, "code", None) or type(error).__name__
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    ``sleep`` is the injected clock: pass a recorder in tests, a
+    no-op in benchmarks.  ``delay(attempt)`` is the pause *after* the
+    attempt-th failure (1-based): ``base_delay * multiplier**(attempt-1)``
+    capped at ``max_delay``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_delay * self.multiplier ** (attempt - 1),
+                   self.max_delay)
+
+    def wait(self, attempt: int) -> None:
+        self.sleep(self.delay(attempt))
+
+
+#: A policy that never retries (permanent-only semantics).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0,
+                       sleep=lambda _seconds: None)
+
+
+@dataclass
+class DocumentOutcome:
+    """What happened to one document of a batch."""
+
+    index: int
+    doc_name: str
+    status: str  # 'stored' | 'quarantined'
+    doc_id: int | None = None
+    attempts: int = 1
+    error: BaseException | None = None
+    error_code: str = ""
+    classification: str = ""
+
+    @property
+    def stored(self) -> bool:
+        return self.status == "stored"
+
+    def describe(self) -> str:
+        if self.stored:
+            retried = (f" after {self.attempts} attempts"
+                       if self.attempts > 1 else "")
+            return (f"[{self.index}] {self.doc_name}: stored as"
+                    f" DocID {self.doc_id}{retried}")
+        return (f"[{self.index}] {self.doc_name}: QUARANTINED"
+                f" ({self.classification}, {self.error_code},"
+                f" {self.attempts} attempt(s)) — {self.error}")
+
+
+@dataclass
+class IngestReport:
+    """Per-document outcomes of one :meth:`store_many` call."""
+
+    outcomes: list[DocumentOutcome] = field(default_factory=list)
+
+    @property
+    def stored(self) -> list[DocumentOutcome]:
+        return [o for o in self.outcomes if o.stored]
+
+    @property
+    def quarantined(self) -> list[DocumentOutcome]:
+        return [o for o in self.outcomes if not o.stored]
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    @property
+    def doc_ids(self) -> list[int]:
+        return [o.doc_id for o in self.stored if o.doc_id is not None]
+
+    def describe(self) -> str:
+        lines = [outcome.describe() for outcome in self.outcomes]
+        lines.append(f"-- {len(self.stored)} stored,"
+                     f" {len(self.quarantined)} quarantined")
+        return "\n".join(lines)

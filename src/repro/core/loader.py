@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.ordb.errors import DanglingReference
 from repro.relational.shredder import sql_quote
 from repro.xmlkit.dom import Document, Element
 from repro.xmlkit.serializer import serialize
@@ -52,6 +53,31 @@ class _PendingIdref:
     column: str
     idref_value: str
     target: ElementPlan
+    element: Element
+    attribute: str
+
+
+def element_path(element: Element) -> str:
+    """An XPath-like location for error messages:
+    ``/Root/Child[2]/Leaf``."""
+    parts: list[str] = []
+    node: object = element
+    while isinstance(node, Element):
+        parent = node.parent
+        if isinstance(parent, Element):
+            siblings = parent.find_all(node.tag)
+            if len(siblings) > 1:
+                position = next(
+                    index for index, sibling
+                    in enumerate(siblings, start=1)
+                    if sibling is node)
+                parts.append(f"{node.tag}[{position}]")
+            else:
+                parts.append(node.tag)
+        else:
+            parts.append(node.tag)
+        node = parent
+    return "/" + "/".join(reversed(parts))
 
 
 class DocumentLoader:
@@ -206,7 +232,8 @@ class DocumentLoader:
             self._pending_idrefs.append(_PendingIdref(
                 table=plan.table, id_column=plan.id_column,
                 row_id=row_id, column=member.column,
-                idref_value=value, target=target))
+                idref_value=value, target=target,
+                element=element, attribute=attribute.xml_name))
             return "NULL"
         # inline element: the target row already exists (pass A)
         return self._idref_subquery(target, value)
@@ -316,8 +343,41 @@ class DocumentLoader:
 
     # -- pass C: IDREF updates ------------------------------------------------------------------
 
+    def _target_id_attribute(self, target: ElementPlan):
+        pool = (target.attr_list.attributes if target.attr_list
+                else target.attributes)
+        return next((a for a in pool if a.is_id), None)
+
+    def _check_idref_target(self, pending: _PendingIdref) -> None:
+        """ORA-22888 when a forward IDREF never finds its row.
+
+        Without this check the deferred UPDATE's scalar subquery comes
+        back empty and the column is silently left NULL — a dangling
+        REF the retriever only trips over much later.  Fail at load
+        time instead, naming the offending ID value and where in the
+        document it sits.  (Targets *without* an ID attribute keep the
+        historical warn-and-NULL behaviour of
+        :meth:`_idref_subquery`.)
+        """
+        id_attribute = self._target_id_attribute(pending.target)
+        if id_attribute is None:
+            return
+        for candidate in self._row_elements.values():
+            if (candidate.tag == pending.target.name
+                    and candidate.get(id_attribute.xml_name)
+                    == pending.idref_value):
+                return
+        raise DanglingReference(
+            f"IDREF {pending.attribute}="
+            f"'{pending.idref_value}' at"
+            f" {element_path(pending.element)} references no"
+            f" <{pending.target.name}> element: no row in"
+            f" {pending.target.table} carries"
+            f" {id_attribute.xml_name}='{pending.idref_value}'")
+
     def _emit_idref_updates(self) -> None:
         for pending in self._pending_idrefs:
+            self._check_idref_target(pending)
             subquery = self._idref_subquery(pending.target,
                                             pending.idref_value)
             self.result.statements.append(

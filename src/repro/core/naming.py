@@ -153,3 +153,12 @@ class SchemaIdAllocator:
     def allocate(self) -> str:
         self._next += 1
         return f"S{self._next}"
+
+    def release(self, schema_id: str) -> bool:
+        """Hand back the most recent ID when its registration failed,
+        so a rolled-back ``register_schema`` does not burn it.  Only
+        the latest allocation can be released (IDs are a sequence)."""
+        if schema_id == f"S{self._next}" and self._next > 0:
+            self._next -= 1
+            return True
+        return False

@@ -20,7 +20,9 @@ bookkeeping, and the retriever reverses the trip.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.dtd.model import DTD, AttributeType
 from repro.dtd.parser import parse_dtd
@@ -34,6 +36,7 @@ from repro.xmlkit.parser import parse as parse_xml
 from repro.xmlkit.serializer import Serializer
 from .analyzer import Analyzer
 from .generator import SchemaScript, generate_schema
+from .ingest import DocumentOutcome, IngestReport, RetryPolicy, classify, error_code
 from .loader import DocumentLoader, LoadResult
 from .metadata import MetadataRegistry
 from .naming import NameGenerator, SchemaIdAllocator
@@ -106,16 +109,27 @@ class XML2Oracle:
                  mode: CompatibilityMode = CompatibilityMode.ORACLE9,
                  config: MappingConfig | None = None,
                  metadata: bool = True,
-                 validate_documents: bool = True):
+                 validate_documents: bool = True,
+                 transactional: bool = True):
         self.db = db or Database(mode)
         self.config = config or MappingConfig()
         self.validate_documents = validate_documents
+        #: when False, store()/register_schema() run unguarded as the
+        #: original tool did — kept for overhead benchmarking only
+        self.transactional = transactional
         self.metadata: MetadataRegistry | None = (
             MetadataRegistry(self.db) if metadata else None)
         self.schemas: list[RegisteredSchema] = []
         self.documents: dict[int, StoredDocument] = {}
         self._schema_ids = SchemaIdAllocator()
         self._next_doc_id = 0
+
+    def _atomic(self):
+        """The engine's all-or-nothing scope, or a no-op guard when
+        the facade was built with ``transactional=False``."""
+        if self.transactional:
+            return self.db.atomic()
+        return contextlib.nullcontext(self.db)
 
     @property
     def mode(self) -> CompatibilityMode:
@@ -132,6 +146,10 @@ class XML2Oracle:
 
         ``sample_document`` lets the tool infer IDREF targets the way
         Section 4.4 prescribes (from a document, not the DTD).
+
+        Registration is atomic: when a statement of the generated
+        script fails partway, every CREATE already executed is rolled
+        back and the allocated SchemaID is returned to the allocator.
         """
         if isinstance(dtd, str):
             dtd = parse_dtd(dtd)
@@ -140,23 +158,28 @@ class XML2Oracle:
                 sample_document = parse_xml(sample_document)
             idref_targets = infer_idref_targets(sample_document, dtd)
         schema_id = self._schema_ids.allocate()
-        names = NameGenerator(schema_id if self.schemas else None)
-        analyzer = Analyzer(dtd, self.config, self.mode, names,
-                            idref_targets)
-        plan = analyzer.analyze(root)
-        # the plan's schema_id mirrors the facade's allocation even for
-        # the first schema, whose generated names carry no suffix
-        plan.schema_id = schema_id
-        script = generate_schema(plan)
-        for statement in script.statements:
-            self.db.execute(statement)
+        try:
+            names = NameGenerator(schema_id if self.schemas else None)
+            analyzer = Analyzer(dtd, self.config, self.mode, names,
+                                idref_targets)
+            plan = analyzer.analyze(root)
+            # the plan's schema_id mirrors the facade's allocation even
+            # for the first schema, whose generated names carry no suffix
+            plan.schema_id = schema_id
+            script = generate_schema(plan)
+            with self._atomic():
+                for statement in script.statements:
+                    self.db.execute(statement)
+                if self.metadata is not None:
+                    self.metadata.register_entities(
+                        schema_id, dtd.entities.internal_general())
+        except BaseException:
+            self._schema_ids.release(schema_id)
+            raise
         schema = RegisteredSchema(
             dtd=dtd, plan=plan, script=script, schema_id=schema_id,
             validator=Validator(dtd))
         self.schemas.append(schema)
-        if self.metadata is not None:
-            self.metadata.register_entities(
-                schema_id, dtd.entities.internal_general())
         return schema
 
     def schema_script(self, schema: RegisteredSchema | None = None) -> str:
@@ -181,7 +204,13 @@ class XML2Oracle:
     def store(self, document: Document | Element | str,
               schema: RegisteredSchema | None = None,
               doc_name: str = "", url: str = "") -> StoredDocument:
-        """Validate, map and load one document; returns its handle."""
+        """Validate, map and load one document; returns its handle.
+
+        The load is atomic: document rows, deferred IDREF updates and
+        meta-table entries commit together or — on any failure — roll
+        back together, and the document-id counter is rewound so the
+        next store reuses the id.
+        """
         if isinstance(document, str):
             document = parse_xml(document)
         root = (document.root_element if isinstance(document, Document)
@@ -196,20 +225,102 @@ class XML2Oracle:
                     + "; ".join(str(e) for e in report.errors[:3]))
         self._next_doc_id += 1
         doc_id = self._next_doc_id
-        loader = DocumentLoader(schema.plan, doc_id)
-        load_result = loader.load(document)
-        for statement in load_result.statements:
-            self.db.execute(statement)
-        stored = StoredDocument(doc_id=doc_id, schema=schema,
-                                load_result=load_result,
-                                warnings=list(load_result.warnings))
-        if self.metadata is not None and isinstance(document, Document):
-            self.metadata.register_document(doc_id, document,
-                                            schema.plan, doc_name, url)
-            stored.misc_count = self.metadata.register_misc_nodes(
-                doc_id, document)
+        try:
+            with self._atomic():
+                loader = DocumentLoader(schema.plan, doc_id)
+                load_result = loader.load(document)
+                for statement in load_result.statements:
+                    self.db.execute(statement)
+                stored = StoredDocument(
+                    doc_id=doc_id, schema=schema,
+                    load_result=load_result,
+                    warnings=list(load_result.warnings))
+                if (self.metadata is not None
+                        and isinstance(document, Document)):
+                    self.metadata.register_document(
+                        doc_id, document, schema.plan, doc_name, url)
+                    stored.misc_count = (
+                        self.metadata.register_misc_nodes(doc_id,
+                                                          document))
+        except BaseException:
+            if self._next_doc_id == doc_id:
+                self._next_doc_id = doc_id - 1
+            raise
         self.documents[doc_id] = stored
         return stored
+
+    def store_many(self, documents: Iterable[Document | Element | str],
+                   schema: RegisteredSchema | None = None,
+                   *, continue_on_error: bool = False,
+                   retry: RetryPolicy | None = None,
+                   doc_names: Sequence[str] | None = None,
+                   url: str = "") -> IngestReport:
+        """Bulk-load documents with per-document savepoints.
+
+        The whole batch runs in one transaction; each document gets
+        its own atomic scope (a savepoint), so a failing document
+        rolls back alone.  Transient faults (see
+        :mod:`repro.core.ingest`) are retried per *retry* — backoff
+        sleeps go through the policy's injected clock.  Exhausted or
+        permanent failures either abort and roll back the whole batch
+        (default) or, with ``continue_on_error=True``, quarantine the
+        document and keep going.  The returned report holds one
+        outcome per document, in input order.
+        """
+        policy = retry or RetryPolicy()
+        report = IngestReport()
+        batch_doc_id = self._next_doc_id
+        batch_docs = set(self.documents)
+        try:
+            with self._atomic():
+                for index, document in enumerate(documents):
+                    if (doc_names is not None
+                            and index < len(doc_names)):
+                        name = doc_names[index]
+                    else:
+                        name = f"doc[{index}]"
+                    outcome = self._store_with_retry(
+                        document, schema, name, url, index, policy)
+                    report.outcomes.append(outcome)
+                    if not outcome.stored and not continue_on_error:
+                        # unwind the surrounding transaction:
+                        # stored-so-far documents roll back with it
+                        assert outcome.error is not None
+                        raise outcome.error
+        except BaseException:
+            # the engine rolled back; rewind the facade-side
+            # bookkeeping for documents stored earlier in this batch
+            for doc_id in list(self.documents):
+                if doc_id not in batch_docs:
+                    del self.documents[doc_id]
+            if self._next_doc_id >= batch_doc_id:
+                self._next_doc_id = batch_doc_id
+            raise
+        return report
+
+    def _store_with_retry(self, document, schema, doc_name: str,
+                          url: str, index: int,
+                          policy: RetryPolicy) -> DocumentOutcome:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                stored = self.store(document, schema,
+                                    doc_name=doc_name, url=url)
+            except Exception as error:
+                kind = classify(error)
+                if (kind == "transient"
+                        and attempt < policy.max_attempts):
+                    policy.wait(attempt)
+                    continue
+                return DocumentOutcome(
+                    index=index, doc_name=doc_name,
+                    status="quarantined", attempts=attempt,
+                    error=error, error_code=error_code(error),
+                    classification=kind)
+            return DocumentOutcome(
+                index=index, doc_name=doc_name, status="stored",
+                doc_id=stored.doc_id, attempts=attempt)
 
     # -- fetching documents --------------------------------------------------------------
 

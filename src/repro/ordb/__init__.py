@@ -44,6 +44,7 @@ from .datatypes import (
 )
 from .engine import Database, QueryPlan
 from .errors import (
+    TRANSIENT_CODES,
     CheckViolation,
     DanglingReference,
     DependentObjectsExist,
@@ -55,6 +56,7 @@ from .errors import (
     NameInUse,
     NestedCollectionNotSupported,
     NoSuchColumn,
+    NoSuchSavepoint,
     NoSuchTable,
     NoSuchType,
     NotSupported,
@@ -62,11 +64,16 @@ from .errors import (
     OrdbError,
     ParseError,
     ReservedWord,
+    TransactionError,
+    TransientEngineFault,
     TypeMismatch,
     UniqueViolation,
     ValueTooLarge,
     WrongArgumentCount,
+    is_transient,
 )
+from .faults import Fault, FaultEvent, FaultInjector
+from .transactions import Transaction, UndoJournal
 from .identifiers import MAX_IDENTIFIER_LENGTH, RESERVED_WORDS, is_reserved
 from .results import Result
 from .schema import Catalog, Column, CompatibilityMode, Table, View
@@ -84,22 +91,30 @@ __all__ = [
     "Column",
     "CompatibilityMode",
     "ConstraintSet",
+    "contains_collection",
     "DanglingReference",
-    "DataType",
     "Database",
+    "DataType",
     "DateType",
     "DependentObjectsExist",
+    "Fault",
+    "FaultEvent",
+    "FaultInjector",
     "IdentifierTooLong",
     "IncompleteType",
     "IntegerType",
     "InvalidDatatype",
     "InvalidIdentifier",
     "InvalidNumber",
+    "is_collection",
+    "is_reserved",
+    "is_transient",
     "MAX_IDENTIFIER_LENGTH",
     "NameInUse",
     "NestedCollectionNotSupported",
     "NestedTableType",
     "NoSuchColumn",
+    "NoSuchSavepoint",
     "NoSuchTable",
     "NoSuchType",
     "NotNullConstraint",
@@ -109,18 +124,26 @@ __all__ = [
     "ObjectType",
     "ObjectValue",
     "OrdbError",
+    "parse_statement",
     "ParseError",
     "PrimaryKeyConstraint",
     "QueryPlan",
-    "RESERVED_WORDS",
     "RefType",
     "RefValue",
+    "render_value",
+    "RESERVED_WORDS",
     "ReservedWord",
     "Result",
     "ScopeForConstraint",
+    "split_statements",
     "Table",
+    "Transaction",
+    "TransactionError",
+    "TRANSIENT_CODES",
+    "TransientEngineFault",
     "TypeAttribute",
     "TypeMismatch",
+    "UndoJournal",
     "UniqueConstraint",
     "UniqueViolation",
     "ValueTooLarge",
@@ -128,10 +151,4 @@ __all__ = [
     "VarrayType",
     "View",
     "WrongArgumentCount",
-    "contains_collection",
-    "is_collection",
-    "is_reserved",
-    "parse_statement",
-    "render_value",
-    "split_statements",
 ]

@@ -14,6 +14,7 @@ INSERT statements per document and number of scans/joins per query.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 from . import identifiers
@@ -32,14 +33,17 @@ from .errors import (
     IncompleteType,
     NestedCollectionNotSupported,
     NoSuchColumn,
+    NoSuchSavepoint,
     NoSuchTable,
     NotSupported,
     NullNotAllowed,
     OrdbError,
+    TransactionError,
     TypeMismatch,
     UniqueViolation,
     WrongArgumentCount,
 )
+from .faults import FaultInjector
 from .expressions import (
     AGGREGATE_FUNCTIONS,
     Binding,
@@ -54,6 +58,7 @@ from .sql import ast
 from .sql.lexer import split_statements
 from .sql.parser import parse_statement
 from .storage import Row, next_oid
+from .transactions import Transaction, UndoJournal
 from .values import (
     CollectionValue,
     ObjectValue,
@@ -87,6 +92,10 @@ class Database:
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
+        self.faults = FaultInjector()
+        self._txn: Transaction | None = None
+        self._active_journal: UndoJournal | None = None
+        self._atomic_seq = 0
         self.reset_stats()
 
     @property
@@ -108,10 +117,22 @@ class Database:
     # -- public API -------------------------------------------------------------------
 
     def execute(self, statement: str | ast.Statement) -> Result:
-        """Execute one statement (SQL text or a pre-parsed AST)."""
+        """Execute one statement (SQL text or a pre-parsed AST).
+
+        Statements are individually atomic: if one raises midway (a
+        constraint violation on the third row of an INSERT...SELECT,
+        an injected fault), everything it already changed is undone
+        before the error propagates — inside or outside an explicit
+        transaction.
+        """
         if isinstance(statement, str):
+            self.faults.hit("parse", sql=statement)
             statement = parse_statement(statement)
         self.stats["statements"] += 1
+        handled = self._handle_transaction_control(statement)
+        if handled is not None:
+            return handled
+        self.faults.hit("statement", statement=statement)
         if isinstance(statement, ast.SelectStmt):
             self.stats["selects"] += 1
             return self.execute_select(statement, None)
@@ -119,7 +140,123 @@ class Database:
         if handler is None:  # pragma: no cover - parser prevents this
             raise NotSupported(
                 f"unsupported statement {type(statement).__name__}")
-        return handler(self, statement)
+        journal = UndoJournal()
+        outer = self._active_journal
+        self._active_journal = journal
+        try:
+            result = handler(self, statement)
+        except BaseException:
+            self._active_journal = outer
+            journal.undo_to(0)
+            raise
+        self._active_journal = outer
+        if self._txn is not None:
+            self._txn.journal.absorb(journal)
+        return result
+
+    def _handle_transaction_control(
+            self, statement: ast.Statement) -> Result | None:
+        """Run BEGIN/COMMIT/ROLLBACK/SAVEPOINT; None for anything else.
+
+        These are dispatched before fault injection on purpose:
+        recovery must stay possible while faults are armed.
+        """
+        if isinstance(statement, ast.BeginTransaction):
+            self.begin()
+            return Result(message="Transaction started.")
+        if isinstance(statement, ast.CommitStmt):
+            self.commit()
+            return Result(message="Commit complete.")
+        if isinstance(statement, ast.RollbackStmt):
+            self.rollback(to=statement.savepoint)
+            return Result(message="Rollback complete.")
+        if isinstance(statement, ast.SavepointStmt):
+            self.savepoint(statement.name)
+            return Result(
+                message=f"Savepoint {statement.name} established.")
+        return None
+
+    # -- transactions -----------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction (autocommit until then)."""
+        if self._txn is not None:
+            raise TransactionError(
+                "a transaction is already active;"
+                " COMMIT or ROLLBACK first")
+        self._txn = Transaction()
+
+    def commit(self) -> None:
+        """Make the open transaction's work permanent (no-op when
+        none is open, like Oracle's COMMIT)."""
+        self._txn = None
+
+    def rollback(self, to: str | None = None) -> None:
+        """Undo the open transaction, or just back to savepoint *to*."""
+        if self._txn is None:
+            if to is not None:
+                raise NoSuchSavepoint(
+                    f"savepoint '{to}' never established"
+                    f" (no transaction is active)")
+            return
+        if to is None:
+            self._txn.rollback()
+            self._txn = None
+        else:
+            self._txn.rollback_to(to)
+
+    def savepoint(self, name: str) -> None:
+        """Establish a named savepoint (implicitly opening a
+        transaction when none is active, as DML does in Oracle)."""
+        if self._txn is None:
+            self._txn = Transaction()
+        self._txn.savepoint(name)
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on success, roll back
+        on any exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    @contextlib.contextmanager
+    def atomic(self):
+        """An all-or-nothing scope that nests: a full transaction at
+        the outermost level, a uniquely-named savepoint inside an
+        already-open transaction."""
+        if self._txn is None:
+            with self.transaction():
+                yield self
+            return
+        self._atomic_seq += 1
+        name = f"ATOMIC${self._atomic_seq}"
+        txn = self._txn
+        txn.savepoint(name)
+        try:
+            yield self
+        except BaseException:
+            # the transaction object may have been swapped by an inner
+            # rollback-everything; only unwind if ours is still open
+            if self._txn is txn:
+                txn.rollback_to(name)
+                txn.release(name)
+            raise
+        if self._txn is txn:
+            txn.release(name)
+
+    def _record(self, undo) -> None:
+        """Log an inverse operation into the running statement."""
+        if self._active_journal is not None:
+            self._active_journal.record(undo)
 
     def executescript(self, script: str) -> list[Result]:
         """Execute a multi-statement SQL script (Section 4: the
@@ -168,7 +305,11 @@ class Database:
 
     def _create_type_forward(self,
                              statement: ast.CreateTypeForward) -> Result:
+        key = identifiers.normalize(statement.name)
+        existed = key in self.catalog.types
         self.catalog.create_forward_type(statement.name)
+        if not existed:
+            self._record(lambda: self.catalog.types.pop(key, None))
         return Result(message=f"Type {statement.name} declared"
                               f" (incomplete).")
 
@@ -178,28 +319,64 @@ class Database:
             TypeAttribute(name, self.catalog.datatype_from_ref(type_ref))
             for name, type_ref in statement.attributes
         ]
+        key = identifiers.normalize(statement.name)
+        prior = self.catalog.types.get(key)
+        completing = isinstance(prior, ObjectType) and prior.incomplete
         self.catalog.create_object_type(statement.name, attributes,
                                         replace=statement.or_replace)
+        if prior is None:
+            self._record(lambda: self.catalog.types.pop(key, None))
+        elif completing:
+            # completion mutates the forward type in place; undo
+            # restores the same instance to its incomplete state
+            def undo(forward=prior):
+                forward.attributes = []
+                forward.incomplete = True
+            self._record(undo)
+        else:  # OR REPLACE swapped the entry
+            self._record(
+                lambda: self.catalog.types.__setitem__(key, prior))
         return Result(message=f"Type {statement.name} created.")
 
     def _create_varray_type(self,
                             statement: ast.CreateVarrayType) -> Result:
         element = self.catalog.datatype_from_ref(statement.element)
-        self.catalog.create_collection_type(
-            statement.name, element, limit=statement.limit,
-            replace=statement.or_replace)
+        self._create_collection(statement.name, element,
+                                limit=statement.limit,
+                                replace=statement.or_replace)
         return Result(message=f"Type {statement.name} created.")
 
     def _create_nested_table_type(
             self, statement: ast.CreateNestedTableType) -> Result:
         element = self.catalog.datatype_from_ref(statement.element)
-        self.catalog.create_collection_type(
-            statement.name, element, limit=None,
-            replace=statement.or_replace)
+        self._create_collection(statement.name, element, limit=None,
+                                replace=statement.or_replace)
         return Result(message=f"Type {statement.name} created.")
 
+    def _create_collection(self, name: str, element, limit: int | None,
+                           replace: bool) -> None:
+        key = identifiers.normalize(name)
+        prior = self.catalog.types.get(key)
+        self.catalog.create_collection_type(name, element, limit=limit,
+                                            replace=replace)
+        if prior is None:
+            self._record(lambda: self.catalog.types.pop(key, None))
+        else:
+            self._record(
+                lambda: self.catalog.types.__setitem__(key, prior))
+
     def _drop_type(self, statement: ast.DropType) -> Result:
+        types_before = dict(self.catalog.types)
+        tables_before = dict(self.catalog.tables)
         removed = self.catalog.drop_type(statement.name, statement.force)
+
+        def undo():
+            self.catalog.types.clear()
+            self.catalog.types.update(types_before)
+            self.catalog.tables.clear()
+            self.catalog.tables.update(tables_before)
+
+        self._record(undo)
         return Result(message=f"Type {statement.name} dropped"
                               f" ({len(removed)} object(s)).")
 
@@ -211,7 +388,15 @@ class Database:
         else:
             table = self._build_relational_table(statement)
         self._check_nested_storage(statement, table)
+        storage_before = set(self.catalog.storage_names)
         self.catalog.add_table(table)
+
+        def undo():
+            self.catalog.tables.pop(table.key, None)
+            self.catalog.storage_names.clear()
+            self.catalog.storage_names.update(storage_before)
+
+        self._record(undo)
         return Result(message=f"Table {statement.name} created.")
 
     def _build_relational_table(self,
@@ -347,7 +532,17 @@ class Database:
                 f" {extra}")
 
     def _drop_table(self, statement: ast.DropTable) -> Result:
+        key = identifiers.normalize(statement.name)
+        table = self.catalog.tables.get(key)
+        storage_before = set(self.catalog.storage_names)
         self.catalog.drop_table(statement.name)
+
+        def undo():
+            self.catalog.tables[key] = table
+            self.catalog.storage_names.clear()
+            self.catalog.storage_names.update(storage_before)
+
+        self._record(undo)
         return Result(message=f"Table {statement.name} dropped.")
 
     # -- DDL: views -------------------------------------------------------------------------
@@ -364,11 +559,22 @@ class Database:
                     "view column list does not match select list")
         view = View(statement.name, statement.query,
                     statement.column_names)
+        prior = self.catalog.views.get(view.key)
         self.catalog.add_view(view, replace=statement.or_replace)
+        if prior is None:
+            self._record(
+                lambda: self.catalog.views.pop(view.key, None))
+        else:
+            self._record(
+                lambda: self.catalog.views.__setitem__(view.key, prior))
         return Result(message=f"View {statement.name} created.")
 
     def _drop_view(self, statement: ast.DropView) -> Result:
+        key = identifiers.normalize(statement.name)
+        view = self.catalog.views.get(key)
         self.catalog.drop_view(statement.name)
+        self._record(
+            lambda: self.catalog.views.__setitem__(key, view))
         return Result(message=f"View {statement.name} dropped.")
 
     # -- DML: insert -------------------------------------------------------------------------
@@ -420,9 +626,11 @@ class Database:
             row_values[column_key] = coerce_value(
                 value, column.datatype, self.catalog.resolve_type)
         self._enforce_constraints(table, row_values, existing_row=None)
+        self.faults.hit("storage", op="insert", table=table.name)
         row = Row(row_values,
                   oid=next_oid() if table.is_object_table else None)
         table.data.insert(row)
+        self._record(lambda: table.data.remove_exact(row))
         self.stats["rows_inserted"] += 1
 
     # -- constraint enforcement -------------------------------------------------------------
@@ -502,6 +710,14 @@ class Database:
                     value, column.datatype, self.catalog.resolve_type)
             self._enforce_constraints(table, new_values,
                                       existing_row=row)
+            self.faults.hit("storage", op="update", table=table.name)
+            old_values = dict(row.values)
+
+            def undo(row=row, old=old_values):
+                row.values.clear()
+                row.values.update(old)
+
+            self._record(undo)
             row.values.clear()
             row.values.update(new_values)
             count += 1
@@ -529,17 +745,29 @@ class Database:
         table = self.catalog.table(statement.table)
         alias_key = identifiers.normalize(statement.alias
                                           or statement.table)
-        doomed: list[Row] = []
-        for row in table.data.rows:
+        doomed: list[tuple[int, Row]] = []
+        for index, row in enumerate(table.data.rows):
             if statement.where is not None:
                 binding = Binding(alias_key, row.values, table, row.oid)
                 verdict = self.evaluator.eval_predicate(
                     statement.where, Env([binding]))
                 if verdict is not True:
                     continue
-            doomed.append(row)
-        for row in doomed:
-            table.data.delete(row)
+            doomed.append((index, row))
+        # delete highest index first so positions stay valid; undo
+        # entries replay in reverse, reinserting lowest index first
+        for index, row in reversed(doomed):
+            self.faults.hit("storage", op="delete", table=table.name)
+
+            def undo(index=index, row=row):
+                table.data.rows.insert(index, row)
+                if row.oid is not None:
+                    table.data.oid_index[row.oid] = row
+
+            del table.data.rows[index]
+            if row.oid is not None:
+                table.data.oid_index.pop(row.oid, None)
+            self._record(undo)
         return Result(rowcount=len(doomed),
                       message=f"{len(doomed)} row(s) deleted.")
 

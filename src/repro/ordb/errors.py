@@ -12,9 +12,17 @@ from __future__ import annotations
 
 
 class OrdbError(Exception):
-    """Base class: an ORA-style error with a stable code."""
+    """Base class: an ORA-style error with a stable code.
+
+    ``transient`` marks errors that model environmental conditions a
+    retry can clear (lost connection, busy resource); everything else
+    — constraint violations, parse errors, missing objects — is
+    permanent and retrying is pointless.  The ingestion layer uses
+    this split to decide between retry and quarantine.
+    """
 
     code = "ORA-00000"
+    transient = False
 
     def __init__(self, message: str):
         self.message = message
@@ -157,3 +165,44 @@ class NotSupported(OrdbError):
     """Statement is recognized but outside the implemented dialect."""
 
     code = "ORA-03001"
+
+
+class TransactionError(OrdbError):
+    """Transaction control misuse (e.g. BEGIN inside a transaction)."""
+
+    code = "ORA-01453"
+
+
+class NoSuchSavepoint(OrdbError):
+    """ROLLBACK TO names a savepoint that was never established."""
+
+    code = "ORA-01086"
+
+
+class TransientEngineFault(OrdbError):
+    """A failure that models a recoverable environmental condition —
+    the kind the fault-injection harness raises by default.  ORA-03113
+    is Oracle's "end-of-file on communication channel": the canonical
+    retry-me error of a crashed or unreachable server process."""
+
+    code = "ORA-03113"
+    transient = True
+
+
+#: ORA codes that are transient even when raised by error classes that
+#: do not set :attr:`OrdbError.transient` (resource busy, snapshot too
+#: old, can't serialize, timeout waiting for a resource).
+TRANSIENT_CODES = frozenset({
+    "ORA-03113",  # end-of-file on communication channel
+    "ORA-00054",  # resource busy and acquire with NOWAIT specified
+    "ORA-01555",  # snapshot too old
+    "ORA-08177",  # can't serialize access for this transaction
+    "ORA-30006",  # resource busy; acquire with WAIT timeout expired
+})
+
+
+def is_transient(error: BaseException) -> bool:
+    """True when *error* is worth retrying (see ``OrdbError``)."""
+    if isinstance(error, OrdbError):
+        return error.transient or error.code in TRANSIENT_CODES
+    return False

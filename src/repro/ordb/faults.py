@@ -1,0 +1,164 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+Every :class:`~repro.ordb.engine.Database` owns a
+:class:`FaultInjector` and calls :meth:`FaultInjector.hit` at its
+failure-prone boundaries:
+
+* ``parse``     — before a SQL string is parsed;
+* ``statement`` — before a parsed statement executes;
+* ``storage``   — before each physical row mutation (insert, per-row
+  update, per-row delete).
+
+With no fault armed, a hit only bumps a per-site counter (the counters
+double as the sweep index space for exhaustive crash tests: a clean
+dry run tells you how many boundaries a workload crosses).  An armed
+:class:`Fault` fires **by count** (the N-th matching event), **by
+predicate** (any callable on the event), or **seeded-random** (a
+per-fault ``random.Random(seed)``, so runs replay exactly).  Firing
+raises the fault's error — :class:`TransientEngineFault` by default —
+*before* the guarded mutation happens, which is what makes the
+injected failure a clean statement/storage boundary crash.
+
+>>> from repro.ordb import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE T(a NUMBER)")
+>>> fault = db.faults.arm(site="statement", at=1)
+>>> db.execute("INSERT INTO T VALUES(1)")
+Traceback (most recent call last):
+    ...
+repro.ordb.errors.TransientEngineFault: ORA-03113: injected fault ...
+>>> db.faults.clear()
+>>> db.execute("SELECT COUNT(*) FROM T").scalar()  # nothing stored
+0
+
+Transaction-control statements (BEGIN/COMMIT/ROLLBACK/SAVEPOINT) are
+exempt from injection: recovery must always be possible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import OrdbError, TransientEngineFault
+
+#: The boundaries the engine guards.
+SITES = ("parse", "statement", "storage")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One visit to an injection site."""
+
+    site: str
+    sequence: int        # 1-based count across all sites
+    site_sequence: int   # 1-based count within this site
+    context: dict
+
+
+@dataclass
+class Fault:
+    """One armed fault.  Fields are triggers; any may combine.
+
+    ``site=None`` matches every site.  ``at`` counts *matching* events
+    (after site/predicate filtering) and fires on the ``at``-th one.
+    ``rate`` fires each matching event with the given probability from
+    a dedicated ``random.Random(seed)``.  ``times`` bounds how often
+    the fault fires (``None`` = unlimited).
+    """
+
+    site: str | None = None
+    at: int | None = None
+    predicate: Callable[[FaultEvent], bool] | None = None
+    rate: float = 0.0
+    seed: int | None = None
+    error: Callable[[str], OrdbError] = TransientEngineFault
+    times: int | None = 1
+    matches: int = 0
+    fired: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def should_fire(self, event: FaultEvent) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.site is not None and event.site != self.site:
+            return False
+        if self.predicate is not None and not self.predicate(event):
+            return False
+        self.matches += 1
+        if self.at is not None:
+            return self.matches == self.at
+        if self.rate > 0.0:
+            return self._rng.random() < self.rate
+        # no positional trigger at all: fire on every match
+        return self.at is None and self.rate == 0.0
+
+    def make_error(self, event: FaultEvent) -> OrdbError:
+        return self.error(
+            f"injected fault at {event.site} boundary"
+            f" #{event.site_sequence} (event #{event.sequence})")
+
+
+class FaultInjector:
+    """Owns the armed faults and boundary counters of one engine."""
+
+    def __init__(self) -> None:
+        self._faults: list[Fault] = []
+        self.events: dict[str, int] = {}
+        self.total_events = 0
+        self.fired: list[FaultEvent] = []
+
+    # -- arming ------------------------------------------------------------------
+
+    def arm(self, site: str | None = None, *, at: int | None = None,
+            predicate: Callable[[FaultEvent], bool] | None = None,
+            rate: float = 0.0, seed: int | None = None,
+            error: Callable[[str], OrdbError] = TransientEngineFault,
+            times: int | None = 1) -> Fault:
+        """Arm and return a new fault (see :class:`Fault`)."""
+        if site is not None and site not in SITES:
+            raise ValueError(f"unknown fault site {site!r};"
+                             f" expected one of {SITES}")
+        fault = Fault(site=site, at=at, predicate=predicate, rate=rate,
+                      seed=seed, error=error, times=times)
+        self._faults.append(fault)
+        return fault
+
+    def disarm(self, fault: Fault) -> None:
+        if fault in self._faults:
+            self._faults.remove(fault)
+
+    def clear(self) -> None:
+        """Disarm every fault (counters and history are kept)."""
+        self._faults.clear()
+
+    def reset(self) -> None:
+        """Disarm everything and zero counters/history."""
+        self.clear()
+        self.events.clear()
+        self.total_events = 0
+        self.fired.clear()
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._faults)
+
+    # -- the hot path ------------------------------------------------------------
+
+    def hit(self, site: str, **context) -> None:
+        """Record one boundary visit; raise if an armed fault fires."""
+        site_count = self.events.get(site, 0) + 1
+        self.events[site] = site_count
+        self.total_events += 1
+        if not self._faults:
+            return
+        event = FaultEvent(site, self.total_events, site_count, context)
+        for fault in self._faults:
+            if fault.should_fire(event):
+                fault.fired += 1
+                self.fired.append(event)
+                raise fault.make_error(event)

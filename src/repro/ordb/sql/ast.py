@@ -393,9 +393,39 @@ class Delete:
     where: Expr | None = None
 
 
+# ---------------------------------------------------------------------------
+# transaction control
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeginTransaction:
+    """``BEGIN [TRANSACTION | WORK]``."""
+
+
+@dataclass(frozen=True)
+class CommitStmt:
+    """``COMMIT [WORK]``."""
+
+
+@dataclass(frozen=True)
+class RollbackStmt:
+    """``ROLLBACK [WORK] [TO [SAVEPOINT] name]``."""
+
+    savepoint: str | None = None
+
+
+@dataclass(frozen=True)
+class SavepointStmt:
+    """``SAVEPOINT name``."""
+
+    name: str
+
+
 Statement = (
     CreateTypeForward | CreateObjectType | CreateVarrayType
     | CreateNestedTableType | CreateTable | CreateView
     | DropType | DropTable | DropView
     | Insert | Update | Delete | SelectStmt
+    | BeginTransaction | CommitStmt | RollbackStmt | SavepointStmt
 )

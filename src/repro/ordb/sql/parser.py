@@ -116,8 +116,31 @@ class SQLParser:
             return self._parse_delete()
         if self.at_keyword("SELECT"):
             return self._parse_select()
+        if self.at_keyword("BEGIN"):
+            self.advance()
+            self.accept_keyword("TRANSACTION", "WORK")
+            return ast.BeginTransaction()
+        if self.at_keyword("COMMIT"):
+            self.advance()
+            self.accept_keyword("WORK")
+            return ast.CommitStmt()
+        if self.at_keyword("ROLLBACK"):
+            return self._parse_rollback()
+        if self.at_keyword("SAVEPOINT"):
+            self.advance()
+            return ast.SavepointStmt(
+                self.expect_identifier("savepoint name"))
         self.error("expected a SQL statement")
         raise AssertionError("unreachable")
+
+    def _parse_rollback(self) -> ast.RollbackStmt:
+        self.expect_keyword("ROLLBACK")
+        self.accept_keyword("WORK")
+        if self.accept_keyword("TO"):
+            self.accept_keyword("SAVEPOINT")
+            return ast.RollbackStmt(
+                self.expect_identifier("savepoint name"))
+        return ast.RollbackStmt()
 
     # -- CREATE -----------------------------------------------------------------------
 

@@ -48,6 +48,17 @@ class TableData:
         if row.oid is not None:
             self.oid_index.pop(row.oid, None)
 
+    def remove_exact(self, row: Row) -> None:
+        """Remove *row* by identity (undo of an insert): ``Row`` is a
+        dataclass, so ``rows.remove`` could match a different but
+        equal row."""
+        for index in range(len(self.rows) - 1, -1, -1):
+            if self.rows[index] is row:
+                del self.rows[index]
+                break
+        if row.oid is not None and self.oid_index.get(row.oid) is row:
+            del self.oid_index[row.oid]
+
     def by_oid(self, oid: int) -> Row | None:
         return self.oid_index.get(oid)
 

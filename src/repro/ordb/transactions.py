@@ -1,0 +1,101 @@
+"""Transaction support for the embedded engine: undo journaling.
+
+The engine mutates plain Python structures (catalog dicts, row lists),
+so atomicity is implemented with *logical undo logging*: every
+mutation appends a closure that exactly reverses it.  Rolling back
+replays the journal tail in reverse order, which restores structure
+identity — the same ``Table``/``ObjectType`` instances end up back in
+the catalog, so REFs and cached lookups stay valid.
+
+Two scopes use the journal:
+
+* **Statement atomicity** — :meth:`repro.ordb.engine.Database.execute`
+  opens a scratch journal per statement and unwinds it when the
+  statement raises, so a failed multi-row ``INSERT ... SELECT`` (or a
+  constraint violation halfway through an ``UPDATE``) never leaves a
+  partial statement behind, even in autocommit mode.
+* **Explicit transactions** — ``BEGIN``/``COMMIT``/``ROLLBACK`` plus
+  named ``SAVEPOINT``/``ROLLBACK TO``, with Oracle's semantics:
+  re-declaring a savepoint moves it, rolling back to one preserves it
+  and discards later ones, and a failed statement does *not* abort the
+  surrounding transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .errors import NoSuchSavepoint
+
+
+class UndoJournal:
+    """An ordered log of inverse operations."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[Callable[[], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, undo: Callable[[], None]) -> None:
+        self._entries.append(undo)
+
+    def mark(self) -> int:
+        """A position to :meth:`undo_to` later (savepoint support)."""
+        return len(self._entries)
+
+    def undo_to(self, mark: int = 0) -> None:
+        """Pop and run entries (newest first) down to *mark*."""
+        while len(self._entries) > mark:
+            self._entries.pop()()
+
+    def absorb(self, other: "UndoJournal") -> None:
+        """Append *other*'s entries to this journal and empty it."""
+        self._entries.extend(other._entries)
+        other._entries.clear()
+
+
+@dataclass
+class _Savepoint:
+    name: str  # upper-cased
+    mark: int
+
+
+class Transaction:
+    """One explicit transaction: a journal plus named savepoints."""
+
+    def __init__(self) -> None:
+        self.journal = UndoJournal()
+        self._savepoints: list[_Savepoint] = []
+
+    def savepoint(self, name: str) -> None:
+        """Establish (or move, Oracle-style) the savepoint *name*."""
+        key = name.upper()
+        self._savepoints = [point for point in self._savepoints
+                            if point.name != key]
+        self._savepoints.append(_Savepoint(key, self.journal.mark()))
+
+    def rollback_to(self, name: str) -> None:
+        """Undo back to *name*; the savepoint itself survives, later
+        savepoints are discarded (Oracle semantics)."""
+        key = name.upper()
+        for index in range(len(self._savepoints) - 1, -1, -1):
+            if self._savepoints[index].name == key:
+                self.journal.undo_to(self._savepoints[index].mark)
+                del self._savepoints[index + 1:]
+                return
+        raise NoSuchSavepoint(
+            f"savepoint '{name}' never established in this transaction")
+
+    def release(self, name: str) -> None:
+        """Forget the savepoint *name*, keeping the work since it."""
+        key = name.upper()
+        self._savepoints = [point for point in self._savepoints
+                            if point.name != key]
+
+    def rollback(self) -> None:
+        self.journal.undo_to(0)
+        self._savepoints.clear()

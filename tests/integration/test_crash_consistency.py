@@ -1,0 +1,159 @@
+"""Exhaustive crash-consistency sweep.
+
+For every statement/storage/parse boundary a document load crosses, a
+fault injected exactly there must leave the database, the meta-tables
+and the facade's counters byte-identical to the pre-call state.  The
+fault injector's dry-run counters define the sweep space, so the test
+cannot silently under-cover: a new boundary in the engine
+automatically extends the sweep.
+"""
+
+import pytest
+
+from repro.core import NO_RETRY, RetryPolicy, XML2Oracle
+from repro.ordb import TransientEngineFault
+from repro.ordb.errors import DanglingReference
+from repro.xmlkit import parse
+
+DTD = """
+<!ELEMENT School (Student+, Course+, Enrolment*)>
+<!ELEMENT Student (SName)>
+<!ATTLIST Student sid ID #REQUIRED>
+<!ELEMENT Course (CName)>
+<!ATTLIST Course cid ID #REQUIRED>
+<!ELEMENT Enrolment EMPTY>
+<!ATTLIST Enrolment who IDREF #REQUIRED what IDREF #REQUIRED>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT CName (#PCDATA)>
+"""
+
+
+def school_doc(n: int, dangling: bool = False) -> str:
+    what = "c999" if dangling else f"c{n}"
+    return (f'<School><Student sid="s{n}"><SName>N{n}</SName>'
+            f'</Student><Course cid="c{n}"><CName>C{n}</CName>'
+            f'</Course><Enrolment who="s{n}" what="{what}"/></School>')
+
+
+def build_tool() -> XML2Oracle:
+    tool = XML2Oracle(validate_documents=False)
+    tool.register_schema(DTD, sample_document=school_doc(0))
+    tool.store(parse(school_doc(1)))
+    return tool
+
+
+def describe_type(catalog_type) -> tuple:
+    attributes = getattr(catalog_type, "attributes", None)
+    if attributes is not None:
+        return (type(catalog_type).__name__,
+                tuple((a.name, str(a.datatype)) for a in attributes),
+                bool(getattr(catalog_type, "incomplete", False)))
+    return (type(catalog_type).__name__, repr(catalog_type))
+
+
+def snapshot(tool: XML2Oracle) -> dict:
+    """Byte-comparable image of everything a failed call may touch."""
+    db = tool.db
+    return {
+        "tables": {name: db.execute(f"SELECT * FROM {name}")
+                   .format_table()
+                   for name in sorted(db.catalog.tables)},
+        "types": {name: describe_type(t)
+                  for name, t in sorted(db.catalog.types.items())},
+        "views": sorted(db.catalog.views),
+        "storage": sorted(db.catalog.storage_names),
+        "doc_counter": tool._next_doc_id,
+        "schema_counter": tool._schema_ids._next,
+        "documents": sorted(tool.documents),
+        "schemas": len(tool.schemas),
+    }
+
+
+def boundaries_of(action) -> int:
+    """Dry-run *action* on a fresh tool; count boundaries crossed."""
+    tool = build_tool()
+    tool.db.faults.reset()
+    action(tool)
+    return tool.db.faults.total_events
+
+
+class TestSingleDocumentSweep:
+    def test_fault_at_every_boundary_restores_pre_call_state(self):
+        store = lambda tool: tool.store(parse(school_doc(2)))
+        total = boundaries_of(store)
+        assert total >= 15, "sweep space suspiciously small"
+        for index in range(1, total + 1):
+            tool = build_tool()
+            before = snapshot(tool)
+            tool.db.faults.arm(at=index)
+            with pytest.raises(TransientEngineFault):
+                store(tool)
+            assert snapshot(tool) == before, (
+                f"state diverged after fault at boundary {index}")
+
+    def test_store_succeeds_right_after_the_sweep_boundary(self):
+        """One past the last boundary: nothing fires, store works."""
+        store = lambda tool: tool.store(parse(school_doc(2)))
+        total = boundaries_of(store)
+        tool = build_tool()
+        tool.db.faults.arm(at=total + 1)
+        store(tool)
+        assert sorted(tool.documents) == [1, 2]
+
+
+class TestBatchSweep:
+    DOCS = [school_doc(2), school_doc(3), school_doc(4)]
+
+    def test_fault_at_every_boundary_rolls_back_whole_batch(self):
+        ingest = lambda tool: tool.store_many(self.DOCS,
+                                              retry=NO_RETRY)
+        total = boundaries_of(ingest)
+        assert total >= 40, "batch sweep space suspiciously small"
+        for index in range(1, total + 1):
+            tool = build_tool()
+            before = snapshot(tool)
+            tool.db.faults.arm(at=index)
+            with pytest.raises(TransientEngineFault):
+                ingest(tool)
+            assert snapshot(tool) == before, (
+                f"state diverged after fault at boundary {index}")
+
+    def test_bad_document_at_every_position(self):
+        """A permanently-bad document anywhere aborts cleanly."""
+        for position in range(len(self.DOCS)):
+            documents = list(self.DOCS)
+            documents[position] = school_doc(9, dangling=True)
+            tool = build_tool()
+            before = snapshot(tool)
+            with pytest.raises(DanglingReference):
+                tool.store_many(documents, retry=NO_RETRY)
+            assert snapshot(tool) == before, (
+                f"state diverged with bad document #{position}")
+
+    def test_bad_document_at_every_position_with_quarantine(self):
+        for position in range(len(self.DOCS)):
+            documents = list(self.DOCS)
+            documents[position] = school_doc(9, dangling=True)
+            tool = build_tool()
+            report = tool.store_many(documents, retry=NO_RETRY,
+                                     continue_on_error=True)
+            assert len(report.stored) == len(self.DOCS) - 1
+            (bad,) = report.quarantined
+            assert bad.index == position
+            assert bad.error_code == "ORA-22888"
+            # the good documents really landed
+            for outcome in report.stored:
+                fetched = tool.fetch(outcome.doc_id)
+                assert fetched.root_element.tag == "School"
+
+    def test_transient_fault_mid_batch_recovers_via_retry(self):
+        tool = build_tool()
+        # fire once somewhere inside the second document's load
+        tool.db.faults.arm(site="storage", at=12, times=1)
+        report = tool.store_many(
+            self.DOCS,
+            retry=RetryPolicy(max_attempts=3,
+                              sleep=lambda _s: None))
+        assert report.ok
+        assert [o.doc_id for o in report.outcomes] == [2, 3, 4]
+        assert max(o.attempts for o in report.outcomes) == 2

@@ -1,0 +1,191 @@
+"""Transaction semantics: BEGIN/COMMIT/ROLLBACK and savepoints.
+
+The engine follows Oracle's model: statement-level atomicity always
+(a failed statement undoes only its own work), explicit transactions
+on request, savepoints with move-on-redeclare semantics, and
+``ROLLBACK TO`` discarding later savepoints while keeping its own.
+"""
+
+import pytest
+
+from repro.ordb import (
+    Database,
+    NoSuchSavepoint,
+    TransactionError,
+    UniqueViolation,
+)
+
+
+@pytest.fixture
+def table(db):
+    db.execute("CREATE TABLE T(a NUMBER PRIMARY KEY, b VARCHAR2(10))")
+    return db
+
+
+def count(db):
+    return db.execute("SELECT COUNT(*) FROM T").scalar()
+
+
+class TestSqlStatements:
+    def test_commit_keeps_rows(self, table):
+        table.execute("BEGIN")
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.execute("COMMIT")
+        assert count(table) == 1
+        assert not table.in_transaction
+
+    def test_rollback_discards_rows(self, table):
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.execute("BEGIN TRANSACTION")
+        table.execute("INSERT INTO T VALUES(2, 'y')")
+        table.execute("UPDATE T SET b = 'z' WHERE a = 1")
+        table.execute("ROLLBACK")
+        assert count(table) == 1
+        row = table.execute("SELECT b FROM T WHERE a = 1").scalar()
+        assert str(row) == "x"
+
+    def test_rollback_restores_deletes(self, table):
+        for n in range(4):
+            table.execute(f"INSERT INTO T VALUES({n}, 'v{n}')")
+        table.execute("BEGIN WORK")
+        table.execute("DELETE FROM T WHERE a >= 2")
+        assert count(table) == 2
+        table.execute("ROLLBACK WORK")
+        assert count(table) == 4
+        values = [str(v) for (v,) in
+                  table.execute("SELECT b FROM T").rows]
+        assert values == ["v0", "v1", "v2", "v3"]
+
+    def test_savepoint_and_rollback_to(self, table):
+        table.execute("BEGIN")
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.execute("SAVEPOINT sp1")
+        table.execute("INSERT INTO T VALUES(2, 'y')")
+        table.execute("ROLLBACK TO SAVEPOINT sp1")
+        assert count(table) == 1
+        # the savepoint survives its own rollback (Oracle semantics)
+        table.execute("INSERT INTO T VALUES(3, 'z')")
+        table.execute("ROLLBACK TO sp1")
+        assert count(table) == 1
+        table.execute("COMMIT")
+        assert count(table) == 1
+
+    def test_savepoint_implicitly_begins(self, table):
+        table.execute("SAVEPOINT sp")
+        assert table.in_transaction
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.execute("ROLLBACK")
+        assert count(table) == 0
+
+    def test_ddl_rolls_back(self, db):
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE G(x NUMBER)")
+        db.execute("INSERT INTO G VALUES(7)")
+        db.execute("ROLLBACK")
+        assert "G" not in db.catalog.tables
+
+    def test_drop_rolls_back(self, table):
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.execute("BEGIN")
+        table.execute("DROP TABLE T")
+        assert "T" not in table.catalog.tables
+        table.execute("ROLLBACK")
+        assert count(table) == 1
+
+
+class TestStatementAtomicity:
+    def test_failed_statement_undone_in_autocommit(self, table):
+        table.execute("CREATE TABLE S(a NUMBER, b VARCHAR2(10))")
+        table.execute("INSERT INTO S VALUES(2, 'y')")
+        table.execute("INSERT INTO S VALUES(1, 'dup')")
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        with pytest.raises(UniqueViolation):
+            # the second source row collides after the first landed
+            table.execute("INSERT INTO T SELECT s.a, s.b FROM S s")
+        assert count(table) == 1
+
+    def test_failed_statement_keeps_transaction_alive(self, table):
+        table.execute("BEGIN")
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        with pytest.raises(UniqueViolation):
+            table.execute("INSERT INTO T VALUES(1, 'dup')")
+        assert table.in_transaction
+        table.execute("INSERT INTO T VALUES(2, 'y')")
+        table.execute("COMMIT")
+        assert count(table) == 2
+
+
+class TestPythonApi:
+    def test_double_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+
+    def test_commit_without_transaction_is_noop(self, db):
+        db.commit()  # does not raise
+
+    def test_rollback_to_unknown_savepoint(self, table):
+        table.execute("BEGIN")
+        with pytest.raises(NoSuchSavepoint):
+            table.execute("ROLLBACK TO SAVEPOINT nope")
+
+    def test_rollback_to_without_transaction(self, db):
+        with pytest.raises(NoSuchSavepoint):
+            db.rollback(to="sp")
+
+    def test_redeclared_savepoint_moves(self, table):
+        table.begin()
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.savepoint("sp")
+        table.execute("INSERT INTO T VALUES(2, 'y')")
+        table.savepoint("sp")  # moves here
+        table.execute("INSERT INTO T VALUES(3, 'z')")
+        table.rollback(to="sp")
+        assert count(table) == 2
+
+    def test_rollback_to_discards_later_savepoints(self, table):
+        table.begin()
+        table.savepoint("outer")
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.savepoint("inner")
+        table.rollback(to="outer")
+        with pytest.raises(NoSuchSavepoint):
+            table.rollback(to="inner")
+
+    def test_transaction_context_manager(self, table):
+        with table.transaction():
+            table.execute("INSERT INTO T VALUES(1, 'x')")
+        assert count(table) == 1
+        with pytest.raises(RuntimeError):
+            with table.transaction():
+                table.execute("INSERT INTO T VALUES(2, 'y')")
+                raise RuntimeError("boom")
+        assert count(table) == 1
+
+    def test_atomic_nests_as_savepoints(self, table):
+        with table.atomic():
+            table.execute("INSERT INTO T VALUES(1, 'x')")
+            with pytest.raises(RuntimeError):
+                with table.atomic():
+                    table.execute("INSERT INTO T VALUES(2, 'y')")
+                    raise RuntimeError("inner scope fails")
+            # outer scope survives the inner rollback
+            table.execute("INSERT INTO T VALUES(3, 'z')")
+        assert count(table) == 2
+        values = {int(v) for (v,) in
+                  table.execute("SELECT a FROM T").rows}
+        assert values == {1, 3}
+
+    def test_object_identity_preserved_across_rollback(self, table):
+        table_object = table.catalog.tables["T"]
+        table.begin()
+        table.execute("INSERT INTO T VALUES(1, 'x')")
+        table.rollback()
+        assert table.catalog.tables["T"] is table_object
+
+    def test_stats_not_skewed_by_python_api(self, table):
+        before = table.stats["statements"]
+        table.begin()
+        table.savepoint("sp")
+        table.rollback()
+        assert table.stats["statements"] == before

@@ -7,9 +7,11 @@ import pytest
 import repro
 import repro.core.xml2oracle
 import repro.ordb
+import repro.ordb.faults
 import repro.xmlkit
 
-_MODULES = [repro, repro.xmlkit, repro.ordb, repro.core.xml2oracle]
+_MODULES = [repro, repro.xmlkit, repro.ordb, repro.ordb.faults,
+            repro.core.xml2oracle]
 
 
 @pytest.mark.parametrize("module", _MODULES,
