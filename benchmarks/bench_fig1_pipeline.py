@@ -6,7 +6,10 @@ parsing (well-formedness), DTD parsing, and validity checking.
 
 import pytest
 
+from conftest import write_bench_json
+from repro.core import XML2Oracle
 from repro.dtd import DTDParser, Validator, parse_dtd
+from repro.obs import Observability
 from repro.workloads import (
     UNIVERSITY_DTD,
     make_university_xml,
@@ -46,6 +49,30 @@ def test_full_pipeline(benchmark):
 
     report = benchmark(pipeline)
     assert report.valid
+
+
+def test_phase_breakdown_json(benchmark):
+    """Traced end-to-end ingest; writes BENCH_fig1_phases.json with
+    the per-phase latency histograms the trace collects."""
+
+    def ingest():
+        obs = Observability(enabled=True)
+        tool = XML2Oracle(obs=obs)
+        tool.register_schema(university_dtd())
+        tool.store(_DOCUMENT)  # text in, so the parse phase is traced
+        return obs
+
+    obs = benchmark(ingest)
+    phases = {name: obs.metrics.get(name).as_dict()
+              for name in obs.metrics.names()
+              if name.startswith("phase.")}
+    assert "phase.store_seconds" in phases
+    benchmark.extra_info["phases"] = sorted(phases)
+    write_bench_json("fig1_phases", {
+        "workload": {"students": 100, "courses_per_student": 3,
+                     "document_bytes": len(_DOCUMENT)},
+        "phases": phases,
+    })
 
 
 @pytest.mark.parametrize("students", [10, 100])

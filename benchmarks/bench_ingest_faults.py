@@ -13,8 +13,9 @@ Two questions the robustness work raises:
 
 import pytest
 
-from conftest import build_or_tool
+from conftest import build_or_tool, write_bench_json
 from repro.core import RetryPolicy, XML2Oracle
+from repro.obs import Observability
 from repro.workloads import make_university, university_dtd
 
 _NO_SLEEP = RetryPolicy(max_attempts=4, base_delay=0.0,
@@ -61,6 +62,35 @@ def test_batch_throughput_under_faults(benchmark, rate):
         assert report.ok
     # retries keep most documents flowing even at a 10% fault rate
     assert len(report.stored) >= len(documents) // 2
+
+
+def test_fault_counters_json(benchmark):
+    """Faulty bulk load with metrics on; writes
+    BENCH_ingest_faults.json with the retry/quarantine counters."""
+    documents = [make_university(students=3) for _ in range(8)]
+
+    def ingest():
+        obs = Observability(enabled=True)
+        tool = XML2Oracle(obs=obs)
+        tool.register_schema(university_dtd())
+        tool.db.faults.arm(site="storage", rate=0.10, seed=1234,
+                           times=None)
+        report = tool.store_many(documents, continue_on_error=True,
+                                 retry=_NO_SLEEP)
+        return obs, report
+
+    obs, report = benchmark(ingest)
+    assert len(report.stored) >= len(documents) // 2
+    counters = {name: obs.metrics.get(name).as_dict()
+                for name in obs.metrics.names()
+                if name.split(".", 1)[0] in ("ingest", "txn",
+                                             "faults")}
+    write_bench_json("ingest_faults", {
+        "fault_rate": 0.10,
+        "documents": len(documents),
+        "counters": counters,
+        "report": report.as_dict(),
+    })
 
 
 def test_fault_free_batch_matches_sequential_stores(benchmark):

@@ -10,6 +10,9 @@ in which direction).  EXPERIMENTS.md records the measured values.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core import XML2Oracle, analyze, generate_schema
@@ -17,6 +20,24 @@ from repro.core.loader import load_document
 from repro.ordb import CompatibilityMode, Database
 from repro.relational import AttributeMapping, EdgeMapping, InliningMapping
 from repro.workloads import make_university, university_dtd
+
+
+#: Where machine-readable benchmark artifacts land.
+BENCH_OUT = Path(__file__).resolve().parent / "out"
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``benchmarks/out/BENCH_<name>.json`` and return the path.
+
+    Benchmarks use this to drop phase breakdowns and counters next to
+    the human-readable pytest-benchmark output (see
+    ``docs/observability.md``).
+    """
+    BENCH_OUT.mkdir(exist_ok=True)
+    path = BENCH_OUT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path
 
 
 def build_or_tool(mode=CompatibilityMode.ORACLE9,

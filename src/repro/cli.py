@@ -10,7 +10,14 @@ this CLI exposes the same pipeline as one-shot commands:
    python -m repro query   doc.xml /Uni/Name  # run a path query
    python -m repro roundtrip doc.xml          # fidelity report
    python -m repro ingest  a.xml b.xml c.xml  # transactional bulk load
+   python -m repro stats   a.xml b.xml        # ingest + metrics JSON
+   python -m repro trace   doc.xml            # ingest + span tree
    python -m repro demo                       # Appendix A walkthrough
+
+Every pipeline command accepts ``--trace`` (print the span tree to
+stderr) and ``--slow-ms N`` (log statements slower than N ms);
+``query`` additionally takes ``--explain`` to print the evaluation
+plan instead of running the query.  See ``docs/observability.md``.
 
 Documents must carry their DTD in the internal subset (as the
 Appendix A sample does) or supply one with ``--dtd file.dtd``.
@@ -19,12 +26,14 @@ Appendix A sample does) or supply one with ``--dtd file.dtd``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.core import RetryPolicy, XML2Oracle, compare
 from repro.core.plan import MappingConfig
 from repro.dtd import parse_dtd
+from repro.obs import Observability
 from repro.ordb import CompatibilityMode
 from repro.xmlkit import parse as parse_xml
 
@@ -32,6 +41,32 @@ from repro.xmlkit import parse as parse_xml
 def _mode(name: str) -> CompatibilityMode:
     return (CompatibilityMode.ORACLE8 if name == "oracle8"
             else CompatibilityMode.ORACLE9)
+
+
+def _slow_threshold(args) -> float | None:
+    slow_ms = getattr(args, "slow_ms", None)
+    return None if slow_ms is None else slow_ms / 1000.0
+
+
+def _observability(args, force: bool = False) -> Observability | None:
+    """An enabled Observability when any flag asks for one."""
+    if not (force or getattr(args, "trace", False)
+            or getattr(args, "slow_ms", None) is not None):
+        return None
+    return Observability(enabled=True,
+                         slow_query_threshold=_slow_threshold(args))
+
+
+def _report_observability(tool: XML2Oracle, args) -> None:
+    """Print the span tree / slow-query log to stderr when asked."""
+    obs = tool.obs
+    if not obs.enabled:
+        return
+    if getattr(args, "trace", False):
+        print("-- trace " + "-" * 51, file=sys.stderr)
+        print(obs.tracer.render(), file=sys.stderr)
+    if obs.slow_log.enabled:
+        print(obs.slow_log.render_text(), file=sys.stderr)
 
 
 def _load_inputs(args) -> tuple:
@@ -48,7 +83,7 @@ def _load_inputs(args) -> tuple:
     return document, dtd
 
 
-def _make_tool(args, document=None) -> XML2Oracle:
+def _make_tool(args, obs: Observability | None = None) -> XML2Oracle:
     config = MappingConfig()
     if getattr(args, "clob", False):
         config.use_clob_for_text = True
@@ -58,7 +93,9 @@ def _make_tool(args, document=None) -> XML2Oracle:
                 f"error: --hint must be NAME=SQLTYPE, got {hint!r}")
         name, sql_type = hint.split("=", 1)
         config.type_hints[name] = sql_type
-    tool = XML2Oracle(mode=_mode(args.mode), config=config)
+    if obs is None:
+        obs = _observability(args)
+    tool = XML2Oracle(mode=_mode(args.mode), config=config, obs=obs)
     return tool
 
 
@@ -70,6 +107,7 @@ def cmd_schema(args) -> int:
     print(schema.script.text)
     for warning in schema.plan.warnings:
         print(f"-- warning: {warning}", file=sys.stderr)
+    _report_observability(tool, args)
     return 0
 
 
@@ -83,6 +121,7 @@ def cmd_load(args) -> int:
           f" {stored.load_result.update_count} UPDATE statement(s)")
     for statement in stored.load_result.statements:
         print(statement + ";")
+    _report_observability(tool, args)
     return 0
 
 
@@ -100,9 +139,15 @@ def cmd_query(args) -> int:
     rendered = tool.path_query(args.path, predicate=predicate,
                                select=args.select)
     print(f"-- SQL: {rendered.sql}")
+    if args.explain:
+        plan = tool.db.explain(rendered.sql)
+        print(plan.render())
+        _report_observability(tool, args)
+        return 0
     result = tool.db.execute(rendered.sql)
     print(result.format_table())
     print(f"-- {len(result.rows)} row(s)")
+    _report_observability(tool, args)
     return 0
 
 
@@ -117,12 +162,15 @@ def cmd_roundtrip(args) -> int:
     if args.emit:
         print("-" * 60)
         print(tool.fetch_text(stored.doc_id, indent="  "))
+    _report_observability(tool, args)
     return 0 if report.score == 1.0 else 1
 
 
-def cmd_ingest(args) -> int:
+def _ingest_into(tool: XML2Oracle, args):
+    """Register a schema and bulk-load ``args.documents`` into
+    *tool*; returns the IngestReport, or None after printing the
+    error (shared by ``ingest``, ``stats`` and ``trace``)."""
     paths = [Path(name) for name in args.documents]
-    tool = _make_tool(args)
     # the sample document feeds IDREF-target inference (Section 4.4);
     # without one, IDREF attributes stay plain VARCHAR columns
     sample = None
@@ -159,7 +207,7 @@ def cmd_ingest(args) -> int:
         texts = [path.read_text() for path in paths]
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return None
     policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
     try:
         report = tool.store_many(
@@ -172,8 +220,58 @@ def cmd_ingest(args) -> int:
               f" {error}", file=sys.stderr)
         print("hint: --continue-on-error quarantines bad documents"
               " instead", file=sys.stderr)
+        return None
+    return report
+
+
+def cmd_ingest(args) -> int:
+    tool = _make_tool(args)
+    report = _ingest_into(tool, args)
+    _report_observability(tool, args)
+    if report is None:
         return 1
     print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_stats(args) -> int:
+    """Ingest the documents with observability on, export metrics."""
+    obs = Observability(enabled=True,
+                        slow_query_threshold=_slow_threshold(args))
+    tool = _make_tool(args, obs=obs)
+    report = _ingest_into(tool, args)
+    if report is None:
+        return 1
+    print(report.describe(), file=sys.stderr)
+    if args.text:
+        print(obs.render_text())
+    else:
+        payload = obs.export()
+        payload["ingest"] = report.as_dict()
+        payload["engine_stats"] = dict(tool.db.stats)
+        text = json.dumps(payload, indent=2, default=str)
+        if args.output and args.output != "-":
+            Path(args.output).write_text(text + "\n")
+            print(f"-- metrics written to {args.output}",
+                  file=sys.stderr)
+        else:
+            print(text)
+    _report_observability(tool, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Ingest the documents with tracing on, print the span tree."""
+    obs = Observability(enabled=True,
+                        slow_query_threshold=_slow_threshold(args))
+    tool = _make_tool(args, obs=obs)
+    report = _ingest_into(tool, args)
+    if report is None:
+        return 1
+    print(report.describe(), file=sys.stderr)
+    print(obs.tracer.render())
+    if obs.slow_log.enabled:
+        print(obs.slow_log.render_text(), file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -211,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--mode", choices=["oracle9", "oracle8"],
             default="oracle9",
             help="engine compatibility mode (Section 2.2)")
+        subparser.add_argument(
+            "--trace", action="store_true",
+            help="print the span tree of the run to stderr")
+        subparser.add_argument(
+            "--slow-ms", type=float, metavar="MS",
+            help="log statements slower than MS milliseconds")
         if with_document:
             subparser.add_argument("document",
                                    help="XML document file")
@@ -248,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
                             " Course/Professor/PName=Jaeger")
     query_parser.add_argument(
         "--select", help="relative projection path, e.g. LName")
+    query_parser.add_argument(
+        "--explain", action="store_true",
+        help="print the evaluation plan instead of running the query")
     query_parser.set_defaults(handler=cmd_query)
 
     roundtrip_parser = subparsers.add_parser(
@@ -258,30 +365,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the reconstructed document")
     roundtrip_parser.set_defaults(handler=cmd_roundtrip)
 
+    def ingest_common(subparser) -> None:
+        common(subparser, with_document=False)
+        subparser.add_argument("documents", nargs="+",
+                               help="XML document files")
+        subparser.add_argument(
+            "--dtd", help="external DTD file (defaults to the first"
+                          " document's internal subset)")
+        subparser.add_argument(
+            "--root", help="root element (defaults to inference)")
+        subparser.add_argument(
+            "--continue-on-error", action="store_true",
+            help="quarantine failing documents and keep going instead"
+                 " of rolling back the whole batch")
+        subparser.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="extra attempts for transient faults (default 2)")
+        subparser.add_argument(
+            "--fault", metavar="SITE:INDEX",
+            help="inject a fault at the INDEX-th boundary of SITE"
+                 " (parse, statement or storage; testing aid)")
+
     ingest_parser = subparsers.add_parser(
         "ingest",
         help="bulk-load documents in one transaction with"
              " per-document savepoints, retries and quarantine")
-    common(ingest_parser, with_document=False)
-    ingest_parser.add_argument("documents", nargs="+",
-                               help="XML document files")
-    ingest_parser.add_argument(
-        "--dtd", help="external DTD file (defaults to the first"
-                      " document's internal subset)")
-    ingest_parser.add_argument(
-        "--root", help="root element (defaults to inference)")
-    ingest_parser.add_argument(
-        "--continue-on-error", action="store_true",
-        help="quarantine failing documents and keep going instead of"
-             " rolling back the whole batch")
-    ingest_parser.add_argument(
-        "--retries", type=int, default=2, metavar="N",
-        help="extra attempts for transient faults (default 2)")
-    ingest_parser.add_argument(
-        "--fault", metavar="SITE:INDEX",
-        help="inject a fault at the INDEX-th boundary of SITE"
-             " (parse, statement or storage; testing aid)")
+    ingest_common(ingest_parser)
     ingest_parser.set_defaults(handler=cmd_ingest)
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="ingest documents with observability on and export the"
+             " collected metrics (JSON by default)")
+    ingest_common(stats_parser)
+    stats_parser.add_argument(
+        "--text", action="store_true",
+        help="plain-text metrics instead of JSON")
+    stats_parser.add_argument(
+        "--output", "-o", metavar="FILE",
+        help="write the JSON to FILE instead of stdout ('-' ="
+             " stdout)")
+    stats_parser.set_defaults(handler=cmd_stats)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="ingest documents with tracing on and print the span"
+             " tree with per-phase latencies")
+    ingest_common(trace_parser)
+    trace_parser.set_defaults(handler=cmd_trace)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the Appendix A walkthrough")

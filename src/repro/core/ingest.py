@@ -128,3 +128,18 @@ class IngestReport:
         lines.append(f"-- {len(self.stored)} stored,"
                      f" {len(self.quarantined)} quarantined")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-able summary (the CLI and benchmarks export this)."""
+        return {
+            "stored": len(self.stored),
+            "quarantined": len(self.quarantined),
+            "attempts": sum(o.attempts for o in self.outcomes),
+            "outcomes": [
+                {"index": o.index, "doc_name": o.doc_name,
+                 "status": o.status, "doc_id": o.doc_id,
+                 "attempts": o.attempts, "error_code": o.error_code,
+                 "classification": o.classification}
+                for o in self.outcomes
+            ],
+        }

@@ -83,9 +83,11 @@ def element_path(element: Element) -> str:
 class DocumentLoader:
     """Generates the SQL that stores one document."""
 
-    def __init__(self, plan: MappingPlan, doc_id: int):
+    def __init__(self, plan: MappingPlan, doc_id: int, tracer=None):
         self.plan = plan
         self.doc_id = doc_id
+        #: optional :class:`repro.obs.Tracer`; adds a ``shred`` span
+        self.tracer = tracer
         self.result = LoadResult(doc_id)
         self._counter = 0
         self._root_element: Element | None = None
@@ -97,6 +99,15 @@ class DocumentLoader:
     # -- public API --------------------------------------------------------------
 
     def load(self, document: Document | Element) -> LoadResult:
+        if self.tracer is None:
+            return self._load(document)
+        with self.tracer.span("insert_gen", doc_id=self.doc_id) as span:
+            result = self._load(document)
+            span.set(inserts=result.insert_count,
+                     updates=result.update_count)
+            return result
+
+    def _load(self, document: Document | Element) -> LoadResult:
         root = (document.root_element if isinstance(document, Document)
                 else document)
         if root.tag != self.plan.root.name:

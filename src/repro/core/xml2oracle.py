@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 from repro.dtd.model import DTD, AttributeType
 from repro.dtd.parser import parse_dtd
 from repro.dtd.validator import Validator
+from repro.obs import Observability
 from repro.ordb.engine import Database
 from repro.ordb.results import Result
 from repro.ordb.schema import CompatibilityMode
@@ -110,8 +111,14 @@ class XML2Oracle:
                  config: MappingConfig | None = None,
                  metadata: bool = True,
                  validate_documents: bool = True,
-                 transactional: bool = True):
+                 transactional: bool = True,
+                 obs: Observability | None = None):
         self.db = db or Database(mode)
+        if obs is not None:
+            # one shared Observability: facade phases and engine
+            # statements land in the same registry and span tree
+            self.db.obs = obs
+        self.obs = self.db.obs
         self.config = config or MappingConfig()
         self.validate_documents = validate_documents
         #: when False, store()/register_schema() run unguarded as the
@@ -160,19 +167,23 @@ class XML2Oracle:
         schema_id = self._schema_ids.allocate()
         try:
             names = NameGenerator(schema_id if self.schemas else None)
-            analyzer = Analyzer(dtd, self.config, self.mode, names,
-                                idref_targets)
-            plan = analyzer.analyze(root)
+            with self.obs.phase("analyze"):
+                analyzer = Analyzer(dtd, self.config, self.mode, names,
+                                    idref_targets)
+                plan = analyzer.analyze(root)
             # the plan's schema_id mirrors the facade's allocation even
             # for the first schema, whose generated names carry no suffix
             plan.schema_id = schema_id
-            script = generate_schema(plan)
-            with self._atomic():
-                for statement in script.statements:
-                    self.db.execute(statement)
-                if self.metadata is not None:
-                    self.metadata.register_entities(
-                        schema_id, dtd.entities.internal_general())
+            with self.obs.phase("generate_ddl"):
+                script = generate_schema(plan)
+            with self.obs.phase("execute_ddl",
+                                statements=len(script.statements)):
+                with self._atomic():
+                    for statement in script.statements:
+                        self.db.execute(statement)
+                    if self.metadata is not None:
+                        self.metadata.register_entities(
+                            schema_id, dtd.entities.internal_general())
         except BaseException:
             self._schema_ids.release(schema_id)
             raise
@@ -211,14 +222,26 @@ class XML2Oracle:
         back together, and the document-id counter is rewound so the
         next store reuses the id.
         """
+        with self.obs.phase("store", doc=doc_name or None):
+            stored = self._store(document, schema, doc_name, url)
+        if self.obs.enabled:
+            self.obs.metrics.counter("ingest.documents", unit="documents").inc()
+        return stored
+
+    def _store(self, document: Document | Element | str,
+               schema: RegisteredSchema | None,
+               doc_name: str, url: str) -> StoredDocument:
+        tracer = self.obs.tracer if self.obs.enabled else None
         if isinstance(document, str):
-            document = parse_xml(document)
+            with self.obs.phase("parse", chars=len(document)):
+                document = parse_xml(document, tracer=tracer)
         root = (document.root_element if isinstance(document, Document)
                 else document)
         if schema is None:
             schema = self._schema_for_root(root.tag)
         if self.validate_documents and isinstance(document, Document):
-            report = schema.validator.validate(document)
+            with self.obs.phase("validate"):
+                report = schema.validator.validate(document)
             if not report.valid:
                 raise XMLValidityError(
                     "document is not valid: "
@@ -227,21 +250,28 @@ class XML2Oracle:
         doc_id = self._next_doc_id
         try:
             with self._atomic():
-                loader = DocumentLoader(schema.plan, doc_id)
-                load_result = loader.load(document)
-                for statement in load_result.statements:
-                    self.db.execute(statement)
+                loader = DocumentLoader(schema.plan, doc_id,
+                                        tracer=tracer)
+                with self.obs.phase("shred"):
+                    load_result = loader.load(document)
+                with self.obs.phase(
+                        "execute",
+                        statements=len(load_result.statements)):
+                    for statement in load_result.statements:
+                        self.db.execute(statement)
                 stored = StoredDocument(
                     doc_id=doc_id, schema=schema,
                     load_result=load_result,
                     warnings=list(load_result.warnings))
                 if (self.metadata is not None
                         and isinstance(document, Document)):
-                    self.metadata.register_document(
-                        doc_id, document, schema.plan, doc_name, url)
-                    stored.misc_count = (
-                        self.metadata.register_misc_nodes(doc_id,
-                                                          document))
+                    with self.obs.phase("metadata"):
+                        self.metadata.register_document(
+                            doc_id, document, schema.plan, doc_name,
+                            url)
+                        stored.misc_count = (
+                            self.metadata.register_misc_nodes(
+                                doc_id, document))
         except BaseException:
             if self._next_doc_id == doc_id:
                 self._next_doc_id = doc_id - 1
@@ -311,8 +341,13 @@ class XML2Oracle:
                 kind = classify(error)
                 if (kind == "transient"
                         and attempt < policy.max_attempts):
+                    if self.obs.enabled:
+                        self.obs.metrics.counter("ingest.retries", unit="retries").inc()
                     policy.wait(attempt)
                     continue
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "ingest.quarantined", unit="documents").inc()
                 return DocumentOutcome(
                     index=index, doc_name=doc_name,
                     status="quarantined", attempts=attempt,

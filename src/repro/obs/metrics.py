@@ -1,0 +1,243 @@
+"""Metrics: counters, gauges and fixed-bucket histograms.
+
+The registry holds every instrument by dotted name and exports the
+whole set as JSON (machines) or a plain-text page (humans).  Units are
+part of the instrument, not the name, so ``db.statement_seconds`` is a
+histogram with ``unit="s"`` rather than a naming convention.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("db.statements").inc()
+>>> registry.counter("db.statements").inc(2)
+>>> registry.counter("db.statements").value
+3
+>>> registry.histogram("db.statement_seconds", unit="s").observe(0.004)
+>>> registry.histogram("db.statement_seconds").count
+1
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from dataclasses import dataclass, field
+
+#: Default latency buckets (seconds): 100µs .. 5s, log-ish spacing.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (resettable for tests)."""
+
+    name: str
+    unit: str = ""
+    help: str = ""
+    value: int = 0
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "unit": self.unit, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A value that goes up and down (e.g. open transactions)."""
+
+    name: str
+    unit: str = ""
+    help: str = ""
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "unit": self.unit, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style accounting.
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the overflow.  ``bucket_counts[i]`` counts observations with
+    ``value <= buckets[i]`` exclusive of earlier buckets (i.e. plain,
+    not cumulative, per-bucket counts); :meth:`cumulative` derives the
+    Prometheus-style running totals.
+    """
+
+    name: str
+    unit: str = ""
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        if tuple(self.buckets) != tuple(sorted(self.buckets)):
+            raise ValueError("histogram buckets must be sorted")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Running totals per bucket, ending with ``count``."""
+        totals, running = [], 0
+        for bucket_count in self.bucket_counts:
+            running += bucket_count
+            totals.append(running)
+        return totals
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        for index, running in enumerate(self.cumulative()):
+            if running >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.maximum
+        return self.maximum  # pragma: no cover - cumulative ends at count
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                **{str(bound): cum for bound, cum
+                   in zip(self.buckets, self.cumulative())},
+                "+Inf": self.count,
+            },
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one observed system, by dotted name."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind},"
+                f" not a {kind}")
+        return instrument
+
+    def counter(self, name: str, unit: str = "",
+                help: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, unit, help), "counter")
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, unit, help), "gauge")
+
+    def histogram(self, name: str, unit: str = "", help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(
+            name,
+            lambda: Histogram(name, unit, help, buckets), "histogram")
+
+    def get(self, name: str):
+        """The named instrument, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments stay registered)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    # -- export -------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {name: self._instruments[name].as_dict()
+                for name in self.names()}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent,
+                          default=_json_default)
+
+    def render_text(self) -> str:
+        """A plain-text metrics page, one instrument per block."""
+        lines: list[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            unit = f" ({instrument.unit})" if instrument.unit else ""
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"{name}{unit}: count={instrument.count}"
+                    f" sum={instrument.total:.6f}"
+                    f" mean={instrument.mean:.6f}"
+                    f" p95<={instrument.quantile(0.95):.6g}")
+            else:
+                lines.append(f"{name}{unit}: {instrument.value}")
+        return "\n".join(lines)
+
+
+def _json_default(value):
+    if value is math.inf or value is -math.inf:
+        return None
+    return str(value)  # pragma: no cover - defensive

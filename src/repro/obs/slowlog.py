@@ -1,0 +1,72 @@
+"""The slow-query log: statements slower than a threshold.
+
+A bounded ring of :class:`SlowQuery` entries; the engine appends one
+whenever a statement's wall time crosses ``threshold`` seconds (and
+observability is enabled).  ``threshold=None`` disables the log even
+while tracing/metrics stay on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One over-threshold statement."""
+
+    sql: str
+    seconds: float
+    rowcount: int
+    sequence: int
+
+    def describe(self) -> str:
+        return (f"#{self.sequence} {self.seconds * 1000.0:.3f}ms"
+                f" rows={self.rowcount} :: {self.sql}")
+
+
+class SlowQueryLog:
+    """Keeps the most recent ``capacity`` over-threshold statements."""
+
+    def __init__(self, threshold: float | None = None,
+                 capacity: int = 100, max_sql_length: int = 500):
+        self.threshold = threshold
+        self.capacity = capacity
+        self.max_sql_length = max_sql_length
+        self.entries: deque[SlowQuery] = deque(maxlen=capacity)
+        self.total_seen = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None
+
+    def record(self, sql: str, seconds: float, rowcount: int = 0) -> bool:
+        """Log the statement if it crossed the threshold."""
+        if self.threshold is None or seconds < self.threshold:
+            return False
+        self.total_seen += 1
+        if len(sql) > self.max_sql_length:
+            sql = sql[:self.max_sql_length - 3] + "..."
+        self.entries.append(
+            SlowQuery(sql, seconds, rowcount, self.total_seen))
+        return True
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.total_seen = 0
+
+    def as_dicts(self) -> list[dict]:
+        return [
+            {"sequence": entry.sequence, "sql": entry.sql,
+             "seconds": entry.seconds, "rowcount": entry.rowcount}
+            for entry in self.entries
+        ]
+
+    def render_text(self) -> str:
+        if not self.entries:
+            return "slow-query log: empty"
+        lines = [f"slow-query log ({self.total_seen} over"
+                 f" {self.threshold * 1000.0:.1f}ms, newest last):"]
+        lines.extend(entry.describe() for entry in self.entries)
+        return "\n".join(lines)

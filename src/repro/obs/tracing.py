@@ -1,0 +1,212 @@
+"""Hierarchical tracing: span trees over the storage pipeline.
+
+A :class:`Tracer` records *spans* — named, timed scopes that nest.
+The facade opens one span per pipeline phase (``parse`` → ``shred`` →
+``ddl`` → ``insert_gen`` → ``execute`` → ``commit``), the engine one
+per executed statement, so a traced ingest renders as a tree of
+phases with per-phase latencies:
+
+>>> tracer = Tracer(clock=_StepClock(0.001))
+>>> with tracer.span("store", doc="a.xml"):
+...     with tracer.span("parse"):
+...         pass
+...     with tracer.span("execute"):
+...         pass
+>>> print(tracer.render())  # doctest: +ELLIPSIS
+store ... doc=a.xml
+  parse ...
+  execute ...
+
+Disabled tracing must cost nothing on the hot path, so the default
+tracer on every engine is :data:`NULL_TRACER`: its :meth:`span`
+returns one shared no-op context manager, allocates nothing and keeps
+no state.  Code guards bigger work with ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One named, timed scope; usable as a context manager."""
+
+    __slots__ = ("name", "attributes", "children", "elapsed", "_tracer",
+                 "_start")
+
+    def __init__(self, name: str, tracer: "Tracer",
+                 attributes: dict | None = None):
+        self.name = name
+        self.attributes = attributes or {}
+        self.children: list[Span] = []
+        self.elapsed: float | None = None
+        self._tracer = tracer
+        self._start = 0.0
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = self._tracer.clock() - self._start
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self, indent: int = 0) -> str:
+        pieces = [f"{'  ' * indent}{self.name} "
+                  f"{format_seconds(self.elapsed)}"]
+        if self.attributes:
+            pieces.append(" ".join(
+                f"{key}={value}"
+                for key, value in self.attributes.items()))
+        lines = ["  ".join(pieces)]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first lookup of a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.name!r} {format_seconds(self.elapsed)}"
+                f" children={len(self.children)}>")
+
+
+def format_seconds(elapsed: float | None) -> str:
+    """``1.234ms``-style latency formatting (``...`` while open)."""
+    if elapsed is None:
+        return "..."
+    if elapsed >= 1.0:
+        return f"{elapsed:.3f}s"
+    return f"{elapsed * 1000.0:.3f}ms"
+
+
+class Tracer:
+    """Collects span trees.  One tracer per observed pipeline."""
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span lifecycle -----------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span; use as ``with tracer.span("parse"): ...``."""
+        return Span(name, self, attributes)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate exits out of order rather than corrupting the tree
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def last_root(self) -> Span | None:
+        return self.roots[-1] if self.roots else None
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """The collected span trees, one indented block per root."""
+        return "\n".join(root.render() for root in self.roots)
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = ""
+    elapsed = None
+    children: list = []
+    attributes: dict = {}
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def render(self, indent: int = 0) -> str:
+        return ""
+
+    def find(self, name: str) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+    roots: list = []
+    current = None
+    last_root = None
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def reset(self) -> None:
+        return None
+
+    def render(self) -> str:
+        return ""
+
+
+#: The process-wide disabled tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+class _StepClock:
+    """Deterministic clock for doctests/tests: advances per call."""
+
+    def __init__(self, step: float = 1.0, start: float = 0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value

@@ -42,7 +42,8 @@ from .datatypes import (
     contains_collection,
     is_collection,
 )
-from .engine import Database, QueryPlan
+from .engine import Database
+from .explain import PlanBuilder, PlanStep, QueryPlan, render_expr
 from .errors import (
     TRANSIENT_CODES,
     CheckViolation,
@@ -126,8 +127,11 @@ __all__ = [
     "OrdbError",
     "parse_statement",
     "ParseError",
+    "PlanBuilder",
+    "PlanStep",
     "PrimaryKeyConstraint",
     "QueryPlan",
+    "render_expr",
     "RefType",
     "RefValue",
     "render_value",

@@ -15,7 +15,8 @@ INSERT statements per document and number of scans/joins per query.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+
+from repro.obs import Observability
 
 from . import identifiers
 from .constraints import (
@@ -43,6 +44,7 @@ from .errors import (
     UniqueViolation,
     WrongArgumentCount,
 )
+from .explain import PlanBuilder, QueryPlan
 from .faults import FaultInjector
 from .expressions import (
     AGGREGATE_FUNCTIONS,
@@ -68,35 +70,26 @@ from .values import (
 from .datatypes import TypeAttribute
 
 
-@dataclass
-class QueryPlan:
-    """A (deliberately simple) description of how a SELECT runs."""
-
-    tables: list[str] = field(default_factory=list)
-    join_count: int = 0
-    has_subquery: bool = False
-    uses_dot_navigation: bool = False
-
-    def describe(self) -> str:
-        parts = [f"scan({table})" for table in self.tables]
-        text = " NESTED-LOOP-JOIN ".join(parts) if parts else "empty"
-        if self.uses_dot_navigation:
-            text += " +dot-navigation"
-        return text
-
-
 class Database:
     """One in-memory object-relational database instance."""
 
-    def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9):
+    def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9,
+                 obs: Observability | None = None):
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
         self.faults = FaultInjector()
+        self.faults.on_fire = self._fault_fired
+        #: observability hooks; disabled by default (zero-cost path)
+        self.obs = obs if obs is not None else Observability()
         self._txn: Transaction | None = None
         self._active_journal: UndoJournal | None = None
         self._atomic_seq = 0
         self.reset_stats()
+
+    def _fault_fired(self, event) -> None:
+        if self.obs.enabled:
+            self.obs.metrics.counter("faults.injected", unit="faults").inc()
 
     @property
     def mode(self) -> CompatibilityMode:
@@ -125,6 +118,35 @@ class Database:
         before the error propagates — inside or outside an explicit
         transaction.
         """
+        if not self.obs.enabled:
+            return self._execute(statement)
+        return self._execute_observed(statement)
+
+    def _execute_observed(self, statement: str | ast.Statement) -> Result:
+        """The instrumented execute path (observability enabled)."""
+        obs = self.obs
+        sql = statement if isinstance(statement, str) else None
+        label = sql.strip() if sql is not None \
+            else type(statement).__name__
+        start = obs.clock()
+        try:
+            with obs.tracer.span("execute", sql=label[:120]) as span:
+                result = self._execute(statement)
+                span.set(rows=result.rowcount)
+        except Exception:
+            obs.metrics.counter("db.errors", unit="errors").inc()
+            obs.metrics.histogram("db.statement_seconds", unit="s") \
+                .observe(obs.clock() - start)
+            raise
+        elapsed = obs.clock() - start
+        obs.metrics.counter("db.statements", unit="statements").inc()
+        obs.metrics.counter("db.rows_touched", unit="rows").inc(result.rowcount)
+        obs.metrics.histogram("db.statement_seconds", unit="s") \
+            .observe(elapsed)
+        obs.slow_log.record(label, elapsed, result.rowcount)
+        return result
+
+    def _execute(self, statement: str | ast.Statement) -> Result:
         if isinstance(statement, str):
             self.faults.hit("parse", sql=statement)
             statement = parse_statement(statement)
@@ -193,10 +215,18 @@ class Database:
     def commit(self) -> None:
         """Make the open transaction's work permanent (no-op when
         none is open, like Oracle's COMMIT)."""
+        if self.obs.enabled and self._txn is not None:
+            self.obs.metrics.counter("txn.commits", unit="transactions").inc()
         self._txn = None
 
     def rollback(self, to: str | None = None) -> None:
         """Undo the open transaction, or just back to savepoint *to*."""
+        if self.obs.enabled and self._txn is not None:
+            self.obs.metrics.counter(
+                "txn.rollbacks_to_savepoint" if to is not None
+                else "txn.rollbacks",
+                unit="rollbacks" if to is not None
+                else "transactions").inc()
         if self._txn is None:
             if to is not None:
                 raise NoSuchSavepoint(
@@ -263,25 +293,23 @@ class Database:
         generated script runs 'without any modification')."""
         return [self.execute(text) for text in split_statements(script)]
 
-    def explain(self, statement: str | ast.SelectStmt) -> QueryPlan:
-        """Describe how a SELECT would run, without running it."""
+    def explain(self, statement: str | ast.Statement) -> QueryPlan:
+        """Describe how a statement would run, without running it.
+
+        Accepts SELECT, INSERT, UPDATE and DELETE (plain or wrapped
+        in ``EXPLAIN``); anything else raises :class:`NotSupported`.
+        Building the plan never touches row data, so the scan/join
+        counters in :attr:`stats` stay untouched.
+        """
         if isinstance(statement, str):
             statement = parse_statement(statement)
-        if not isinstance(statement, ast.SelectStmt):
-            raise NotSupported("EXPLAIN is only available for SELECT")
-        plan = QueryPlan()
-        for item in statement.from_items:
-            if isinstance(item, ast.TableRef):
-                plan.tables.append(identifiers.normalize(item.name))
-            elif isinstance(item, ast.SubqueryRef):
-                inner = self.explain(item.query)
-                plan.tables.extend(inner.tables)
-                plan.has_subquery = True
-            else:
-                plan.tables.append("TABLE()")
-        plan.join_count = max(0, len(statement.from_items) - 1)
-        plan.uses_dot_navigation = _uses_dot_navigation(statement)
-        return plan
+        return PlanBuilder(self).build(statement)
+
+    def _explain_statement(self, statement: ast.ExplainStmt) -> Result:
+        plan = self.explain(statement.statement)
+        rows = [(line,) for line in plan.render().splitlines()]
+        return Result(columns=["QUERY PLAN"], rows=rows,
+                      rowcount=len(rows), message="EXPLAIN")
 
     def dereference(self, ref: RefValue) -> ObjectValue | None:
         """Follow a REF; dangling references yield NULL like Oracle."""
@@ -1124,6 +1152,7 @@ Database._HANDLERS = {
     ast.Insert: Database._insert,
     ast.Update: Database._update,
     ast.Delete: Database._delete,
+    ast.ExplainStmt: Database._explain_statement,
 }
 
 
@@ -1272,24 +1301,3 @@ def _hashable(value: object) -> object:
     return value
 
 
-def _uses_dot_navigation(statement: ast.SelectStmt) -> bool:
-    def probe(expression: ast.Expr) -> bool:
-        if isinstance(expression, ast.ColumnPath):
-            return len(expression.parts) > 2
-        if isinstance(expression, ast.AttributeAccess):
-            return True
-        if isinstance(expression, ast.BinaryOp):
-            return probe(expression.left) or probe(expression.right)
-        if isinstance(expression, ast.UnaryOp):
-            return probe(expression.operand)
-        if isinstance(expression, (ast.IsNull, ast.Like, ast.Between)):
-            return probe(expression.operand)
-        if isinstance(expression, ast.FunctionCall):
-            return any(probe(a) for a in expression.arguments)
-        return False
-
-    for item in statement.items:
-        if not isinstance(item.expression, ast.Star) and probe(
-                item.expression):
-            return True
-    return statement.where is not None and probe(statement.where)

@@ -111,6 +111,9 @@ class FaultInjector:
         self.events: dict[str, int] = {}
         self.total_events = 0
         self.fired: list[FaultEvent] = []
+        #: called with the event just before a fired fault raises
+        #: (the engine hangs its metrics hook here)
+        self.on_fire: Callable[[FaultEvent], None] | None = None
 
     # -- arming ------------------------------------------------------------------
 
@@ -161,4 +164,6 @@ class FaultInjector:
             if fault.should_fire(event):
                 fault.fired += 1
                 self.fired.append(event)
+                if self.on_fire is not None:
+                    self.on_fire(event)
                 raise fault.make_error(event)

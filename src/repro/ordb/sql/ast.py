@@ -394,6 +394,23 @@ class Delete:
 
 
 # ---------------------------------------------------------------------------
+# introspection
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExplainStmt:
+    """``EXPLAIN [PLAN] [FOR] <select | insert | update | delete>``.
+
+    Renders the evaluation plan of the wrapped statement without
+    executing it (Oracle's ``EXPLAIN PLAN FOR``, minus the plan
+    table).
+    """
+
+    statement: "Statement"
+
+
+# ---------------------------------------------------------------------------
 # transaction control
 # ---------------------------------------------------------------------------
 
@@ -426,6 +443,6 @@ Statement = (
     CreateTypeForward | CreateObjectType | CreateVarrayType
     | CreateNestedTableType | CreateTable | CreateView
     | DropType | DropTable | DropView
-    | Insert | Update | Delete | SelectStmt
+    | Insert | Update | Delete | SelectStmt | ExplainStmt
     | BeginTransaction | CommitStmt | RollbackStmt | SavepointStmt
 )

@@ -116,6 +116,8 @@ class SQLParser:
             return self._parse_delete()
         if self.at_keyword("SELECT"):
             return self._parse_select()
+        if self.at_keyword("EXPLAIN"):
+            return self._parse_explain()
         if self.at_keyword("BEGIN"):
             self.advance()
             self.accept_keyword("TRANSACTION", "WORK")
@@ -132,6 +134,15 @@ class SQLParser:
                 self.expect_identifier("savepoint name"))
         self.error("expected a SQL statement")
         raise AssertionError("unreachable")
+
+    def _parse_explain(self) -> ast.ExplainStmt:
+        self.expect_keyword("EXPLAIN")
+        self.accept_keyword("PLAN")
+        self.accept_keyword("FOR")
+        if not self.at_keyword("SELECT", "INSERT", "UPDATE", "DELETE"):
+            self.error("EXPLAIN supports SELECT, INSERT, UPDATE"
+                       " or DELETE")
+        return ast.ExplainStmt(self._parse_statement())
 
     def _parse_rollback(self) -> ast.RollbackStmt:
         self.expect_keyword("ROLLBACK")

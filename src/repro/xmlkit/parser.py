@@ -55,18 +55,32 @@ class XMLParser:
 
     def __init__(self, expand_entities: bool = True,
                  keep_ignorable_whitespace: bool = True,
-                 dtd_loader=None):
+                 dtd_loader=None, tracer=None):
         self.expand_entities = expand_entities
         self.keep_ignorable_whitespace = keep_ignorable_whitespace
         #: optional callable(system_id) -> DTD text, consulted for
         #: ``<!DOCTYPE name SYSTEM "...">`` declarations.  Offline by
         #: default (None): external subsets are recorded, not fetched.
         self.dtd_loader = dtd_loader
+        #: optional :class:`repro.obs.Tracer`; when set, each parse
+        #: opens an ``xml.parse`` span under the current span
+        self.tracer = tracer
 
     # -- public API -----------------------------------------------------------
 
     def parse(self, text: str) -> Document:
         """Parse a complete document; raises XMLSyntaxError if ill-formed."""
+        if self.tracer is None:
+            return self._parse_document(text)
+        with self.tracer.span("xml.parse", chars=len(text)) as span:
+            document = self._parse_document(text)
+            root = document.root_element
+            if root is not None:
+                span.set(elements=sum(
+                    1 for _ in root.iter_elements()))
+            return document
+
+    def _parse_document(self, text: str) -> Document:
         if text.startswith("﻿"):
             text = text[1:]
         self._check_characters(text)
@@ -406,8 +420,10 @@ class XMLParser:
 
 
 def parse(text: str, expand_entities: bool = True,
-          keep_ignorable_whitespace: bool = True) -> Document:
+          keep_ignorable_whitespace: bool = True,
+          tracer=None) -> Document:
     """Parse *text* into a :class:`~repro.xmlkit.dom.Document`."""
     parser = XMLParser(expand_entities=expand_entities,
-                       keep_ignorable_whitespace=keep_ignorable_whitespace)
+                       keep_ignorable_whitespace=keep_ignorable_whitespace,
+                       tracer=tracer)
     return parser.parse(text)

@@ -1,0 +1,64 @@
+"""Slow-query log: thresholding, ring capacity, truncation."""
+
+from repro.obs import SlowQueryLog
+
+
+class TestThreshold:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert not log.record("SELECT 1", 99.0)
+        assert list(log.entries) == []
+
+    def test_under_threshold_ignored(self):
+        log = SlowQueryLog(threshold=0.010)
+        assert not log.record("SELECT 1", 0.009)
+        assert log.record("SELECT 1", 0.010)
+        assert log.total_seen == 1
+
+    def test_zero_threshold_logs_everything(self):
+        log = SlowQueryLog(threshold=0.0)
+        assert log.enabled
+        assert log.record("SELECT 1", 0.0)
+
+
+class TestRing:
+    def test_capacity_keeps_newest(self):
+        log = SlowQueryLog(threshold=0.0, capacity=2)
+        for index in range(4):
+            log.record(f"Q{index}", 0.001)
+        assert [entry.sql for entry in log.entries] == ["Q2", "Q3"]
+        # total_seen counts evicted entries too
+        assert log.total_seen == 4
+        assert [entry.sequence for entry in log.entries] == [3, 4]
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold=0.0)
+        log.record("Q", 0.001)
+        log.clear()
+        assert list(log.entries) == []
+        assert log.total_seen == 0
+
+
+class TestFormatting:
+    def test_long_sql_truncated(self):
+        log = SlowQueryLog(threshold=0.0, max_sql_length=20)
+        log.record("SELECT " + "x" * 100, 0.001)
+        entry = log.entries[0]
+        assert len(entry.sql) == 20
+        assert entry.sql.endswith("...")
+
+    def test_as_dicts(self):
+        log = SlowQueryLog(threshold=0.0)
+        log.record("SELECT 1", 0.025, rowcount=7)
+        assert log.as_dicts() == [
+            {"sequence": 1, "sql": "SELECT 1",
+             "seconds": 0.025, "rowcount": 7}]
+
+    def test_render_text(self):
+        log = SlowQueryLog(threshold=0.010)
+        assert log.render_text() == "slow-query log: empty"
+        log.record("SELECT a FROM big", 0.025, rowcount=10)
+        text = log.render_text()
+        assert "1 over 10.0ms" in text
+        assert "25.000ms rows=10 :: SELECT a FROM big" in text

@@ -1,0 +1,186 @@
+"""Span trees: nesting, rendering, the zero-cost disabled path."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Observability, Span, Tracer, format_seconds
+from repro.obs.tracing import _StepClock
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(clock=_StepClock(0.001))
+
+
+class TestNesting:
+    def test_children_nest_under_open_span(self, tracer):
+        with tracer.span("store"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                pass
+        root = tracer.last_root
+        assert root.name == "store"
+        assert [child.name for child in root.children] == \
+            ["parse", "execute"]
+
+    def test_sequential_roots(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_out_of_order_exit_unwinds(self, tracer):
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # exiting the outer span first unwinds past the inner one
+        outer.__exit__(None, None, None)
+        assert tracer.current is None
+        assert tracer.last_root is outer
+        assert outer.children == [inner]
+
+    def test_find_is_depth_first(self, tracer):
+        with tracer.span("store"):
+            with tracer.span("shred"):
+                with tracer.span("insert_gen"):
+                    pass
+        root = tracer.last_root
+        assert root.find("insert_gen").name == "insert_gen"
+        assert root.find("missing") is None
+
+    def test_reset(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.render() == ""
+
+
+class TestAttributesAndTiming:
+    def test_deterministic_elapsed(self, tracer):
+        # the step clock advances 1ms per reading
+        with tracer.span("parse"):
+            pass
+        assert tracer.last_root.elapsed == pytest.approx(0.001)
+
+    def test_set_attributes(self, tracer):
+        with tracer.span("parse", chars=68) as span:
+            span.set(elements=4)
+        assert tracer.last_root.attributes == \
+            {"chars": 68, "elements": 4}
+
+    def test_error_attribute_on_exception(self, tracer):
+        with pytest.raises(KeyError):
+            with tracer.span("execute"):
+                raise KeyError("boom")
+        assert tracer.last_root.attributes["error"] == "KeyError"
+        assert tracer.last_root.elapsed is not None
+
+    def test_render_tree_shape(self, tracer):
+        with tracer.span("store", doc="a.xml"):
+            with tracer.span("parse"):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines[0] == "store 3.000ms  doc=a.xml"
+        assert lines[1] == "  parse 1.000ms"
+
+    def test_open_span_renders_ellipsis(self, tracer):
+        span = tracer.span("open")
+        span.__enter__()
+        assert "open ..." in tracer.render()
+
+    def test_format_seconds(self):
+        assert format_seconds(None) == "..."
+        assert format_seconds(0.0015) == "1.500ms"
+        assert format_seconds(1.0) == "1.000s"
+        assert format_seconds(2.5) == "2.500s"
+
+
+class TestNullPath:
+    def test_null_tracer_span_is_shared_noop(self):
+        first = NULL_TRACER.span("a", x=1)
+        second = NULL_TRACER.span("b")
+        assert first is second
+        with first as span:
+            assert span.set(y=2) is span
+        assert NULL_TRACER.render() == ""
+        assert NULL_TRACER.roots == []
+
+    def test_null_tracer_keeps_no_state(self):
+        with NULL_TRACER.span("a"):
+            pass
+        assert NULL_TRACER.current is None
+        assert NULL_TRACER.last_root is None
+
+    def test_enabled_flags(self):
+        assert Tracer().enabled
+        assert not NULL_TRACER.enabled
+
+
+class TestObservabilityFacade:
+    def test_disabled_by_default(self):
+        obs = Observability()
+        assert not obs.enabled
+        assert obs.tracer is NULL_TRACER
+        with obs.phase("parse"):
+            pass
+        assert obs.metrics.names() == []
+
+    def test_phase_records_span_and_histogram(self):
+        obs = Observability(enabled=True, clock=_StepClock(0.001))
+        with obs.phase("parse", chars=68):
+            pass
+        assert obs.tracer.last_root.name == "parse"
+        h = obs.metrics.histogram("phase.parse_seconds")
+        assert h.count == 1
+
+    def test_phase_drops_none_attributes(self):
+        obs = Observability(enabled=True)
+        with obs.phase("store", doc=None, kept=1):
+            pass
+        assert obs.tracer.last_root.attributes == {"kept": 1}
+
+    def test_disable_keeps_spans_readable(self):
+        obs = Observability(enabled=True)
+        with obs.phase("parse"):
+            pass
+        collected = obs.tracer
+        obs.disable()
+        assert obs.tracer is NULL_TRACER
+        assert obs._last_tracer is collected
+        assert collected.last_root.name == "parse"
+
+    def test_enable_is_idempotent(self):
+        obs = Observability(enabled=True)
+        tracer = obs.tracer
+        obs.enable()
+        assert obs.tracer is tracer
+
+    def test_reset_clears_everything(self):
+        obs = Observability(enabled=True, slow_query_threshold=0.0)
+        with obs.phase("parse"):
+            pass
+        obs.slow_log.record("SELECT 1", 1.0)
+        obs.reset()
+        assert obs.tracer.roots == []
+        assert obs.metrics.histogram("phase.parse_seconds").count == 0
+        assert list(obs.slow_log.entries) == []
+
+    def test_export_shape(self):
+        obs = Observability(enabled=True, slow_query_threshold=0.0)
+        with obs.phase("parse"):
+            pass
+        payload = obs.export()
+        assert "phase.parse_seconds" in payload["metrics"]
+        assert payload["slow_queries"] == []

@@ -60,9 +60,9 @@ class TestExplain:
         assert "scan(A)" in text
         assert "NESTED-LOOP-JOIN" in text
 
-    def test_explain_rejects_non_select(self, three_tables):
+    def test_explain_rejects_ddl(self, three_tables):
         with pytest.raises(NotSupported):
-            three_tables.explain("DELETE FROM a")
+            three_tables.explain("DROP TABLE a")
 
     def test_explain_does_not_execute(self, three_tables):
         three_tables.execute("INSERT INTO a VALUES(1)")
@@ -70,6 +70,121 @@ class TestExplain:
         three_tables.explain("SELECT a.x FROM a")
         assert three_tables.stats["rows_scanned"] == \
             before["rows_scanned"]
+
+
+@pytest.fixture
+def university(db):
+    """The Fig. 2 schema with two professors and two students."""
+    db.executescript("""
+        CREATE TYPE Type_Prof AS OBJECT(
+            PName VARCHAR2(80), Subject VARCHAR2(120));
+        CREATE TABLE TabProf OF Type_Prof (PName PRIMARY KEY);
+        CREATE TYPE Type_Course AS OBJECT(
+            Title VARCHAR2(120), Prof REF Type_Prof);
+        CREATE TYPE TypeNT_Course AS TABLE OF Type_Course;
+        CREATE TYPE Type_Student AS OBJECT(
+            StudNr NUMBER, LName VARCHAR2(80),
+            attrCourse TypeNT_Course);
+        CREATE TABLE TabStudent OF Type_Student (StudNr PRIMARY KEY)
+            NESTED TABLE attrCourse STORE AS StudentCourses;
+        INSERT INTO TabProf VALUES (Type_Prof('Jaeger', 'CAD'));
+        INSERT INTO TabProf VALUES (Type_Prof('Kudrass', 'Databases'));
+        INSERT INTO TabStudent VALUES (Type_Student(1, 'Conrad',
+            TypeNT_Course(
+                Type_Course('CAD 1', (SELECT REF(p) FROM TabProf p
+                                      WHERE p.PName = 'Jaeger')),
+                Type_Course('DB 2', (SELECT REF(p) FROM TabProf p
+                                     WHERE p.PName = 'Kudrass')))));
+        INSERT INTO TabStudent VALUES (Type_Student(2, 'Mueller',
+            TypeNT_Course(
+                Type_Course('DB 1', (SELECT REF(p) FROM TabProf p
+                                     WHERE p.PName = 'Kudrass')))));
+    """)
+    return db
+
+
+class TestExplainGolden:
+    """Exact rendered plans on the Fig. 2 university schema."""
+
+    def test_filtered_scan(self, university):
+        plan = university.explain(
+            "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
+        assert plan.render() == "\n".join([
+            " 0  SELECT STATEMENT  ~rows=1",
+            " 1    PROJECT [s.LName]  ~rows=1",
+            " 2      FILTER [s.StudNr = 1]  ~rows=1",
+            " 3        SCAN TabStudent  rows=2",
+        ])
+
+    def test_unnest_with_ref_deref(self, university):
+        """The paper's flagship query: TABLE() + dot navigation."""
+        plan = university.explain(
+            "SELECT c.Title, c.Prof.PName"
+            " FROM TabStudent s, TABLE(s.attrCourse) c"
+            " WHERE c.Prof.Subject = 'CAD'")
+        assert plan.render() == "\n".join([
+            " 0  SELECT STATEMENT  ~rows=2",
+            " 1    PROJECT [c.Title, c.Prof.PName]  ~rows=2",
+            " 2      NESTED-LOOP JOIN  ~rows=2",
+            " 3        SCAN TabStudent  rows=2",
+            " 4        FILTER [c.Prof.Subject = 'CAD']  ~rows=1",
+            # average cardinality of the stored nested tables: (2+1)/2
+            " 5          COLLECTION EXPAND TABLE(s.attrCourse)"
+            "  ~rows=2",
+            " 6    REF DEREF TYPE_PROF [c.Prof]",
+        ])
+        assert plan.uses_dot_navigation
+
+    def test_aggregate(self, university):
+        plan = university.explain("SELECT COUNT(*) FROM TabProf")
+        assert plan.render() == "\n".join([
+            " 0  SELECT STATEMENT  rows=1",
+            " 1    PROJECT [COUNT(*)]  rows=1",
+            " 2      AGGREGATE [single group]  rows=1",
+            " 3        SCAN TabProf  rows=2",
+        ])
+
+    def test_insert_constructs(self, university):
+        plan = university.explain(
+            "EXPLAIN PLAN FOR INSERT INTO TabProf"
+            " VALUES (Type_Prof('Conrad', 'XML'))")
+        assert plan.render() == "\n".join([
+            " 0  INSERT STATEMENT TabProf  rows=1",
+            " 1    CONSTRUCT Type_Prof [2 argument(s)]",
+        ])
+
+    def test_update_and_delete(self, university):
+        update = university.explain(
+            "UPDATE TabProf p SET Subject = 'XML'"
+            " WHERE p.PName = 'Jaeger'")
+        assert update.render() == "\n".join([
+            " 0  UPDATE STATEMENT TabProf [SET Subject]  ~rows=1",
+            " 1    FILTER [p.PName = 'Jaeger']  ~rows=1",
+            " 2      SCAN TabProf  rows=2",
+        ])
+        delete = university.explain(
+            "DELETE FROM TabProf WHERE PName = 'Nobody'")
+        assert delete.render() == "\n".join([
+            " 0  DELETE STATEMENT TabProf  ~rows=1",
+            " 1    FILTER [PName = 'Nobody']  ~rows=1",
+            " 2      SCAN TabProf  rows=2",
+        ])
+
+    def test_explain_via_sql_result(self, university):
+        result = university.execute(
+            "EXPLAIN SELECT p.PName FROM TabProf p")
+        assert result.columns == ["QUERY PLAN"]
+        assert [row[0] for row in result.rows] == [
+            " 0  SELECT STATEMENT  rows=2",
+            " 1    PROJECT [p.PName]  rows=2",
+            " 2      SCAN TabProf  rows=2",
+        ]
+
+    def test_explain_moves_no_stats(self, university):
+        before = dict(university.stats)
+        university.explain(
+            "SELECT c.Title FROM TabStudent s, TABLE(s.attrCourse) c")
+        assert dict(university.stats) == before
 
 
 class TestStatements:

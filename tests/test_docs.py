@@ -1,0 +1,89 @@
+"""The documentation stays executable: every fenced ``sql`` block runs
+against a fresh engine (one shared Database per file, top to bottom),
+every ``python`` block execs (or doctests, when it contains ``>>>``)
+in one shared namespace per file, and local markdown links resolve.
+``text``/``bash``/``console`` blocks are illustrative and skipped.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.ordb import Database
+
+ROOT = Path(__file__).resolve().parent.parent
+PAGES = sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]
+_IDS = [page.name for page in PAGES]
+
+_FENCE = re.compile(r"^```(\w*)[^\n]*\n(.*?)^```\s*$",
+                    re.DOTALL | re.MULTILINE)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def _blocks(page: Path, language: str) -> list[str]:
+    return [match.group(2) for match in _FENCE.finditer(page.read_text())
+            if match.group(1) == language]
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_IDS)
+def test_sql_blocks_execute(page):
+    blocks = _blocks(page, "sql")
+    if not blocks:
+        pytest.skip("no sql blocks")
+    db = Database()
+    for index, block in enumerate(blocks):
+        try:
+            db.executescript(block)
+        except Exception as error:
+            pytest.fail(f"{page.name} sql block {index} failed:"
+                        f" {error}\n{block}")
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_IDS)
+def test_python_blocks_execute(page):
+    blocks = _blocks(page, "python")
+    if not blocks:
+        pytest.skip("no python blocks")
+    namespace: dict = {"__name__": f"docs_{page.stem}"}
+    for index, block in enumerate(blocks):
+        where = f"{page.name}:python-block-{index}"
+        if ">>>" in block:
+            parser = doctest.DocTestParser()
+            test = parser.get_doctest(block, namespace, where,
+                                      str(page), 0)
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.ELLIPSIS)
+            runner.run(test)
+            assert runner.failures == 0, f"doctest failed in {where}"
+        else:
+            try:
+                exec(compile(block, where, "exec"), namespace)
+            except Exception as error:
+                pytest.fail(f"{where} failed: {error!r}\n{block}")
+
+
+@pytest.mark.parametrize("page", PAGES, ids=_IDS)
+def test_local_links_resolve(page):
+    prose = _FENCE.sub("", page.read_text())
+    broken = []
+    for match in _LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not (page.parent / target).resolve().exists():
+            broken.append(target)
+    assert not broken, f"{page.name}: broken links {broken}"
+
+
+def test_every_block_has_a_known_language():
+    """New fenced blocks must opt into a handled (or skipped) tag."""
+    known = {"sql", "python", "text", "bash", "console", ""}
+    offenders = [
+        f"{page.name}: ```{language}"
+        for page in PAGES
+        for language, _ in _FENCE.findall(page.read_text())
+        if language not in known
+    ]
+    assert not offenders, offenders

@@ -6,12 +6,16 @@ import pytest
 
 import repro
 import repro.core.xml2oracle
+import repro.obs
+import repro.obs.metrics
+import repro.obs.tracing
 import repro.ordb
 import repro.ordb.faults
 import repro.xmlkit
 
 _MODULES = [repro, repro.xmlkit, repro.ordb, repro.ordb.faults,
-            repro.core.xml2oracle]
+            repro.core.xml2oracle, repro.obs, repro.obs.metrics,
+            repro.obs.tracing]
 
 
 @pytest.mark.parametrize("module", _MODULES,
