@@ -74,13 +74,27 @@ from .errors import (
     is_transient,
 )
 from .faults import Fault, FaultEvent, FaultInjector
+from .indexes import (
+    HashIndex,
+    IndexSet,
+    ProbeSpec,
+    build_auto_indexes,
+    canonical_key,
+    find_probe,
+)
 from .transactions import Transaction, UndoJournal
 from .identifiers import MAX_IDENTIFIER_LENGTH, RESERVED_WORDS, is_reserved
 from .results import Result
 from .schema import Catalog, Column, CompatibilityMode, Table, View
 from .sql.lexer import split_statements
 from .sql.parser import parse_statement
-from .values import CollectionValue, ObjectValue, RefValue, render_value
+from .values import (
+    CollectionValue,
+    ObjectValue,
+    RefValue,
+    content_key,
+    render_value,
+)
 
 __all__ = [
     "Catalog",
@@ -98,9 +112,15 @@ __all__ = [
     "DataType",
     "DateType",
     "DependentObjectsExist",
+    "build_auto_indexes",
+    "canonical_key",
+    "content_key",
     "Fault",
     "FaultEvent",
     "FaultInjector",
+    "find_probe",
+    "HashIndex",
+    "IndexSet",
     "IdentifierTooLong",
     "IncompleteType",
     "IntegerType",
@@ -130,6 +150,7 @@ __all__ = [
     "PlanBuilder",
     "PlanStep",
     "PrimaryKeyConstraint",
+    "ProbeSpec",
     "QueryPlan",
     "render_expr",
     "RefType",

@@ -46,6 +46,7 @@ from .errors import (
 )
 from .explain import PlanBuilder, QueryPlan
 from .faults import FaultInjector
+from .indexes import ProbeSpec, build_auto_indexes, find_probe
 from .expressions import (
     AGGREGATE_FUNCTIONS,
     Binding,
@@ -73,8 +74,12 @@ from .datatypes import TypeAttribute
 class Database:
     """One in-memory object-relational database instance."""
 
+    #: Parsed-statement cache capacity (entries; LRU eviction).
+    STATEMENT_CACHE_SIZE = 256
+
     def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 enable_indexes: bool = True):
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
@@ -82,9 +87,20 @@ class Database:
         self.faults.on_fire = self._fault_fired
         #: observability hooks; disabled by default (zero-cost path)
         self.obs = obs if obs is not None else Observability()
+        #: index-selection switch; False forces the seed nested-loop
+        #: path everywhere (benchmarks compare against it).  Index
+        #: *maintenance* still runs so the flag can be flipped live.
+        self.enable_indexes = enable_indexes
         self._txn: Transaction | None = None
         self._active_journal: UndoJournal | None = None
         self._atomic_seq = 0
+        #: SQL text -> parsed AST (ASTs are frozen, safe to re-execute)
+        self._statement_cache: dict[str, ast.Statement] = {}
+        #: view key -> (data version, Result) — dropped when stale
+        self._view_cache: dict[str, tuple[int, Result]] = {}
+        #: bumped by every DML/DDL statement and rollback; versions
+        #: key the view cache so invalidation is O(1)
+        self._data_version = 0
         self.reset_stats()
 
     def _fault_fired(self, event) -> None:
@@ -105,6 +121,12 @@ class Database:
             "rows_inserted": 0,
             "joins": 0,
             "derefs": 0,
+            "index_lookups": 0,
+            "index_unique_checks": 0,
+            "stmt_cache_hits": 0,
+            "stmt_cache_misses": 0,
+            "view_cache_hits": 0,
+            "view_cache_misses": 0,
         }
 
     # -- public API -------------------------------------------------------------------
@@ -149,7 +171,7 @@ class Database:
     def _execute(self, statement: str | ast.Statement) -> Result:
         if isinstance(statement, str):
             self.faults.hit("parse", sql=statement)
-            statement = parse_statement(statement)
+            statement = self._parse_cached(statement)
         self.stats["statements"] += 1
         handled = self._handle_transaction_control(statement)
         if handled is not None:
@@ -162,6 +184,10 @@ class Database:
         if handler is None:  # pragma: no cover - parser prevents this
             raise NotSupported(
                 f"unsupported statement {type(statement).__name__}")
+        if not isinstance(statement, ast.ExplainStmt):
+            # DDL (and zero-row DML) invalidates cached view results;
+            # row-level changes bump the version again as they happen
+            self._data_version += 1
         journal = UndoJournal()
         outer = self._active_journal
         self._active_journal = journal
@@ -170,11 +196,42 @@ class Database:
         except BaseException:
             self._active_journal = outer
             journal.undo_to(0)
+            # the undo restored pre-statement data under the bumped
+            # version; bump again so mid-statement cache entries die
+            self._data_version += 1
             raise
         self._active_journal = outer
         if self._txn is not None:
             self._txn.journal.absorb(journal)
         return result
+
+    def _parse_cached(self, sql: str) -> ast.Statement:
+        """Parse *sql*, reusing the LRU statement cache.
+
+        AST nodes are frozen dataclasses, so a cached statement is
+        safe to re-execute; the "parse" fault site keeps firing on
+        every execution (the caller hits it before looking here).
+        """
+        cached = self._statement_cache.get(sql)
+        if cached is not None:
+            self.stats["stmt_cache_hits"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("db.stmt_cache.hits",
+                                         unit="hits").inc()
+            # refresh recency: dicts preserve insertion order
+            self._statement_cache.pop(sql)
+            self._statement_cache[sql] = cached
+            return cached
+        self.stats["stmt_cache_misses"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.stmt_cache.misses",
+                                     unit="misses").inc()
+        parsed = parse_statement(sql)
+        if len(self._statement_cache) >= self.STATEMENT_CACHE_SIZE:
+            self._statement_cache.pop(
+                next(iter(self._statement_cache)))
+        self._statement_cache[sql] = parsed
+        return parsed
 
     def _handle_transaction_control(
             self, statement: ast.Statement) -> Result | None:
@@ -238,6 +295,7 @@ class Database:
             self._txn = None
         else:
             self._txn.rollback_to(to)
+        self._data_version += 1
 
     def savepoint(self, name: str) -> None:
         """Establish a named savepoint (implicitly opening a
@@ -279,6 +337,7 @@ class Database:
             if self._txn is txn:
                 txn.rollback_to(name)
                 txn.release(name)
+                self._data_version += 1
             raise
         if self._txn is txn:
             txn.release(name)
@@ -416,6 +475,7 @@ class Database:
         else:
             table = self._build_relational_table(statement)
         self._check_nested_storage(statement, table)
+        table.indexes = build_auto_indexes(table)
         storage_before = set(self.catalog.storage_names)
         self.catalog.add_table(table)
 
@@ -658,7 +718,14 @@ class Database:
         row = Row(row_values,
                   oid=next_oid() if table.is_object_table else None)
         table.data.insert(row)
-        self._record(lambda: table.data.remove_exact(row))
+        table.indexes.add_row(row)
+        self._data_version += 1
+
+        def undo(row=row):
+            table.data.remove_exact(row)
+            table.indexes.remove_row(row)
+
+        self._record(undo)
         self.stats["rows_inserted"] += 1
 
     # -- constraint enforcement -------------------------------------------------------------
@@ -694,7 +761,20 @@ class Database:
         candidate = tuple(row_values.get(column) for column in columns)
         if all(value is None for value in candidate):
             return
-        for row in table.data.rows:
+        rows: list[Row] | None = None
+        if self.enable_indexes:
+            index = table.indexes.covering(columns)
+            if index is not None:
+                # probe in the index's column order; the bucket is a
+                # superset of tuple-equal rows, re-verified below
+                probe = tuple(row_values.get(column)
+                              for column in index.columns)
+                rows = index.lookup(probe)
+                if rows is not None:
+                    self.stats["index_unique_checks"] += 1
+        if rows is None:
+            rows = table.data.rows
+        for row in rows:
             if row is existing_row:
                 continue
             stored = tuple(row.values.get(column) for column in columns)
@@ -741,13 +821,16 @@ class Database:
             self.faults.hit("storage", op="update", table=table.name)
             old_values = dict(row.values)
 
-            def undo(row=row, old=old_values):
+            def undo(row=row, old=old_values, new=new_values):
                 row.values.clear()
                 row.values.update(old)
+                table.indexes.update_row(row, new, old)
 
             self._record(undo)
             row.values.clear()
             row.values.update(new_values)
+            table.indexes.update_row(row, old_values, new_values)
+            self._data_version += 1
             count += 1
         return Result(rowcount=count,
                       message=f"{count} row(s) updated.")
@@ -791,10 +874,13 @@ class Database:
                 table.data.rows.insert(index, row)
                 if row.oid is not None:
                     table.data.oid_index[row.oid] = row
+                table.indexes.add_row(row)
 
             del table.data.rows[index]
             if row.oid is not None:
                 table.data.oid_index.pop(row.oid, None)
+            table.indexes.remove_row(row)
+            self._data_version += 1
             self._record(undo)
         return Result(rowcount=len(doomed),
                       message=f"{len(doomed)} row(s) deleted.")
@@ -816,8 +902,14 @@ class Database:
                                         aggregates)
         columns, rows = self._project(statement, environments)
         if statement.distinct:
+            # DISTINCT collapses rows, so per-row environments no
+            # longer line up; ORDER BY falls back to output columns
+            # only (Oracle's ORA-01791 restriction)
             rows = _distinct(rows)
-        rows = self._order(statement, columns, rows, environments=None)
+            rows = self._order(statement, columns, rows,
+                               environments=None)
+        else:
+            rows = self._order(statement, columns, rows, environments)
         if limit is not None:
             rows = rows[:limit]
         return Result(columns, rows)
@@ -830,6 +922,10 @@ class Database:
                          and not statement.group_by
                          and not statement.distinct)
         per_level, residual = self._plan_predicates(statement)
+        probes = [
+            self._level_probe(item, pushed)
+            for item, pushed in zip(statement.from_items, per_level)
+        ]
 
         def expand(index: int, frames: list[Binding]) -> bool:
             if index == len(statement.from_items):
@@ -844,7 +940,8 @@ class Database:
             item = statement.from_items[index]
             partial = Env(list(frames), outer_env)
             pushed = per_level[index]
-            for binding in self._bindings_for(item, partial):
+            for binding in self._bindings_for(item, partial,
+                                              probes[index]):
                 self.stats["rows_scanned"] += 1
                 frames.append(binding)
                 env = Env(frames, outer_env) if pushed else None
@@ -895,7 +992,45 @@ class Database:
                 residual.append(conjunct)
         return levels, residual
 
-    def _bindings_for(self, item: ast.FromItem, env: Env):
+    def _level_probe(self, item: ast.FromItem,
+                     pushed: list[ast.Expr]) -> ProbeSpec | None:
+        """Plan an index probe for one FROM item (None = scan)."""
+        if not self.enable_indexes or not isinstance(item, ast.TableRef):
+            return None
+        key = identifiers.normalize(item.name)
+        if key in self.catalog.views:
+            return None
+        table = self.catalog.tables.get(key)
+        if table is None:  # let _bindings_for raise NoSuchTable
+            return None
+        alias_key = identifiers.normalize(item.alias or item.name)
+        return find_probe(table, alias_key, pushed)
+
+    def _probe_rows(self, probe: ProbeSpec,
+                    env: Env) -> list[Row] | None:
+        """Candidate rows for *probe*, or None to fall back to a scan.
+
+        Probe expressions are evaluated against the already-bound
+        outer rows; a NULL probe value matches nothing (``col =
+        NULL`` is never TRUE), an unkeyable value forfeits the probe.
+        """
+        values = []
+        for column in probe.index.columns:
+            value = self.evaluator.eval(probe.values[column], env)
+            if value is None:
+                return []
+            values.append(value)
+        rows = probe.index.lookup(tuple(values))
+        if rows is None:
+            return None
+        self.stats["index_lookups"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.index_lookups",
+                                     unit="lookups").inc()
+        return rows
+
+    def _bindings_for(self, item: ast.FromItem, env: Env,
+                      probe: ProbeSpec | None = None):
         if isinstance(item, ast.TableRef):
             key = identifiers.normalize(item.name)
             if key in self.catalog.views:
@@ -904,7 +1039,12 @@ class Database:
                 return
             table = self.catalog.table(item.name)
             alias_key = identifiers.normalize(item.alias or item.name)
-            for row in table.data.rows:
+            rows = table.data.rows
+            if probe is not None and rows:
+                candidates = self._probe_rows(probe, env)
+                if candidates is not None:
+                    rows = candidates
+            for row in rows:
                 yield Binding(alias_key, row.values, table, row.oid)
             return
         if isinstance(item, ast.SubqueryRef):
@@ -944,8 +1084,26 @@ class Database:
             return datatype.element_type
         return None
 
-    def _view_bindings(self, view: View, alias: str | None):
+    def _view_result(self, view: View) -> Result:
+        """Evaluate *view*'s query, reusing a cached result while the
+        data version is unchanged (any DML/DDL/rollback bumps it)."""
+        cached = self._view_cache.get(view.key)
+        if cached is not None and cached[0] == self._data_version:
+            self.stats["view_cache_hits"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("db.view_cache.hits",
+                                         unit="hits").inc()
+            return cached[1]
+        self.stats["view_cache_misses"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.view_cache.misses",
+                                     unit="misses").inc()
         result = self.execute_select(view.query, None)
+        self._view_cache[view.key] = (self._data_version, result)
+        return result
+
+    def _view_bindings(self, view: View, alias: str | None):
+        result = self._view_result(view)
         names = (list(view.column_names)
                  if view.column_names else result.columns)
         keys = [identifiers.normalize(name) for name in names]
@@ -1011,7 +1169,7 @@ class Database:
             key = identifiers.normalize(item.name)
             if key in self.catalog.views:
                 view = self.catalog.views[key]
-                result = self.execute_select(view.query, None)
+                result = self._view_result(view)
                 names = (list(view.column_names)
                          if view.column_names else result.columns)
                 keys = {identifiers.normalize(n): None for n in names}
@@ -1104,22 +1262,28 @@ class Database:
     # -- ordering -----------------------------------------------------------------------------
 
     def _order(self, statement: ast.SelectStmt, columns: list[str],
-               rows: list[tuple], environments) -> list[tuple]:
+               rows: list[tuple], environments: list[Env] | None
+               ) -> list[tuple]:
+        """Sort *rows*; *environments* (parallel to *rows*, or None)
+        lets ORDER BY evaluate expressions that are not output
+        columns against the originating row."""
         if not statement.order_by:
             return rows
         keyed = []
-        for row in rows:
+        for position, row in enumerate(rows):
+            env = (environments[position]
+                   if environments is not None else None)
             keys = []
             for order_item in statement.order_by:
                 value = self._order_value(order_item.expression, columns,
-                                          row)
+                                          row, env)
                 keys.append(_SortKey(value, order_item.ascending))
             keyed.append((keys, row))
         keyed.sort(key=lambda pair: pair[0])
         return [row for _keys, row in keyed]
 
     def _order_value(self, expression: ast.Expr, columns: list[str],
-                     row: tuple) -> object:
+                     row: tuple, env: Env | None = None) -> object:
         if isinstance(expression, ast.Literal) and isinstance(
                 expression.value, int):
             position = expression.value
@@ -1133,6 +1297,8 @@ class Database:
             for index, column in enumerate(columns):
                 if column.upper() == wanted:
                     return row[index]
+        if env is not None:
+            return self.evaluator.eval(expression, env)
         raise NotSupported(
             "ORDER BY supports output column names and positions")
 
@@ -1188,7 +1354,9 @@ def _analyze_references(expression: ast.Expr,
         return _analyze_references(expression.operand, heads)
     if isinstance(expression, ast.Like):
         return (_analyze_references(expression.operand, heads)
-                and _analyze_references(expression.pattern, heads))
+                and _analyze_references(expression.pattern, heads)
+                and (expression.escape is None
+                     or _analyze_references(expression.escape, heads)))
     if isinstance(expression, ast.Between):
         return (_analyze_references(expression.operand, heads)
                 and _analyze_references(expression.low, heads)

@@ -174,13 +174,25 @@ class PlanBuilder:
 
     def _select_node(self, statement: ast.SelectStmt) -> _Node:
         alias_map = self._alias_map(statement)
-        sources = [self._source_node(item, statement)
-                   for item in statement.from_items]
         per_level, residual = self.db._plan_predicates(statement)
-        for index, conjuncts in enumerate(per_level):
-            for conjunct in conjuncts:
-                sources[index] = self._wrap_filter(sources[index],
-                                                   conjunct)
+        sources: list[_Node] = []
+        for index, item in enumerate(statement.from_items):
+            pushed = list(per_level[index])
+            # the executor's own index-selection pass: when it would
+            # probe, render the lookup instead of SCAN and keep only
+            # the conjuncts the probe does not absorb as FILTERs
+            probe = self.db._level_probe(item, pushed)
+            if probe is not None:
+                node = self._probe_node(item, probe)
+                consumed = {id(conjunct)
+                            for conjunct in probe.conjuncts}
+                pushed = [conjunct for conjunct in pushed
+                          if id(conjunct) not in consumed]
+            else:
+                node = self._source_node(item, statement)
+            for conjunct in pushed:
+                node = self._wrap_filter(node, conjunct)
+            sources.append(node)
         if len(sources) > 1:
             rows = _product(node.rows for node in sources)
             top = _Node("NESTED-LOOP JOIN", rows=rows,
@@ -197,6 +209,25 @@ class PlanBuilder:
         root.children.append(top)
         root.children.extend(self._deref_nodes(statement, alias_map))
         return root
+
+    def _probe_node(self, item: ast.TableRef, probe) -> _Node:
+        """An INDEX [UNIQUE] LOOKUP access-path step.
+
+        Row estimates: a unique probe yields at most one row; a
+        non-unique probe yields the average bucket size observed in
+        the index (total entries over distinct keys).
+        """
+        table = self.catalog.tables[identifiers.normalize(item.name)]
+        index = probe.index
+        if index.unique:
+            rows = 1
+        else:
+            rows = max(1, round(len(table.data.rows)
+                                / max(1, index.distinct_keys())))
+        detail = f"{index.name}: " + " AND ".join(
+            render_expr(conjunct) for conjunct in probe.conjuncts)
+        return _Node(probe.operation, target=table.name,
+                     detail=detail, rows=rows, exact=False)
 
     def _wrap_filter(self, child: _Node, conjunct: ast.Expr) -> _Node:
         node = _Node("FILTER", detail=render_expr(conjunct),
@@ -489,6 +520,9 @@ def _child_expressions(expression: ast.Expr):
     if isinstance(expression, ast.IsNull):
         return (expression.operand,)
     if isinstance(expression, ast.Like):
+        if expression.escape is not None:
+            return (expression.operand, expression.pattern,
+                    expression.escape)
         return (expression.operand, expression.pattern)
     if isinstance(expression, ast.Between):
         return (expression.operand, expression.low, expression.high)
@@ -541,8 +575,11 @@ def render_expr(expression: ast.Expr) -> str:
         return f"{render_expr(expression.operand)} IS {negated}NULL"
     if isinstance(expression, ast.Like):
         negated = "NOT " if expression.negated else ""
-        return (f"{render_expr(expression.operand)} {negated}LIKE"
-                f" {render_expr(expression.pattern)}")
+        rendered = (f"{render_expr(expression.operand)} {negated}LIKE"
+                    f" {render_expr(expression.pattern)}")
+        if expression.escape is not None:
+            rendered += f" ESCAPE {render_expr(expression.escape)}"
+        return rendered
     if isinstance(expression, ast.Between):
         negated = "NOT " if expression.negated else ""
         return (f"{render_expr(expression.operand)} {negated}BETWEEN"

@@ -111,7 +111,10 @@ def contains_aggregate(expression: ast.Expr) -> bool:
     if isinstance(expression, (ast.IsNull, ast.Cast)):
         return contains_aggregate(expression.operand)
     if isinstance(expression, ast.Like):
-        return contains_aggregate(expression.operand)
+        return (contains_aggregate(expression.operand)
+                or contains_aggregate(expression.pattern)
+                or (expression.escape is not None
+                    and contains_aggregate(expression.escape)))
     if isinstance(expression, ast.Between):
         return contains_aggregate(expression.operand)
     if isinstance(expression, (ast.InList, ast.InSubquery)):
@@ -303,11 +306,15 @@ class Evaluator:
     def _eval_Like(self, expression: ast.Like, env: Env) -> bool | None:
         value = self.eval(expression.operand, env)
         pattern = self.eval(expression.pattern, env)
+        escape = (self.eval(expression.escape, env)
+                  if expression.escape is not None else None)
         if value is None or pattern is None:
+            return None
+        if expression.escape is not None and escape is None:
             return None
         if not isinstance(value, str) or not isinstance(pattern, str):
             raise TypeMismatch("LIKE requires string operands")
-        regex = _like_to_regex(pattern)
+        regex = _like_to_regex(pattern, escape)
         result = regex.fullmatch(value) is not None
         return (not result) if expression.negated else result
 
@@ -629,13 +636,49 @@ def _ordering(left: object, right: object) -> int | None:
     return (a > b) - (a < b)
 
 
-def _like_to_regex(pattern: str) -> re.Pattern[str]:
+#: Compiled LIKE patterns, keyed by (pattern, escape char).  LIKE is
+#: evaluated once per candidate row, so recompiling the regex every
+#: time turned a predicate into a per-row re.compile; the cache is
+#: cleared wholesale when it fills (workloads use few patterns).
+_LIKE_CACHE: dict[tuple[str, str | None], re.Pattern[str]] = {}
+_LIKE_CACHE_LIMIT = 512
+
+
+def _like_to_regex(pattern: str,
+                   escape: object = None) -> re.Pattern[str]:
+    """Compile a LIKE *pattern* (memoized), honouring ``ESCAPE``.
+
+    Oracle semantics: the escape character must be a single
+    character (ORA-01425) and may only precede ``%``, ``_`` or
+    itself (ORA-01424).
+    """
+    if escape is not None:
+        if not isinstance(escape, str) or len(escape) != 1:
+            raise TypeMismatch(
+                "ORA-01425: escape character must be a character"
+                " string of length 1")
+    cache_key = (pattern, escape)
+    cached = _LIKE_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     out: list[str] = []
-    for ch in pattern:
-        if ch == "%":
+    characters = iter(pattern)
+    for ch in characters:
+        if escape is not None and ch == escape:
+            follower = next(characters, None)
+            if follower not in ("%", "_", escape):
+                raise TypeMismatch(
+                    "ORA-01424: missing or illegal character"
+                    " following the escape character")
+            out.append(re.escape(follower))
+        elif ch == "%":
             out.append(".*")
         elif ch == "_":
             out.append(".")
         else:
             out.append(re.escape(ch))
-    return re.compile("".join(out), re.DOTALL)
+    compiled = re.compile("".join(out), re.DOTALL)
+    if len(_LIKE_CACHE) >= _LIKE_CACHE_LIMIT:
+        _LIKE_CACHE.clear()
+    _LIKE_CACHE[cache_key] = compiled
+    return compiled

@@ -1,0 +1,421 @@
+"""Hash indexes over object/heap tables: the query-performance layer.
+
+The paper's CLM2 argument is about how many scans and joins a
+dot-notation query costs; the seed engine answered *every* query with
+a full nested-loop scan, which buries that signal under O(n) row
+visits.  Like the indexed lookups XRecursive and the DOM-based
+mappings lean on, this module gives every PRIMARY KEY / UNIQUE
+constraint and every scoped REF column (the ID/IDREF columns
+XML2Oracle generates) an automatic in-memory hash index:
+
+* :class:`HashIndex` — one index: canonical key tuple -> row bucket;
+* :class:`IndexSet` — all indexes of one table, with the maintenance
+  entry points the engine journals (add/remove/update ride the undo
+  journal, so ROLLBACK and SAVEPOINT leave indexes consistent);
+* :func:`build_auto_indexes` — derives the index set from a table's
+  constraints at CREATE TABLE time;
+* :func:`find_probe` — the index-*selection* pass: match pushed-down
+  equality conjuncts against available indexes, shared by the
+  executor and by ``EXPLAIN`` so plans show what actually runs.
+
+Keys are *canonical* (:func:`canonical_key`): two values the engine's
+``=`` would call equal always land in the same bucket (numbers and
+numeric strings unify, dates unify with their ISO rendering,
+composites use their content), so an index probe can only ever
+*prune* rows — the pushed predicate is still evaluated on every
+candidate, and a bucket is a superset of the true matches.
+"""
+
+from __future__ import annotations
+
+import datetime
+from decimal import Decimal, InvalidOperation
+
+from . import identifiers
+from .sql import ast
+from .storage import Row
+from .values import CollectionValue, ObjectValue, RefValue, content_key
+
+#: Sentinel for NULL components inside a key tuple (``None`` would
+#: work too, but an explicit marker keeps buckets self-describing).
+_NULL = ("<null>",)
+
+
+def canonical_key(value: object) -> object:
+    """A hashable bucket key; engine-equal values share it.
+
+    The engine's ``=`` (see ``expressions._ordering``) converts
+    numeric strings to numbers and falls back to display text for
+    date/string mixes; the canonical form folds those conversions in
+    so a probe with either representation hits the same bucket.
+    Returns an unhashable-safe value or raises nothing: values whose
+    content cannot be hashed are reported via :func:`try_key`.
+    """
+    if value is None:
+        return _NULL
+    if isinstance(value, str):
+        try:
+            number = Decimal(value.strip())
+        except (InvalidOperation, ArithmeticError, ValueError):
+            return value
+        if number.is_nan():
+            return value
+        return number
+    if isinstance(value, (int, float, Decimal)):
+        # int/float/Decimal hash identically when numerically equal
+        return value
+    if isinstance(value, datetime.date):
+        # the engine compares DATE against strings by ISO display
+        return value.isoformat()
+    if isinstance(value, (ObjectValue, CollectionValue, RefValue)):
+        return content_key(value)
+    return value
+
+
+def try_key(values: tuple) -> tuple | None:
+    """Canonical key tuple for *values*, or None when unhashable
+    (e.g. a NaN Decimal); such rows go to the overflow list."""
+    key = tuple(canonical_key(value) for value in values)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class HashIndex:
+    """One hash index: canonical key tuple -> list of rows.
+
+    ``unique`` marks indexes backing PRIMARY KEY / UNIQUE
+    constraints; buckets can still momentarily hold several rows
+    (canonically-equal but distinct values such as ``'1.0'`` vs
+    ``'1'``), so uniqueness is always re-verified on the bucket, not
+    assumed.  Rows whose key cannot be hashed live in ``overflow``
+    and are appended to every lookup result.
+    """
+
+    __slots__ = ("name", "columns", "unique", "buckets", "overflow")
+
+    def __init__(self, name: str, columns: tuple[str, ...],
+                 unique: bool = False):
+        self.name = name
+        self.columns = tuple(columns)
+        self.unique = unique
+        self.buckets: dict[tuple, list[Row]] = {}
+        self.overflow: list[Row] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "UNIQUE " if self.unique else ""
+        return (f"<{kind}HashIndex {self.name}"
+                f"({', '.join(self.columns)}) {len(self.buckets)} keys>")
+
+    def key_of(self, row: Row) -> tuple | None:
+        return try_key(tuple(row.values.get(column)
+                             for column in self.columns))
+
+    def add(self, row: Row) -> None:
+        key = self.key_of(row)
+        if key is None:
+            self.overflow.append(row)
+            return
+        self.buckets.setdefault(key, []).append(row)
+
+    def remove(self, row: Row) -> None:
+        """Remove *row* by identity (rows compare equal by value)."""
+        key = self.key_of(row)
+        bucket = self.overflow if key is None else self.buckets.get(key)
+        if bucket is None:
+            return
+        for position in range(len(bucket) - 1, -1, -1):
+            if bucket[position] is row:
+                del bucket[position]
+                break
+        if key is not None and not bucket:
+            del self.buckets[key]
+
+    def lookup(self, values: tuple) -> list[Row] | None:
+        """Candidate rows for the equality probe, or None when the
+        probe values cannot be keyed (caller falls back to a scan).
+
+        The result is a *superset* of the true matches; the caller
+        re-evaluates its predicate on every returned row.
+        """
+        key = try_key(values)
+        if key is None:
+            return None
+        rows = self.buckets.get(key, ())
+        if self.overflow:
+            return list(rows) + list(self.overflow)
+        return list(rows)
+
+    def distinct_keys(self) -> int:
+        return len(self.buckets)
+
+    def entry_count(self) -> int:
+        return (sum(len(bucket) for bucket in self.buckets.values())
+                + len(self.overflow))
+
+
+class IndexSet:
+    """All hash indexes of one table, maintained together."""
+
+    __slots__ = ("indexes",)
+
+    def __init__(self, indexes: list[HashIndex] | None = None):
+        self.indexes: list[HashIndex] = list(indexes or [])
+
+    def __iter__(self):
+        return iter(self.indexes)
+
+    def __len__(self) -> int:
+        return len(self.indexes)
+
+    # -- maintenance (journaled by the engine) ------------------------------------
+
+    def add_row(self, row: Row) -> None:
+        for index in self.indexes:
+            index.add(row)
+
+    def remove_row(self, row: Row) -> None:
+        for index in self.indexes:
+            index.remove(row)
+
+    def update_row(self, row: Row, old_values: dict[str, object],
+                   new_values: dict[str, object]) -> None:
+        """Move *row* between buckets after its values changed from
+        *old_values* to *new_values* (also its own inverse, called
+        with the dicts swapped when an UPDATE is rolled back)."""
+        for index in self.indexes:
+            old_key = try_key(tuple(old_values.get(column)
+                                    for column in index.columns))
+            new_key = try_key(tuple(new_values.get(column)
+                                    for column in index.columns))
+            if old_key == new_key and old_key is not None:
+                continue
+            _remove_keyed(index, row, old_key)
+            if new_key is None:
+                index.overflow.append(row)
+            else:
+                index.buckets.setdefault(new_key, []).append(row)
+
+    # -- selection ----------------------------------------------------------------
+
+    def best_equality_index(
+            self, available: set[str]) -> HashIndex | None:
+        """The index to probe given equality conjuncts on *available*
+        columns: prefer unique indexes, then fewer columns (a tighter
+        bucket per probe is not implied, but fewer evaluations are)."""
+        candidates = [index for index in self.indexes
+                      if set(index.columns) <= available]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda index: (not index.unique,
+                                           len(index.columns)))
+        return candidates[0]
+
+    def covering(self, columns: tuple[str, ...]) -> HashIndex | None:
+        """The index whose column set is exactly *columns* (used to
+        accelerate uniqueness checks), or None."""
+        wanted = set(columns)
+        for index in self.indexes:
+            if set(index.columns) == wanted:
+                return index
+        return None
+
+    # -- introspection ------------------------------------------------------------
+
+    def verify(self, rows: list[Row]) -> list[str]:
+        """Consistency check for tests: every stored row appears in
+        every index exactly once, and nothing else does.  Returns a
+        list of human-readable problems (empty = consistent)."""
+        problems: list[str] = []
+        for index in self.indexes:
+            seen: dict[int, int] = {}
+            for bucket_key, bucket in index.buckets.items():
+                for row in bucket:
+                    seen[id(row)] = seen.get(id(row), 0) + 1
+                    if index.key_of(row) != bucket_key:
+                        problems.append(
+                            f"{index.name}: row in wrong bucket"
+                            f" {bucket_key!r}")
+            for row in index.overflow:
+                seen[id(row)] = seen.get(id(row), 0) + 1
+            for row in rows:
+                count = seen.pop(id(row), 0)
+                if count != 1:
+                    problems.append(
+                        f"{index.name}: stored row indexed"
+                        f" {count} time(s): {row.values!r}")
+            if seen:
+                problems.append(
+                    f"{index.name}: {len(seen)} stale entr(y/ies) for"
+                    f" rows no longer stored")
+        return problems
+
+
+def _remove_keyed(index: HashIndex, row: Row,
+                  key: tuple | None) -> None:
+    bucket = index.overflow if key is None else index.buckets.get(key)
+    if bucket is None:
+        return
+    for position in range(len(bucket) - 1, -1, -1):
+        if bucket[position] is row:
+            del bucket[position]
+            break
+    if key is not None and not bucket:
+        index.buckets.pop(key, None)
+
+
+def build_auto_indexes(table) -> IndexSet:
+    """Derive the automatic index set from *table*'s constraints.
+
+    One unique index per PRIMARY KEY / UNIQUE constraint, one
+    non-unique index per scoped REF column — the columns XML2Oracle's
+    generated schemas key documents and IDREF links on.  Duplicate
+    column sets collapse into the first index declared for them.
+    """
+    indexes: list[HashIndex] = []
+    covered: set[tuple[str, ...]] = set()
+
+    def declare(name: str, columns: tuple[str, ...],
+                unique: bool) -> None:
+        signature = tuple(sorted(columns))
+        if signature in covered:
+            return
+        covered.add(signature)
+        indexes.append(HashIndex(name, columns, unique))
+
+    constraints = table.constraints
+    if constraints.primary_key is not None:
+        declare(f"{table.key}_PK", constraints.primary_key.columns,
+                unique=True)
+    for position, unique in enumerate(constraints.unique, start=1):
+        declare(f"{table.key}_UN{position}", unique.columns,
+                unique=True)
+    for scope in constraints.scopes:
+        declare(f"{table.key}_{scope.column}_REF", (scope.column,),
+                unique=False)
+    return IndexSet(indexes)
+
+
+# -- index selection over pushed conjuncts ----------------------------------------
+
+
+class ProbeSpec:
+    """One planned index probe: which index, fed by which expressions.
+
+    ``values`` maps each index column to the expression whose value
+    (evaluated against the already-bound outer rows) keys the lookup;
+    ``conjuncts`` are the WHERE conjuncts the probe absorbs (still
+    re-checked row-by-row, but rendered on the plan's lookup step)."""
+
+    __slots__ = ("index", "values", "conjuncts")
+
+    def __init__(self, index: HashIndex,
+                 values: dict[str, ast.Expr],
+                 conjuncts: list[ast.Expr]):
+        self.index = index
+        self.values = values
+        self.conjuncts = conjuncts
+
+    @property
+    def operation(self) -> str:
+        return ("INDEX UNIQUE LOOKUP" if self.index.unique
+                else "INDEX LOOKUP")
+
+
+def find_probe(table, alias_key: str,
+               pushed: list[ast.Expr]) -> ProbeSpec | None:
+    """Match pushed equality conjuncts against *table*'s indexes.
+
+    A conjunct qualifies when it is ``alias.column = expr`` (either
+    side) with ``expr`` computable before this table's rows are bound
+    — i.e. it never mentions *alias* itself.  The executor and the
+    EXPLAIN plan builder share this function, so the rendered access
+    path is exactly the one the executor takes.
+    """
+    if not pushed or not len(table.indexes):
+        return None
+    specs: dict[str, tuple[ast.Expr, ast.Expr]] = {}
+    for conjunct in pushed:
+        if (not isinstance(conjunct, ast.BinaryOp)
+                or conjunct.operator != "="):
+            continue
+        for column_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left)):
+            column = _probe_column(column_side, alias_key, table)
+            if column is None or column in specs:
+                continue
+            if _mentions_alias(value_side, alias_key):
+                continue
+            specs[column] = (value_side, conjunct)
+            break
+    if not specs:
+        return None
+    index = table.indexes.best_equality_index(set(specs))
+    if index is None:
+        return None
+    values = {column: specs[column][0] for column in index.columns}
+    conjuncts = [specs[column][1] for column in index.columns]
+    return ProbeSpec(index, values, conjuncts)
+
+
+def _probe_column(expression: ast.Expr, alias_key: str,
+                  table) -> str | None:
+    """The indexed column key when *expression* is ``alias.column``."""
+    if (not isinstance(expression, ast.ColumnPath)
+            or len(expression.parts) != 2):
+        return None
+    if identifiers.normalize(expression.parts[0]) != alias_key:
+        return None
+    column = table.column(expression.parts[1])
+    return column.key if column is not None else None
+
+
+def _mentions_alias(expression: ast.Expr, alias_key: str) -> bool:
+    """True when evaluating *expression* needs this table's row (or
+    when we cannot tell: unknown node kinds count as mentions, which
+    merely forfeits the probe, never correctness)."""
+    if isinstance(expression, ast.ColumnPath):
+        if len(expression.parts) < 2:
+            return True  # unqualified: could resolve to this table
+        return identifiers.normalize(expression.parts[0]) == alias_key
+    if isinstance(expression, (ast.Literal, ast.DateLiteral)):
+        return False
+    if isinstance(expression, ast.BinaryOp):
+        return (_mentions_alias(expression.left, alias_key)
+                or _mentions_alias(expression.right, alias_key))
+    if isinstance(expression, ast.UnaryOp):
+        return _mentions_alias(expression.operand, alias_key)
+    if isinstance(expression, ast.IsNull):
+        return _mentions_alias(expression.operand, alias_key)
+    if isinstance(expression, ast.Like):
+        return (_mentions_alias(expression.operand, alias_key)
+                or _mentions_alias(expression.pattern, alias_key)
+                or (expression.escape is not None
+                    and _mentions_alias(expression.escape, alias_key)))
+    if isinstance(expression, ast.Between):
+        return (_mentions_alias(expression.operand, alias_key)
+                or _mentions_alias(expression.low, alias_key)
+                or _mentions_alias(expression.high, alias_key))
+    if isinstance(expression, ast.InList):
+        return (_mentions_alias(expression.operand, alias_key)
+                or any(_mentions_alias(item, alias_key)
+                       for item in expression.items))
+    if isinstance(expression, ast.FunctionCall):
+        return any(_mentions_alias(argument, alias_key)
+                   for argument in expression.arguments)
+    if isinstance(expression, ast.AttributeAccess):
+        return _mentions_alias(expression.base, alias_key)
+    if isinstance(expression, ast.Cast):
+        return _mentions_alias(expression.operand, alias_key)
+    if isinstance(expression, ast.CaseWhen):
+        for condition, value in expression.branches:
+            if (_mentions_alias(condition, alias_key)
+                    or _mentions_alias(value, alias_key)):
+                return True
+        return (expression.default is not None
+                and _mentions_alias(expression.default, alias_key))
+    # subqueries and anything unrecognized: assume dependence
+    return True

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from . import identifiers
 from .constraints import ConstraintSet
+from .indexes import IndexSet
 from .datatypes import (
     CharType,
     ClobType,
@@ -73,6 +74,7 @@ class Table:
     constraints: ConstraintSet = field(default_factory=ConstraintSet)
     nested_storage: dict[str, str] = field(default_factory=dict)
     data: TableData = field(default_factory=TableData)
+    indexes: IndexSet = field(default_factory=IndexSet)
 
     @property
     def key(self) -> str:

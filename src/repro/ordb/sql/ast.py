@@ -125,11 +125,12 @@ class IsNull(Expr):
 
 @dataclass(frozen=True)
 class Like(Expr):
-    """``expr [NOT] LIKE pattern``."""
+    """``expr [NOT] LIKE pattern [ESCAPE escape_char]``."""
 
     operand: Expr
     pattern: Expr
     negated: bool = False
+    escape: Expr | None = None
 
 
 @dataclass(frozen=True)

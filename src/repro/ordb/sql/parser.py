@@ -580,7 +580,10 @@ class SQLParser:
             else:
                 return left
         if self.accept_keyword("LIKE"):
-            return ast.Like(left, self._parse_additive(), negated)
+            pattern = self._parse_additive()
+            escape = (self._parse_additive()
+                      if self.accept_keyword("ESCAPE") else None)
+            return ast.Like(left, pattern, negated, escape)
         if self.accept_keyword("BETWEEN"):
             low = self._parse_additive()
             self.expect_keyword("AND")

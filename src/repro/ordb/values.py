@@ -56,8 +56,10 @@ class ObjectValue:
                 and self._values == other._values)
 
     def __hash__(self) -> int:
-        return hash((identifiers.normalize(self.type_name),
-                     tuple(self._values.keys())))
+        # content-based: equal objects hash equal, distinct attribute
+        # *values* (not just keys) spread across hash buckets, so
+        # set/dict dedup over many instances stays O(n)
+        return hash(content_key(self))
 
     def __repr__(self) -> str:
         inner = ", ".join(render_value(v) for v in self._values.values())
@@ -89,8 +91,10 @@ class CollectionValue:
                 == identifiers.normalize(other.type_name)
                 and self.items == other.items)
 
-    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
-        return id(self)
+    def __hash__(self) -> int:
+        # content-based (id() would break the hash/eq contract for
+        # equal collections, e.g. inside a hashed ObjectValue)
+        return hash(content_key(self))
 
     def __repr__(self) -> str:
         inner = ", ".join(render_value(item) for item in self.items)
@@ -117,6 +121,34 @@ class RefValue:
 
     def __repr__(self) -> str:
         return f"REF({self.table}:{self.oid})"
+
+
+def content_key(value: object) -> object:
+    """A hashable key that is equal exactly when two values are ``==``.
+
+    Composites fold their normalized type name and contents in
+    (attribute order does not matter for :class:`ObjectValue`
+    equality, so attributes are sorted); values that are themselves
+    unhashable fall back to their rendered text.  This is the basis
+    for :meth:`ObjectValue.__hash__` and for the hash-index keys in
+    :mod:`repro.ordb.indexes`.
+    """
+    if isinstance(value, ObjectValue):
+        return ("obj", identifiers.normalize(value.type_name),
+                tuple(sorted(
+                    ((key, content_key(item))
+                     for key, item in value._values.items()),
+                    key=lambda pair: pair[0])))
+    if isinstance(value, CollectionValue):
+        return ("coll", identifiers.normalize(value.type_name),
+                tuple(content_key(item) for item in value.items))
+    if isinstance(value, RefValue):
+        return ("ref", value.table, value.oid)
+    try:
+        hash(value)
+    except TypeError:
+        return ("rendered", render_value(value))
+    return value
 
 
 def render_value(value: object) -> str:

@@ -106,13 +106,34 @@ def university(db):
 class TestExplainGolden:
     """Exact rendered plans on the Fig. 2 university schema."""
 
-    def test_filtered_scan(self, university):
+    def test_pk_equality_uses_index(self, university):
+        plan = university.explain(
+            "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
+        assert plan.render() == "\n".join([
+            " 0  SELECT STATEMENT  ~rows=1",
+            " 1    PROJECT [s.LName]  ~rows=1",
+            " 2      INDEX UNIQUE LOOKUP TabStudent"
+            " [TABSTUDENT_PK: s.StudNr = 1]  ~rows=1",
+        ])
+
+    def test_filtered_scan_without_indexes(self, university):
+        university.enable_indexes = False
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
         assert plan.render() == "\n".join([
             " 0  SELECT STATEMENT  ~rows=1",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      FILTER [s.StudNr = 1]  ~rows=1",
+            " 3        SCAN TabStudent  rows=2",
+        ])
+
+    def test_non_equality_predicate_still_scans(self, university):
+        plan = university.explain(
+            "SELECT s.LName FROM TabStudent s WHERE s.StudNr > 1")
+        assert plan.render() == "\n".join([
+            " 0  SELECT STATEMENT  ~rows=1",
+            " 1    PROJECT [s.LName]  ~rows=1",
+            " 2      FILTER [s.StudNr > 1]  ~rows=1",
             " 3        SCAN TabStudent  rows=2",
         ])
 
