@@ -1,0 +1,130 @@
+"""CONC — multi-session scaling: parallel ingest and readers under a
+writer.
+
+The paper's setting is client-server: N clients each hold a
+connection and pay a commit-acknowledgement round trip per
+transaction.  ``Database(commit_latency=...)`` models that round trip
+(slept after locks are released), so parallel workers overlap their
+commit waits exactly the way concurrent clients do — that, not
+CPU parallelism, is what the worker pool buys on a GIL runtime.
+
+Exports ``BENCH_concurrency.json``:
+
+* ingest throughput (docs/s) for ``workers`` in 1, 2, 4 — the
+  acceptance gate asserts > 1.5x scaling from 1 to 4;
+* reader latency (p50/p99) against an idle engine vs under a
+  continuous writer, plus the engine's contention counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import write_bench_json
+from repro.core import XML2Oracle
+from repro.ordb import Database
+from repro.workloads import make_university, university_dtd
+
+#: Modelled commit-ack round trip (seconds).  Small enough to keep
+#: the bench fast, large enough to dominate the per-document cost.
+COMMIT_LATENCY = 0.005
+DOCUMENTS = 24
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_tool() -> XML2Oracle:
+    tool = XML2Oracle(db=Database(commit_latency=COMMIT_LATENCY),
+                      metadata=False, validate_documents=False)
+    tool.register_schema(university_dtd())
+    return tool
+
+
+def ingest_throughput(workers: int) -> dict:
+    documents = [make_university(students=3)
+                 for _ in range(DOCUMENTS)]
+    tool = build_tool()
+    start = time.perf_counter()
+    report = tool.store_many(documents, workers=workers)
+    elapsed = time.perf_counter() - start
+    assert report.ok and len(report.stored) == DOCUMENTS
+    stats = tool.db.stats
+    return {
+        "workers": workers,
+        "seconds": round(elapsed, 4),
+        "docs_per_second": round(DOCUMENTS / elapsed, 2),
+        "lock_waits": stats["lock_waits"],
+        "lock_timeouts": stats["lock_timeouts"],
+        "deadlocks": stats["deadlocks"],
+    }
+
+
+def reader_latency(with_writer: bool) -> dict:
+    db = Database(commit_latency=COMMIT_LATENCY)
+    db.execute("CREATE TABLE BenchRows(n NUMBER)")
+    for n in range(50):
+        db.execute(f"INSERT INTO BenchRows VALUES({n})")
+    done = threading.Event()
+
+    def writer():
+        with db.session(name="bench-writer") as session:
+            n = 1000
+            while not done.is_set():
+                n += 1
+                with session.transaction():
+                    session.execute(
+                        f"INSERT INTO BenchRows VALUES({n})")
+
+    thread = None
+    if with_writer:
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+    latencies = []
+    with db.session(name="bench-reader") as session:
+        for _ in range(150):
+            start = time.perf_counter()
+            session.execute("SELECT COUNT(*) FROM BenchRows")
+            latencies.append(time.perf_counter() - start)
+    done.set()
+    if thread is not None:
+        thread.join(10.0)
+    latencies.sort()
+    return {
+        "writer_running": with_writer,
+        "samples": len(latencies),
+        "p50_ms": round(latencies[len(latencies) // 2] * 1e3, 3),
+        "p99_ms": round(latencies[int(len(latencies) * 0.99)] * 1e3,
+                        3),
+    }
+
+
+def test_ingest_scales_with_workers(benchmark):
+    """store_many throughput vs worker count; gate: >1.5x at 4."""
+    results = {w: ingest_throughput(w) for w in WORKER_COUNTS}
+
+    # benchmark the sweet spot so pytest-benchmark keeps a wall time
+    benchmark(lambda: ingest_throughput(4))
+
+    speedup = (results[4]["docs_per_second"]
+               / results[1]["docs_per_second"])
+    for workers in WORKER_COUNTS:
+        benchmark.extra_info[f"docs_per_second_w{workers}"] = \
+            results[workers]["docs_per_second"]
+    benchmark.extra_info["speedup_1_to_4"] = round(speedup, 2)
+
+    readers = {
+        "idle": reader_latency(with_writer=False),
+        "under_writer": reader_latency(with_writer=True),
+    }
+    write_bench_json("concurrency", {
+        "commit_latency_s": COMMIT_LATENCY,
+        "documents": DOCUMENTS,
+        "ingest": [results[w] for w in WORKER_COUNTS],
+        "readers": readers,
+        "speedup_1_to_4": round(speedup, 2),
+    })
+    assert speedup > 1.5, (
+        f"expected >1.5x scaling from 1 to 4 workers, got"
+        f" {speedup:.2f}x ({results})")
+    # a concurrent writer may slow readers but must not starve them
+    assert readers["under_writer"]["p99_ms"] < 5000.0

@@ -214,7 +214,8 @@ def _ingest_into(tool: XML2Oracle, args):
             texts,
             continue_on_error=args.continue_on_error,
             retry=policy,
-            doc_names=[path.name for path in paths])
+            doc_names=[path.name for path in paths],
+            workers=args.workers)
     except Exception as error:
         print(f"error: batch aborted, all documents rolled back:"
               f" {error}", file=sys.stderr)
@@ -382,9 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--retries", type=int, default=2, metavar="N",
             help="extra attempts for transient faults (default 2)")
         subparser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="load with N parallel sessions (per-document"
+                 " transactions; lock conflicts retry like any"
+                 " transient fault; default: serial, one transaction)")
+        subparser.add_argument(
             "--fault", metavar="SITE:INDEX",
             help="inject a fault at the INDEX-th boundary of SITE"
-                 " (parse, statement or storage; testing aid)")
+                 " (parse, statement, lock or storage; testing aid)")
 
     ingest_parser = subparsers.add_parser(
         "ingest",

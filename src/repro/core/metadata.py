@@ -81,11 +81,14 @@ class MetadataRegistry:
     def register_document(self, doc_id: int, document: Document,
                           plan: MappingPlan,
                           doc_name: str = "", url: str = "",
-                          load_date: str = "2002-03-25") -> None:
+                          load_date: str = "2002-03-25",
+                          on=None) -> None:
         """Record one stored document (Section 5's meta-table row).
 
         ``load_date`` is explicit rather than ``SYSDATE`` to keep every
-        generated script deterministic and replayable.
+        generated script deterministic and replayable.  ``on`` is the
+        executor — a :class:`~repro.ordb.sessions.Session` or the
+        database itself — so the row joins the caller's transaction.
         """
         doc_data_items = ",\n    ".join(
             self._doc_data_literal(entry)
@@ -98,7 +101,7 @@ class MetadataRegistry:
         # Section 5: "the namespace definitions are stored in the
         # meta-table as well" — record the root's default namespace
         namespace = document.root_element.get("xmlns")
-        self.db.execute(
+        (on or self.db).execute(
             f"INSERT INTO TabMetadata VALUES({doc_id},"
             f" {sql_quote(doc_name)}, {sql_quote(url)},"
             f" {sql_quote(plan.schema_id or '')},"
@@ -157,9 +160,10 @@ class MetadataRegistry:
     # -- entities (Section 6.1) --------------------------------------------------------
 
     def register_entities(self, schema_id: str,
-                          entities: dict[str, str]) -> None:
+                          entities: dict[str, str],
+                          on=None) -> None:
         for name, replacement in entities.items():
-            self.db.execute(
+            (on or self.db).execute(
                 f"INSERT INTO TabEntity VALUES({sql_quote(schema_id)},"
                 f" {sql_quote(name)}, {sql_quote(replacement)})")
 
@@ -173,7 +177,7 @@ class MetadataRegistry:
     # -- comments / PIs (Section 7 extension) ----------------------------------------------
 
     def register_misc_nodes(self, doc_id: int,
-                            document: Document) -> int:
+                            document: Document, on=None) -> int:
         """Store comments and processing instructions with locations."""
         count = 0
         for position, node in _walk_positions(document):
@@ -183,7 +187,7 @@ class MetadataRegistry:
                 kind, target, content = "pi", node.target, node.data
             else:
                 continue
-            self.db.execute(
+            (on or self.db).execute(
                 f"INSERT INTO TabMiscNode VALUES({doc_id},"
                 f" {sql_quote(position)}, {sql_quote(kind)},"
                 f" {sql_quote(target)}, {sql_quote(content)})")

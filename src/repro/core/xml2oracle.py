@@ -21,6 +21,8 @@ bookkeeping, and the retriever reverses the trip.
 from __future__ import annotations
 
 import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -31,6 +33,7 @@ from repro.obs import Observability
 from repro.ordb.engine import Database
 from repro.ordb.results import Result
 from repro.ordb.schema import CompatibilityMode
+from repro.ordb.sessions import Session
 from repro.xmlkit.dom import Document, Element
 from repro.xmlkit.errors import XMLValidityError
 from repro.xmlkit.parser import parse as parse_xml
@@ -130,13 +133,18 @@ class XML2Oracle:
         self.documents: dict[int, StoredDocument] = {}
         self._schema_ids = SchemaIdAllocator()
         self._next_doc_id = 0
+        # parallel ingest workers share the facade: doc-id allocation
+        # and the documents dict mutate under this lock
+        self._facade_lock = threading.Lock()
 
-    def _atomic(self):
-        """The engine's all-or-nothing scope, or a no-op guard when
-        the facade was built with ``transactional=False``."""
+    def _atomic(self, session: Session | None = None):
+        """The engine's all-or-nothing scope — on *session* when one
+        is given — or a no-op guard when the facade was built with
+        ``transactional=False``."""
+        target = session if session is not None else self.db
         if self.transactional:
-            return self.db.atomic()
-        return contextlib.nullcontext(self.db)
+            return target.atomic()
+        return contextlib.nullcontext(target)
 
     @property
     def mode(self) -> CompatibilityMode:
@@ -214,23 +222,29 @@ class XML2Oracle:
 
     def store(self, document: Document | Element | str,
               schema: RegisteredSchema | None = None,
-              doc_name: str = "", url: str = "") -> StoredDocument:
+              doc_name: str = "", url: str = "",
+              session: Session | None = None) -> StoredDocument:
         """Validate, map and load one document; returns its handle.
 
         The load is atomic: document rows, deferred IDREF updates and
         meta-table entries commit together or — on any failure — roll
         back together, and the document-id counter is rewound so the
-        next store reuses the id.
+        next store reuses the id.  *session* routes every statement
+        through one private :class:`~repro.ordb.sessions.Session`
+        (parallel ingest gives each worker its own).
         """
         with self.obs.phase("store", doc=doc_name or None):
-            stored = self._store(document, schema, doc_name, url)
+            stored = self._store(document, schema, doc_name, url,
+                                 session)
         if self.obs.enabled:
             self.obs.metrics.counter("ingest.documents", unit="documents").inc()
         return stored
 
     def _store(self, document: Document | Element | str,
                schema: RegisteredSchema | None,
-               doc_name: str, url: str) -> StoredDocument:
+               doc_name: str, url: str,
+               session: Session | None = None) -> StoredDocument:
+        executor = session if session is not None else self.db
         tracer = self.obs.tracer if self.obs.enabled else None
         if isinstance(document, str):
             with self.obs.phase("parse", chars=len(document)):
@@ -246,10 +260,11 @@ class XML2Oracle:
                 raise XMLValidityError(
                     "document is not valid: "
                     + "; ".join(str(e) for e in report.errors[:3]))
-        self._next_doc_id += 1
-        doc_id = self._next_doc_id
+        with self._facade_lock:
+            self._next_doc_id += 1
+            doc_id = self._next_doc_id
         try:
-            with self._atomic():
+            with self._atomic(session):
                 loader = DocumentLoader(schema.plan, doc_id,
                                         tracer=tracer)
                 with self.obs.phase("shred"):
@@ -258,7 +273,7 @@ class XML2Oracle:
                         "execute",
                         statements=len(load_result.statements)):
                     for statement in load_result.statements:
-                        self.db.execute(statement)
+                        executor.execute(statement)
                 stored = StoredDocument(
                     doc_id=doc_id, schema=schema,
                     load_result=load_result,
@@ -268,15 +283,17 @@ class XML2Oracle:
                     with self.obs.phase("metadata"):
                         self.metadata.register_document(
                             doc_id, document, schema.plan, doc_name,
-                            url)
+                            url, on=executor)
                         stored.misc_count = (
                             self.metadata.register_misc_nodes(
-                                doc_id, document))
+                                doc_id, document, on=executor))
         except BaseException:
-            if self._next_doc_id == doc_id:
-                self._next_doc_id = doc_id - 1
+            with self._facade_lock:
+                if self._next_doc_id == doc_id:
+                    self._next_doc_id = doc_id - 1
             raise
-        self.documents[doc_id] = stored
+        with self._facade_lock:
+            self.documents[doc_id] = stored
         return stored
 
     def store_many(self, documents: Iterable[Document | Element | str],
@@ -284,7 +301,8 @@ class XML2Oracle:
                    *, continue_on_error: bool = False,
                    retry: RetryPolicy | None = None,
                    doc_names: Sequence[str] | None = None,
-                   url: str = "") -> IngestReport:
+                   url: str = "",
+                   workers: int | None = None) -> IngestReport:
         """Bulk-load documents with per-document savepoints.
 
         The whole batch runs in one transaction; each document gets
@@ -296,8 +314,21 @@ class XML2Oracle:
         (default) or, with ``continue_on_error=True``, quarantine the
         document and keep going.  The returned report holds one
         outcome per document, in input order.
+
+        ``workers=N`` (N >= 1) switches to a thread pool where every
+        worker drives its own engine session and each document
+        commits in its own transaction.  Retry and quarantine behave
+        as in the serial path; a batch abort compensates by deleting
+        the documents already committed.  Lock-timeout and deadlock
+        errors are transient, so contention between workers is
+        retried like any connection fault.
         """
         policy = retry or RetryPolicy()
+        if workers is not None and workers >= 1:
+            return self._store_many_parallel(
+                list(documents), schema,
+                continue_on_error=continue_on_error, policy=policy,
+                doc_names=doc_names, url=url, workers=workers)
         report = IngestReport()
         batch_doc_id = self._next_doc_id
         batch_docs = set(self.documents)
@@ -328,15 +359,88 @@ class XML2Oracle:
             raise
         return report
 
+    def _store_many_parallel(self, documents: list,
+                             schema: RegisteredSchema | None, *,
+                             continue_on_error: bool,
+                             policy: RetryPolicy,
+                             doc_names: Sequence[str] | None,
+                             url: str, workers: int) -> IngestReport:
+        """The ``workers=N`` bulk load: per-worker sessions,
+        per-document transactions, compensation instead of rollback.
+
+        Each pool thread lazily opens one session and keeps it for
+        the whole batch.  With ``continue_on_error=False`` the first
+        failure sets a stop flag (in-flight documents finish, queued
+        ones are skipped), every already-committed document of the
+        batch is deleted again, and the failure is re-raised — so the
+        all-or-nothing contract of the serial path holds even though
+        the documents committed independently.
+        """
+        local = threading.local()
+        sessions: list[Session] = []
+        sessions_lock = threading.Lock()
+        stop = threading.Event()
+
+        def worker_session() -> Session:
+            session = getattr(local, "session", None)
+            if session is None:
+                session = self.db.session(name="ingest-worker")
+                local.session = session
+                with sessions_lock:
+                    sessions.append(session)
+            return session
+
+        def run(index: int, document) -> DocumentOutcome | None:
+            if stop.is_set():
+                return None
+            if doc_names is not None and index < len(doc_names):
+                name = doc_names[index]
+            else:
+                name = f"doc[{index}]"
+            outcome = self._store_with_retry(
+                document, schema, name, url, index, policy,
+                session=worker_session())
+            if not outcome.stored and not continue_on_error:
+                stop.set()
+            return outcome
+
+        try:
+            with ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="ingest") as pool:
+                futures = [pool.submit(run, index, document)
+                           for index, document in enumerate(documents)]
+                results = [future.result() for future in futures]
+        finally:
+            for session in sessions:
+                session.close()
+        report = IngestReport()
+        report.outcomes.extend(o for o in results if o is not None)
+        report.outcomes.sort(key=lambda o: o.index)
+        if not continue_on_error:
+            failed = next(
+                (o for o in report.outcomes if not o.stored), None)
+            if failed is not None:
+                # compensate: the committed part of the batch goes away
+                for outcome in report.outcomes:
+                    if outcome.stored and outcome.doc_id is not None:
+                        self.delete(outcome.doc_id)
+                assert failed.error is not None
+                raise failed.error
+        return report
+
     def _store_with_retry(self, document, schema, doc_name: str,
                           url: str, index: int,
-                          policy: RetryPolicy) -> DocumentOutcome:
+                          policy: RetryPolicy,
+                          session: Session | None = None
+                          ) -> DocumentOutcome:
         attempt = 0
         while True:
             attempt += 1
             try:
                 stored = self.store(document, schema,
-                                    doc_name=doc_name, url=url)
+                                    doc_name=doc_name, url=url,
+                                    session=session)
             except Exception as error:
                 kind = classify(error)
                 if (kind == "transient"

@@ -25,6 +25,7 @@ no state.  Code guards bigger work with ``tracer.enabled``.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -97,14 +98,28 @@ def format_seconds(elapsed: float | None) -> str:
 
 
 class Tracer:
-    """Collects span trees.  One tracer per observed pipeline."""
+    """Collects span trees.  One tracer per observed pipeline.
+
+    The open-span stack is thread-local: concurrent sessions each
+    nest their own spans instead of attaching children to whatever
+    span another thread happens to have open.  The shared ``roots``
+    list (appended under a lock) still collects every thread's trees.
+    """
 
     enabled = True
 
     def __init__(self, clock=time.perf_counter):
         self.clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle -----------------------------------------------------------
 
@@ -113,31 +128,36 @@ class Tracer:
         return Span(name, self, attributes)
 
     def _push(self, span: Span) -> None:
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._roots_lock:
+                self.roots.append(span)
+        stack.append(span)
 
     def _pop(self, span: Span) -> None:
+        stack = self._stack
         # tolerate exits out of order rather than corrupting the tree
-        while self._stack and self._stack[-1] is not span:
-            self._stack.pop()
-        if self._stack:
-            self._stack.pop()
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def last_root(self) -> Span | None:
         return self.roots[-1] if self.roots else None
 
     def reset(self) -> None:
-        self.roots = []
-        self._stack = []
+        with self._roots_lock:
+            self.roots = []
+        self._local = threading.local()
 
     # -- rendering ---------------------------------------------------------------
 

@@ -48,12 +48,14 @@ from .errors import (
     TRANSIENT_CODES,
     CheckViolation,
     DanglingReference,
+    DeadlockDetected,
     DependentObjectsExist,
     IdentifierTooLong,
     IncompleteType,
     InvalidDatatype,
     InvalidIdentifier,
     InvalidNumber,
+    LockTimeout,
     NameInUse,
     NestedCollectionNotSupported,
     NoSuchColumn,
@@ -74,6 +76,8 @@ from .errors import (
     is_transient,
 )
 from .faults import Fault, FaultEvent, FaultInjector
+from .locks import CATALOG_RESOURCE, EXCLUSIVE, SHARED, LockManager
+from .sessions import Session
 from .indexes import (
     HashIndex,
     IndexSet,
@@ -98,6 +102,7 @@ from .values import (
 
 __all__ = [
     "Catalog",
+    "CATALOG_RESOURCE",
     "CharType",
     "CheckConstraint",
     "CheckViolation",
@@ -111,7 +116,9 @@ __all__ = [
     "Database",
     "DataType",
     "DateType",
+    "DeadlockDetected",
     "DependentObjectsExist",
+    "EXCLUSIVE",
     "build_auto_indexes",
     "canonical_key",
     "content_key",
@@ -130,6 +137,8 @@ __all__ = [
     "is_collection",
     "is_reserved",
     "is_transient",
+    "LockManager",
+    "LockTimeout",
     "MAX_IDENTIFIER_LENGTH",
     "NameInUse",
     "NestedCollectionNotSupported",
@@ -160,6 +169,8 @@ __all__ = [
     "ReservedWord",
     "Result",
     "ScopeForConstraint",
+    "Session",
+    "SHARED",
     "split_statements",
     "Table",
     "Transaction",

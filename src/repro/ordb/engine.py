@@ -10,11 +10,24 @@ Statement and row-level counters are kept in :attr:`Database.stats`
 because the reproduction benchmarks (CLM1/CLM2 in DESIGN.md) measure
 exactly the operational quantities the paper argues about: number of
 INSERT statements per document and number of scans/joins per query.
+
+Concurrency is two-level (see docs/architecture.md):
+
+* **logical isolation** — each :class:`~repro.ordb.sessions.Session`
+  takes table-level S/X locks from the shared
+  :class:`~repro.ordb.locks.LockManager` before a statement runs and
+  holds them to transaction end (strict 2PL);
+* **physical safety** — statement bodies mutate plain Python dicts
+  and lists, so one engine latch serializes them; lock *waits* always
+  happen before the latch is taken, never under it.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
+import itertools
+import threading
 
 from repro.obs import Observability
 
@@ -34,12 +47,10 @@ from .errors import (
     IncompleteType,
     NestedCollectionNotSupported,
     NoSuchColumn,
-    NoSuchSavepoint,
     NoSuchTable,
     NotSupported,
     NullNotAllowed,
     OrdbError,
-    TransactionError,
     TypeMismatch,
     UniqueViolation,
     WrongArgumentCount,
@@ -47,6 +58,8 @@ from .errors import (
 from .explain import PlanBuilder, QueryPlan
 from .faults import FaultInjector
 from .indexes import ProbeSpec, build_auto_indexes, find_probe
+from .locks import CATALOG_RESOURCE, EXCLUSIVE, SHARED, LockManager
+from .sessions import Session
 from .expressions import (
     AGGREGATE_FUNCTIONS,
     Binding,
@@ -61,7 +74,7 @@ from .sql import ast
 from .sql.lexer import split_statements
 from .sql.parser import parse_statement
 from .storage import Row, next_oid
-from .transactions import Transaction, UndoJournal
+from .transactions import UndoJournal
 from .values import (
     CollectionValue,
     ObjectValue,
@@ -79,7 +92,9 @@ class Database:
 
     def __init__(self, mode: CompatibilityMode = CompatibilityMode.ORACLE9,
                  obs: Observability | None = None,
-                 enable_indexes: bool = True):
+                 enable_indexes: bool = True,
+                 lock_timeout: float = 5.0,
+                 commit_latency: float = 0.0):
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
@@ -91,9 +106,22 @@ class Database:
         #: path everywhere (benchmarks compare against it).  Index
         #: *maintenance* still runs so the flag can be flipped live.
         self.enable_indexes = enable_indexes
-        self._txn: Transaction | None = None
+        #: table-level S/X locks isolating sessions from each other
+        self.locks = LockManager(timeout=lock_timeout)
+        self.locks.on_event = self._lock_event
+        #: seconds one COMMIT costs, modelling the commit-ack round
+        #: trip of the paper's client-server setup; slept *outside*
+        #: all locks so concurrent sessions overlap their waits
+        self.commit_latency = commit_latency
+        #: serializes statement bodies (and rollback replay): the
+        #: engine mutates plain dicts/lists, so exactly one statement
+        #: touches shared structures at a time.  Reentrant because
+        #: transaction control may run inside an executing script.
+        self._latch = threading.RLock()
+        #: guards the parsed-statement LRU, which is consulted before
+        #: the latch is taken (parsing must not serialize sessions)
+        self._stmt_cache_lock = threading.Lock()
         self._active_journal: UndoJournal | None = None
-        self._atomic_seq = 0
         #: SQL text -> parsed AST (ASTs are frozen, safe to re-execute)
         self._statement_cache: dict[str, ast.Statement] = {}
         #: view key -> (data version, Result) — dropped when stale
@@ -101,11 +129,35 @@ class Database:
         #: bumped by every DML/DDL statement and rollback; versions
         #: key the view cache so invalidation is O(1)
         self._data_version = 0
+        self._next_sid = itertools.count(1)
+        #: sids handed out by :meth:`session` and not yet closed
+        self._open_sessions: set[int] = set()
+        #: the implicit connection legacy single-threaded callers use
+        self._default_session = Session(self, next(self._next_sid),
+                                        name="main")
         self.reset_stats()
 
     def _fault_fired(self, event) -> None:
         if self.obs.enabled:
             self.obs.metrics.counter("faults.injected", unit="faults").inc()
+
+    def _lock_event(self, kind: str, resource: str, mode: str,
+                    seconds: float) -> None:
+        """Bridge lock-manager contention events into stats/metrics."""
+        key = {"wait": "lock_waits", "timeout": "lock_timeouts",
+               "deadlock": "deadlocks"}[kind]
+        self.stats[key] += 1
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            if kind == "wait":
+                metrics.counter("db.lock_waits", unit="waits").inc()
+                metrics.histogram("db.lock_wait_seconds",
+                                  unit="s").observe(seconds)
+            elif kind == "timeout":
+                metrics.counter("db.lock_timeouts",
+                                unit="timeouts").inc()
+            else:
+                metrics.counter("db.deadlocks", unit="deadlocks").inc()
 
     @property
     def mode(self) -> CompatibilityMode:
@@ -119,6 +171,7 @@ class Database:
             "selects": 0,
             "rows_scanned": 0,
             "rows_inserted": 0,
+            "full_scans": 0,
             "joins": 0,
             "derefs": 0,
             "index_lookups": 0,
@@ -127,11 +180,39 @@ class Database:
             "stmt_cache_misses": 0,
             "view_cache_hits": 0,
             "view_cache_misses": 0,
+            "lock_waits": 0,
+            "lock_timeouts": 0,
+            "deadlocks": 0,
         }
+
+    # -- sessions ---------------------------------------------------------------------
+
+    def session(self, name: str = "") -> Session:
+        """Open a new session (one logical connection; one thread).
+
+        The session shares this database's catalog, rows, indexes and
+        caches but owns its transaction state; the lock manager keeps
+        it isolated from concurrent sessions.  Close it (or use it as
+        a context manager) to release its locks and id.
+        """
+        session = Session(self, next(self._next_sid), name)
+        self._open_sessions.add(session.sid)
+        if self.obs.enabled:
+            self.obs.metrics.gauge("db.active_sessions",
+                                   unit="sessions").inc()
+        return session
+
+    def _session_closed(self, session: Session) -> None:
+        if session.sid in self._open_sessions:
+            self._open_sessions.discard(session.sid)
+            if self.obs.enabled:
+                self.obs.metrics.gauge("db.active_sessions",
+                                       unit="sessions").dec()
 
     # -- public API -------------------------------------------------------------------
 
-    def execute(self, statement: str | ast.Statement) -> Result:
+    def execute(self, statement: str | ast.Statement,
+                session: Session | None = None) -> Result:
         """Execute one statement (SQL text or a pre-parsed AST).
 
         Statements are individually atomic: if one raises midway (a
@@ -139,12 +220,17 @@ class Database:
         an injected fault), everything it already changed is undone
         before the error propagates — inside or outside an explicit
         transaction.
+
+        *session* selects whose transaction and locks the statement
+        runs under; None means the database's implicit default
+        session (single-threaded legacy behaviour).
         """
         if not self.obs.enabled:
-            return self._execute(statement)
-        return self._execute_observed(statement)
+            return self._execute(statement, session)
+        return self._execute_observed(statement, session)
 
-    def _execute_observed(self, statement: str | ast.Statement) -> Result:
+    def _execute_observed(self, statement: str | ast.Statement,
+                          session: Session | None = None) -> Result:
         """The instrumented execute path (observability enabled)."""
         obs = self.obs
         sql = statement if isinstance(statement, str) else None
@@ -153,7 +239,7 @@ class Database:
         start = obs.clock()
         try:
             with obs.tracer.span("execute", sql=label[:120]) as span:
-                result = self._execute(statement)
+                result = self._execute(statement, session)
                 span.set(rows=result.rowcount)
         except Exception:
             obs.metrics.counter("db.errors", unit="errors").inc()
@@ -168,15 +254,30 @@ class Database:
         obs.slow_log.record(label, elapsed, result.rowcount)
         return result
 
-    def _execute(self, statement: str | ast.Statement) -> Result:
+    def _execute(self, statement: str | ast.Statement,
+                 session: Session | None = None) -> Result:
+        session = session or self._default_session
         if isinstance(statement, str):
             self.faults.hit("parse", sql=statement)
             statement = self._parse_cached(statement)
         self.stats["statements"] += 1
-        handled = self._handle_transaction_control(statement)
+        handled = self._handle_transaction_control(statement, session)
         if handled is not None:
             return handled
         self.faults.hit("statement", statement=statement)
+        # locks are acquired *before* the latch: a blocked session
+        # must never stall the sessions currently executing
+        self._acquire_statement_locks(session, statement)
+        try:
+            with self._latch:
+                return self._execute_body(statement, session)
+        finally:
+            if session.txn is None:  # autocommit: statement-duration
+                self.locks.release_all(session.sid)
+
+    def _execute_body(self, statement: ast.Statement,
+                      session: Session) -> Result:
+        """The statement body; runs under the engine latch."""
         if isinstance(statement, ast.SelectStmt):
             self.stats["selects"] += 1
             return self.execute_select(statement, None)
@@ -201,9 +302,71 @@ class Database:
             self._data_version += 1
             raise
         self._active_journal = outer
-        if self._txn is not None:
-            self._txn.journal.absorb(journal)
+        if session.txn is not None:
+            session.txn.journal.absorb(journal)
         return result
+
+    # -- lock planning ----------------------------------------------------------------
+
+    def _acquire_statement_locks(self, session: Session,
+                                 statement: ast.Statement) -> None:
+        """Take every table lock *statement* needs, in sorted resource
+        order (a global order prevents lock-order deadlocks between
+        single statements; transaction-spanning cycles remain and are
+        caught by the wait-for graph)."""
+        for resource, lock_mode in self._statement_locks(statement):
+            self.faults.hit("lock", resource=resource, mode=lock_mode,
+                            session=session.name)
+            self.locks.acquire(session.sid, resource, lock_mode)
+
+    def _statement_locks(
+            self, statement: ast.Statement) -> list[tuple[str, str]]:
+        """The (resource, mode) set a statement must hold.
+
+        SELECT → S on every referenced table (views expanded to their
+        underlying tables); DML → X on the target plus S on tables its
+        subqueries read; DDL → X on the catalog resource and on the
+        named object.  EXPLAIN locks nothing (it never touches rows).
+        """
+        reads: set[str] = set()
+        writes: set[str] = set()
+        if isinstance(statement, ast.SelectStmt):
+            _collect_table_refs(statement, reads)
+        elif isinstance(statement, ast.Insert):
+            writes.add(identifiers.normalize(statement.table))
+            _collect_table_refs(statement, reads)
+        elif isinstance(statement, (ast.Update, ast.Delete)):
+            writes.add(identifiers.normalize(statement.table))
+            _collect_table_refs(statement, reads)
+        elif isinstance(statement, ast.ExplainStmt):
+            return []
+        else:  # DDL
+            writes.add(CATALOG_RESOURCE)
+            name = getattr(statement, "name", None)
+            if isinstance(name, str):
+                writes.add(identifiers.normalize(name))
+        self._expand_view_reads(reads)
+        reads -= writes
+        specs = [(resource, SHARED) for resource in reads]
+        specs += [(resource, EXCLUSIVE) for resource in writes]
+        specs.sort()
+        return specs
+
+    def _expand_view_reads(self, names: set[str]) -> None:
+        """Add the underlying tables of every view in *names* (a view
+        read locks its base tables; the view name itself stays in the
+        set so DDL on the view serializes against readers)."""
+        frontier = list(names)
+        while frontier:
+            view = self.catalog.views.get(frontier.pop())
+            if view is None:
+                continue
+            inner: set[str] = set()
+            _collect_table_refs(view.query, inner)
+            for key in inner:
+                if key not in names:
+                    names.add(key)
+                    frontier.append(key)
 
     def _parse_cached(self, sql: str) -> ast.Statement:
         """Parse *sql*, reusing the LRU statement cache.
@@ -211,136 +374,93 @@ class Database:
         AST nodes are frozen dataclasses, so a cached statement is
         safe to re-execute; the "parse" fault site keeps firing on
         every execution (the caller hits it before looking here).
+        Runs before the engine latch, so the cache has its own lock —
+        parsing itself happens outside both.
         """
-        cached = self._statement_cache.get(sql)
-        if cached is not None:
-            self.stats["stmt_cache_hits"] += 1
+        with self._stmt_cache_lock:
+            cached = self._statement_cache.get(sql)
+            if cached is not None:
+                self.stats["stmt_cache_hits"] += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter("db.stmt_cache.hits",
+                                             unit="hits").inc()
+                # refresh recency: dicts preserve insertion order
+                self._statement_cache.pop(sql)
+                self._statement_cache[sql] = cached
+                return cached
+            self.stats["stmt_cache_misses"] += 1
             if self.obs.enabled:
-                self.obs.metrics.counter("db.stmt_cache.hits",
-                                         unit="hits").inc()
-            # refresh recency: dicts preserve insertion order
-            self._statement_cache.pop(sql)
-            self._statement_cache[sql] = cached
-            return cached
-        self.stats["stmt_cache_misses"] += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("db.stmt_cache.misses",
-                                     unit="misses").inc()
+                self.obs.metrics.counter("db.stmt_cache.misses",
+                                         unit="misses").inc()
         parsed = parse_statement(sql)
-        if len(self._statement_cache) >= self.STATEMENT_CACHE_SIZE:
-            self._statement_cache.pop(
-                next(iter(self._statement_cache)))
-        self._statement_cache[sql] = parsed
+        with self._stmt_cache_lock:
+            if sql not in self._statement_cache:
+                if (len(self._statement_cache)
+                        >= self.STATEMENT_CACHE_SIZE):
+                    self._statement_cache.pop(
+                        next(iter(self._statement_cache)))
+                self._statement_cache[sql] = parsed
         return parsed
 
     def _handle_transaction_control(
-            self, statement: ast.Statement) -> Result | None:
+            self, statement: ast.Statement,
+            session: Session) -> Result | None:
         """Run BEGIN/COMMIT/ROLLBACK/SAVEPOINT; None for anything else.
 
         These are dispatched before fault injection on purpose:
         recovery must stay possible while faults are armed.
         """
         if isinstance(statement, ast.BeginTransaction):
-            self.begin()
+            session.begin()
             return Result(message="Transaction started.")
         if isinstance(statement, ast.CommitStmt):
-            self.commit()
+            session.commit()
             return Result(message="Commit complete.")
         if isinstance(statement, ast.RollbackStmt):
-            self.rollback(to=statement.savepoint)
+            session.rollback(to=statement.savepoint)
             return Result(message="Rollback complete.")
         if isinstance(statement, ast.SavepointStmt):
-            self.savepoint(statement.name)
+            session.savepoint(statement.name)
             return Result(
                 message=f"Savepoint {statement.name} established.")
         return None
 
     # -- transactions -----------------------------------------------------------------
+    # The database-level API drives the implicit default session, so
+    # single-threaded code (and SQL scripts) keeps working unchanged.
 
     @property
     def in_transaction(self) -> bool:
-        return self._txn is not None
+        return self._default_session.in_transaction
 
     def begin(self) -> None:
         """Open an explicit transaction (autocommit until then)."""
-        if self._txn is not None:
-            raise TransactionError(
-                "a transaction is already active;"
-                " COMMIT or ROLLBACK first")
-        self._txn = Transaction()
+        self._default_session.begin()
 
     def commit(self) -> None:
         """Make the open transaction's work permanent (no-op when
         none is open, like Oracle's COMMIT)."""
-        if self.obs.enabled and self._txn is not None:
-            self.obs.metrics.counter("txn.commits", unit="transactions").inc()
-        self._txn = None
+        self._default_session.commit()
 
     def rollback(self, to: str | None = None) -> None:
         """Undo the open transaction, or just back to savepoint *to*."""
-        if self.obs.enabled and self._txn is not None:
-            self.obs.metrics.counter(
-                "txn.rollbacks_to_savepoint" if to is not None
-                else "txn.rollbacks",
-                unit="rollbacks" if to is not None
-                else "transactions").inc()
-        if self._txn is None:
-            if to is not None:
-                raise NoSuchSavepoint(
-                    f"savepoint '{to}' never established"
-                    f" (no transaction is active)")
-            return
-        if to is None:
-            self._txn.rollback()
-            self._txn = None
-        else:
-            self._txn.rollback_to(to)
-        self._data_version += 1
+        self._default_session.rollback(to)
 
     def savepoint(self, name: str) -> None:
         """Establish a named savepoint (implicitly opening a
         transaction when none is active, as DML does in Oracle)."""
-        if self._txn is None:
-            self._txn = Transaction()
-        self._txn.savepoint(name)
+        self._default_session.savepoint(name)
 
-    @contextlib.contextmanager
     def transaction(self):
         """``with db.transaction():`` — commit on success, roll back
         on any exception."""
-        self.begin()
-        try:
-            yield self
-        except BaseException:
-            self.rollback()
-            raise
-        self.commit()
+        return self._default_session.transaction()
 
-    @contextlib.contextmanager
     def atomic(self):
         """An all-or-nothing scope that nests: a full transaction at
         the outermost level, a uniquely-named savepoint inside an
         already-open transaction."""
-        if self._txn is None:
-            with self.transaction():
-                yield self
-            return
-        self._atomic_seq += 1
-        name = f"ATOMIC${self._atomic_seq}"
-        txn = self._txn
-        txn.savepoint(name)
-        try:
-            yield self
-        except BaseException:
-            # the transaction object may have been swapped by an inner
-            # rollback-everything; only unwind if ours is still open
-            if self._txn is txn:
-                txn.rollback_to(name)
-                txn.release(name)
-                self._data_version += 1
-            raise
-        if self._txn is txn:
-            txn.release(name)
+        return self._default_session.atomic()
 
     def _record(self, undo) -> None:
         """Log an inverse operation into the running statement."""
@@ -362,7 +482,8 @@ class Database:
         """
         if isinstance(statement, str):
             statement = parse_statement(statement)
-        return PlanBuilder(self).build(statement)
+        with self._latch:  # plans read the catalog
+            return PlanBuilder(self).build(statement)
 
     def _explain_statement(self, statement: ast.ExplainStmt) -> Result:
         plan = self.explain(statement.statement)
@@ -942,7 +1063,6 @@ class Database:
             pushed = per_level[index]
             for binding in self._bindings_for(item, partial,
                                               probes[index]):
-                self.stats["rows_scanned"] += 1
                 frames.append(binding)
                 env = Env(frames, outer_env) if pushed else None
                 passed = all(
@@ -1031,6 +1151,15 @@ class Database:
 
     def _bindings_for(self, item: ast.FromItem, env: Env,
                       probe: ProbeSpec | None = None):
+        """Bindings for one FROM item.
+
+        ``rows_scanned``/``full_scans`` are counted here and only for
+        *physical* row visits (table rows — scanned or probed — and
+        TABLE() collection elements).  Bindings materialized from a
+        view or subquery result are not re-counted: the inner SELECT
+        already accounted for the physical work it did, and a view
+        answered from the result cache did none at all.
+        """
         if isinstance(item, ast.TableRef):
             key = identifiers.normalize(item.name)
             if key in self.catalog.views:
@@ -1040,11 +1169,15 @@ class Database:
             table = self.catalog.table(item.name)
             alias_key = identifiers.normalize(item.alias or item.name)
             rows = table.data.rows
+            candidates = None
             if probe is not None and rows:
                 candidates = self._probe_rows(probe, env)
-                if candidates is not None:
-                    rows = candidates
+            if candidates is not None:
+                rows = candidates
+            else:
+                self.stats["full_scans"] += 1
             for row in rows:
+                self.stats["rows_scanned"] += 1
                 yield Binding(alias_key, row.values, table, row.oid)
             return
         if isinstance(item, ast.SubqueryRef):
@@ -1064,6 +1197,7 @@ class Database:
             raise TypeMismatch("TABLE() requires a collection value")
         element_type = self._collection_element_type(value)
         for element in value.items:
+            self.stats["rows_scanned"] += 1
             if isinstance(element_type, ObjectType):
                 columns = {
                     attribute.key: (element.get(attribute.key)
@@ -1323,6 +1457,27 @@ Database._HANDLERS = {
 
 
 # -- module helpers --------------------------------------------------------------------
+
+
+def _collect_table_refs(node: object, names: set[str]) -> None:
+    """Collect every normalized ``TableRef`` name reachable from
+    *node* — FROM items, subqueries (IN/EXISTS/scalar), CAST MULTISET
+    and INSERT...SELECT sources alike.  The walk is generic over the
+    frozen-dataclass AST so new node kinds are covered by default."""
+    if isinstance(node, ast.TableRef):
+        names.add(identifiers.normalize(node.name))
+        return
+    if isinstance(node, (tuple, list)):
+        for item in node:
+            _collect_table_refs(item, names)
+        return
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            if value is None or isinstance(value,
+                                           (str, int, float, bool)):
+                continue
+            _collect_table_refs(value, names)
 
 
 def _split_conjuncts(expression: ast.Expr) -> list[ast.Expr]:

@@ -179,6 +179,32 @@ class NoSuchSavepoint(OrdbError):
     code = "ORA-01086"
 
 
+class LockTimeout(OrdbError):
+    """A lock request waited longer than the session's wait timeout.
+
+    ORA-30006 is Oracle's "resource busy; acquire with WAIT timeout
+    expired".  Transient by definition: the holder will eventually
+    commit or roll back, so retrying the statement is the right move.
+    """
+
+    code = "ORA-30006"
+    transient = True
+
+
+class DeadlockDetected(OrdbError):
+    """The wait-for graph closed a cycle; the requester is the victim.
+
+    ORA-00060 ("deadlock detected while waiting for resource").  Like
+    Oracle, the engine kills the *statement* that completed the cycle,
+    not the transaction — the victim's session keeps its locks and may
+    retry or roll back.  Classified transient so the ingest retry
+    policy re-drives the document.
+    """
+
+    code = "ORA-00060"
+    transient = True
+
+
 class TransientEngineFault(OrdbError):
     """A failure that models a recoverable environmental condition —
     the kind the fault-injection harness raises by default.  ORA-03113
@@ -198,6 +224,7 @@ TRANSIENT_CODES = frozenset({
     "ORA-01555",  # snapshot too old
     "ORA-08177",  # can't serialize access for this transaction
     "ORA-30006",  # resource busy; acquire with WAIT timeout expired
+    "ORA-00060",  # deadlock detected while waiting for resource
 })
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import datetime
 import re
+import threading
 from decimal import Decimal
 
 from . import identifiers
@@ -638,10 +639,15 @@ def _ordering(left: object, right: object) -> int | None:
 
 #: Compiled LIKE patterns, keyed by (pattern, escape char).  LIKE is
 #: evaluated once per candidate row, so recompiling the regex every
-#: time turned a predicate into a per-row re.compile; the cache is
-#: cleared wholesale when it fills (workloads use few patterns).
+#: time turned a predicate into a per-row re.compile.  The dict is
+#: kept in LRU order (hits reinsert their key) and evicts the single
+#: oldest entry when full — a wholesale clear would throw away every
+#: hot pattern just because a 513th distinct one showed up.  The lock
+#: makes lookup/eviction safe for concurrent sessions; compilation
+#: itself happens outside it.
 _LIKE_CACHE: dict[tuple[str, str | None], re.Pattern[str]] = {}
 _LIKE_CACHE_LIMIT = 512
+_LIKE_CACHE_LOCK = threading.Lock()
 
 
 def _like_to_regex(pattern: str,
@@ -658,9 +664,11 @@ def _like_to_regex(pattern: str,
                 "ORA-01425: escape character must be a character"
                 " string of length 1")
     cache_key = (pattern, escape)
-    cached = _LIKE_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
+    with _LIKE_CACHE_LOCK:
+        cached = _LIKE_CACHE.pop(cache_key, None)
+        if cached is not None:
+            _LIKE_CACHE[cache_key] = cached  # refresh recency
+            return cached
     out: list[str] = []
     characters = iter(pattern)
     for ch in characters:
@@ -678,7 +686,9 @@ def _like_to_regex(pattern: str,
         else:
             out.append(re.escape(ch))
     compiled = re.compile("".join(out), re.DOTALL)
-    if len(_LIKE_CACHE) >= _LIKE_CACHE_LIMIT:
-        _LIKE_CACHE.clear()
-    _LIKE_CACHE[cache_key] = compiled
+    with _LIKE_CACHE_LOCK:
+        if cache_key not in _LIKE_CACHE:
+            while len(_LIKE_CACHE) >= _LIKE_CACHE_LIMIT:
+                _LIKE_CACHE.pop(next(iter(_LIKE_CACHE)))
+            _LIKE_CACHE[cache_key] = compiled
     return compiled

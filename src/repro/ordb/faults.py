@@ -6,6 +6,9 @@ failure-prone boundaries:
 
 * ``parse``     — before a SQL string is parsed;
 * ``statement`` — before a parsed statement executes;
+* ``lock``      — before each table-lock acquisition (one hit per
+  resource the statement locks), modelling contention faults such as
+  lock-wait timeouts on a busy server;
 * ``storage``   — before each physical row mutation (insert, per-row
   update, per-row delete).
 
@@ -38,13 +41,14 @@ exempt from injection: recovery must always be possible.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
 from .errors import OrdbError, TransientEngineFault
 
 #: The boundaries the engine guards.
-SITES = ("parse", "statement", "storage")
+SITES = ("parse", "statement", "lock", "storage")
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,10 @@ class FaultInjector:
         #: called with the event just before a fired fault raises
         #: (the engine hangs its metrics hook here)
         self.on_fire: Callable[[FaultEvent], None] | None = None
+        # concurrent sessions hit boundaries from many threads; the
+        # counters and per-fault trigger state must update atomically
+        # (reentrant: a predicate may consult the injector)
+        self._lock = threading.RLock()
 
     # -- arming ------------------------------------------------------------------
 
@@ -154,16 +162,18 @@ class FaultInjector:
 
     def hit(self, site: str, **context) -> None:
         """Record one boundary visit; raise if an armed fault fires."""
-        site_count = self.events.get(site, 0) + 1
-        self.events[site] = site_count
-        self.total_events += 1
-        if not self._faults:
-            return
-        event = FaultEvent(site, self.total_events, site_count, context)
-        for fault in self._faults:
-            if fault.should_fire(event):
-                fault.fired += 1
-                self.fired.append(event)
-                if self.on_fire is not None:
-                    self.on_fire(event)
-                raise fault.make_error(event)
+        with self._lock:
+            site_count = self.events.get(site, 0) + 1
+            self.events[site] = site_count
+            self.total_events += 1
+            if not self._faults:
+                return
+            event = FaultEvent(site, self.total_events, site_count,
+                               context)
+            for fault in self._faults:
+                if fault.should_fire(event):
+                    fault.fired += 1
+                    self.fired.append(event)
+                    if self.on_fire is not None:
+                        self.on_fire(event)
+                    raise fault.make_error(event)

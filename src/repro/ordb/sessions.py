@@ -1,0 +1,193 @@
+"""Sessions: per-connection transaction state over one shared engine.
+
+A :class:`Session` is the unit of concurrency — the stand-in for one
+Oracle connection of the paper's client-server setup.  Each session
+owns its transaction state (undo journal, savepoints, the ``ATOMIC$n``
+nesting counter) while the :class:`~repro.ordb.engine.Database` owns
+the shared structures: catalog, rows, indexes, caches and the
+:class:`~repro.ordb.locks.LockManager` that isolates sessions from
+each other.
+
+Sessions follow strict two-phase locking: statements acquire
+table-level S/X locks before touching data, and an explicit
+transaction keeps them until COMMIT or ROLLBACK (autocommit
+statements release at statement end).  One session must only ever be
+driven by one thread at a time — threads wanting concurrency each
+open their own via :meth:`Database.session`.
+
+>>> from repro.ordb import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE T(a NUMBER)")
+>>> with db.session() as s1:
+...     s1.begin()
+...     _ = s1.execute("INSERT INTO T VALUES(1)")
+...     s1.rollback()
+...     s1.execute("SELECT COUNT(*) FROM T").scalar()
+0
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import TYPE_CHECKING
+
+from .errors import NoSuchSavepoint, TransactionError
+from .results import Result
+from .sql import ast
+from .transactions import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Database
+
+
+class Session:
+    """One logical connection: private transaction, shared database."""
+
+    def __init__(self, db: "Database", sid: int, name: str = ""):
+        self.db = db
+        #: integer id used by the lock manager and wait-for graph
+        self.sid = sid
+        self.name = name or f"session-{sid}"
+        self.txn: Transaction | None = None
+        self.closed = False
+        self._atomic_seq = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else (
+            "in transaction" if self.txn is not None else "idle")
+        return f"<Session {self.name} ({state})>"
+
+    # -- statement execution -----------------------------------------------------
+
+    def execute(self, statement: str | ast.Statement) -> Result:
+        """Execute one statement under this session's locks."""
+        return self.db.execute(statement, session=self)
+
+    def executescript(self, script: str) -> list[Result]:
+        from .sql.lexer import split_statements
+
+        return [self.execute(text) for text in split_statements(script)]
+
+    # -- transaction control -----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction (autocommit until then)."""
+        if self.txn is not None:
+            raise TransactionError(
+                "a transaction is already active;"
+                " COMMIT or ROLLBACK first")
+        self.txn = Transaction()
+
+    def commit(self) -> None:
+        """Make the open transaction's work permanent and release its
+        locks (no-op when none is open, like Oracle's COMMIT)."""
+        db = self.db
+        committed = self.txn is not None
+        if db.obs.enabled and committed:
+            db.obs.metrics.counter("txn.commits",
+                                   unit="transactions").inc()
+        self.txn = None
+        db.locks.release_all(self.sid)
+        if committed and db.commit_latency > 0.0:
+            # the commit-acknowledgement round trip of the paper's
+            # client-server setup, paid *after* locks are released so
+            # concurrent sessions overlap their waits
+            time.sleep(db.commit_latency)
+
+    def rollback(self, to: str | None = None) -> None:
+        """Undo the open transaction, or just back to savepoint *to*
+        (which keeps the transaction — and its locks — alive)."""
+        db = self.db
+        if db.obs.enabled and self.txn is not None:
+            db.obs.metrics.counter(
+                "txn.rollbacks_to_savepoint" if to is not None
+                else "txn.rollbacks",
+                unit="rollbacks" if to is not None
+                else "transactions").inc()
+        if self.txn is None:
+            if to is not None:
+                raise NoSuchSavepoint(
+                    f"savepoint '{to}' never established"
+                    f" (no transaction is active)")
+            db.locks.release_all(self.sid)
+            return
+        # journal replay mutates shared rows/indexes/catalog: it must
+        # run under the engine latch like any statement body
+        with db._latch:
+            if to is None:
+                self.txn.rollback()
+                self.txn = None
+            else:
+                self.txn.rollback_to(to)
+            db._data_version += 1
+        if self.txn is None:
+            db.locks.release_all(self.sid)
+
+    def savepoint(self, name: str) -> None:
+        """Establish a named savepoint (implicitly opening a
+        transaction when none is active, as DML does in Oracle)."""
+        if self.txn is None:
+            self.txn = Transaction()
+        self.txn.savepoint(name)
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """``with session.transaction():`` — commit on success, roll
+        back on any exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    @contextlib.contextmanager
+    def atomic(self):
+        """An all-or-nothing scope that nests: a full transaction at
+        the outermost level, a uniquely-named savepoint inside an
+        already-open transaction."""
+        if self.txn is None:
+            with self.transaction():
+                yield self
+            return
+        self._atomic_seq += 1
+        name = f"ATOMIC${self._atomic_seq}"
+        txn = self.txn
+        txn.savepoint(name)
+        try:
+            yield self
+        except BaseException:
+            # the transaction object may have been swapped by an inner
+            # rollback-everything; only unwind if ours is still open
+            if self.txn is txn:
+                with self.db._latch:
+                    txn.rollback_to(name)
+                    txn.release(name)
+                    self.db._data_version += 1
+            raise
+        if self.txn is txn:
+            txn.release(name)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Roll back any open work, drop all locks, retire the id."""
+        if self.closed:
+            return
+        if self.txn is not None:
+            self.rollback()
+        self.db.locks.release_all(self.sid)
+        self.closed = True
+        self.db._session_closed(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -174,7 +174,12 @@ class TestOracle8Loading:
             mode=CompatibilityMode.ORACLE8)
         assert result.insert_count > 1
         report = compare(document, rebuilt)
-        assert report.score == 1.0
+        # every fact survives, but the reference-based Oracle 8
+        # mapping regroups siblings (Section 7 drawback), which the
+        # combined score now penalizes
+        assert report.fact_score == 1.0
+        assert not report.order_preserved
+        assert report.score < 1.0
 
     def test_insert_count_grows_with_documents(self):
         db, plan = setup_schema(university_dtd(),

@@ -121,8 +121,10 @@ class TestFidelityMetric:
         original = parse("<a><b/><c/></a>")
         swapped = parse("<a><c/><b/></a>")
         report = compare(original, swapped)
-        assert report.score == 1.0  # same facts
+        assert report.fact_score == 1.0   # same facts...
+        assert report.score < 1.0         # ...but order costs score
         assert not report.order_preserved
+        assert report.order_matched < report.order_total
         assert not identical(original, swapped)
 
     def test_whitespace_normalization(self):

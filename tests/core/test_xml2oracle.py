@@ -171,7 +171,10 @@ class TestOracle8EndToEnd:
         assert stored.load_result.insert_count > 1
         rebuilt = tool.fetch(stored.doc_id)
         report = compare(parse(SAMPLE_DOCUMENT), rebuilt)
-        assert report.score == 1.0
+        # facts survive; sibling order does not (Oracle 8 regroups
+        # children by table), so the combined score dips below 1.0
+        assert report.fact_score == 1.0
+        assert report.score < 1.0
 
     def test_mode_property(self):
         tool = XML2Oracle(mode=CompatibilityMode.ORACLE8)

@@ -128,3 +128,62 @@ class TestBooleanAlgebra:
         rows = t.execute(
             "SELECT COUNT(*) FROM t WHERE 1 = 1 OR t.n > 99")
         assert rows.scalar() == 4
+
+
+class TestLikeCache:
+    """The compiled-pattern cache evicts LRU-style, never wholesale."""
+
+    def test_hot_pattern_survives_cache_pressure(self, t):
+        from repro.ordb import expressions
+
+        expressions._LIKE_CACHE.clear()
+        hot = expressions._like_to_regex("a%")
+        # flood with one-shot patterns well past the limit
+        for n in range(expressions._LIKE_CACHE_LIMIT + 50):
+            expressions._like_to_regex(f"cold-{n}%")
+            expressions._like_to_regex("a%")  # keep the hot one warm
+        assert len(expressions._LIKE_CACHE) <= \
+            expressions._LIKE_CACHE_LIMIT
+        assert expressions._like_to_regex("a%") is hot
+
+    def test_eviction_drops_oldest_not_everything(self):
+        from repro.ordb import expressions
+
+        expressions._LIKE_CACHE.clear()
+        for n in range(expressions._LIKE_CACHE_LIMIT):
+            expressions._like_to_regex(f"p{n}%")
+        survivor = expressions._like_to_regex(
+            f"p{expressions._LIKE_CACHE_LIMIT - 1}%")
+        expressions._like_to_regex("straw%")  # one over the limit
+        cache = expressions._LIKE_CACHE
+        assert len(cache) == expressions._LIKE_CACHE_LIMIT
+        assert ("p0%", None) not in cache          # oldest went
+        assert cache[(f"p{expressions._LIKE_CACHE_LIMIT - 1}%",
+                      None)] is survivor           # the rest stayed
+
+    def test_concurrent_compilation_is_safe(self, t):
+        import threading
+
+        from repro.ordb import expressions
+
+        expressions._LIKE_CACHE.clear()
+        errors = []
+
+        def hammer(offset):
+            try:
+                for n in range(400):
+                    pattern = f"x{(offset + n) % 600}%"
+                    regex = expressions._like_to_regex(pattern)
+                    assert regex.fullmatch(f"x{(offset + n) % 600}y")
+            except BaseException as error:  # noqa: BLE001 - reported
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(k * 37,))
+                   for k in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert len(expressions._LIKE_CACHE) <= \
+            expressions._LIKE_CACHE_LIMIT

@@ -23,8 +23,9 @@ class TestCounters:
         table.execute("INSERT INTO T VALUES(1)")
         assert table.faults.events["parse"] == 1
         assert table.faults.events["statement"] == 1
+        assert table.faults.events["lock"] == 1    # X lock on T
         assert table.faults.events["storage"] == 1
-        assert table.faults.total_events == 3
+        assert table.faults.total_events == 4
 
     def test_dry_run_reveals_sweep_space(self, table):
         """A clean run's counters are the exhaustive-sweep domain."""

@@ -11,9 +11,12 @@ import repro.obs.metrics
 import repro.obs.tracing
 import repro.ordb
 import repro.ordb.faults
+import repro.ordb.locks
+import repro.ordb.sessions
 import repro.xmlkit
 
 _MODULES = [repro, repro.xmlkit, repro.ordb, repro.ordb.faults,
+            repro.ordb.locks, repro.ordb.sessions,
             repro.core.xml2oracle, repro.obs, repro.obs.metrics,
             repro.obs.tracing]
 
