@@ -1,0 +1,153 @@
+"""DUR — the price of durability and the cost of coming back.
+
+Two questions the WAL design answers quantitatively:
+
+* what does each fsync policy cost at commit time?  ``always`` pays
+  a disk flush per transaction, ``commit`` only a library flush,
+  ``off`` nothing — the commit-throughput sweep measures the spread;
+* how long does recovery take?  Replay re-executes every logged
+  statement, so recovery time must grow roughly linearly with the
+  length of the log — the sweep ingests growing corpora, kills the
+  engine, and times the reopen.
+
+Exports ``BENCH_durability.json`` with both sweeps plus the
+checkpoint effect (recovery from snapshot vs from a full log).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import write_bench_json
+from repro.core import XML2Oracle
+from repro.ordb import FSYNC_POLICIES, Database, verify_integrity
+from repro.workloads import make_university, university_dtd
+
+COMMIT_DOCUMENTS = 12
+RECOVERY_SIZES = (8, 16, 32)
+STUDENTS = 3
+
+
+def build_tool(path, fsync: str) -> XML2Oracle:
+    tool = XML2Oracle(db=Database(path=path, fsync=fsync),
+                      metadata=False, validate_documents=False)
+    tool.register_schema(university_dtd())
+    return tool
+
+
+def commit_throughput(fsync: str) -> dict:
+    """Docs/s for per-document transactions under one fsync policy."""
+    documents = [make_university(students=STUDENTS)
+                 for _ in range(COMMIT_DOCUMENTS)]
+    with tempfile.TemporaryDirectory() as where:
+        tool = build_tool(Path(where) / "db", fsync)
+        start = time.perf_counter()
+        for document in documents:
+            tool.store(document)
+        elapsed = time.perf_counter() - start
+        stats = tool.db.stats
+        appends, wal_bytes = stats["wal_appends"], stats["wal_bytes"]
+        tool.db.close()
+    return {
+        "fsync": fsync,
+        "documents": COMMIT_DOCUMENTS,
+        "seconds": round(elapsed, 4),
+        "docs_per_second": round(COMMIT_DOCUMENTS / elapsed, 2),
+        "wal_appends": appends,
+        "wal_bytes": wal_bytes,
+    }
+
+
+def ingest_corpus(where, count: int) -> None:
+    tool = build_tool(where, "off")
+    for _ in range(count):
+        tool.store(make_university(students=STUDENTS))
+    tool.db.close()  # close syncs: the log is complete on disk
+
+
+def recovery_time(where) -> tuple[float, dict]:
+    start = time.perf_counter()
+    db = Database(path=where)
+    elapsed = time.perf_counter() - start
+    info = dict(db.recovery_info)
+    assert verify_integrity(db) == []
+    db.close()
+    return elapsed, info
+
+
+def recovery_sweep() -> list[dict]:
+    """Reopen time against WAL length; bench corpus must recover."""
+    points = []
+    with tempfile.TemporaryDirectory() as scratch:
+        for count in RECOVERY_SIZES:
+            where = Path(scratch) / f"db-{count}"
+            ingest_corpus(where, count)
+            elapsed, info = recovery_time(where)
+            assert info["transactions_replayed"] >= count
+            points.append({
+                "documents": count,
+                "transactions_replayed":
+                    info["transactions_replayed"],
+                "statements_replayed": info["statements_replayed"],
+                "recovery_seconds": round(elapsed, 4),
+                "seconds_per_transaction": round(
+                    elapsed / info["transactions_replayed"], 6),
+            })
+    return points
+
+
+def checkpoint_effect() -> dict:
+    """Recovery from a snapshot vs replaying the whole log."""
+    count = RECOVERY_SIZES[-1]
+    with tempfile.TemporaryDirectory() as scratch:
+        full = Path(scratch) / "full"
+        ingest_corpus(full, count)
+        snapshotted = Path(scratch) / "snapshotted"
+        shutil.copytree(full, snapshotted)
+        db = Database(path=snapshotted)
+        db.checkpoint()
+        db.close()
+        from_log, log_info = recovery_time(full)
+        from_snapshot, snap_info = recovery_time(snapshotted)
+    return {
+        "documents": count,
+        "from_log_seconds": round(from_log, 4),
+        "from_log_replayed": log_info["transactions_replayed"],
+        "from_checkpoint_seconds": round(from_snapshot, 4),
+        "from_checkpoint_replayed":
+            snap_info["transactions_replayed"],
+    }
+
+
+def test_commit_throughput_by_fsync_policy(benchmark):
+    """All three policies measured; ``off`` must not lose to
+    ``always`` — the gate is direction, not absolute numbers."""
+    results = {policy: commit_throughput(policy)
+               for policy in FSYNC_POLICIES}
+    benchmark(lambda: commit_throughput("commit"))
+    for policy in FSYNC_POLICIES:
+        benchmark.extra_info[f"docs_per_second_{policy}"] = \
+            results[policy]["docs_per_second"]
+
+    recovery = recovery_sweep()
+    checkpoint = checkpoint_effect()
+    write_bench_json("durability", {
+        "commit_throughput": [results[p] for p in FSYNC_POLICIES],
+        "recovery": recovery,
+        "checkpoint_effect": checkpoint,
+    })
+    assert (results["off"]["docs_per_second"]
+            >= results["always"]["docs_per_second"] * 0.5), (
+        "buffered commits should not trail fsync-per-commit badly:"
+        f" {results}")
+    # recovery scales roughly linearly: per-transaction replay cost
+    # must not blow up as the log grows
+    per_txn = [point["seconds_per_transaction"]
+               for point in recovery]
+    assert max(per_txn) <= min(per_txn) * 5 + 1e-3, (
+        f"recovery cost per transaction not roughly flat: {recovery}")
+    assert (checkpoint["from_checkpoint_replayed"]
+            < checkpoint["from_log_replayed"])

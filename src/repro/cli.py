@@ -13,6 +13,13 @@ this CLI exposes the same pipeline as one-shot commands:
    python -m repro stats   a.xml b.xml        # ingest + metrics JSON
    python -m repro trace   doc.xml            # ingest + span tree
    python -m repro demo                       # Appendix A walkthrough
+   python -m repro db checkpoint --db-path D  # snapshot + truncate WAL
+   python -m repro db recover --db-path D     # replay, report, verify
+
+The ingest family accepts ``--db-path DIR`` to load into a durable
+database (write-ahead logged; ``--fsync`` picks the policy); the
+``db`` group manages such a directory afterwards.  See
+``docs/robustness.md`` for the durability guarantees.
 
 Every pipeline command accepts ``--trace`` (print the span tree to
 stderr) and ``--slow-ms N`` (log statements slower than N ms);
@@ -34,7 +41,13 @@ from repro.core import RetryPolicy, XML2Oracle, compare
 from repro.core.plan import MappingConfig
 from repro.dtd import parse_dtd
 from repro.obs import Observability
-from repro.ordb import CompatibilityMode
+from repro.ordb import (
+    CompatibilityMode,
+    Database,
+    FSYNC_POLICIES,
+    verify_integrity,
+)
+from repro.ordb.errors import OrdbError
 from repro.xmlkit import parse as parse_xml
 
 
@@ -95,7 +108,12 @@ def _make_tool(args, obs: Observability | None = None) -> XML2Oracle:
         config.type_hints[name] = sql_type
     if obs is None:
         obs = _observability(args)
-    tool = XML2Oracle(mode=_mode(args.mode), config=config, obs=obs)
+    db = None
+    if getattr(args, "db_path", None):
+        db = Database(_mode(args.mode), path=args.db_path,
+                      fsync=getattr(args, "fsync", None) or "commit")
+    tool = XML2Oracle(db=db, mode=_mode(args.mode), config=config,
+                      obs=obs)
     return tool
 
 
@@ -193,7 +211,17 @@ def _ingest_into(tool: XML2Oracle, args):
         raise SystemExit(
             "error: no readable document carries an internal DTD"
             " subset; pass --dtd FILE")
-    tool.register_schema(dtd, root=args.root, sample_document=sample)
+    try:
+        tool.register_schema(dtd, root=args.root,
+                             sample_document=sample)
+    except OrdbError as error:
+        print(f"error: cannot register schema: {error}",
+              file=sys.stderr)
+        if tool.db.wal is not None:
+            print("hint: the durable database already holds this"
+                  " schema; inspect it with 'repro db recover' or"
+                  " ingest into a fresh --db-path", file=sys.stderr)
+        return None
     if args.fault:
         site, _, position = args.fault.partition(":")
         if not position.isdigit():
@@ -229,9 +257,13 @@ def cmd_ingest(args) -> int:
     tool = _make_tool(args)
     report = _ingest_into(tool, args)
     _report_observability(tool, args)
+    tool.db.close()  # durable mode: sync the WAL before exiting
     if report is None:
         return 1
     print(report.describe())
+    if tool.db.wal is not None:
+        print(f"-- durable: {tool.db.stats['wal_appends']} WAL"
+              f" record(s) at {args.db_path}")
     return 0 if report.ok else 1
 
 
@@ -258,6 +290,7 @@ def cmd_stats(args) -> int:
         else:
             print(text)
     _report_observability(tool, args)
+    tool.db.close()
     return 0
 
 
@@ -273,7 +306,71 @@ def cmd_trace(args) -> int:
     print(obs.tracer.render())
     if obs.slow_log.enabled:
         print(obs.slow_log.render_text(), file=sys.stderr)
+    tool.db.close()
     return 0 if report.ok else 1
+
+
+def _open_durable(args) -> Database | None:
+    """Open ``args.db_path`` durably; prints the error on failure."""
+    where = Path(args.db_path)
+    if not ((where / "wal.log").exists()
+            or (where / "checkpoint.bin").exists()):
+        print(f"error: {args.db_path} holds no durable database"
+              " (no wal.log or checkpoint.bin)", file=sys.stderr)
+        return None
+    try:
+        return Database(_mode(args.mode), path=args.db_path)
+    except OrdbError as error:
+        print(f"error: cannot open {args.db_path}: {error}",
+              file=sys.stderr)
+        return None
+
+
+def _describe_recovery(db: Database) -> None:
+    info = db.recovery_info
+    source = ("checkpoint + log" if info["checkpoint_loaded"]
+              else "log only")
+    print(f"-- recovered from {source}:"
+          f" {info['transactions_replayed']} transaction(s),"
+          f" {info['statements_replayed']} statement(s) replayed,"
+          f" {info['records_skipped']} stale record(s) skipped,"
+          f" {info['torn_bytes_discarded']} torn byte(s) discarded"
+          f" in {info['seconds'] * 1000.0:.1f} ms")
+
+
+def cmd_db_checkpoint(args) -> int:
+    db = _open_durable(args)
+    if db is None:
+        return 1
+    _describe_recovery(db)
+    info = db.checkpoint()
+    print(f"-- checkpoint written to {info['path']}:"
+          f" {info['bytes']} byte(s), {info['tables']} table(s),"
+          f" commit sequence {info['commit_seq']}; WAL truncated")
+    db.close()
+    return 0
+
+
+def cmd_db_recover(args) -> int:
+    db = _open_durable(args)
+    if db is None:
+        return 1
+    _describe_recovery(db)
+    print(f"-- {len(db.catalog.tables)} table(s),"
+          f" {len(db.catalog.types)} type(s),"
+          f" {len(db.catalog.views)} view(s)")
+    status = 0
+    if args.verify:
+        problems = verify_integrity(db)
+        if problems:
+            for problem in problems:
+                print(f"integrity: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print("-- integrity verified: indexes consistent, all"
+                  " REFs resolve")
+    db.close()
+    return status
 
 
 def cmd_demo(args) -> int:
@@ -390,7 +487,16 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--fault", metavar="SITE:INDEX",
             help="inject a fault at the INDEX-th boundary of SITE"
-                 " (parse, statement, lock or storage; testing aid)")
+                 " (parse, statement, lock, storage, commit or wal;"
+                 " testing aid)")
+        subparser.add_argument(
+            "--db-path", metavar="DIR",
+            help="load into a durable database at DIR (write-ahead"
+                 " logged; recovers any existing state first)")
+        subparser.add_argument(
+            "--fsync", choices=list(FSYNC_POLICIES),
+            default="commit",
+            help="WAL fsync policy for --db-path (default: commit)")
 
     ingest_parser = subparsers.add_parser(
         "ingest",
@@ -419,6 +525,39 @@ def build_parser() -> argparse.ArgumentParser:
              " tree with per-phase latencies")
     ingest_common(trace_parser)
     trace_parser.set_defaults(handler=cmd_trace)
+
+    db_parser = subparsers.add_parser(
+        "db", help="manage a durable database directory")
+    db_subparsers = db_parser.add_subparsers(dest="db_command",
+                                             required=True)
+
+    def db_common(subparser) -> None:
+        subparser.add_argument(
+            "--db-path", metavar="DIR", required=True,
+            help="durable database directory (wal.log +"
+                 " checkpoint.bin)")
+        subparser.add_argument(
+            "--mode", choices=["oracle9", "oracle8"],
+            default="oracle9",
+            help="engine compatibility mode (Section 2.2)")
+
+    checkpoint_parser = db_subparsers.add_parser(
+        "checkpoint",
+        help="recover the database, snapshot it durably and truncate"
+             " the write-ahead log")
+    db_common(checkpoint_parser)
+    checkpoint_parser.set_defaults(handler=cmd_db_checkpoint)
+
+    recover_parser = db_subparsers.add_parser(
+        "recover",
+        help="recover the database from checkpoint + WAL and report"
+             " what was replayed")
+    db_common(recover_parser)
+    recover_parser.add_argument(
+        "--verify", action="store_true",
+        help="also check index consistency and REF integrity; exit 1"
+             " on any problem")
+    recover_parser.set_defaults(handler=cmd_db_recover)
 
     demo_parser = subparsers.add_parser(
         "demo", help="run the Appendix A walkthrough")

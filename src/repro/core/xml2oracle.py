@@ -509,23 +509,32 @@ class XML2Oracle:
         Returns the number of rows deleted.  REFs from other documents
         never point into a deleted document (ids are document-scoped),
         so no dangling references are introduced.
+
+        The deletes run in one atomic scope: a document disappears
+        all-or-nothing.  That matters beyond tidiness — batch-abort
+        compensation (``store_many`` without ``continue_on_error``)
+        deletes the committed part of an aborted batch, and on a
+        durable engine each transaction is one WAL record; per-table
+        autocommit deletes would let a crash mid-compensation leave a
+        half-deleted document in the replay path.
         """
         stored = self._stored(doc_id)
         plan = stored.schema.plan
         deleted = 0
-        for element in plan.table_stored_elements():
-            result = self.db.execute(
-                f"DELETE FROM {element.table} t"
-                f" WHERE t.{element.id_column} = 'D{doc_id}'"
-                f" OR t.{element.id_column} LIKE 'D{doc_id}.%'")
-            deleted += result.rowcount
-        if self.metadata is not None:
-            deleted += self.db.execute(
-                f"DELETE FROM TabMetadata WHERE DocID = {doc_id}"
-            ).rowcount
-            deleted += self.db.execute(
-                f"DELETE FROM TabMiscNode WHERE DocID = {doc_id}"
-            ).rowcount
+        with self._atomic():
+            for element in plan.table_stored_elements():
+                result = self.db.execute(
+                    f"DELETE FROM {element.table} t"
+                    f" WHERE t.{element.id_column} = 'D{doc_id}'"
+                    f" OR t.{element.id_column} LIKE 'D{doc_id}.%'")
+                deleted += result.rowcount
+            if self.metadata is not None:
+                deleted += self.db.execute(
+                    f"DELETE FROM TabMetadata WHERE DocID = {doc_id}"
+                ).rowcount
+                deleted += self.db.execute(
+                    f"DELETE FROM TabMiscNode WHERE DocID = {doc_id}"
+                ).rowcount
         del self.documents[doc_id]
         return deleted
 

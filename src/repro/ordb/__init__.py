@@ -42,14 +42,18 @@ from .datatypes import (
     contains_collection,
     is_collection,
 )
+from .checkpoint import load_latest, verify_integrity, write_checkpoint
 from .engine import Database
 from .explain import PlanBuilder, PlanStep, QueryPlan, render_expr
 from .errors import (
     TRANSIENT_CODES,
+    CheckpointCorrupt,
     CheckViolation,
+    ChecksumCorruption,
     DanglingReference,
     DeadlockDetected,
     DependentObjectsExist,
+    FsyncFailure,
     IdentifierTooLong,
     IncompleteType,
     InvalidDatatype,
@@ -67,11 +71,13 @@ from .errors import (
     OrdbError,
     ParseError,
     ReservedWord,
+    TornWrite,
     TransactionError,
     TransientEngineFault,
     TypeMismatch,
     UniqueViolation,
     ValueTooLarge,
+    WalFault,
     WrongArgumentCount,
     is_transient,
 )
@@ -87,6 +93,14 @@ from .indexes import (
     find_probe,
 )
 from .transactions import Transaction, UndoJournal
+from .wal import (
+    FSYNC_POLICIES,
+    WriteAheadLog,
+    decode_records,
+    decode_transaction,
+    encode_record,
+    encode_transaction,
+)
 from .identifiers import MAX_IDENTIFIER_LENGTH, RESERVED_WORDS, is_reserved
 from .results import Result
 from .schema import Catalog, Column, CompatibilityMode, Table, View
@@ -105,6 +119,8 @@ __all__ = [
     "CATALOG_RESOURCE",
     "CharType",
     "CheckConstraint",
+    "CheckpointCorrupt",
+    "ChecksumCorruption",
     "CheckViolation",
     "ClobType",
     "CollectionValue",
@@ -122,10 +138,16 @@ __all__ = [
     "build_auto_indexes",
     "canonical_key",
     "content_key",
+    "decode_records",
+    "decode_transaction",
+    "encode_record",
+    "encode_transaction",
     "Fault",
     "FaultEvent",
     "FaultInjector",
     "find_probe",
+    "FsyncFailure",
+    "FSYNC_POLICIES",
     "HashIndex",
     "IndexSet",
     "IdentifierTooLong",
@@ -137,6 +159,7 @@ __all__ = [
     "is_collection",
     "is_reserved",
     "is_transient",
+    "load_latest",
     "LockManager",
     "LockTimeout",
     "MAX_IDENTIFIER_LENGTH",
@@ -173,6 +196,7 @@ __all__ = [
     "SHARED",
     "split_statements",
     "Table",
+    "TornWrite",
     "Transaction",
     "TransactionError",
     "TRANSIENT_CODES",
@@ -185,6 +209,9 @@ __all__ = [
     "ValueTooLarge",
     "Varchar2",
     "VarrayType",
+    "verify_integrity",
     "View",
-    "WrongArgumentCount",
+    "WalFault",
+    "write_checkpoint",
+    "WriteAheadLog",
 ]

@@ -27,10 +27,14 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import itertools
+import os
 import threading
+import time
+from pathlib import Path
 
 from repro.obs import Observability
 
+from . import checkpoint as checkpoints
 from . import identifiers
 from .constraints import (
     CheckConstraint,
@@ -51,6 +55,7 @@ from .errors import (
     NotSupported,
     NullNotAllowed,
     OrdbError,
+    TransactionError,
     TypeMismatch,
     UniqueViolation,
     WrongArgumentCount,
@@ -75,6 +80,7 @@ from .sql.lexer import split_statements
 from .sql.parser import parse_statement
 from .storage import Row, next_oid
 from .transactions import UndoJournal
+from .wal import WriteAheadLog, decode_transaction, encode_transaction
 from .values import (
     CollectionValue,
     ObjectValue,
@@ -94,7 +100,10 @@ class Database:
                  obs: Observability | None = None,
                  enable_indexes: bool = True,
                  lock_timeout: float = 5.0,
-                 commit_latency: float = 0.0):
+                 commit_latency: float = 0.0,
+                 path: str | os.PathLike | None = None,
+                 fsync: str = "commit",
+                 checkpoint_every: int | None = None):
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
@@ -132,10 +141,31 @@ class Database:
         self._next_sid = itertools.count(1)
         #: sids handed out by :meth:`session` and not yet closed
         self._open_sessions: set[int] = set()
+        #: durable mode (``path`` given): write-ahead log + checkpoints;
+        #: None for the default in-memory engine
+        self.path = Path(path) if path is not None else None
+        self.fsync_policy = fsync
+        #: auto-checkpoint after this many WAL appends (None = manual)
+        self.checkpoint_every = checkpoint_every
+        self.wal: WriteAheadLog | None = None
+        #: summary of the last durable open (replayed counts, seconds)
+        self.recovery_info: dict | None = None
+        self._commit_seq = 0
+        self._commits_since_checkpoint = 0
+        #: True while recovery replays the WAL (suppresses re-logging)
+        self._wal_suppressed = False
+        #: sessions with an open transaction; checkpoints refuse to
+        #: snapshot while any of them has pending work
+        self._txn_sessions: set[Session] = set()
+        self._txn_lock = threading.Lock()
         #: the implicit connection legacy single-threaded callers use
         self._default_session = Session(self, next(self._next_sid),
                                         name="main")
         self.reset_stats()
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            self._recover()
+            self.reset_stats()
 
     def _fault_fired(self, event) -> None:
         if self.obs.enabled:
@@ -183,6 +213,9 @@ class Database:
             "lock_waits": 0,
             "lock_timeouts": 0,
             "deadlocks": 0,
+            "wal_appends": 0,
+            "wal_bytes": 0,
+            "checkpoints": 0,
         }
 
     # -- sessions ---------------------------------------------------------------------
@@ -208,6 +241,150 @@ class Database:
             if self.obs.enabled:
                 self.obs.metrics.gauge("db.active_sessions",
                                        unit="sessions").dec()
+
+    def _txn_started(self, session: Session) -> None:
+        with self._txn_lock:
+            self._txn_sessions.add(session)
+
+    def _txn_finished(self, session: Session) -> None:
+        with self._txn_lock:
+            self._txn_sessions.discard(session)
+
+    # -- durability -------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Durable open: newest valid checkpoint, then WAL replay.
+
+        Replayed statements re-execute through the normal statement
+        path (journaled, indexed, constraint-checked) with WAL
+        re-logging suppressed; a torn or corrupt log tail was already
+        truncated by :meth:`WriteAheadLog.open`, so every record seen
+        here is a fully-committed transaction.  Records at or below
+        the checkpoint's commit sequence are skipped — that makes a
+        crash between checkpoint and log truncation harmless.
+        """
+        started = time.perf_counter()
+        span_scope = (self.obs.tracer.span("recovery",
+                                           path=str(self.path))
+                      if self.obs.enabled else contextlib.nullcontext())
+        with span_scope as span:
+            state = checkpoints.load_latest(self.path)
+            if state is not None:
+                checkpoints.install_state(self, state)
+            wal = WriteAheadLog(self.path / "wal.log",
+                                policy=self.fsync_policy,
+                                faults=self.faults)
+            payloads = wal.open()
+            transactions = statements = skipped = 0
+            self._wal_suppressed = True
+            try:
+                for payload in payloads:
+                    seq, redo = decode_transaction(payload)
+                    if seq <= self._commit_seq:
+                        skipped += 1
+                        continue
+                    for statement in redo:
+                        self._execute(statement)
+                        statements += 1
+                    self._commit_seq = seq
+                    transactions += 1
+            finally:
+                self._wal_suppressed = False
+            self.wal = wal
+            elapsed = time.perf_counter() - started
+            self.recovery_info = {
+                "checkpoint_loaded": state is not None,
+                "transactions_replayed": transactions,
+                "statements_replayed": statements,
+                "records_skipped": skipped,
+                "torn_bytes_discarded": wal.truncated_bytes,
+                "seconds": elapsed,
+            }
+            if span is not None:
+                span.set(transactions=transactions,
+                         statements=statements)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.histogram("db.recovery_seconds",
+                              unit="s").observe(elapsed)
+            metrics.counter("db.recovered_transactions",
+                            unit="transactions").inc(transactions)
+
+    def _wal_commit(self, statements: list) -> None:
+        """Append one committed transaction's redo list to the WAL.
+
+        No-op for in-memory engines and during recovery replay.  The
+        sequence number only advances once the append succeeded, so a
+        failed (torn) append's sequence is reused by the next commit.
+        """
+        if (self.wal is None or self._wal_suppressed
+                or not statements):
+            return
+        with self.wal.lock:
+            seq = self._commit_seq + 1
+            written = self.wal.append(encode_transaction(seq,
+                                                         statements))
+            self._commit_seq = seq
+            self._commits_since_checkpoint += 1
+        self.stats["wal_appends"] += 1
+        self.stats["wal_bytes"] += written
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("db.wal_appends", unit="records").inc()
+            metrics.counter("db.wal_bytes", unit="bytes").inc(written)
+
+    def checkpoint(self) -> dict:
+        """Snapshot the database durably and truncate the WAL.
+
+        Requires durable mode and a quiescent engine: any open
+        transaction with pending work raises
+        :class:`~repro.ordb.errors.TransactionError` (its uncommitted
+        changes live in the shared structures and must not leak into
+        a snapshot).  Holds the latch and the WAL lock together so no
+        commit can land between the snapshot and the truncation.
+        """
+        if self.wal is None:
+            raise NotSupported(
+                "checkpoint requires a durable Database(path=...)")
+        span_scope = (self.obs.tracer.span("checkpoint")
+                      if self.obs.enabled else contextlib.nullcontext())
+        with span_scope:
+            with self._latch:
+                with self.wal.lock:
+                    with self._txn_lock:
+                        busy = sorted(
+                            s.name for s in self._txn_sessions
+                            if s.txn is not None
+                            and (s.txn.statements or len(s.txn.journal)))
+                    if busy:
+                        raise TransactionError(
+                            "checkpoint requires no transaction with"
+                            f" pending work; active: {', '.join(busy)}")
+                    info = checkpoints.write_checkpoint(self)
+                    self.wal.truncate()
+                    self._commits_since_checkpoint = 0
+        self.stats["checkpoints"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.checkpoints",
+                                     unit="checkpoints").inc()
+        return info
+
+    def _maybe_autocheckpoint(self) -> None:
+        """Checkpoint when the configured commit interval elapsed;
+        silently deferred while other transactions are in flight."""
+        if (self.wal is None or self.checkpoint_every is None
+                or self._commits_since_checkpoint
+                < self.checkpoint_every):
+            return
+        try:
+            self.checkpoint()
+        except TransactionError:
+            pass  # busy engine: try again after a later commit
+
+    def close(self) -> None:
+        """Flush and close the durable log (no-op for in-memory)."""
+        if self.wal is not None:
+            self.wal.close()
 
     # -- public API -------------------------------------------------------------------
 
@@ -257,6 +434,7 @@ class Database:
     def _execute(self, statement: str | ast.Statement,
                  session: Session | None = None) -> Result:
         session = session or self._default_session
+        source = statement  # what the WAL would replay (text or AST)
         if isinstance(statement, str):
             self.faults.hit("parse", sql=statement)
             statement = self._parse_cached(statement)
@@ -270,13 +448,15 @@ class Database:
         self._acquire_statement_locks(session, statement)
         try:
             with self._latch:
-                return self._execute_body(statement, session)
+                return self._execute_body(statement, session, source)
         finally:
             if session.txn is None:  # autocommit: statement-duration
                 self.locks.release_all(session.sid)
 
     def _execute_body(self, statement: ast.Statement,
-                      session: Session) -> Result:
+                      session: Session,
+                      source: str | ast.Statement | None = None
+                      ) -> Result:
         """The statement body; runs under the engine latch."""
         if isinstance(statement, ast.SelectStmt):
             self.stats["selects"] += 1
@@ -302,8 +482,26 @@ class Database:
             self._data_version += 1
             raise
         self._active_journal = outer
+        logged = (source is not None
+                  and not isinstance(statement, ast.ExplainStmt))
         if session.txn is not None:
             session.txn.journal.absorb(journal)
+            if logged:
+                # redo side of the transaction: flushed to the WAL in
+                # one record at COMMIT (savepoints truncate the list)
+                session.txn.statements.append(source)
+        elif logged and self.wal is not None \
+                and not self._wal_suppressed:
+            # autocommit in durable mode: one WAL record per statement;
+            # on append failure the in-memory change is undone too, so
+            # memory never runs ahead of what recovery will rebuild
+            try:
+                self._wal_commit([source])
+            except BaseException:
+                journal.undo_to(0)
+                self._data_version += 1
+                raise
+            self._maybe_autocheckpoint()
         return result
 
     # -- lock planning ----------------------------------------------------------------

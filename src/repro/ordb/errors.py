@@ -205,6 +205,57 @@ class DeadlockDetected(OrdbError):
     transient = True
 
 
+class WalFault(OrdbError):
+    """A write-ahead-log media failure (the ``wal`` fault site).
+
+    ``wal_effect`` tells the log how to damage itself before the
+    error surfaces — the fault harness models *physical* log damage,
+    not just a raised exception.  Deliberately **not** transient: a
+    failing log device is a crash, not a retry-me condition, so the
+    ingestion layer quarantines instead of hammering the dead disk.
+    """
+
+    code = "ORA-00333"  # redo log read error
+    wal_effect: str | None = None
+
+
+class TornWrite(WalFault):
+    """The append stopped mid-frame (power loss during the write).
+
+    Recovery truncates the partial frame; the transaction it carried
+    never happened."""
+
+    code = "ORA-00354"  # corrupt redo log block header
+    wal_effect = "torn"
+
+
+class ChecksumCorruption(WalFault):
+    """A payload byte of the appended frame flipped on the medium.
+
+    Recovery stops at the failing checksum, discarding this record
+    and everything after it (the valid-prefix guarantee)."""
+
+    code = "ORA-00353"  # log corruption near block
+    wal_effect = "corrupt"
+
+
+class FsyncFailure(WalFault):
+    """``fsync`` failed after the frame was fully written and flushed.
+
+    The commit reports failure, but the record may still survive on
+    disk — the classic acknowledged-lost vs unacknowledged-durable
+    ambiguity every real database documents."""
+
+    code = "ORA-27072"  # File I/O error
+    wal_effect = "fsync"
+
+
+class CheckpointCorrupt(OrdbError):
+    """Checkpoint files exist but none passes its checksum."""
+
+    code = "ORA-00227"  # corrupt block detected in control file
+
+
 class TransientEngineFault(OrdbError):
     """A failure that models a recoverable environmental condition —
     the kind the fault-injection harness raises by default.  ORA-03113

@@ -10,7 +10,16 @@ failure-prone boundaries:
   resource the statement locks), modelling contention faults such as
   lock-wait timeouts on a busy server;
 * ``storage``   — before each physical row mutation (insert, per-row
-  update, per-row delete).
+  update, per-row delete);
+* ``commit``    — at the top of every real COMMIT (one with an open
+  transaction), before anything becomes permanent — the crash-just-
+  before-durable point;
+* ``wal``       — inside the write-ahead log, before each append and
+  before each fsync (durable mode only).  Faults whose error carries
+  a ``wal_effect`` (:class:`~repro.ordb.errors.TornWrite`,
+  :class:`~repro.ordb.errors.ChecksumCorruption`,
+  :class:`~repro.ordb.errors.FsyncFailure`) physically damage the
+  log file the corresponding way before the error surfaces.
 
 With no fault armed, a hit only bumps a per-site counter (the counters
 double as the sweep index space for exhaustive crash tests: a clean
@@ -34,8 +43,13 @@ repro.ordb.errors.TransientEngineFault: ORA-03113: injected fault ...
 >>> db.execute("SELECT COUNT(*) FROM T").scalar()  # nothing stored
 0
 
-Transaction-control statements (BEGIN/COMMIT/ROLLBACK/SAVEPOINT) are
-exempt from injection: recovery must always be possible.
+Transaction-control statements other than COMMIT (BEGIN/ROLLBACK/
+SAVEPOINT) are exempt from injection: recovery must always be
+possible.  COMMIT has its own dedicated ``commit`` site — a commit
+that fails before becoming durable is precisely the crash the
+recovery tests need to inject — and a fired commit fault leaves the
+transaction open, so the caller's rollback path still restores a
+clean state.
 """
 
 from __future__ import annotations
@@ -48,7 +62,7 @@ from typing import Callable
 from .errors import OrdbError, TransientEngineFault
 
 #: The boundaries the engine guards.
-SITES = ("parse", "statement", "lock", "storage")
+SITES = ("parse", "statement", "lock", "storage", "commit", "wal")
 
 
 @dataclass(frozen=True)

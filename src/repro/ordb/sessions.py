@@ -82,22 +82,43 @@ class Session:
                 "a transaction is already active;"
                 " COMMIT or ROLLBACK first")
         self.txn = Transaction()
+        self.db._txn_started(self)
 
     def commit(self) -> None:
         """Make the open transaction's work permanent and release its
-        locks (no-op when none is open, like Oracle's COMMIT)."""
+        locks (no-op when none is open, like Oracle's COMMIT).
+
+        In durable mode the transaction's redo statements go to the
+        WAL *before* anything is acknowledged; if the append fails
+        (an injected media fault), the in-memory work is rolled back
+        too, so memory never diverges from what recovery will
+        rebuild.  The ``commit`` fault site fires first — a fired
+        fault leaves the transaction open for the caller to roll
+        back, modelling a crash just before the commit point.
+        """
         db = self.db
         committed = self.txn is not None
+        if committed:
+            db.faults.hit("commit", session=self.name)
+            if self.txn.statements:
+                try:
+                    db._wal_commit(self.txn.statements)
+                except BaseException:
+                    self.rollback()
+                    raise
         if db.obs.enabled and committed:
             db.obs.metrics.counter("txn.commits",
                                    unit="transactions").inc()
         self.txn = None
+        db._txn_finished(self)
         db.locks.release_all(self.sid)
         if committed and db.commit_latency > 0.0:
             # the commit-acknowledgement round trip of the paper's
             # client-server setup, paid *after* locks are released so
             # concurrent sessions overlap their waits
             time.sleep(db.commit_latency)
+        if committed:
+            db._maybe_autocheckpoint()
 
     def rollback(self, to: str | None = None) -> None:
         """Undo the open transaction, or just back to savepoint *to*
@@ -126,6 +147,7 @@ class Session:
                 self.txn.rollback_to(to)
             db._data_version += 1
         if self.txn is None:
+            db._txn_finished(self)
             db.locks.release_all(self.sid)
 
     def savepoint(self, name: str) -> None:
@@ -133,6 +155,7 @@ class Session:
         transaction when none is active, as DML does in Oracle)."""
         if self.txn is None:
             self.txn = Transaction()
+            self.db._txn_started(self)
         self.txn.savepoint(name)
 
     @contextlib.contextmanager
@@ -145,7 +168,16 @@ class Session:
         except BaseException:
             self.rollback()
             raise
-        self.commit()
+        try:
+            self.commit()
+        except BaseException:
+            # a failed commit (injected commit/WAL fault) must not
+            # leave the transaction's work half-visible: durable
+            # commits roll back internally, a commit-site fault
+            # leaves the transaction open — undo it here
+            if self.txn is not None:
+                self.rollback()
+            raise
 
     @contextlib.contextmanager
     def atomic(self):

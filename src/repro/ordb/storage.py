@@ -20,6 +20,19 @@ def next_oid() -> int:
     return next(_OID_COUNTER)
 
 
+def advance_oid(past: int) -> None:
+    """Never hand out an OID <= *past* again.
+
+    Checkpoint recovery restores rows with their original OIDs, but
+    the counter is process-global and starts at 1 in a fresh process;
+    without this, a new row could collide with a restored OID and
+    silently re-bind its REFs.
+    """
+    global _OID_COUNTER
+    current = next(_OID_COUNTER)
+    _OID_COUNTER = itertools.count(max(current, past + 1))
+
+
 @dataclass
 class Row:
     """One stored row: normalized column key -> value, plus OID."""

@@ -62,13 +62,26 @@ class UndoJournal:
 class _Savepoint:
     name: str  # upper-cased
     mark: int
+    #: position in :attr:`Transaction.statements` at declaration time
+    stmt_mark: int = 0
 
 
 class Transaction:
-    """One explicit transaction: a journal plus named savepoints."""
+    """One explicit transaction: a journal plus named savepoints.
+
+    Alongside the undo journal the transaction keeps
+    :attr:`statements` — the *redo* side: every state-changing
+    statement that succeeded under it, in order.  A durable engine
+    serializes that list into one WAL record at COMMIT; rolling back
+    to a savepoint must therefore also discard the statements logged
+    since it, or replay would resurrect the undone work.
+    """
 
     def __init__(self) -> None:
         self.journal = UndoJournal()
+        #: successful state-changing statements (SQL text or AST),
+        #: truncated in lockstep with the journal by savepoints
+        self.statements: list = []
         self._savepoints: list[_Savepoint] = []
 
     def savepoint(self, name: str) -> None:
@@ -76,7 +89,8 @@ class Transaction:
         key = name.upper()
         self._savepoints = [point for point in self._savepoints
                             if point.name != key]
-        self._savepoints.append(_Savepoint(key, self.journal.mark()))
+        self._savepoints.append(_Savepoint(key, self.journal.mark(),
+                                           len(self.statements)))
 
     def rollback_to(self, name: str) -> None:
         """Undo back to *name*; the savepoint itself survives, later
@@ -84,7 +98,9 @@ class Transaction:
         key = name.upper()
         for index in range(len(self._savepoints) - 1, -1, -1):
             if self._savepoints[index].name == key:
-                self.journal.undo_to(self._savepoints[index].mark)
+                point = self._savepoints[index]
+                self.journal.undo_to(point.mark)
+                del self.statements[point.stmt_mark:]
                 del self._savepoints[index + 1:]
                 return
         raise NoSuchSavepoint(
@@ -98,4 +114,5 @@ class Transaction:
 
     def rollback(self) -> None:
         self.journal.undo_to(0)
+        self.statements.clear()
         self._savepoints.clear()

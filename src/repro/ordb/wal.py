@@ -1,0 +1,305 @@
+"""Write-ahead logging: the durability half of ``Database(path=...)``.
+
+The engine journals *undo* closures for rollback; those cannot be
+serialized, so durability is achieved with **statement-level redo
+logging** instead: one WAL record per committed transaction, holding
+the ordered list of state-changing statements the transaction ran
+(the SQL text, or the frozen AST when it was executed pre-parsed).
+Replaying the records in commit order against an empty engine — or
+against the latest checkpoint (see :mod:`repro.ordb.checkpoint`) —
+rebuilds exactly the committed state.  The generated loader SQL keys
+REFs on synthetic document-scoped id columns, never on raw OIDs, so
+re-execution rebinds references correctly.
+
+On-disk format — an 8-byte file magic, then length-prefixed,
+CRC-checksummed frames::
+
+    RWAL0001 | len u32 | crc32(len || payload) u32 | payload | ...
+
+Recovery reads the longest valid prefix and truncates the rest: a
+torn final record (partial frame) or a checksum mismatch ends the
+prefix, which is what makes a crash during an append atomic — the
+half-written transaction simply never happened.
+
+Three fsync policies trade durability against commit throughput:
+
+* ``always`` — flush + ``os.fsync`` after every append (survives OS
+  crash and power loss up to the last commit);
+* ``commit`` — flush to the OS after every append, fsync only at
+  checkpoint/close (survives process crash; an OS crash may lose the
+  unsynced tail, but never tears a record boundary on replay);
+* ``off``   — library-buffered only (fastest; a crash may lose every
+  record since the last flush).
+
+The ``wal`` fault site models media failures: an armed fault whose
+error carries :attr:`~repro.ordb.errors.WalFault.wal_effect` damages
+the log the corresponding way (``torn`` writes half the frame,
+``corrupt`` flips a payload byte, ``fsync`` fails after the frame is
+fully written) before the error surfaces.  A failed append marks the
+tail for repair: the next append (or a clean ``sync``/``close``)
+first truncates the file back to the last good frame, so an engine
+that *survives* the fault — a batch running its compensation
+deletes, say — keeps writing a log that recovery will replay in
+full.  Only a crash right after the fault leaves the damage on disk
+for :meth:`WriteAheadLog.open` to cut away.
+
+>>> import tempfile
+>>> with tempfile.TemporaryDirectory() as where:
+...     log = WriteAheadLog(where + "/wal.log")
+...     _ = log.open()
+...     _ = log.append(b"INSERT ...")
+...     log.close()
+...     reopened = WriteAheadLog(where + "/wal.log")
+...     reopened.open()
+[b'INSERT ...']
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import threading
+import zlib
+from pathlib import Path
+
+from .faults import FaultInjector
+
+#: File magic; the trailing digits version the frame format.
+MAGIC = b"RWAL0001"
+
+#: Per-record frame header: payload length, crc32(length || payload).
+_LENGTH = struct.Struct("<I")
+FRAME_OVERHEAD = 8
+
+#: The supported fsync policies, strongest first.
+FSYNC_POLICIES = ("always", "commit", "off")
+
+
+def _frame_crc(length_bytes: bytes, payload: bytes) -> int:
+    # the checksum covers the length prefix too, so a damaged frame
+    # header cannot silently re-frame the payload
+    return zlib.crc32(payload, zlib.crc32(length_bytes))
+
+
+def encode_record(payload: bytes) -> bytes:
+    """One framed record: ``len | crc | payload``."""
+    length_bytes = _LENGTH.pack(len(payload))
+    crc = _frame_crc(length_bytes, payload)
+    return length_bytes + _LENGTH.pack(crc) + payload
+
+
+def decode_records(data: bytes) -> tuple[list[bytes], int]:
+    """Every intact payload of *data*, plus where the valid prefix ends.
+
+    Stops at the first partial or checksum-failing frame; the returned
+    offset is the byte position a recovery rewrite truncates to.  A
+    missing or damaged file magic yields ``([], 0)`` — the whole file
+    is discarded and rewritten fresh.
+    """
+    if len(data) < len(MAGIC) or data[:len(MAGIC)] != MAGIC:
+        return [], 0
+    records: list[bytes] = []
+    offset = len(MAGIC)
+    while offset + FRAME_OVERHEAD <= len(data):
+        length_bytes = data[offset:offset + 4]
+        (length,) = _LENGTH.unpack(length_bytes)
+        (crc,) = _LENGTH.unpack(data[offset + 4:offset + 8])
+        end = offset + FRAME_OVERHEAD + length
+        if end > len(data):
+            break  # torn tail: the final frame never finished
+        payload = data[offset + FRAME_OVERHEAD:end]
+        if _frame_crc(length_bytes, payload) != crc:
+            break  # corruption: nothing past this point is trusted
+        records.append(payload)
+        offset = end
+    return records, offset
+
+
+# -- transaction payloads -----------------------------------------------------------
+
+
+def encode_transaction(seq: int, statements: list) -> bytes:
+    """Serialize one committed transaction (sequence + statements).
+
+    Statements are SQL text or frozen AST nodes; both pickle, and
+    both re-execute through :meth:`Database.execute` on replay.  The
+    sequence number makes replay idempotent across a crash between
+    checkpoint and log truncation.
+    """
+    return pickle.dumps((seq, list(statements)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_transaction(payload: bytes) -> tuple[int, list]:
+    seq, statements = pickle.loads(payload)
+    return seq, statements
+
+
+# -- the log ------------------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """One append-only redo log file with crash-atomic recovery.
+
+    Appends serialize on :attr:`lock` (sessions commit concurrently);
+    the engine also takes it around checkpointing so a commit can
+    never slip between the snapshot and the truncation that would
+    drop its record.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 policy: str = "commit",
+                 faults: FaultInjector | None = None):
+        if policy not in FSYNC_POLICIES:
+            raise ValueError(f"unknown fsync policy {policy!r};"
+                             f" expected one of {FSYNC_POLICIES}")
+        self.path = Path(path)
+        self.policy = policy
+        self.faults = faults
+        #: serializes appends and orders them against checkpoints
+        self.lock = threading.RLock()
+        self.appended = 0
+        self.bytes_written = 0
+        #: bytes of torn/corrupt tail discarded by the last :meth:`open`
+        self.truncated_bytes = 0
+        self._file: io.BufferedWriter | None = None
+        # offset of the last good frame after a failed append; the
+        # damaged tail beyond it is cut before the next write
+        self._repair_to: int | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self._file is not None else "closed"
+        return (f"<WriteAheadLog {self.path.name} ({state},"
+                f" policy={self.policy})>")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def open(self) -> list[bytes]:
+        """Open for appending, recovering first: validate the file,
+        drop any torn/corrupt tail, and return the payload of every
+        intact record in append order."""
+        with self.lock:
+            data = (self.path.read_bytes() if self.path.exists()
+                    else b"")
+            records, valid_end = decode_records(data)
+            keep = data[:valid_end] if valid_end >= len(MAGIC) else MAGIC
+            self.truncated_bytes = max(0, len(data) - valid_end)
+            if keep != data:
+                # rewrite the valid prefix durably before appending
+                with open(self.path, "wb") as handle:
+                    handle.write(keep)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            self._file = open(self.path, "ab")
+            return records
+
+    def close(self) -> None:
+        """Flush, fsync and close (safe to call twice)."""
+        with self.lock:
+            if self._file is None:
+                return
+            if self._repair_to is not None:
+                self._repair()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    # -- appending ----------------------------------------------------------------
+
+    def append(self, payload: bytes) -> int:
+        """Append one record, honouring the fsync policy; returns the
+        frame size in bytes.  The ``wal`` fault site fires before the
+        write (``op="append"``) and before each fsync
+        (``op="fsync"``); a fired fault with a ``wal_effect`` damages
+        the file the way its effect names before propagating."""
+        record = encode_record(payload)
+        with self.lock:
+            if self._file is None:
+                raise ValueError("write-ahead log is not open")
+            if self._repair_to is not None:
+                self._repair()
+            start = self._file.tell()
+            if self.faults is not None:
+                try:
+                    self.faults.hit("wal", op="append",
+                                    bytes=len(record))
+                except BaseException as error:
+                    self._apply_media_fault(error, record)
+                    self._repair_to = start
+                    raise
+            self._file.write(record)
+            if self.policy == "always":
+                self._file.flush()
+                if self.faults is not None:
+                    try:
+                        # the frame is fully written and flushed: an
+                        # fsync failure models the acknowledged-lost /
+                        # unacknowledged-durable commit ambiguity
+                        self.faults.hit("wal", op="fsync")
+                    except BaseException:
+                        self._repair_to = start
+                        raise
+                os.fsync(self._file.fileno())
+            elif self.policy == "commit":
+                self._file.flush()
+            self.appended += 1
+            self.bytes_written += len(record)
+        return len(record)
+
+    def _apply_media_fault(self, error: BaseException,
+                           record: bytes) -> None:
+        """Damage the log the way the fired fault prescribes."""
+        effect = getattr(error, "wal_effect", None)
+        if effect == "torn":
+            # the frame stops mid-payload, as a crash mid-write would
+            self._file.write(record[:max(1, len(record) // 2)])
+        elif effect == "corrupt":
+            # the frame completes but a payload byte flipped on disk
+            damaged = bytearray(record)
+            damaged[-1] ^= 0xFF
+            self._file.write(bytes(damaged))
+        else:
+            return
+        self._file.flush()
+
+    def _repair(self) -> None:
+        """Cut the damaged tail a failed append left behind.
+
+        A surviving engine must not append after torn or corrupt
+        bytes (recovery would discard everything past them), nor
+        keep an fsync-failed frame whose transaction was rolled back
+        in memory — truncating to the pre-append offset removes all
+        three durably before the log is written again.
+        """
+        target = self._repair_to
+        self._repair_to = None
+        self._file.close()
+        with open(self.path, "r+b") as handle:
+            handle.truncate(target)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file = open(self.path, "ab")
+
+    def sync(self) -> None:
+        """Force everything appended so far to disk."""
+        with self.lock:
+            if self._file is not None:
+                if self._repair_to is not None:
+                    self._repair()
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+    def truncate(self) -> None:
+        """Reset to an empty log (a checkpoint made it redundant)."""
+        with self.lock:
+            self._repair_to = None
+            if self._file is not None:
+                self._file.close()
+            with open(self.path, "wb") as handle:
+                handle.write(MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file = open(self.path, "ab")

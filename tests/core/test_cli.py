@@ -136,3 +136,53 @@ class TestTypeHintFlag:
     def test_malformed_hint_errors(self, appendix_file):
         with pytest.raises(SystemExit):
             main(["schema", appendix_file, "--hint", "nonsense"])
+
+
+class TestDurableCommands:
+    def test_ingest_db_path_then_recover_verify(self, document_file,
+                                                tmp_path, capsys):
+        where = str(tmp_path / "dbdir")
+        assert main(["ingest", document_file,
+                     "--db-path", where]) == 0
+        out = capsys.readouterr().out
+        assert "durable:" in out and "WAL record(s)" in out
+        assert main(["db", "recover", "--db-path", where,
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from log only" in out
+        assert "integrity verified" in out
+
+    def test_checkpoint_truncates_and_recovers_from_snapshot(
+            self, document_file, tmp_path, capsys):
+        where = str(tmp_path / "dbdir")
+        assert main(["ingest", document_file, "--db-path", where,
+                     "--fsync", "always"]) == 0
+        capsys.readouterr()
+        assert main(["db", "checkpoint", "--db-path", where]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out and "WAL truncated" in out
+        assert main(["db", "recover", "--db-path", where,
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from checkpoint + log" in out
+
+    def test_second_ingest_appends_to_recovered_state(
+            self, document_file, tmp_path, capsys):
+        where = str(tmp_path / "dbdir")
+        assert main(["ingest", document_file,
+                     "--db-path", where]) == 0
+        capsys.readouterr()
+        # the second run recovers the schema, so registering it
+        # again fails the batch: the durable state must be unharmed
+        assert main(["ingest", document_file,
+                     "--db-path", where]) == 1
+        capsys.readouterr()
+        assert main(["db", "recover", "--db-path", where,
+                     "--verify"]) == 0
+
+    def test_recover_missing_directory_errors(self, tmp_path,
+                                              capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["db", "recover", "--db-path", missing]) == 1
+        err = capsys.readouterr().err
+        assert "no durable database" in err

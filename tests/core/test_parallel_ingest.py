@@ -196,3 +196,69 @@ class TestCrashConsistencyUnderConcurrency:
             assert problems == [], (table.name, problems)
         assert tool.db.execute(
             "SELECT COUNT(*) FROM TabUni").scalar() == 0
+
+
+class TestDurableCompensation:
+    """Aborted parallel batches against a durable engine: the
+    compensation deletes must land in the WAL too, so a later
+    recovery replays the abort — not the half-batch."""
+
+    def test_aborted_batch_absent_after_recovery(self, tmp_path):
+        docs = make_docs(6)
+        docs[3] = "<Uni><Wrong/></Uni>"
+        tool = make_tool(path=tmp_path)
+        with pytest.raises(XMLValidityError):
+            tool.store_many(docs, workers=3, retry=NO_RETRY)
+        assert tool.db.execute(
+            "SELECT COUNT(*) FROM TabUni").scalar() == 0
+        tool.db.close()
+        recovered = Database(path=tmp_path)
+        # the committed stores and their compensation deletes both
+        # replay: the batch is gone from the recovered state too
+        assert recovered.execute(
+            "SELECT COUNT(*) FROM TabUni").scalar() == 0
+        assert recovered.execute(
+            "SELECT COUNT(*) FROM TabMetadata").scalar() == 0
+        recovered.close()
+
+    def test_media_fault_mid_batch_compensates_durably(self,
+                                                       tmp_path):
+        """A torn WAL write aborts the batch; the log self-repairs,
+        so the compensation deletes are replayable afterwards."""
+        from repro.ordb import TornWrite, WalFault
+
+        docs = make_docs(8)
+        tool = make_tool(path=tmp_path)
+        appends_before = tool.db.stats["wal_appends"]
+        tool.db.faults.arm(site="wal", at=4, error=TornWrite)
+        with pytest.raises(WalFault):
+            tool.store_many(docs, workers=3, retry=NO_RETRY)
+        assert tool.db.execute(
+            "SELECT COUNT(*) FROM TabUni").scalar() == 0
+        # compensation committed through the repaired log
+        assert tool.db.stats["wal_appends"] > appends_before
+        tool.db.close()
+        recovered = Database(path=tmp_path)
+        assert recovered.execute(
+            "SELECT COUNT(*) FROM TabUni").scalar() == 0
+        assert recovered.execute(
+            "SELECT COUNT(*) FROM TabMetadata").scalar() == 0
+        for table in recovered.catalog.tables.values():
+            problems = table.indexes.verify(table.data.rows)
+            assert problems == [], (table.name, problems)
+        recovered.close()
+
+    def test_successful_durable_batch_round_trips(self, tmp_path):
+        docs = make_docs(10)
+        tool = make_tool(path=tmp_path)
+        report = tool.store_many(docs, workers=4)
+        assert report.ok
+        check_consistency(tool, report.stored)
+        tool.db.close()
+        recovered = Database(path=tmp_path)
+        assert recovered.execute(
+            "SELECT COUNT(*) FROM TabUni").scalar() == 10
+        assert sorted(int(v) for (v,) in recovered.execute(
+            "SELECT m.DocID FROM TabMetadata m").rows) == sorted(
+            o.doc_id for o in report.stored)
+        recovered.close()

@@ -11,7 +11,17 @@ automatically extends the sweep.
 import pytest
 
 from repro.core import NO_RETRY, RetryPolicy, XML2Oracle
-from repro.ordb import TransientEngineFault
+from repro.ordb import (
+    CollectionValue,
+    Database,
+    ObjectValue,
+    RefValue,
+    TornWrite,
+    TransientEngineFault,
+    WalFault,
+    decode_records,
+    decode_transaction,
+)
 from repro.ordb.errors import DanglingReference
 from repro.xmlkit import parse
 
@@ -157,3 +167,129 @@ class TestBatchSweep:
         assert report.ok
         assert [o.doc_id for o in report.outcomes] == [2, 3, 4]
         assert max(o.attempts for o in report.outcomes) == 2
+
+
+# -- recovered state vs an in-memory shadow replay ----------------------------------
+
+
+def canonical_image(db) -> dict:
+    """OID-independent image of every table's rows, in row order.
+
+    Two engines that executed the same committed statements hold the
+    same rows in the same order but under different raw OIDs (the
+    counter is process-global), so REFs are folded to the position of
+    the row they resolve to instead of the OID they carry.
+    """
+    position: dict[int, tuple] = {}
+    for name in sorted(db.catalog.tables):
+        rows = db.catalog.tables[name].data.rows
+        for index, row in enumerate(rows):
+            if row.oid is not None:
+                position[row.oid] = (name, index)
+
+    def fold(value):
+        if isinstance(value, RefValue):
+            return ("REF", value.table,
+                    position.get(value.oid, "dangling"))
+        if isinstance(value, ObjectValue):
+            return ("OBJ", value.type_name,
+                    tuple((name, fold(inner)) for name, inner
+                          in value.attributes().items()))
+        if isinstance(value, CollectionValue):
+            return ("COLL", value.type_name,
+                    tuple(fold(item) for item in value.items))
+        return value
+
+    return {
+        name: [tuple((key, fold(inner)) for key, inner
+                     in sorted(row.values.items()))
+               for row in db.catalog.tables[name].data.rows]
+        for name in sorted(db.catalog.tables)
+    }
+
+
+def shadow_replay(wal_bytes: bytes) -> Database:
+    """Rebuild the committed prefix in a fresh in-memory engine."""
+    records, _ = decode_records(wal_bytes)
+    shadow = Database()
+    for payload in records:
+        _seq, statements = decode_transaction(payload)
+        for statement in statements:
+            shadow.execute(statement)
+    return shadow
+
+
+def build_durable_tool(path) -> XML2Oracle:
+    tool = XML2Oracle(db=Database(path=path),
+                      validate_documents=False)
+    tool.register_schema(DTD, sample_document=school_doc(0))
+    tool.store(parse(school_doc(1)))
+    return tool
+
+
+class TestDifferentialRecovery:
+    """What recovery rebuilds is exactly what replaying the log's
+    committed prefix into a pristine engine produces — table by
+    table, row by row, REF by REF."""
+
+    DOCS = [school_doc(n) for n in range(2, 5)]
+
+    def ingest_and_kill(self, tool, kill_at: int) -> None:
+        tool.db.faults.arm(site="wal", at=kill_at, error=TornWrite)
+        for doc in self.DOCS:
+            try:
+                tool.store(parse(doc))
+            except WalFault:
+                return
+
+    def test_recovered_state_matches_shadow_at_every_kill_point(
+            self, tmp_path):
+        # dry run: how many appends does the whole ingest make?
+        tool = build_durable_tool(tmp_path / "dry")
+        before = tool.db.stats["wal_appends"]
+        for doc in self.DOCS:
+            tool.store(parse(doc))
+        appends = tool.db.stats["wal_appends"] - before
+        tool.db.close()
+        for kill_at in range(1, appends + 1):
+            live = tmp_path / f"kill-{kill_at}"
+            tool = build_durable_tool(live)
+            self.ingest_and_kill(tool, kill_at)
+            # the crash image is the log as the kill left it
+            wal_bytes = (live / "wal.log").read_bytes()
+            crash = tmp_path / f"kill-{kill_at}-crash"
+            crash.mkdir()
+            (crash / "wal.log").write_bytes(wal_bytes)
+            recovered = Database(path=crash)
+            shadow = shadow_replay(wal_bytes)
+            assert (canonical_image(recovered)
+                    == canonical_image(shadow)), (
+                f"recovered state diverged at kill point {kill_at}")
+            recovered.close()
+            tool.db.close()
+
+    def test_checkpoint_snapshot_equals_statement_replay(
+            self, tmp_path):
+        """A recovery that starts from the checkpoint must land in
+        the same state as one that replays the full log."""
+        live = tmp_path / "live"
+        tool = build_durable_tool(live)
+        for doc in self.DOCS:
+            tool.store(parse(doc))
+        full_log = (live / "wal.log").read_bytes()
+        tool.db.checkpoint()
+        crash = tmp_path / "crash"
+        crash.mkdir()
+        for name in ("checkpoint.bin", "wal.log"):
+            (crash / name).write_bytes(
+                (live / name).read_bytes())
+        # overlay the pre-checkpoint log: recovery sees snapshot +
+        # stale records and must skip what the snapshot contains
+        (crash / "wal.log").write_bytes(full_log)
+        recovered = Database(path=crash)
+        assert recovered.recovery_info["checkpoint_loaded"]
+        shadow = shadow_replay(full_log)
+        assert (canonical_image(recovered)
+                == canonical_image(shadow))
+        recovered.close()
+        tool.db.close()

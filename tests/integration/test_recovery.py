@@ -1,0 +1,294 @@
+"""Crash-recovery torture matrix.
+
+Every test here kills a durable ingest somewhere — a media fault at
+each WAL append, a crash at each commit point, or a seeded-random
+kill — takes a byte-level image of the database directory exactly as
+the crash left it, reopens from that image, and asserts the
+recovered state is a **transaction-consistent prefix** of the run:
+whole documents or no trace of them, indexes that verify, and no
+dangling REF anywhere.
+
+The seed and fsync policy come from ``REPRO_STRESS_SEED`` and
+``REPRO_FSYNC`` so CI can fan the matrix out across runs.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.core import XML2Oracle
+from repro.ordb import (
+    ChecksumCorruption,
+    Database,
+    FsyncFailure,
+    TornWrite,
+    TransientEngineFault,
+    WalFault,
+    verify_integrity,
+)
+from repro.xmlkit import parse
+
+SEED = int(os.environ.get("REPRO_STRESS_SEED", "0"))
+FSYNC = os.environ.get("REPRO_FSYNC", "commit")
+
+DTD = """
+<!ELEMENT School (Student+, Course+, Enrolment*)>
+<!ELEMENT Student (SName)>
+<!ATTLIST Student sid ID #REQUIRED>
+<!ELEMENT Course (CName)>
+<!ATTLIST Course cid ID #REQUIRED>
+<!ELEMENT Enrolment EMPTY>
+<!ATTLIST Enrolment who IDREF #REQUIRED what IDREF #REQUIRED>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT CName (#PCDATA)>
+"""
+
+
+def school_doc(n: int) -> str:
+    return (f'<School><Student sid="s{n}"><SName>N{n}</SName>'
+            f'</Student><Course cid="c{n}"><CName>C{n}</CName>'
+            f'</Course><Enrolment who="s{n}" what="c{n}"/></School>')
+
+
+DOCS = [school_doc(n) for n in range(1, 6)]
+
+
+def make_tool(path, fsync=FSYNC, **db_kwargs) -> XML2Oracle:
+    db = Database(path=path, fsync=fsync, **db_kwargs)
+    tool = XML2Oracle(db=db, validate_documents=False)
+    tool.register_schema(DTD, sample_document=school_doc(0))
+    return tool
+
+
+def crash_image(db: Database, target) -> None:
+    """Copy the durable directory exactly as a kill would leave it.
+
+    The copy is taken while the engine still holds its append handle,
+    so library-buffered bytes (policy ``off``) are genuinely absent —
+    the image is what the filesystem would hold after a crash."""
+    os.makedirs(target, exist_ok=True)
+    for name in os.listdir(db.path):
+        shutil.copy2(db.path / name, os.path.join(target, name))
+
+
+def ingest_until_killed(tool, docs) -> int:
+    """Store sequentially until a fault kills the run; how many
+    stores were *attempted* (the last one may or may not survive)."""
+    attempted = 0
+    for doc in docs:
+        attempted += 1
+        try:
+            tool.store(parse(doc))
+        except (WalFault, TransientEngineFault):
+            return attempted
+    return attempted
+
+
+def assert_consistent_prefix(path, attempted: int,
+                             reference: dict) -> int:
+    """Reopen *path*; the state must be some prefix of the ingest.
+
+    Under ``fsync=off`` the surviving prefix may end anywhere — even
+    before the meta-schema reached disk — but it must still be a
+    *transaction* prefix: whole documents or nothing, at every cut.
+    """
+    db = Database(path=path)
+    try:
+        problems = verify_integrity(db)
+        assert problems == [], problems
+        tables = {name.upper() for name in db.catalog.tables}
+        if "TABMETADATA" not in tables:
+            # the crash predates the meta-schema reaching disk
+            # (buffered log): no document can have committed
+            for name in reference:
+                if name.upper() in tables:
+                    count = db.execute(
+                        f"SELECT COUNT(*) FROM {name}").scalar()
+                    assert count == 0, (
+                        f"{name} has rows but TabMetadata is gone")
+            return 0
+        meta = sorted(int(v) for (v,) in db.execute(
+            "SELECT m.DocID FROM TabMetadata m").rows)
+        # sequential ingest: survivors are a contiguous prefix; the
+        # attempted-th may appear (fsync-failure ambiguity) but
+        # nothing beyond it can
+        assert meta == list(range(1, len(meta) + 1))
+        assert len(meta) <= attempted
+        # no half-documents: every table holds exactly its per-doc
+        # row count times the number of recovered documents
+        for name, per_doc in reference.items():
+            if name.upper() not in tables:
+                assert len(meta) == 0, (
+                    f"{len(meta)} docs recovered without {name}")
+                continue
+            count = db.execute(
+                f"SELECT COUNT(*) FROM {name}").scalar()
+            assert count == per_doc * len(meta), (
+                f"{name}: {count} rows for {len(meta)} docs")
+        # the recovered engine accepts new work
+        if "TABMISCNODE" in tables:
+            db.execute("INSERT INTO TabMiscNode VALUES"
+                       " (999, 'probe', 'comment', NULL, NULL)")
+            db.execute("DELETE FROM TabMiscNode WHERE DocID = 999")
+        return len(meta)
+    finally:
+        db.close()
+
+
+@pytest.fixture(scope="module")
+def reference() -> dict:
+    """Rows per document in every data table, from a clean run."""
+    tool = XML2Oracle(validate_documents=False)
+    tool.register_schema(DTD, sample_document=school_doc(0))
+    before = {name: len(table.data.rows)
+              for name, table in tool.db.catalog.tables.items()}
+    tool.store(parse(DOCS[0]))
+    return {name: len(table.data.rows) - before[name]
+            for name, table in tool.db.catalog.tables.items()
+            if name != "TabMetadata"}
+
+
+def count_wal_appends(tmp_path_factory) -> int:
+    where = tmp_path_factory.mktemp("dry-run")
+    tool = make_tool(where)
+    before = tool.db.stats["wal_appends"]
+    for doc in DOCS:
+        tool.store(parse(doc))
+    total = tool.db.stats["wal_appends"] - before
+    tool.db.close()
+    return total
+
+
+class TestWalFaultMatrix:
+    """A media fault at every single WAL append the ingest makes."""
+
+    @pytest.mark.parametrize("effect", [TornWrite, ChecksumCorruption,
+                                        FsyncFailure])
+    def test_kill_at_every_append(self, effect, tmp_path,
+                                  tmp_path_factory, reference):
+        total = count_wal_appends(tmp_path_factory)
+        assert total >= len(DOCS), "sweep space suspiciously small"
+        for index in range(1, total + 1):
+            live = tmp_path / f"{effect.__name__}-{index}"
+            tool = make_tool(live)
+            tool.db.faults.arm(site="wal", at=index, error=effect)
+            attempted = ingest_until_killed(tool, DOCS)
+            crash = tmp_path / f"{effect.__name__}-{index}-crash"
+            crash_image(tool.db, crash)
+            recovered = assert_consistent_prefix(
+                crash, attempted, reference)
+            if FSYNC != "off":
+                # flushed policies: at most the dying transaction
+                # itself may be missing, never an acknowledged one
+                assert recovered >= attempted - 1, (
+                    f"lost an acknowledged commit at append {index}")
+            tool.db.close()
+
+    def test_fsync_policy_always_fires_fsync_site(self, tmp_path,
+                                                  reference):
+        """Under ``always`` the fsync boundary itself is swept too."""
+        events = []
+        tool = make_tool(tmp_path / "probe", fsync="always")
+        tool.db.faults.arm(
+            site="wal", rate=0.0,
+            predicate=lambda e: events.append(e.context.get("op"))
+            and False)
+        tool.store(parse(DOCS[0]))
+        assert "fsync" in events and "append" in events
+        tool.db.close()
+
+
+class TestCommitFaultMatrix:
+    """A crash at every commit point (before any WAL write)."""
+
+    def test_kill_at_every_commit(self, tmp_path, reference):
+        for index in range(1, len(DOCS) + 1):
+            live = tmp_path / f"commit-{index}"
+            tool = make_tool(live)
+            # schema DDL autocommits don't cross the commit site
+            tool.db.faults.arm(site="commit", at=index)
+            attempted = ingest_until_killed(tool, DOCS)
+            assert attempted == index
+            crash = tmp_path / f"commit-{index}-crash"
+            crash_image(tool.db, crash)
+            # a commit-site kill happens before the WAL write: the
+            # dying transaction must be wholly absent
+            recovered = assert_consistent_prefix(
+                crash, attempted, reference)
+            if FSYNC == "off":
+                assert recovered <= attempted - 1
+            else:
+                assert recovered == attempted - 1
+            tool.db.close()
+
+
+class TestSeededRandomKills:
+    """Randomised kill points, reproducible from the CI seed."""
+
+    @pytest.mark.parametrize("fsync", ["always", "commit", "off"])
+    def test_random_kill_recovers_consistently(self, fsync, tmp_path,
+                                               reference):
+        for round_ in range(4):
+            live = tmp_path / f"{fsync}-{round_}"
+            tool = make_tool(live, fsync=fsync)
+            tool.db.faults.arm(site="wal", rate=0.25,
+                               seed=SEED * 101 + round_,
+                               error=TornWrite)
+            attempted = ingest_until_killed(tool, DOCS)
+            crash = tmp_path / f"{fsync}-{round_}-crash"
+            crash_image(tool.db, crash)
+            assert_consistent_prefix(crash, attempted, reference)
+            tool.db.close()
+
+
+class TestCheckpointCrashWindows:
+    """Kills around the checkpoint itself must never lose commits."""
+
+    def test_crash_between_checkpoint_and_more_commits(
+            self, tmp_path, reference):
+        live = tmp_path / "live"
+        tool = make_tool(live)
+        for doc in DOCS[:3]:
+            tool.store(parse(doc))
+        tool.db.checkpoint()
+        for doc in DOCS[3:]:
+            tool.store(parse(doc))
+        crash = tmp_path / "crash"
+        crash_image(tool.db, crash)
+        recovered = assert_consistent_prefix(crash, len(DOCS),
+                                             reference)
+        # the checkpoint is always durable; post-checkpoint commits
+        # may still sit in the library buffer under fsync=off
+        assert recovered >= 3 if FSYNC == "off" \
+            else recovered == len(DOCS)
+        tool.db.close()
+
+    def test_stale_wal_records_are_skipped_after_checkpoint(
+            self, tmp_path, reference):
+        """A crash between the checkpoint write and the WAL
+        truncation leaves the full log next to the snapshot; replay
+        must skip the records the snapshot already contains."""
+        live = tmp_path / "live"
+        tool = make_tool(live)
+        for doc in DOCS:
+            tool.store(parse(doc))
+        # image with the complete WAL, taken *before* checkpoint
+        stale_wal = (tool.db.path / "wal.log").read_bytes()
+        tool.db.checkpoint()
+        crash = tmp_path / "crash"
+        crash_image(tool.db, crash)
+        # overlay the pre-checkpoint log: snapshot + stale records
+        (crash / "wal.log").write_bytes(stale_wal)
+        db = Database(path=crash)
+        assert db.recovery_info["checkpoint_loaded"]
+        assert db.recovery_info["records_skipped"] > 0
+        assert db.recovery_info["transactions_replayed"] == 0
+        assert verify_integrity(db) == []
+        assert sorted(int(v) for (v,) in db.execute(
+            "SELECT m.DocID FROM TabMetadata m").rows) == [1, 2, 3,
+                                                           4, 5]
+        db.close()
+        assert_consistent_prefix(crash, len(DOCS), reference)

@@ -10,13 +10,16 @@ import repro.obs
 import repro.obs.metrics
 import repro.obs.tracing
 import repro.ordb
+import repro.ordb.checkpoint
 import repro.ordb.faults
 import repro.ordb.locks
 import repro.ordb.sessions
+import repro.ordb.wal
 import repro.xmlkit
 
 _MODULES = [repro, repro.xmlkit, repro.ordb, repro.ordb.faults,
             repro.ordb.locks, repro.ordb.sessions,
+            repro.ordb.wal, repro.ordb.checkpoint,
             repro.core.xml2oracle, repro.obs, repro.obs.metrics,
             repro.obs.tracing]
 
