@@ -1,0 +1,259 @@
+"""SERVER — the network front end under load: QPS, shedding, drain.
+
+Three questions, answered end to end over real loopback sockets:
+
+* **throughput** — sustained QPS and tail latency (p50/p99) for 100+
+  simulated clients hammering one server;
+* **load shedding** — the degradation curve as offered load climbs
+  past the executor slots: the overloaded server must answer "busy"
+  within its queue timeout (nonzero shed counters), never hang;
+* **drain** — a graceful shutdown with a transaction still open loses
+  zero committed transactions on a durable engine.
+
+Exports ``BENCH_server.json`` with all three sections; the CI bench
+smoke asserts the shed/timeout counters are nonzero under overload
+and ``lost == 0`` for drain.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import write_bench_json
+from repro.client import connect
+from repro.ordb import Database
+from repro.ordb.checkpoint import verify_integrity
+from repro.ordb.errors import OrdbError, ServerBusy, StatementTimeout
+from repro.server import DatabaseServer, ServerConfig
+
+CLIENTS = 100
+OPS_PER_CLIENT = 5
+SHED_LOAD_LEVELS = (2, 8, 24)
+
+
+def run_clients(count, work):
+    """Run ``work(index)`` in *count* threads; return their errors."""
+    errors: list[BaseException] = []
+
+    def runner(index):
+        try:
+            work(index)
+        except BaseException as error:  # noqa: BLE001 - recorded
+            errors.append(error)
+
+    threads = [threading.Thread(target=runner, args=(n,), daemon=True)
+               for n in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120.0)
+    assert not any(t.is_alive() for t in threads), "client hung"
+    return errors
+
+
+def sustained_throughput() -> dict:
+    """QPS and tail latency for ``CLIENTS`` concurrent clients."""
+    config = ServerConfig(max_active=8, max_queue=256,
+                          queue_timeout=30.0,
+                          max_connections=CLIENTS + 8,
+                          statement_timeout=30.0)
+    latencies: list[float] = []
+    lock = threading.Lock()
+    with DatabaseServer(config=config) as server:
+        with connect(server.url) as admin:
+            admin.execute("CREATE TABLE Bench(v NUMBER)")
+            admin.execute("INSERT INTO Bench VALUES(0)")
+
+        def client(index):
+            with connect(server.url) as conn:
+                mine = []
+                for _ in range(OPS_PER_CLIENT):
+                    start = time.perf_counter()
+                    conn.execute("SELECT COUNT(*) FROM Bench")
+                    mine.append(time.perf_counter() - start)
+                with lock:
+                    latencies.extend(mine)
+
+        started = time.perf_counter()
+        errors = run_clients(CLIENTS, client)
+        elapsed = time.perf_counter() - started
+        assert errors == [], errors[:3]
+        stats = dict(server.stats)
+    latencies.sort()
+    total = len(latencies)
+    return {
+        "clients": CLIENTS,
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "qps": round(total / elapsed, 1),
+        "p50_ms": round(latencies[total // 2] * 1e3, 3),
+        "p99_ms": round(latencies[int(total * 0.99)] * 1e3, 3),
+        "max_ms": round(latencies[-1] * 1e3, 3),
+        "server_requests": stats["requests"],
+        "server_errors": stats["errors"],
+    }
+
+
+def shedding_curve() -> dict:
+    """ok/shed split per offered-load level on a tiny server.
+
+    Clients run real transactions (BEGIN / INSERT / COMMIT) against
+    one table, so each writer holds its X lock across a commit round
+    trip (``commit_latency``).  Waiting INSERTs occupy executor slots
+    for that whole window; load past ``max_active + max_queue`` must
+    shed within the queue timeout.
+    """
+    db = Database(commit_latency=0.02)
+    config = ServerConfig(max_active=2, max_queue=2,
+                          queue_timeout=0.1, statement_timeout=5.0,
+                          max_connections=2 * max(SHED_LOAD_LEVELS))
+    curve = []
+    with DatabaseServer(db=db, config=config) as server:
+        with connect(server.url) as admin:
+            admin.execute("CREATE TABLE Shed(v NUMBER)")
+        for level in SHED_LOAD_LEVELS:
+            outcomes = {"ok": 0, "shed": 0, "timeout": 0}
+            tally = threading.Lock()
+
+            def client(index, level=level):
+                with connect(server.url) as conn:
+                    for op in range(3):
+                        value = level * 1000 + index * 10 + op
+                        conn.begin()
+                        try:
+                            conn.execute(
+                                f"INSERT INTO Shed VALUES({value})")
+                        except ServerBusy:
+                            with tally:
+                                outcomes["shed"] += 1
+                            conn.rollback()
+                        except StatementTimeout:
+                            # the server already rolled the session
+                            # back; the connection stays usable
+                            with tally:
+                                outcomes["timeout"] += 1
+                        else:
+                            with tally:
+                                outcomes["ok"] += 1
+                            conn.commit()
+
+            started = time.perf_counter()
+            errors = run_clients(level, client)
+            elapsed = time.perf_counter() - started
+            assert errors == [], errors[:3]
+            total = sum(outcomes.values())
+            curve.append({
+                "clients": level,
+                "requests": total,
+                "ok": outcomes["ok"],
+                "shed": outcomes["shed"],
+                "statement_timeouts": outcomes["timeout"],
+                "shed_rate": round(outcomes["shed"] / total, 3),
+                "seconds": round(elapsed, 3),
+            })
+        # a lock-blocked statement must die by statement timeout too
+        holder = connect(server.url)
+        server.config.statement_timeout = 0.2  # future sessions only
+        blocked = connect(server.url)
+        try:
+            holder.begin()
+            holder.execute("INSERT INTO Shed VALUES(1)")
+            try:
+                blocked.execute("INSERT INTO Shed VALUES(2)")
+            except StatementTimeout:
+                pass
+            holder.rollback()
+        finally:
+            holder.close()
+            blocked.close()
+        admission = dict(server.admission.stats)
+        timeouts = server.stats["statement_timeouts"]
+    return {
+        "max_active": 2,
+        "max_queue": 2,
+        "queue_timeout_s": 0.1,
+        "levels": curve,
+        "admission": admission,
+        "shed_total": admission["shed_queue_full"]
+        + admission["shed_timeout"],
+        "statement_timeouts": timeouts,
+    }
+
+
+def drain_zero_loss() -> dict:
+    """Committed-before-SIGTERM work survives a graceful drain."""
+    committed = 12
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "db"
+        db = Database(path=path)
+        server = DatabaseServer(db=db).start()
+        with connect(server.url) as conn:
+            conn.execute("CREATE TABLE Drain(v NUMBER)")
+            for n in range(committed):
+                conn.execute(f"INSERT INTO Drain VALUES({n})")
+        straggler = connect(server.url)
+        straggler.begin()
+        straggler.execute("INSERT INTO Drain VALUES(-1)")  # open txn
+        started = time.perf_counter()
+        server.shutdown()  # the SIGTERM path of `repro serve`
+        drain_seconds = time.perf_counter() - started
+        db.close()
+        recovered = Database(path=path)
+        survivors = recovered.execute(
+            "SELECT COUNT(*) FROM Drain").scalar()
+        uncommitted = recovered.execute(
+            "SELECT COUNT(*) FROM Drain WHERE v = -1").scalar()
+        problems = verify_integrity(recovered)
+        recovered.close()
+    return {
+        "committed": committed,
+        "recovered": survivors,
+        "lost": committed - survivors,
+        "uncommitted_leaked": uncommitted,
+        "integrity_problems": problems,
+        "drain_seconds": round(drain_seconds, 3),
+    }
+
+
+def test_server_under_load(benchmark):
+    """The full server benchmark; gates match the CI bench smoke."""
+    throughput = sustained_throughput()
+    shedding = shedding_curve()
+    drain = drain_zero_loss()
+
+    # keep a pytest-benchmark wall time for trend tracking: one
+    # short client burst against a fresh server
+    def burst():
+        with DatabaseServer() as server:
+            with connect(server.url) as conn:
+                conn.execute("CREATE TABLE B(v NUMBER)")
+                for n in range(10):
+                    conn.execute(f"INSERT INTO B VALUES({n})")
+
+    benchmark(burst)
+    benchmark.extra_info["qps"] = throughput["qps"]
+    benchmark.extra_info["p99_ms"] = throughput["p99_ms"]
+    benchmark.extra_info["shed_total"] = shedding["shed_total"]
+
+    write_bench_json("server", {
+        "throughput": throughput,
+        "shedding": shedding,
+        "drain": drain,
+    })
+
+    # -- acceptance gates -----------------------------------------------------
+    assert throughput["clients"] >= 100
+    assert throughput["qps"] > 0
+    assert throughput["p99_ms"] > 0
+    # overload must shed (bounded refusal), not hang
+    assert shedding["shed_total"] > 0
+    assert shedding["statement_timeouts"] > 0
+    worst = shedding["levels"][-1]
+    assert worst["shed"] > 0, worst
+    # and a graceful drain loses nothing that was committed
+    assert drain["lost"] == 0
+    assert drain["uncommitted_leaked"] == 0
+    assert drain["integrity_problems"] == []

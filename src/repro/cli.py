@@ -15,6 +15,13 @@ this CLI exposes the same pipeline as one-shot commands:
    python -m repro demo                       # Appendix A walkthrough
    python -m repro db checkpoint --db-path D  # snapshot + truncate WAL
    python -m repro db recover --db-path D     # replay, report, verify
+   python -m repro serve --port 1521          # network front end
+
+``serve`` runs the engine as a fault-tolerant TCP server (see
+``docs/robustness.md``); ``ingest`` and ``query`` accept
+``--url ordb://host:port`` to run against it.  Exit codes follow the
+error taxonomy: 75 (EX_TEMPFAIL) for transient failures a shell-level
+retry may clear, 1 for permanent ones.
 
 The ingest family accepts ``--db-path DIR`` to load into a durable
 database (write-ahead logged; ``--fsync`` picks the policy); the
@@ -34,10 +41,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.core import RetryPolicy, XML2Oracle, compare
+from repro.core.ingest import classify
 from repro.core.plan import MappingConfig
 from repro.dtd import parse_dtd
 from repro.obs import Observability
@@ -47,8 +57,14 @@ from repro.ordb import (
     FSYNC_POLICIES,
     verify_integrity,
 )
-from repro.ordb.errors import OrdbError
+from repro.ordb.errors import OrdbError, is_transient
 from repro.xmlkit import parse as parse_xml
+
+#: Exit code for failures a shell-level retry may clear (EX_TEMPFAIL,
+#: the sysexits.h convention); permanent failures exit 1.  Lets
+#: wrapper scripts drive retries off the engine's error taxonomy:
+#: ``repro ingest ... || [ $? -eq 75 ] && retry_later``.
+EXIT_TRANSIENT = 75
 
 
 def _mode(name: str) -> CompatibilityMode:
@@ -143,17 +159,43 @@ def cmd_load(args) -> int:
     return 0
 
 
+def _parse_predicate(args) -> tuple | None:
+    if not args.predicate:
+        return None
+    if "=" not in args.predicate:
+        raise SystemExit("error: --predicate must be path=value")
+    path, value = args.predicate.split("=", 1)
+    return (path, "=", value)
+
+
+def _query_remote(args) -> int:
+    """``repro query --url``: store and query on a remote server."""
+    from repro.client import connect
+
+    text = Path(args.document).read_text()
+    dtd_text = Path(args.dtd).read_text() if args.dtd else None
+    with connect(args.url) as conn:
+        conn.register_schema(dtd=dtd_text, document=text,
+                             root=args.root)
+        stored = conn.store(text, root=args.root,
+                            doc_name=Path(args.document).name)
+        result = conn.query(args.path,
+                            predicate=_parse_predicate(args),
+                            select=args.select)
+    print(f"-- queried {args.url} (DocID {stored['doc_id']})")
+    print(result.format_table())
+    print(f"-- {len(result.rows)} row(s)")
+    return 0
+
+
 def cmd_query(args) -> int:
+    if getattr(args, "url", None):
+        return _query_remote(args)
     document, dtd = _load_inputs(args)
     tool = _make_tool(args)
     tool.register_schema(dtd, root=args.root, sample_document=document)
     tool.store(document)
-    predicate = None
-    if args.predicate:
-        if "=" not in args.predicate:
-            raise SystemExit("error: --predicate must be path=value")
-        path, value = args.predicate.split("=", 1)
-        predicate = (path, "=", value)
+    predicate = _parse_predicate(args)
     rendered = tool.path_query(args.path, predicate=predicate,
                                select=args.select)
     print(f"-- SQL: {rendered.sql}")
@@ -253,7 +295,72 @@ def _ingest_into(tool: XML2Oracle, args):
     return report
 
 
+def _ingest_remote(args) -> int:
+    """``repro ingest --url``: ship documents to a running server.
+
+    Every document commits in its own server-side transaction (as
+    ``--workers`` does locally); transient failures — shed requests,
+    lost connections, lock timeouts — retry with jittered backoff
+    through the connection pool before counting as failed.
+    """
+    from repro.client import ConnectionPool
+
+    paths = [Path(name) for name in args.documents]
+    policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    dtd_text = Path(args.dtd).read_text() if args.dtd else None
+    sample_text = None
+    for path in paths:
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        if sample_text is None or "<!DOCTYPE" in text:
+            sample_text = text
+        if "<!DOCTYPE" in text:
+            break
+    if dtd_text is None and sample_text is None:
+        raise SystemExit("error: no readable document to infer a"
+                         " schema from; pass --dtd FILE")
+    with ConnectionPool(args.url) as pool:
+        pool.run(lambda conn: conn.register_schema(
+            dtd=dtd_text, document=sample_text, root=args.root),
+            retry=policy)
+        stored = 0
+        classifications: list[str] = []
+        for index, path in enumerate(paths):
+            try:
+                text = path.read_text()
+            except OSError as error:
+                print(f"[{index}] {path.name}: FAILED ({error})")
+                classifications.append("permanent")
+                continue
+            try:
+                info = pool.run(
+                    lambda conn: conn.store(text, root=args.root,
+                                            doc_name=path.name),
+                    retry=policy)
+            except Exception as error:
+                kind = classify(error)
+                classifications.append(kind)
+                print(f"[{index}] {path.name}: FAILED"
+                      f" ({kind}) — {error}")
+                if not args.continue_on_error:
+                    break
+                continue
+            stored += 1
+            print(f"[{index}] {path.name}: stored as"
+                  f" DocID {info['doc_id']} on {args.url}")
+        print(f"-- {stored}/{len(paths)} document(s) stored remotely")
+    if not classifications:
+        return 0
+    return (EXIT_TRANSIENT
+            if all(kind == "transient" for kind in classifications)
+            else 1)
+
+
 def cmd_ingest(args) -> int:
+    if getattr(args, "url", None):
+        return _ingest_remote(args)
     tool = _make_tool(args)
     report = _ingest_into(tool, args)
     _report_observability(tool, args)
@@ -264,7 +371,15 @@ def cmd_ingest(args) -> int:
     if tool.db.wal is not None:
         print(f"-- durable: {tool.db.stats['wal_appends']} WAL"
               f" record(s) at {args.db_path}")
-    return 0 if report.ok else 1
+    if report.ok:
+        return 0
+    # distinct exit codes let shell wrappers retry what retrying can
+    # fix: 75 (EX_TEMPFAIL) when every failure was transient
+    quarantined = report.quarantined
+    if quarantined and all(outcome.classification == "transient"
+                           for outcome in quarantined):
+        return EXIT_TRANSIENT
+    return 1
 
 
 def cmd_stats(args) -> int:
@@ -373,6 +488,51 @@ def cmd_db_recover(args) -> int:
     return status
 
 
+def cmd_serve(args) -> int:
+    """Run the fault-tolerant network front end until SIGTERM."""
+    from repro.server import DatabaseServer, ServerConfig
+
+    db = None
+    if args.db_path:
+        db = Database(_mode(args.mode), path=args.db_path,
+                      fsync=args.fsync)
+    tool = XML2Oracle(db=db, mode=_mode(args.mode),
+                      obs=_observability(args))
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        max_active=args.max_active, max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        statement_timeout=args.statement_timeout,
+        idle_timeout=args.idle_timeout,
+        read_timeout=args.read_timeout,
+        drain_timeout=args.drain_timeout,
+        allow_remote_shutdown=args.allow_remote_shutdown)
+    server = DatabaseServer(tool, config=config)
+    server.start()
+    host, port = server.address
+    where = (f"durable at {args.db_path}" if args.db_path
+             else "in-memory")
+    print(f"-- serving ordb://{host}:{port} ({where});"
+          f" SIGTERM drains gracefully", file=sys.stderr)
+
+    def drain(signum, frame):
+        # off-thread: shutdown joins worker threads and must not run
+        # inside the signal frame of the blocked main thread
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, drain)
+    signal.signal(signal.SIGINT, drain)
+    server.serve_forever()
+    tool.db.close()
+    snapshot = server.snapshot()
+    print(f"-- drained: {snapshot['server']['requests']} request(s)"
+          f" served, {snapshot['shed']} shed,"
+          f" {snapshot['server']['statement_timeouts']} statement"
+          f" timeout(s)", file=sys.stderr)
+    return 0
+
+
 def cmd_demo(args) -> int:
     from repro.workloads import SAMPLE_DOCUMENT
 
@@ -453,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--explain", action="store_true",
         help="print the evaluation plan instead of running the query")
+    query_parser.add_argument(
+        "--url", metavar="ordb://HOST:PORT",
+        help="store and query on a running 'repro serve' server"
+             " instead of an embedded engine")
     query_parser.set_defaults(handler=cmd_query)
 
     roundtrip_parser = subparsers.add_parser(
@@ -497,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--fsync", choices=list(FSYNC_POLICIES),
             default="commit",
             help="WAL fsync policy for --db-path (default: commit)")
+        subparser.add_argument(
+            "--url", metavar="ordb://HOST:PORT",
+            help="ingest into a running 'repro serve' server instead"
+                 " of an embedded engine (per-document transactions;"
+                 " transient failures retry with jittered backoff)")
 
     ingest_parser = subparsers.add_parser(
         "ingest",
@@ -559,6 +728,59 @@ def build_parser() -> argparse.ArgumentParser:
              " on any problem")
     recover_parser.set_defaults(handler=cmd_db_recover)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the engine as a fault-tolerant TCP server"
+             " (admission control, statement timeouts, graceful"
+             " drain on SIGTERM)")
+    common(serve_parser, with_document=False)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=1521,
+        help="TCP port (default 1521; 0 picks a free one)")
+    serve_parser.add_argument(
+        "--db-path", metavar="DIR",
+        help="serve a durable database at DIR (write-ahead logged;"
+             " recovers existing state first)")
+    serve_parser.add_argument(
+        "--fsync", choices=list(FSYNC_POLICIES), default="commit",
+        help="WAL fsync policy for --db-path (default: commit)")
+    serve_parser.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="concurrent client connections (default 64)")
+    serve_parser.add_argument(
+        "--max-active", type=int, default=8, metavar="N",
+        help="executor slots: statements running at once (default 8)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="bounded admission queue; overflow is shed with"
+             " transient ORA-00020 (default 16)")
+    serve_parser.add_argument(
+        "--queue-timeout", type=float, default=1.0, metavar="SECS",
+        help="longest a request waits for a slot before being shed"
+             " (default 1.0)")
+    serve_parser.add_argument(
+        "--statement-timeout", type=float, default=5.0,
+        metavar="SECS",
+        help="server-side budget per statement; overruns abort with"
+             " ORA-01013 and roll the session back (default 5.0)")
+    serve_parser.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SECS",
+        help="drop connections silent this long (default 30)")
+    serve_parser.add_argument(
+        "--read-timeout", type=float, default=5.0, metavar="SECS",
+        help="drop connections stalling mid-frame this long"
+             " (default 5)")
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECS",
+        help="grace period for in-flight statements on SIGTERM"
+             " (default 5)")
+    serve_parser.add_argument(
+        "--allow-remote-shutdown", action="store_true",
+        help="let clients drain the server with the 'shutdown'"
+             " operation (tests and benchmarks)")
+    serve_parser.set_defaults(handler=cmd_serve)
+
     demo_parser = subparsers.add_parser(
         "demo", help="run the Appendix A walkthrough")
     common(demo_parser, with_document=False)
@@ -574,6 +796,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:  # e.g. `repro schema doc.xml | head`
         sys.stderr.close()
         return 0
+    except OrdbError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_TRANSIENT if is_transient(error) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,35 @@
+"""Client side of the network front end: connections, pool, retry.
+
+>>> from repro.server import DatabaseServer
+>>> from repro.client import ConnectionPool, connect
+>>> with DatabaseServer() as server:
+...     with connect(server.url) as conn:
+...         _ = conn.execute("CREATE TABLE T(a NUMBER)")
+...     with ConnectionPool(server.url, size=2) as pool:
+...         pool.run(lambda c: c.execute(
+...             "INSERT INTO T VALUES(7)").rowcount)
+1
+"""
+
+from __future__ import annotations
+
+from .connection import RemoteConnection, parse_url
+from .pool import ConnectionPool, call_with_retry
+
+
+def connect(url: str, connect_timeout: float = 5.0,
+            request_timeout: float = 30.0) -> RemoteConnection:
+    """Open one connection to ``ordb://host:port``."""
+    host, port = parse_url(url)
+    return RemoteConnection(host, port,
+                            connect_timeout=connect_timeout,
+                            request_timeout=request_timeout)
+
+
+__all__ = [
+    "ConnectionPool",
+    "RemoteConnection",
+    "call_with_retry",
+    "connect",
+    "parse_url",
+]

@@ -1,0 +1,180 @@
+"""One client connection to a :class:`~repro.server.DatabaseServer`.
+
+A :class:`RemoteConnection` is the client half of the wire protocol:
+it performs the magic handshake, then exchanges one request frame for
+one response frame, synchronously.  Every network failure — refused
+connect, timeout, EOF mid-frame — surfaces as the transient
+:class:`~repro.ordb.errors.ConnectionLost`, and every server-side
+failure is rebuilt as its original error class (see
+:mod:`repro.server.wire`), so callers make retry decisions with
+:func:`~repro.ordb.errors.is_transient` exactly as they would against
+the embedded engine.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..ordb.errors import ConnectionLost, ProtocolError
+from ..ordb.results import Result
+from ..server import wire
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """``ordb://host:port`` (or bare ``host:port``) -> (host, port)."""
+    trimmed = url.strip()
+    for prefix in ("ordb://", "tcp://"):
+        if trimmed.startswith(prefix):
+            trimmed = trimmed[len(prefix):]
+            break
+    trimmed = trimmed.rstrip("/")
+    host, separator, port = trimmed.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ValueError(
+            f"expected ordb://host:port, got {url!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class RemoteConnection:
+    """A live, handshaken connection speaking the RNET protocol."""
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.closed = False
+        #: when the connection was opened (pool recycling keys on it)
+        self.opened_at = time.monotonic()
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout)
+            self._sock.settimeout(request_timeout)
+            wire.send_magic(self._sock)
+            wire.expect_magic(self._sock)
+        except ProtocolError:
+            self.close()
+            raise
+        except (OSError, socket.timeout) as exc:
+            self.close()
+            raise ConnectionLost(
+                f"cannot reach server at {host}:{port}"
+                f" ({exc})") from None
+
+    @property
+    def age(self) -> float:
+        return time.monotonic() - self.opened_at
+
+    # -- the request/response cycle ----------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, await one response; raise its error."""
+        if self.closed:
+            raise ConnectionLost(
+                "connection is closed; acquire a fresh one")
+        try:
+            wire.send_message(self._sock, {"op": op, **fields})
+            response = wire.recv_message(self._sock)
+        except socket.timeout:
+            # the request may or may not have executed; the link is
+            # unusable either way
+            self.close()
+            raise ConnectionLost(
+                f"no response to {op!r} within"
+                f" {self.request_timeout:.3f}s") from None
+        except ConnectionLost:
+            self.close()
+            raise
+        except ProtocolError:
+            self.close()
+            raise
+        except OSError as exc:
+            self.close()
+            raise ConnectionLost(
+                f"connection to {self.host}:{self.port} failed"
+                f" during {op!r} ({exc})") from None
+        if not response.get("ok"):
+            raise wire.decode_error(response.get("error", {}))
+        return response
+
+    # -- operations ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def execute(self, sql: str) -> Result:
+        """Run one SQL statement in this connection's server session."""
+        return wire.decode_result(
+            self.request("execute", sql=sql)["result"])
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    def register_schema(self, dtd: str | None = None,
+                        root: str | None = None,
+                        document: str | None = None) -> dict:
+        """Install (or find, by root element) a document schema.
+
+        Either pass the DTD text, or a *document* whose internal
+        subset carries it (the sample also feeds the server's
+        IDREF-target inference)."""
+        return self.request("register_schema", dtd=dtd, root=root,
+                            document=document)
+
+    def store(self, document: str, root: str | None = None,
+              doc_name: str = "", url: str = "") -> dict:
+        """Ship one XML document; returns ``{"doc_id": ...}`` data."""
+        return self.request("store", document=document, root=root,
+                            doc_name=doc_name, url=url)
+
+    def query(self, path: str, predicate: tuple | None = None,
+              doc_id: int | None = None,
+              select: str | None = None) -> Result:
+        """Run a path query server-side; rows come back composite."""
+        response = self.request(
+            "query", path=path,
+            predicate=list(predicate) if predicate else None,
+            doc_id=doc_id, select=select)
+        return wire.decode_result(response["result"])
+
+    def fetch(self, doc_id: int) -> str:
+        """Reconstruct a stored document's XML text."""
+        return str(self.request("fetch", doc_id=doc_id)["text"])
+
+    def server_stats(self) -> dict:
+        return dict(self.request("stats")["stats"])
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain (if it allows remote shutdown)."""
+        self.request("shutdown")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        sock = getattr(self, "_sock", None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close best-effort
+                pass
+
+    def __enter__(self) -> "RemoteConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"<RemoteConnection {self.host}:{self.port} ({state})>"

@@ -1,0 +1,209 @@
+"""Client-side connection pooling with bounded overflow and retry.
+
+A :class:`ConnectionPool` keeps up to ``size`` idle connections warm
+and lends them out; under burst it opens up to ``max_overflow`` extra
+connections that are closed (not pooled) on return.  When everything
+is checked out, :meth:`acquire` waits at most ``acquire_timeout``
+seconds and then raises the transient
+:class:`~repro.ordb.errors.PoolTimeout` — the client-side twin of the
+server's admission control: bounded waiting, then an honest,
+retryable "no".
+
+``recycle`` (seconds) retires idle connections older than the limit
+before handing them out, the standard defense against silently
+half-dead sockets on long-lived pools.
+
+:meth:`run` is the robust entry point: it acquires, calls, releases,
+and retries transient failures — lost connections, shed requests,
+statement timeouts — with the capped, jittered exponential backoff of
+:class:`~repro.core.ingest.RetryPolicy`.  Connections that died
+mid-call are discarded, so one bad socket never poisons the pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Callable
+
+from ..core.ingest import RetryPolicy
+from ..ordb.errors import ConnectionLost, PoolTimeout, is_transient
+from .connection import RemoteConnection, parse_url
+
+
+class ConnectionPool:
+    """A bounded pool of :class:`RemoteConnection` objects."""
+
+    def __init__(self, url: str, size: int = 4, max_overflow: int = 2,
+                 acquire_timeout: float = 2.0,
+                 recycle: float | None = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0):
+        self.host, self.port = parse_url(url)
+        self.size = max(1, size)
+        self.max_overflow = max(0, max_overflow)
+        self.acquire_timeout = acquire_timeout
+        self.recycle = recycle
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._returned = threading.Condition()
+        self._idle: list[RemoteConnection] = []
+        #: live connections, checked out or idle (bounds creation)
+        self._total = 0
+        self.closed = False
+        #: monotonically increasing counters, never reset
+        self.stats = {"created": 0, "acquired": 0, "recycled": 0,
+                      "discarded": 0, "overflow": 0,
+                      "acquire_timeouts": 0, "retries": 0}
+
+    @property
+    def max_size(self) -> int:
+        return self.size + self.max_overflow
+
+    # -- checkout / checkin -------------------------------------------------------
+
+    def acquire(self) -> RemoteConnection:
+        """A healthy connection, within ``acquire_timeout`` or never.
+
+        Raises :class:`PoolTimeout` (transient) when the pool and its
+        overflow are exhausted for the whole wait.
+        """
+        deadline = time.monotonic() + self.acquire_timeout
+        while True:
+            with self._returned:
+                if self.closed:
+                    raise PoolTimeout("connection pool is closed")
+                while self._idle:
+                    connection = self._idle.pop()
+                    if (self.recycle is not None
+                            and connection.age > self.recycle):
+                        self.stats["recycled"] += 1
+                        self._total -= 1
+                        connection.close()
+                        continue
+                    self.stats["acquired"] += 1
+                    return connection
+                if self._total < self.max_size:
+                    self._total += 1
+                    if self._total > self.size:
+                        self.stats["overflow"] += 1
+                    break  # open a fresh one, outside the lock
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats["acquire_timeouts"] += 1
+                    raise PoolTimeout(
+                        f"no connection available within"
+                        f" {self.acquire_timeout:.3f}s"
+                        f" ({self.max_size} in use)")
+                self._returned.wait(remaining)
+                continue  # re-check idle list after a return
+        try:
+            connection = RemoteConnection(
+                self.host, self.port,
+                connect_timeout=self.connect_timeout,
+                request_timeout=self.request_timeout)
+        except BaseException:
+            with self._returned:
+                self._total -= 1
+                self._returned.notify()
+            raise
+        self.stats["created"] += 1
+        self.stats["acquired"] += 1
+        return connection
+
+    def release(self, connection: RemoteConnection,
+                discard: bool = False) -> None:
+        """Return a connection; dead or surplus ones are closed."""
+        with self._returned:
+            keep = (not discard and not connection.closed
+                    and not self.closed
+                    and len(self._idle) < self.size)
+            if keep:
+                self._idle.append(connection)
+            else:
+                self._total -= 1
+                self.stats["discarded"] += 1
+                connection.close()
+            self._returned.notify()
+
+    @contextlib.contextmanager
+    def connection(self):
+        """``with pool.connection() as conn:`` — checkout scope.
+
+        A connection that died inside the block (its ``closed`` flag
+        is set by every fatal network error) is discarded on exit.
+        """
+        connection = self.acquire()
+        try:
+            yield connection
+        finally:
+            self.release(connection, discard=connection.closed)
+
+    # -- the retrying entry point -------------------------------------------------
+
+    def run(self, call: Callable[[RemoteConnection], object],
+            retry: RetryPolicy | None = None) -> object:
+        """Run *call* with a pooled connection, retrying transients.
+
+        Each attempt uses a freshly acquired connection, so a retry
+        after :class:`ConnectionLost` lands on a different socket.
+        Permanent errors and exhausted policies propagate unchanged.
+        """
+        policy = retry or RetryPolicy()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with self.connection() as connection:
+                    return call(connection)
+            except Exception as error:
+                if (not is_transient(error)
+                        or attempt >= policy.max_attempts):
+                    raise
+                self.stats["retries"] += 1
+                policy.wait(attempt)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every idle connection and refuse new checkouts."""
+        with self._returned:
+            self.closed = True
+            idle, self._idle = self._idle, []
+            self._total -= len(idle)
+            self._returned.notify_all()
+        for connection in idle:
+            connection.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._returned:
+            return (f"<ConnectionPool {self.host}:{self.port}"
+                    f" {len(self._idle)} idle / {self._total} live"
+                    f" (max {self.max_size})>")
+
+
+def call_with_retry(call: Callable[[], object],
+                    retry: RetryPolicy | None = None,
+                    retryable: Callable[[BaseException], bool]
+                    = is_transient) -> object:
+    """Retry a bare callable on transient errors (no pool needed)."""
+    policy = retry or RetryPolicy()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return call()
+        except Exception as error:
+            if not retryable(error) or attempt >= policy.max_attempts:
+                raise
+            policy.wait(attempt)
+
+
+__all__ = ["ConnectionPool", "call_with_retry", "ConnectionLost"]

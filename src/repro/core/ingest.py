@@ -23,6 +23,7 @@ per document.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -46,26 +47,45 @@ def error_code(error: BaseException) -> str:
 
 @dataclass
 class RetryPolicy:
-    """Bounded retry with exponential backoff for transient faults.
+    """Bounded retry with capped, jittered exponential backoff.
 
     ``sleep`` is the injected clock: pass a recorder in tests, a
-    no-op in benchmarks.  ``delay(attempt)`` is the pause *after* the
-    attempt-th failure (1-based): ``base_delay * multiplier**(attempt-1)``
-    capped at ``max_delay``.
+    no-op in benchmarks.  ``delay(attempt)`` is the deterministic
+    ceiling of the pause *after* the attempt-th failure (1-based):
+    ``base_delay * multiplier**(attempt-1)`` capped at ``max_delay``.
+    The actual sleep subtracts up to ``jitter`` (a fraction of the
+    ceiling) drawn from a seedable per-policy RNG, de-synchronizing
+    retriers that failed together — without jitter, sessions that
+    collide on a lock all sleep the same backoff and collide again
+    (the livelock storms this policy exists to break).  ``jitter=0``
+    restores fully deterministic waits.
     """
 
     max_attempts: int = 3
     base_delay: float = 0.05
     multiplier: float = 2.0
     max_delay: float = 1.0
+    jitter: float = 0.5
+    seed: int | None = None
     sleep: Callable[[float], None] = time.sleep
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
 
     def delay(self, attempt: int) -> float:
         return min(self.base_delay * self.multiplier ** (attempt - 1),
                    self.max_delay)
 
+    def jittered_delay(self, attempt: int) -> float:
+        """One concrete pause: the ceiling minus a random slice."""
+        ceiling = self.delay(attempt)
+        if self.jitter <= 0.0 or ceiling <= 0.0:
+            return ceiling
+        return ceiling * (1.0 - self._rng.random() * self.jitter)
+
     def wait(self, attempt: int) -> None:
-        self.sleep(self.delay(attempt))
+        self.sleep(self.jittered_delay(attempt))
 
 
 #: A policy that never retries (permanent-only semantics).

@@ -20,6 +20,7 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import threading
 from dataclasses import dataclass, field
 
 #: Default latency buckets (seconds): 100µs .. 5s, log-ish spacing.
@@ -31,22 +32,32 @@ DEFAULT_LATENCY_BUCKETS = (
 
 @dataclass
 class Counter:
-    """A monotonically increasing count (resettable for tests)."""
+    """A monotonically increasing count (resettable for tests).
+
+    Updates are atomic: server threads, pool workers and per-session
+    handlers all bump shared instruments concurrently, and Python's
+    ``+=`` on an attribute is a read-modify-write that can lose
+    increments without the lock.
+    """
 
     name: str
     unit: str = ""
     help: str = ""
     value: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "counter"
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def as_dict(self) -> dict:
         return {"kind": self.kind, "unit": self.unit, "value": self.value}
@@ -54,29 +65,45 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A value that goes up and down (e.g. open transactions)."""
+    """A value that goes up and down (e.g. open transactions).
+
+    ``high_water`` remembers the largest value ever set — the figure
+    capacity questions actually need ("how deep did the queue get?"),
+    which a point-in-time sample always misses.
+    """
 
     name: str
     unit: str = ""
     help: str = ""
     value: float = 0.0
+    high_water: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "gauge"
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+            self.high_water = max(self.high_water, value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
+            self.high_water = max(self.high_water, self.value)
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
+            self.high_water = 0.0
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "unit": self.unit, "value": self.value}
+        return {"kind": self.kind, "unit": self.unit,
+                "value": self.value, "high_water": self.high_water}
 
 
 @dataclass
@@ -99,6 +126,8 @@ class Histogram:
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     kind = "histogram"
 
@@ -109,11 +138,13 @@ class Histogram:
             self.bucket_counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        with self._lock:
+            self.bucket_counts[
+                bisect.bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.total += value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
 
     @property
     def mean(self) -> float:
@@ -142,11 +173,12 @@ class Histogram:
         return self.maximum  # pragma: no cover - cumulative ends at count
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * (len(self.buckets) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.minimum = math.inf
+            self.maximum = -math.inf
 
     def as_dict(self) -> dict:
         return {
@@ -170,13 +202,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        # two threads asking for the same not-yet-registered name must
+        # get the same instrument, not two (one of which loses every
+        # update the other records)
+        self._create_lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind: str):
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif instrument.kind != kind:
+            with self._create_lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = factory()
+                    self._instruments[name] = instrument
+        if instrument.kind != kind:
             raise TypeError(
                 f"metric {name!r} is a {instrument.kind},"
                 f" not a {kind}")

@@ -49,12 +49,14 @@ from .errors import (
     CheckViolation,
     DanglingReference,
     IncompleteType,
+    LockTimeout,
     NestedCollectionNotSupported,
     NoSuchColumn,
     NoSuchTable,
     NotSupported,
     NullNotAllowed,
     OrdbError,
+    StatementTimeout,
     TransactionError,
     TypeMismatch,
     UniqueViolation,
@@ -131,6 +133,10 @@ class Database:
         #: the latch is taken (parsing must not serialize sessions)
         self._stmt_cache_lock = threading.Lock()
         self._active_journal: UndoJournal | None = None
+        #: monotonic deadline of the statement currently holding the
+        #: latch (statement bodies are serialized by it, so one slot
+        #: suffices); row loops poll this to abort over-budget scans
+        self._statement_deadline: float | None = None
         #: SQL text -> parsed AST (ASTs are frozen, safe to re-execute)
         self._statement_cache: dict[str, ast.Statement] = {}
         #: view key -> (data version, Result) — dropped when stale
@@ -443,12 +449,21 @@ class Database:
         if handled is not None:
             return handled
         self.faults.hit("statement", statement=statement)
+        deadline = None
+        if session.statement_timeout is not None:
+            deadline = time.monotonic() + session.statement_timeout
         # locks are acquired *before* the latch: a blocked session
         # must never stall the sessions currently executing
-        self._acquire_statement_locks(session, statement)
+        self._acquire_statement_locks(session, statement, deadline)
         try:
             with self._latch:
-                return self._execute_body(statement, session, source)
+                previous = self._statement_deadline
+                self._statement_deadline = deadline
+                try:
+                    return self._execute_body(statement, session,
+                                              source)
+                finally:
+                    self._statement_deadline = previous
         finally:
             if session.txn is None:  # autocommit: statement-duration
                 self.locks.release_all(session.sid)
@@ -507,15 +522,42 @@ class Database:
     # -- lock planning ----------------------------------------------------------------
 
     def _acquire_statement_locks(self, session: Session,
-                                 statement: ast.Statement) -> None:
+                                 statement: ast.Statement,
+                                 deadline: float | None = None) -> None:
         """Take every table lock *statement* needs, in sorted resource
         order (a global order prevents lock-order deadlocks between
         single statements; transaction-spanning cycles remain and are
-        caught by the wait-for graph)."""
+        caught by the wait-for graph).
+
+        *deadline* (monotonic seconds) caps the total lock wait: a
+        request that cannot be granted in time aborts with
+        :class:`StatementTimeout` instead of blocking into a budget
+        the statement no longer has.
+        """
         for resource, lock_mode in self._statement_locks(statement):
             self.faults.hit("lock", resource=resource, mode=lock_mode,
                             session=session.name)
-            self.locks.acquire(session.sid, resource, lock_mode)
+            if deadline is None:
+                self.locks.acquire(session.sid, resource, lock_mode)
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise StatementTimeout(
+                    f"statement exceeded its"
+                    f" {session.statement_timeout:.3f}s budget"
+                    f" waiting for {lock_mode} lock on {resource}")
+            try:
+                self.locks.acquire(session.sid, resource, lock_mode,
+                                   timeout=min(self.locks.timeout,
+                                               remaining))
+            except LockTimeout:
+                if time.monotonic() >= deadline:
+                    raise StatementTimeout(
+                        f"statement exceeded its"
+                        f" {session.statement_timeout:.3f}s budget"
+                        f" waiting for {lock_mode} lock on"
+                        f" {resource}") from None
+                raise
 
     def _statement_locks(
             self, statement: ast.Statement) -> list[tuple[str, str]]:
@@ -565,6 +607,13 @@ class Database:
                 if key not in names:
                     names.add(key)
                     frontier.append(key)
+
+    def _deadline_expired(self) -> None:
+        """Abort the running statement: its time budget ran out
+        mid-scan.  (Callers gate on ``_statement_deadline`` being set
+        so idle engines pay one attribute check per row.)"""
+        raise StatementTimeout(
+            "statement exceeded its time budget while scanning rows")
 
     def _parse_cached(self, sql: str) -> ast.Statement:
         """Parse *sql*, reusing the LRU statement cache.
@@ -1120,6 +1169,9 @@ class Database:
                                           or statement.table)
         count = 0
         for row in list(table.data.rows):
+            if (self._statement_deadline is not None
+                    and time.monotonic() > self._statement_deadline):
+                self._deadline_expired()
             binding = Binding(alias_key, row.values, table, row.oid)
             env = Env([binding])
             if statement.where is not None:
@@ -1376,6 +1428,9 @@ class Database:
                 self.stats["full_scans"] += 1
             for row in rows:
                 self.stats["rows_scanned"] += 1
+                if (self._statement_deadline is not None
+                        and time.monotonic() > self._statement_deadline):
+                    self._deadline_expired()
                 yield Binding(alias_key, row.values, table, row.oid)
             return
         if isinstance(item, ast.SubqueryRef):

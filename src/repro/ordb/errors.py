@@ -266,6 +266,134 @@ class TransientEngineFault(OrdbError):
     transient = True
 
 
+# -- server / network errors --------------------------------------------------
+#
+# The client/server layer (:mod:`repro.server`, :mod:`repro.client`)
+# serializes these across the wire, so a remote failure keeps its
+# identity — and, crucially, its ``transient`` classification — on the
+# client side, where the retry machinery consumes it.
+
+
+class StatementTimeout(OrdbError):
+    """A statement exceeded the session's server-side time budget.
+
+    The statement's own changes are undone and the server rolls the
+    whole session back (releasing its locks) before replying, so the
+    client can simply retry.  ORA-01013 is Oracle's "user requested
+    cancel of current operation" — the code a statement killed by a
+    resource profile or ``SQLNET.RECV_TIMEOUT`` surfaces as.
+    """
+
+    code = "ORA-01013"
+    transient = True
+
+
+class ServerBusy(OrdbError):
+    """Admission control shed this request: every executor slot is
+    taken and the bounded wait queue is full (or the queue wait
+    expired).  ORA-00020 ("maximum number of processes exceeded") is
+    the load-shedding error a saturated Oracle listener hands out.
+    Transient by design — back off and retry is exactly right.
+    """
+
+    code = "ORA-00020"
+    transient = True
+
+
+class ServerShuttingDown(OrdbError):
+    """The server is draining (SIGTERM): it finishes in-flight work
+    but refuses new statements.  ORA-01089 ("immediate shutdown in
+    progress").  Transient: the restarted server will accept the
+    retry."""
+
+    code = "ORA-01089"
+    transient = True
+
+
+class ConnectionLost(OrdbError):
+    """The TCP peer vanished mid-conversation (reset, EOF, kill).
+    ORA-03135 ("connection lost contact").  Transient: reconnect and
+    retry."""
+
+    code = "ORA-03135"
+    transient = True
+
+
+class ProtocolError(OrdbError):
+    """The byte stream violated the wire protocol — bad magic, a
+    frame checksum mismatch, an oversized frame, or non-JSON payload.
+    ORA-03106 ("fatal two-task communication protocol error").
+    Deliberately **not** transient: a peer speaking garbage will
+    speak garbage again."""
+
+    code = "ORA-03106"
+
+
+class PoolTimeout(OrdbError):
+    """The client-side connection pool could not provide a connection
+    within its acquire timeout (pool exhausted, overflow cap hit).
+    ORA-12520 ("listener could not find available handler").
+    Transient: a connection will free up."""
+
+    code = "ORA-12520"
+    transient = True
+
+
+class RemoteError(OrdbError):
+    """A server-side error whose class does not exist on this client.
+
+    Wire deserialization falls back to this carrier, preserving the
+    ORA code, message and transient flag it arrived with.
+    """
+
+    def __init__(self, message: str, code: str = "ORA-00000",
+                 transient: bool = False):
+        self.code = code
+        self.transient = transient
+        super().__init__(message)
+
+
+class NetFault(OrdbError):
+    """A network failure injected at the ``net`` fault site.
+
+    Like :class:`WalFault`, the error carries an *effect* telling the
+    connection how to damage the conversation before (or instead of)
+    surfacing: ``torn`` sends half a frame and drops the link,
+    ``drop`` severs it immediately, ``slow`` stalls the peer long
+    enough to trip read deadlines.  Transient — network damage is the
+    canonical retry-me condition.
+    """
+
+    code = "ORA-03113"
+    transient = True
+    net_effect: str | None = None
+    #: seconds a ``slow`` effect stalls before continuing
+    delay = 0.2
+
+
+class TornFrame(NetFault):
+    """The frame stopped mid-payload (crash or cut mid-send); the
+    peer sees a length prefix whose bytes never arrive."""
+
+    code = "ORA-03106"
+    net_effect = "torn"
+
+
+class DroppedConnection(NetFault):
+    """The connection closed without warning between frames."""
+
+    code = "ORA-03135"
+    net_effect = "drop"
+
+
+class SlowNetwork(NetFault):
+    """The peer stalls mid-conversation (congestion, a stuck client);
+    the side with a read deadline gives up, the other survives."""
+
+    code = "ORA-03135"
+    net_effect = "slow"
+
+
 #: ORA codes that are transient even when raised by error classes that
 #: do not set :attr:`OrdbError.transient` (resource busy, snapshot too
 #: old, can't serialize, timeout waiting for a resource).
@@ -284,3 +412,20 @@ def is_transient(error: BaseException) -> bool:
     if isinstance(error, OrdbError):
         return error.transient or error.code in TRANSIENT_CODES
     return False
+
+
+def error_types() -> dict[str, type]:
+    """Every concrete ``OrdbError`` subclass by class name.
+
+    The wire codec (:mod:`repro.server.wire`) uses this to rebuild
+    the *same* error class on the client that was raised on the
+    server, keeping the taxonomy intact across the hop.
+    """
+    registry: dict[str, type] = {"OrdbError": OrdbError}
+    frontier = [OrdbError]
+    while frontier:
+        for subclass in frontier.pop().__subclasses__():
+            if subclass.__module__ == __name__:
+                registry[subclass.__name__] = subclass
+                frontier.append(subclass)
+    return registry

@@ -19,7 +19,15 @@ failure-prone boundaries:
   a ``wal_effect`` (:class:`~repro.ordb.errors.TornWrite`,
   :class:`~repro.ordb.errors.ChecksumCorruption`,
   :class:`~repro.ordb.errors.FsyncFailure`) physically damage the
-  log file the corresponding way before the error surfaces.
+  log file the corresponding way before the error surfaces;
+* ``net``       — in the network server, after each request is read
+  (``op="recv"``) and before each response is sent (``op="send"``).
+  Faults whose error carries a ``net_effect``
+  (:class:`~repro.ordb.errors.TornFrame`,
+  :class:`~repro.ordb.errors.DroppedConnection`,
+  :class:`~repro.ordb.errors.SlowNetwork`) damage the conversation
+  the corresponding way — half a frame then hangup, immediate
+  hangup, or a long stall.
 
 With no fault armed, a hit only bumps a per-site counter (the counters
 double as the sweep index space for exhaustive crash tests: a clean
@@ -62,7 +70,8 @@ from typing import Callable
 from .errors import OrdbError, TransientEngineFault
 
 #: The boundaries the engine guards.
-SITES = ("parse", "statement", "lock", "storage", "commit", "wal")
+SITES = ("parse", "statement", "lock", "storage", "commit", "wal",
+         "net")
 
 
 @dataclass(frozen=True)

@@ -79,9 +79,12 @@ class LockManager:
         #: the current S holders, so without the barrier an X waiter
         #: never sees the resource free).
         self._x_waiters: dict[str, set[int]] = {}
+        #: sessions whose in-flight lock waits should abort (see
+        #: :meth:`cancel`); membership is consumed by the waiter
+        self._cancelled: set[int] = set()
         #: monotonically increasing counters, never reset
         self.stats = {"acquires": 0, "waits": 0, "upgrades": 0,
-                      "timeouts": 0, "deadlocks": 0}
+                      "timeouts": 0, "deadlocks": 0, "cancels": 0}
         #: optional hook(kind, resource, mode, seconds) with kind in
         #: {"wait", "timeout", "deadlock"}; the engine hangs its
         #: metrics bridge here.  Called under the manager mutex.
@@ -101,6 +104,7 @@ class LockManager:
         start = time.monotonic()
         waited = False
         with self._granted:
+            self._cancelled.discard(sid)
             holders = self._holders.setdefault(resource, {})
             held = holders.get(sid)
             if held == EXCLUSIVE or held == mode:
@@ -143,6 +147,16 @@ class LockManager:
                             f" {mode} lock on {resource} (session"
                             f" {sid} waits for session(s)"
                             f" {holder_list})")
+                    if sid in self._cancelled:
+                        self._cancelled.discard(sid)
+                        del self._waits_for[sid]
+                        self.stats["cancels"] += 1
+                        self._emit("timeout", resource, mode,
+                                   time.monotonic() - start)
+                        raise LockTimeout(
+                            f"lock wait cancelled while waiting for"
+                            f" {mode} lock on {resource}"
+                            f" (session {sid})")
                     remaining = limit - (time.monotonic() - start)
                     if remaining <= 0:
                         del self._waits_for[sid]
@@ -204,9 +218,23 @@ class LockManager:
 
     # -- release -----------------------------------------------------------------
 
+    def cancel(self, sid: int) -> None:
+        """Abort any lock wait session *sid* is sleeping in.
+
+        The waiter wakes and raises :class:`LockTimeout` immediately
+        instead of running out its full timeout.  Used by the network
+        server's drain path to unstick in-flight statements.  A no-op
+        when *sid* is not currently waiting — the flag is cleared on
+        the session's next acquire, so it cannot poison future waits.
+        """
+        with self._granted:
+            self._cancelled.add(sid)
+            self._granted.notify_all()
+
     def release_all(self, sid: int) -> None:
         """Drop every lock of session *sid* and wake all waiters."""
         with self._granted:
+            self._cancelled.discard(sid)
             for resource in self._held.pop(sid, ()):
                 holders = self._holders.get(resource)
                 if holders is None:

@@ -52,6 +52,11 @@ class Session:
         self.txn: Transaction | None = None
         self.closed = False
         self._atomic_seq = 0
+        #: seconds one statement may run (lock waits included) before
+        #: the engine aborts it with
+        #: :class:`~repro.ordb.errors.StatementTimeout`; None = no
+        #: budget.  The network server sets this per connection.
+        self.statement_timeout: float | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self.closed else (

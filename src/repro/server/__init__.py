@@ -1,0 +1,52 @@
+"""Network front end: the engine as a fault-tolerant TCP server.
+
+>>> from repro.server import DatabaseServer, ServerConfig
+>>> from repro.client import connect
+>>> with DatabaseServer(config=ServerConfig(port=0)) as server:
+...     with connect(server.url) as conn:
+...         _ = conn.execute("CREATE TABLE T(a NUMBER)")
+...         _ = conn.execute("INSERT INTO T VALUES(42)")
+...         int(conn.execute("SELECT a FROM T").scalar())
+42
+"""
+
+from .admission import AdmissionController
+from .core import DatabaseServer, ServerConfig
+from .wire import (
+    MAGIC,
+    MAX_FRAME,
+    decode_error,
+    decode_message,
+    decode_result,
+    encode_error,
+    encode_frame,
+    encode_message,
+    encode_result,
+    pack_value,
+    recv_frame,
+    recv_message,
+    send_frame,
+    send_message,
+    unpack_value,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DatabaseServer",
+    "MAGIC",
+    "MAX_FRAME",
+    "ServerConfig",
+    "decode_error",
+    "decode_message",
+    "decode_result",
+    "encode_error",
+    "encode_frame",
+    "encode_message",
+    "encode_result",
+    "pack_value",
+    "recv_frame",
+    "recv_message",
+    "send_frame",
+    "send_message",
+    "unpack_value",
+]

@@ -1,0 +1,102 @@
+"""Admission control: bounded concurrency with load shedding.
+
+The server grants each request an *executor slot* before running it.
+``max_active`` slots exist; a request arriving while all are busy
+waits in a bounded queue of ``max_queue`` places for at most
+``queue_timeout`` seconds.  Everything past those bounds is **shed**
+immediately with :class:`~repro.ordb.errors.ServerBusy` (ORA-00020, a
+transient error) — the whole point is that an overloaded server says
+"busy, try later" within a predictable deadline instead of letting an
+unbounded backlog push latency to infinity.
+
+>>> control = AdmissionController(max_active=1, max_queue=0)
+>>> with control.admit():
+...     control.admit().__enter__()     # no slot, no queue: shed now
+Traceback (most recent call last):
+    ...
+repro.ordb.errors.ServerBusy: ORA-00020: ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+from ..ordb.errors import ServerBusy
+
+
+class AdmissionController:
+    """Hands out executor slots; sheds what it cannot seat."""
+
+    def __init__(self, max_active: int = 8, max_queue: int = 16,
+                 queue_timeout: float = 1.0):
+        if max_active < 1:
+            raise ValueError("max_active must be at least 1")
+        self.max_active = max_active
+        self.max_queue = max(0, max_queue)
+        self.queue_timeout = queue_timeout
+        self._slot_freed = threading.Condition()
+        self.active = 0
+        self.queued = 0
+        #: monotonically increasing counters, never reset
+        self.stats = {"admitted": 0, "queued": 0, "shed_queue_full": 0,
+                      "shed_timeout": 0, "queue_high_water": 0}
+
+    def acquire(self) -> None:
+        """Take a slot, waiting in the bounded queue if necessary.
+
+        Raises :class:`ServerBusy` when the queue is full on arrival
+        or the queue wait outlives ``queue_timeout`` — in both cases
+        within ``queue_timeout`` of the call, never later.
+        """
+        with self._slot_freed:
+            if self.active < self.max_active:
+                self.active += 1
+                self.stats["admitted"] += 1
+                return
+            if self.queued >= self.max_queue:
+                self.stats["shed_queue_full"] += 1
+                raise ServerBusy(
+                    f"all {self.max_active} executor slots busy and"
+                    f" the {self.max_queue}-place queue is full;"
+                    f" request shed")
+            self.queued += 1
+            self.stats["queued"] += 1
+            self.stats["queue_high_water"] = max(
+                self.stats["queue_high_water"], self.queued)
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while self.active >= self.max_active:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats["shed_timeout"] += 1
+                        raise ServerBusy(
+                            f"no executor slot freed within the"
+                            f" {self.queue_timeout:.3f}s queue"
+                            f" timeout; request shed")
+                    self._slot_freed.wait(remaining)
+            finally:
+                self.queued -= 1
+            self.active += 1
+            self.stats["admitted"] += 1
+
+    def release(self) -> None:
+        with self._slot_freed:
+            self.active -= 1
+            self._slot_freed.notify()
+
+    @contextlib.contextmanager
+    def admit(self):
+        """``with control.admit():`` — slot held for the block."""
+        self.acquire()
+        try:
+            yield self
+        finally:
+            self.release()
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed (queue-full plus queue-timeout)."""
+        return (self.stats["shed_queue_full"]
+                + self.stats["shed_timeout"])

@@ -1,0 +1,294 @@
+"""Wire protocol of the network front end.
+
+The conversation reuses the framing discipline of the write-ahead log
+(:mod:`repro.ordb.wal`): after an 8-byte magic handshake in each
+direction, both peers exchange length-prefixed, CRC-checksummed
+frames carrying JSON messages::
+
+    RNET0001 | len u32 | crc32(len || payload) u32 | payload | ...
+
+The checksum covers the length prefix, exactly as on disk, so a
+damaged frame header cannot silently re-frame the payload.  A frame
+that fails its checksum is a :class:`~repro.ordb.errors.ProtocolError`
+(the peer is speaking garbage — permanent); a frame that simply never
+finishes arriving is a :class:`~repro.ordb.errors.ConnectionLost`
+(the peer died — transient, retry elsewhere).
+
+Messages are JSON objects.  Engine values that JSON cannot carry —
+object instances, collections, REFs, DECIMALs, DATEs — travel as
+``{"$": tag, ...}`` envelopes (see :func:`pack_value`), so a path
+query's composite results survive the hop intact.  Errors travel as
+``{type, code, message, transient}`` and are rebuilt on the client as
+the *same* :class:`~repro.ordb.errors.OrdbError` subclass via
+:func:`~repro.ordb.errors.error_types`, falling back to
+:class:`~repro.ordb.errors.RemoteError` when the class is unknown —
+either way the ``transient`` classification survives, which is what
+drives the client's retry machinery.
+
+>>> from repro.ordb.errors import LockTimeout
+>>> err = decode_error(encode_error(LockTimeout("busy")))
+>>> type(err).__name__, err.code, err.transient
+('LockTimeout', 'ORA-30006', True)
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import socket
+import struct
+from decimal import Decimal
+
+from ..ordb.errors import (
+    ConnectionLost,
+    OrdbError,
+    ProtocolError,
+    RemoteError,
+    error_types,
+    is_transient,
+)
+from ..ordb.results import Result
+from ..ordb.values import CollectionValue, ObjectValue, RefValue
+from ..ordb.wal import FRAME_OVERHEAD, _frame_crc
+
+#: Connection magic; the trailing digits version the wire format.
+MAGIC = b"RNET0001"
+
+#: Upper bound on one frame's payload — a length prefix beyond this is
+#: treated as protocol garbage, not an allocation request.
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct("<I")
+
+
+# -- framing ------------------------------------------------------------------------
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One framed message: ``len | crc | payload`` (WAL discipline)."""
+    length_bytes = _LENGTH.pack(len(payload))
+    crc = _frame_crc(length_bytes, payload)
+    return length_bytes + _LENGTH.pack(crc) + payload
+
+
+def recv_exact(sock: socket.socket, count: int,
+               what: str = "frame") -> bytes:
+    """Read exactly *count* bytes or raise :class:`ConnectionLost`."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionLost(
+                f"peer closed the connection mid-{what}"
+                f" ({count - remaining} of {count} bytes arrived)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket,
+               header_timeout: float | None = None,
+               payload_timeout: float | None = None) -> bytes:
+    """Read one frame; verify its checksum before trusting a byte.
+
+    The optional timeouts give the two phases distinct deadlines —
+    waiting for the *next* frame to start is idleness (a long, lazy
+    deadline), waiting for a started frame to finish is a stall (a
+    short one).  ``socket.timeout`` propagates to the caller.
+    """
+    if header_timeout is not None:
+        sock.settimeout(header_timeout)
+    header = recv_exact(sock, FRAME_OVERHEAD, what="frame header")
+    if payload_timeout is not None:
+        sock.settimeout(payload_timeout)
+    length_bytes = header[:4]
+    (length,) = _LENGTH.unpack(length_bytes)
+    (crc,) = _LENGTH.unpack(header[4:])
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME}-byte"
+            f" limit (corrupt or hostile length prefix)")
+    payload = recv_exact(sock, length, what="frame payload")
+    if _frame_crc(length_bytes, payload) != crc:
+        raise ProtocolError(
+            f"frame checksum mismatch on a {length}-byte payload")
+    return payload
+
+
+def send_magic(sock: socket.socket) -> None:
+    sock.sendall(MAGIC)
+
+
+def expect_magic(sock: socket.socket) -> None:
+    """Consume and verify the peer's 8-byte hello."""
+    hello = recv_exact(sock, len(MAGIC), what="magic handshake")
+    if hello != MAGIC:
+        raise ProtocolError(
+            f"bad connection magic {hello!r} (expected {MAGIC!r})")
+
+
+# -- messages -----------------------------------------------------------------------
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    send_frame(sock, encode_message(message))
+
+
+def recv_message(sock: socket.socket) -> dict:
+    return decode_message(recv_frame(sock))
+
+
+def encode_message(message: dict) -> bytes:
+    return json.dumps(pack_value(message),
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(payload: bytes) -> dict:
+    try:
+        message = unpack_value(json.loads(payload.decode("utf-8")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(
+            f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+# -- value codec --------------------------------------------------------------------
+#
+# ``{"$": tag, ...}`` envelopes carry everything JSON cannot.  A plain
+# dict whose keys include "$" is itself wrapped in a "map" envelope so
+# user data can never be mistaken for an envelope.
+
+
+def pack_value(value: object) -> object:
+    """JSON-encodable form of any engine value (recursive)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, ObjectValue):
+        return {"$": "obj", "type": value.type_name,
+                "attrs": {key: pack_value(item)
+                          for key, item in value.attributes().items()}}
+    if isinstance(value, CollectionValue):
+        return {"$": "coll", "type": value.type_name,
+                "items": [pack_value(item) for item in value.items]}
+    if isinstance(value, RefValue):
+        return {"$": "ref", "oid": value.oid, "table": value.table,
+                "type": value.type_name}
+    if isinstance(value, Decimal):
+        return {"$": "dec", "v": str(value)}
+    if isinstance(value, datetime.datetime):
+        return {"$": "dt", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$": "date", "v": value.isoformat()}
+    if isinstance(value, (list, tuple)):
+        return [pack_value(item) for item in value]
+    if isinstance(value, dict):
+        packed = {str(key): pack_value(item)
+                  for key, item in value.items()}
+        if "$" in packed:
+            return {"$": "map", "v": packed}
+        return packed
+    raise ProtocolError(
+        f"cannot serialize {type(value).__name__} onto the wire")
+
+
+def unpack_value(value: object) -> object:
+    """Inverse of :func:`pack_value`."""
+    if isinstance(value, list):
+        return [unpack_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    tag = value.get("$")
+    if tag is None:
+        return {key: unpack_value(item) for key, item in value.items()}
+    if tag == "obj":
+        return ObjectValue(value["type"],
+                           {key: unpack_value(item)
+                            for key, item in value["attrs"].items()})
+    if tag == "coll":
+        return CollectionValue(value["type"],
+                               [unpack_value(item)
+                                for item in value["items"]])
+    if tag == "ref":
+        return RefValue(value["oid"], value["table"], value["type"])
+    if tag == "dec":
+        return Decimal(value["v"])
+    if tag == "dt":
+        return datetime.datetime.fromisoformat(value["v"])
+    if tag == "date":
+        return datetime.date.fromisoformat(value["v"])
+    if tag == "map":
+        return {key: unpack_value(item)
+                for key, item in value["v"].items()}
+    raise ProtocolError(f"unknown wire value tag {tag!r}")
+
+
+# -- result codec -------------------------------------------------------------------
+
+
+def encode_result(result: Result) -> dict:
+    return {"columns": list(result.columns),
+            "rows": [[pack_value(value) for value in row]
+                     for row in result.rows],
+            "rowcount": result.rowcount,
+            "message": result.message}
+
+
+def decode_result(payload: dict) -> Result:
+    rows = [tuple(unpack_value(value) for value in row)
+            for row in payload.get("rows", [])]
+    # Result derives rowcount from rows when given; pass None for a
+    # row-less DML result so the wire rowcount survives
+    return Result(columns=list(payload.get("columns", [])) or None,
+                  rows=rows or None,
+                  rowcount=int(payload.get("rowcount", 0)),
+                  message=str(payload.get("message", "")))
+
+
+# -- error codec --------------------------------------------------------------------
+
+
+def encode_error(error: BaseException) -> dict:
+    """The wire form of a server-side failure.
+
+    Unexpected (non-engine) exceptions surface as ORA-00600 — the
+    classic Oracle "internal error" — and are never transient.
+    """
+    if isinstance(error, OrdbError):
+        return {"type": type(error).__name__, "code": error.code,
+                "message": error.message,
+                "transient": bool(is_transient(error))}
+    return {"type": "RemoteError", "code": "ORA-00600",
+            "message": f"internal error"
+                       f" [{type(error).__name__}: {error}]",
+            "transient": False}
+
+
+def decode_error(payload: dict) -> OrdbError:
+    """Rebuild the server's error, class identity included.
+
+    Falls back to :class:`RemoteError` whenever the named class is
+    unknown here or would misreport the wire's code/transient pair —
+    the taxonomy on the wire always wins over local class defaults.
+    """
+    name = str(payload.get("type", "RemoteError"))
+    code = str(payload.get("code", "ORA-00000"))
+    message = str(payload.get("message", "remote error"))
+    transient = bool(payload.get("transient", False))
+    cls = error_types().get(name)
+    if cls is not None and cls is not RemoteError:
+        try:
+            error = cls(message)
+        except TypeError:
+            error = None
+        if (error is not None and error.code == code
+                and is_transient(error) == transient):
+            return error
+    return RemoteError(message, code=code, transient=transient)

@@ -77,10 +77,24 @@ class TestRetryPolicy:
 
     def test_injected_sleep(self):
         sleeps = []
-        policy = RetryPolicy(base_delay=0.5, sleep=sleeps.append)
+        policy = RetryPolicy(base_delay=0.5, jitter=0.0,
+                             sleep=sleeps.append)
         policy.wait(1)
         policy.wait(2)
         assert sleeps == [0.5, 1.0]
+
+    def test_jitter_spreads_but_respects_the_cap(self):
+        policy = RetryPolicy(base_delay=0.5, jitter=0.5, seed=7,
+                             sleep=lambda _s: None)
+        pauses = [policy.jittered_delay(2) for _ in range(50)]
+        assert all(0.5 <= pause <= 1.0 for pause in pauses)
+        assert len(set(pauses)) > 1  # actually randomized
+
+    def test_jitter_is_seedable(self):
+        first = RetryPolicy(seed=42, sleep=lambda _s: None)
+        second = RetryPolicy(seed=42, sleep=lambda _s: None)
+        assert [first.jittered_delay(n) for n in (1, 2, 3)] == \
+            [second.jittered_delay(n) for n in (1, 2, 3)]
 
     def test_no_retry_never_sleeps(self):
         assert NO_RETRY.max_attempts == 1
@@ -126,7 +140,7 @@ class TestStoreMany:
         report = tool.store_many(
             [school_doc(1)],
             retry=RetryPolicy(max_attempts=3, base_delay=0.25,
-                              sleep=sleeps.append))
+                              jitter=0.0, sleep=sleeps.append))
         assert report.ok
         assert report.outcomes[0].attempts == 2
         assert sleeps == [0.25]
@@ -274,10 +288,12 @@ class TestCliIngest:
         assert "1 stored" in capsys.readouterr().out
 
     def test_ingest_fault_flag(self, corpus, capsys):
+        # every quarantined document failed transiently, so the exit
+        # code is EX_TEMPFAIL (75): a shell-level retry may clear it
         assert main(["ingest", *corpus["good"],
                      "--dtd", corpus["dtd"],
                      "--continue-on-error", "--retries", "0",
-                     "--fault", "storage:4"]) == 1
+                     "--fault", "storage:4"]) == 75
         out = capsys.readouterr().out
         assert "ORA-03113" in out
 

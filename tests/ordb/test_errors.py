@@ -1,0 +1,152 @@
+"""The error taxonomy: every class classified deliberately, and the
+classification survives the wire.
+
+The transient/permanent split drives retry decisions everywhere — the
+ingest quarantine, the client pool, shell exit codes — so a subclass
+whose ``transient`` flag was never *decided* is a latent retry storm
+(or a never-retried recoverable fault).  ``EXPECTED`` pins the
+decision for every class; adding an error without updating it fails
+the completeness test, forcing the decision to be made.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ordb import errors
+from repro.ordb.errors import (
+    OrdbError,
+    RemoteError,
+    error_types,
+    is_transient,
+)
+from repro.server.wire import decode_error, encode_error
+
+#: class name -> is_transient(instance).  Every concrete OrdbError
+#: subclass must appear here: this table IS the deliberate decision.
+EXPECTED = {
+    "OrdbError": False,
+    "ParseError": False,
+    "InvalidIdentifier": False,
+    "IdentifierTooLong": False,
+    "ReservedWord": False,
+    "NameInUse": False,
+    "NoSuchTable": False,
+    "NoSuchType": False,
+    "NoSuchColumn": False,
+    "InvalidDatatype": False,
+    "TypeMismatch": False,
+    "ValueTooLarge": False,
+    "InvalidNumber": False,
+    "NullNotAllowed": False,
+    "CheckViolation": False,
+    "UniqueViolation": False,
+    "NestedCollectionNotSupported": False,
+    "ConstraintOnTypeNotAllowed": False,
+    "DependentObjectsExist": False,
+    "DanglingReference": False,
+    "WrongArgumentCount": False,
+    "IncompleteType": False,
+    "NotSupported": False,
+    "TransactionError": False,
+    "NoSuchSavepoint": False,
+    "LockTimeout": True,
+    "DeadlockDetected": True,
+    # media failures are crashes, not retry-me conditions
+    "WalFault": False,
+    "TornWrite": False,
+    "ChecksumCorruption": False,
+    "FsyncFailure": False,
+    "CheckpointCorrupt": False,
+    "TransientEngineFault": True,
+    # server/network: retry is the whole point, except for peers
+    # speaking garbage
+    "StatementTimeout": True,
+    "ServerBusy": True,
+    "ServerShuttingDown": True,
+    "ConnectionLost": True,
+    "ProtocolError": False,
+    "PoolTimeout": True,
+    "RemoteError": False,
+    "NetFault": True,
+    "TornFrame": True,
+    "DroppedConnection": True,
+    "SlowNetwork": True,
+}
+
+
+def make_error(cls: type) -> OrdbError:
+    if cls is RemoteError:
+        return RemoteError("remote boom", code="ORA-31337",
+                           transient=True)
+    return cls("boom")
+
+
+class TestTaxonomyCompleteness:
+    def test_every_subclass_has_a_deliberate_classification(self):
+        assert set(error_types()) == set(EXPECTED), (
+            "a new OrdbError subclass must be added to EXPECTED with"
+            " a deliberate transient/permanent decision")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_classification_matches_the_decision(self, name):
+        cls = error_types()[name]
+        assert is_transient(cls("x")) is EXPECTED[name]
+
+    def test_every_class_has_an_ora_code(self):
+        for name, cls in error_types().items():
+            error = cls("x")
+            assert error.code.startswith("ORA-"), name
+            assert len(error.code) == len("ORA-00000"), name
+
+    def test_registry_covers_the_whole_hierarchy(self):
+        # walk the module's namespace independently of the registry
+        declared = {
+            name for name, value in vars(errors).items()
+            if isinstance(value, type) and issubclass(value, OrdbError)
+        }
+        assert declared == set(error_types())
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_error_round_trips_with_identity_intact(self, name):
+        original = make_error(error_types()[name])
+        decoded = decode_error(encode_error(original))
+        assert type(decoded).__name__ == name
+        assert decoded.code == original.code
+        assert decoded.message == original.message
+        assert is_transient(decoded) is is_transient(original)
+
+    def test_unknown_class_falls_back_to_remote_error(self):
+        decoded = decode_error({"type": "FutureError",
+                                "code": "ORA-55555",
+                                "message": "from tomorrow",
+                                "transient": True})
+        assert isinstance(decoded, RemoteError)
+        assert decoded.code == "ORA-55555"
+        assert is_transient(decoded)
+
+    def test_mismatched_code_falls_back_to_remote_error(self):
+        # a server whose LockTimeout carries a different code (newer
+        # version): the wire's taxonomy wins over the local class
+        decoded = decode_error({"type": "LockTimeout",
+                                "code": "ORA-99999",
+                                "message": "busy",
+                                "transient": False})
+        assert isinstance(decoded, RemoteError)
+        assert decoded.code == "ORA-99999"
+        assert not is_transient(decoded)
+
+    def test_non_engine_exception_becomes_internal_error(self):
+        payload = encode_error(ValueError("bug"))
+        assert payload["code"] == "ORA-00600"
+        decoded = decode_error(payload)
+        assert isinstance(decoded, RemoteError)
+        assert not is_transient(decoded)
+        assert "ValueError" in decoded.message
+
+    def test_net_effects_survive_class_reconstruction(self):
+        decoded = decode_error(encode_error(
+            error_types()["TornFrame"]("cut")))
+        assert decoded.net_effect == "torn"

@@ -1,0 +1,45 @@
+"""Shared fixtures for the network front-end tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import DatabaseServer, ServerConfig
+
+SCHOOL_DOC = """<!DOCTYPE School [
+<!ELEMENT School (Student+, Course+, Enrolment*)>
+<!ELEMENT Student (SName)>
+<!ATTLIST Student sid ID #REQUIRED>
+<!ELEMENT Course (CName)>
+<!ATTLIST Course cid ID #REQUIRED>
+<!ELEMENT Enrolment EMPTY>
+<!ATTLIST Enrolment who IDREF #REQUIRED what IDREF #REQUIRED>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT CName (#PCDATA)>
+]>
+<School><Student sid="s1"><SName>Ann</SName></Student>
+<Course cid="c1"><CName>DB</CName></Course>
+<Enrolment who="s1" what="c1"/></School>"""
+
+
+@pytest.fixture
+def make_server():
+    """Factory: ``make_server(db=..., max_active=...)`` -> started
+    server.  Every server is torn down (drain skipped) on exit."""
+    servers: list[DatabaseServer] = []
+
+    def factory(*, tool=None, db=None, **config):
+        server = DatabaseServer(tool, db=db,
+                                config=ServerConfig(**config))
+        servers.append(server)
+        return server.start()
+
+    yield factory
+    for server in servers:
+        server.shutdown(drain=False)
+
+
+@pytest.fixture
+def server(make_server):
+    """One started server over a fresh in-memory engine."""
+    return make_server()

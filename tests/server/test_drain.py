@@ -1,0 +1,146 @@
+"""Graceful drain: SIGTERM semantics without the signal.
+
+``repro serve`` wires SIGTERM to :meth:`DatabaseServer.shutdown`;
+these tests call it directly and assert the contract — stop
+accepting, shed further work with transient ORA-01089, unstick
+lock waits, and lose **zero committed transactions** on a durable
+engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.client import connect
+from repro.ordb import Database
+from repro.ordb.checkpoint import verify_integrity
+from repro.ordb.errors import (
+    ConnectionLost,
+    OrdbError,
+    ServerShuttingDown,
+    is_transient,
+)
+
+
+class TestDrainBasics:
+    def test_shutdown_refuses_new_connections(self, server):
+        url = server.url
+        server.shutdown()
+        with pytest.raises(ConnectionLost):
+            connect(url)
+        assert server._stopped.is_set()
+
+    def test_shutdown_is_idempotent(self, server):
+        server.shutdown()
+        server.shutdown()  # no error, returns immediately
+
+    def test_requests_during_drain_get_shutting_down(self, server):
+        conn = connect(server.url)
+        server._draining.set()  # drain announced, sockets still up
+        try:
+            with pytest.raises(ServerShuttingDown) as info:
+                conn.execute("CREATE TABLE T(v NUMBER)")
+            assert is_transient(info.value)
+            # control plane still answers so clients can observe it
+            assert conn.server_stats()["draining"]
+        finally:
+            conn.close()
+            server.shutdown(drain=False)
+
+    def test_open_connections_are_closed_by_shutdown(self, server):
+        conn = connect(server.url)
+        assert conn.ping()
+        server.shutdown()
+        with pytest.raises(ConnectionLost):
+            conn.ping()
+        assert server.stats["disconnects"] >= 1
+
+
+class TestDrainDurability:
+    def test_drain_loses_zero_committed_transactions(self, tmp_path,
+                                                     make_server):
+        """The acceptance scenario: commits before SIGTERM survive,
+        the transaction still open at SIGTERM does not."""
+        db = Database(path=tmp_path / "db")
+        server = make_server(db=db)
+        with connect(server.url) as conn:
+            conn.execute("CREATE TABLE T(v NUMBER)")
+            for n in range(5):
+                conn.execute(f"INSERT INTO T VALUES({n})")
+        straggler = connect(server.url)
+        straggler.begin()
+        straggler.execute("INSERT INTO T VALUES(99)")  # never commits
+        server.shutdown()  # graceful drain, checkpoint included
+        db.close()
+        recovered = Database(path=tmp_path / "db")
+        try:
+            assert recovered.execute(
+                "SELECT COUNT(*) FROM T").scalar() == 5
+            assert recovered.execute(
+                "SELECT COUNT(*) FROM T WHERE v = 99").scalar() == 0
+            assert verify_integrity(recovered) == []
+        finally:
+            recovered.close()
+
+    def test_drain_checkpoints_a_durable_engine(self, tmp_path,
+                                                make_server):
+        db = Database(path=tmp_path / "db")
+        server = make_server(db=db)
+        with connect(server.url) as conn:
+            conn.execute("CREATE TABLE T(v NUMBER)")
+            conn.execute("INSERT INTO T VALUES(1)")
+        server.shutdown()
+        # the drain checkpoint truncated the WAL: a fresh open
+        # replays nothing
+        db.close()
+        recovered = Database(path=tmp_path / "db")
+        try:
+            assert recovered.recovery_info["checkpoint_loaded"]
+            assert recovered.recovery_info[
+                "transactions_replayed"] == 0
+            assert recovered.execute(
+                "SELECT COUNT(*) FROM T").scalar() == 1
+        finally:
+            recovered.close()
+
+
+class TestDrainUnsticksLockWaits:
+    def test_stuck_lock_wait_is_cancelled_within_budget(
+            self, make_server):
+        # long engine lock timeout so only drain can unstick the wait
+        db = Database(lock_timeout=30.0)
+        server = make_server(db=db, statement_timeout=None,
+                             drain_timeout=0.3)
+        holder = connect(server.url)
+        blocked = connect(server.url)
+        failure = {}
+
+        def blocked_insert():
+            try:
+                blocked.execute("INSERT INTO T VALUES(2)")
+            except OrdbError as error:
+                failure["error"] = error
+
+        try:
+            holder.execute("CREATE TABLE T(v NUMBER)")
+            holder.begin()
+            holder.execute("INSERT INTO T VALUES(1)")  # X on T
+            waiter = threading.Thread(target=blocked_insert,
+                                      daemon=True)
+            waiter.start()
+            time.sleep(0.2)  # the insert is now waiting on the lock
+            started = time.monotonic()
+            server.shutdown()  # must not wait the full 30s
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0
+            waiter.join(5.0)
+            assert not waiter.is_alive()
+            assert db.locks.stats["cancels"] >= 1
+            # the blocked client saw a failure, not a silent hang
+            assert isinstance(failure.get("error"), OrdbError)
+        finally:
+            holder.close()
+            blocked.close()

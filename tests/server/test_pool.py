@@ -1,0 +1,197 @@
+"""The client connection pool: bounds, overflow, recycle, retry."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.client import ConnectionPool, call_with_retry, parse_url
+from repro.core.ingest import RetryPolicy
+from repro.ordb.errors import (
+    ConnectionLost,
+    ParseError,
+    PoolTimeout,
+    is_transient,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=4, jitter=0.0,
+                         sleep=lambda _s: None)
+
+
+class TestParseUrl:
+    @pytest.mark.parametrize("url", [
+        "ordb://db.example:1521",
+        "tcp://db.example:1521",
+        "db.example:1521",
+        "ordb://db.example:1521/",
+    ])
+    def test_accepted_shapes(self, url):
+        assert parse_url(url) == ("db.example", 1521)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_url("ordb://:1521") == ("127.0.0.1", 1521)
+
+    @pytest.mark.parametrize("url", ["db.example", "ordb://db:x",
+                                     "http://db:80:extra:"])
+    def test_rejected_shapes(self, url):
+        with pytest.raises(ValueError):
+            parse_url(url)
+
+
+class TestCheckoutCheckin:
+    def test_released_connection_is_reused(self, server):
+        with ConnectionPool(server.url, size=2) as pool:
+            first = pool.acquire()
+            pool.release(first)
+            second = pool.acquire()
+            pool.release(second)
+            assert first is second
+            assert pool.stats["created"] == 1
+            assert pool.stats["acquired"] == 2
+
+    def test_overflow_connections_are_closed_on_return(self, server):
+        with ConnectionPool(server.url, size=1,
+                            max_overflow=1) as pool:
+            kept = pool.acquire()
+            surplus = pool.acquire()
+            assert pool.stats["overflow"] == 1
+            pool.release(kept)
+            pool.release(surplus)  # idle list already full
+            assert surplus.closed
+            assert not kept.closed
+            assert pool.acquire() is kept
+
+    def test_exhausted_pool_times_out_transiently(self, server):
+        with ConnectionPool(server.url, size=1, max_overflow=0,
+                            acquire_timeout=0.3) as pool:
+            held = pool.acquire()
+            started = time.monotonic()
+            with pytest.raises(PoolTimeout) as info:
+                pool.acquire()
+            elapsed = time.monotonic() - started
+            assert 0.25 <= elapsed < 1.0  # bounded, not unbounded
+            assert is_transient(info.value)
+            assert pool.stats["acquire_timeouts"] == 1
+            pool.release(held)
+
+    def test_release_unblocks_a_waiter(self, server):
+        import threading
+
+        with ConnectionPool(server.url, size=1, max_overflow=0,
+                            acquire_timeout=5.0) as pool:
+            held = pool.acquire()
+            got = {}
+
+            def waiter():
+                connection = pool.acquire()
+                got["conn"] = connection
+                pool.release(connection)
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            time.sleep(0.1)
+            pool.release(held)
+            thread.join(5.0)
+            assert got["conn"] is held
+
+    def test_recycle_retires_old_connections(self, server):
+        with ConnectionPool(server.url, size=1,
+                            recycle=0.0) as pool:
+            first = pool.acquire()
+            pool.release(first)
+            second = pool.acquire()
+            assert second is not first
+            assert first.closed
+            assert pool.stats["recycled"] == 1
+            assert pool.stats["created"] == 2
+            pool.release(second)
+
+    def test_dead_connection_is_discarded_not_pooled(self, server):
+        with ConnectionPool(server.url, size=2) as pool:
+            with pool.connection() as conn:
+                conn.close()  # died mid-use
+            assert pool.stats["discarded"] == 1
+            fresh = pool.acquire()
+            assert fresh is not conn
+            assert fresh.ping()
+            pool.release(fresh)
+
+    def test_closed_pool_refuses_checkouts(self, server):
+        pool = ConnectionPool(server.url)
+        connection = pool.acquire()
+        pool.release(connection)
+        pool.close()
+        assert connection.closed
+        with pytest.raises(PoolTimeout):
+            pool.acquire()
+
+
+class TestRetry:
+    def test_run_retries_a_dropped_connection(self, server):
+        server.db.faults.arm(site="net", times=1)
+        with ConnectionPool(server.url, size=2) as pool:
+            assert pool.run(lambda c: c.ping(), retry=FAST_RETRY)
+            assert pool.stats["retries"] >= 1
+        assert server.stats["net_faults"] == 1
+
+    def test_run_retries_land_on_a_fresh_socket(self, server):
+        # the first socket died; the retry must not reuse it
+        server.db.faults.arm(site="net", times=1)
+        with ConnectionPool(server.url, size=1) as pool:
+            seen = []
+
+            def call(connection):
+                seen.append(connection)
+                return connection.ping()
+
+            assert pool.run(call, retry=FAST_RETRY)
+            assert seen[0] is not seen[1]
+            assert seen[0].closed
+
+    def test_run_does_not_retry_permanent_errors(self, server):
+        with ConnectionPool(server.url) as pool:
+            with pytest.raises(ParseError):
+                pool.run(lambda c: c.execute("SELEKT 1 FORM T"),
+                         retry=FAST_RETRY)
+            assert pool.stats["retries"] == 0
+
+    def test_run_gives_up_after_the_policy(self, server):
+        server.db.faults.arm(site="net", times=None)  # every request
+        with ConnectionPool(server.url, size=2) as pool:
+            with pytest.raises(ConnectionLost):
+                pool.run(lambda c: c.ping(),
+                         retry=RetryPolicy(max_attempts=2, jitter=0.0,
+                                           sleep=lambda _s: None))
+            assert pool.stats["retries"] == 1
+
+    def test_run_uses_jittered_backoff(self, server):
+        server.db.faults.arm(site="net", times=2)
+        sleeps = []
+        with ConnectionPool(server.url, size=2) as pool:
+            policy = RetryPolicy(max_attempts=4, base_delay=0.5,
+                                 jitter=0.5, seed=3,
+                                 sleep=sleeps.append)
+            assert pool.run(lambda c: c.ping(), retry=policy)
+        assert len(sleeps) == 2
+        assert all(0.25 <= pause <= 2.0 for pause in sleeps)
+
+    def test_call_with_retry_without_a_pool(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionLost("blip")
+            return "ok"
+
+        assert call_with_retry(flaky, retry=FAST_RETRY) == "ok"
+        assert len(attempts) == 3
+
+    def test_call_with_retry_custom_classifier(self):
+        def always_fails():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            call_with_retry(always_fails, retry=FAST_RETRY,
+                            retryable=lambda _e: False)

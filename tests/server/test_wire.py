@@ -1,0 +1,230 @@
+"""The wire protocol: framing, handshake, value/result/error codecs.
+
+Framing tests run over a real socketpair so the byte-level behavior
+(partial reads, EOF mid-frame, checksum verification before trust) is
+exactly what the server and client see.
+"""
+
+from __future__ import annotations
+
+import datetime
+import socket
+import threading
+from decimal import Decimal
+
+import pytest
+
+from repro.ordb.errors import (
+    ConnectionLost,
+    LockTimeout,
+    ProtocolError,
+    RemoteError,
+)
+from repro.ordb.results import Result
+from repro.ordb.values import CollectionValue, ObjectValue, RefValue
+from repro.server import wire
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        wire.send_frame(left, b"hello wire")
+        assert wire.recv_frame(right) == b"hello wire"
+
+    def test_empty_payload(self, pair):
+        left, right = pair
+        wire.send_frame(left, b"")
+        assert wire.recv_frame(right) == b""
+
+    def test_back_to_back_frames_do_not_bleed(self, pair):
+        left, right = pair
+        wire.send_frame(left, b"one")
+        wire.send_frame(left, b"two")
+        assert wire.recv_frame(right) == b"one"
+        assert wire.recv_frame(right) == b"two"
+
+    def test_corrupt_payload_fails_the_checksum(self, pair):
+        left, right = pair
+        frame = bytearray(wire.encode_frame(b"precious payload"))
+        frame[-1] ^= 0xFF
+        left.sendall(bytes(frame))
+        with pytest.raises(ProtocolError, match="checksum"):
+            wire.recv_frame(right)
+
+    def test_corrupt_length_prefix_fails_the_checksum(self, pair):
+        # the CRC covers the length prefix (WAL discipline), so a
+        # damaged header cannot silently re-frame the payload
+        left, right = pair
+        frame = bytearray(wire.encode_frame(b"xy"))
+        frame[0] ^= 0x01  # length 2 -> 3
+        left.sendall(bytes(frame) + b"z")
+        with pytest.raises(ProtocolError):
+            wire.recv_frame(right)
+
+    def test_hostile_length_prefix_is_rejected_not_allocated(self, pair):
+        left, right = pair
+        huge = wire._LENGTH.pack(wire.MAX_FRAME + 1)
+        left.sendall(huge + wire._LENGTH.pack(0))
+        with pytest.raises(ProtocolError, match="limit"):
+            wire.recv_frame(right)
+
+    def test_eof_mid_frame_is_connection_lost(self, pair):
+        left, right = pair
+        frame = wire.encode_frame(b"cut short")
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(ConnectionLost, match="mid-frame"):
+            wire.recv_frame(right)
+
+    def test_eof_before_any_byte_is_connection_lost(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(ConnectionLost):
+            wire.recv_frame(right)
+
+
+class TestHandshake:
+    def test_magic_round_trip(self, pair):
+        left, right = pair
+        wire.send_magic(left)
+        wire.expect_magic(right)  # does not raise
+
+    def test_bad_magic_is_protocol_error(self, pair):
+        left, right = pair
+        left.sendall(b"HTTP/1.1")
+        with pytest.raises(ProtocolError, match="magic"):
+            wire.expect_magic(right)
+
+    def test_magic_then_messages(self, pair):
+        left, right = pair
+
+        def peer():
+            wire.expect_magic(right)
+            wire.send_magic(right)
+            request = wire.recv_message(right)
+            wire.send_message(right, {"echo": request["n"] + 1})
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+        wire.send_magic(left)
+        wire.expect_magic(left)
+        wire.send_message(left, {"n": 41})
+        assert wire.recv_message(left) == {"echo": 42}
+        thread.join(5.0)
+
+
+class TestMessageCodec:
+    def test_non_json_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            wire.decode_message(b"\x00\x01 not json")
+
+    def test_non_object_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="object"):
+            wire.decode_message(b"[1, 2, 3]")
+
+
+class TestValueCodec:
+    def round_trip(self, value):
+        return wire.unpack_value(wire.pack_value(value))
+
+    def test_scalars_pass_through(self):
+        for value in (None, True, 0, -7, 3.5, "text"):
+            assert self.round_trip(value) == value
+
+    def test_object_value(self):
+        obj = ObjectValue("PERSON_T", {"NAME": "Ann", "AGE": 30})
+        back = self.round_trip(obj)
+        assert isinstance(back, ObjectValue)
+        assert back.type_name == "PERSON_T"
+        assert back.attributes() == {"NAME": "Ann", "AGE": 30}
+
+    def test_nested_collection_of_refs(self):
+        coll = CollectionValue("KIDS_NT", [
+            RefValue("oid-1", "TABKID", "KID_T"),
+            RefValue("oid-2", "TABKID", "KID_T"),
+        ])
+        back = self.round_trip(coll)
+        assert isinstance(back, CollectionValue)
+        assert back.type_name == "KIDS_NT"
+        assert [ref.oid for ref in back.items] == ["oid-1", "oid-2"]
+        assert back.items[0].table == "TABKID"
+
+    def test_decimal_survives_exactly(self):
+        assert self.round_trip(Decimal("1.10")) == Decimal("1.10")
+
+    def test_dates_and_datetimes(self):
+        stamp = datetime.datetime(2002, 3, 25, 12, 30, 45)
+        assert self.round_trip(stamp) == stamp
+        day = datetime.date(2002, 3, 25)
+        assert self.round_trip(day) == day
+
+    def test_user_dict_with_dollar_key_is_escaped(self):
+        tricky = {"$": "obj", "v": 1}
+        assert self.round_trip(tricky) == tricky
+
+    def test_unserializable_value_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="serialize"):
+            wire.pack_value(object())
+
+    def test_unknown_tag_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="tag"):
+            wire.unpack_value({"$": "quux"})
+
+
+class TestResultCodec:
+    def test_select_result_round_trips(self):
+        result = Result(columns=["A", "B"],
+                        rows=[(1, "x"), (2, None)])
+        back = wire.decode_result(wire.encode_result(result))
+        assert back.columns == ["A", "B"]
+        assert back.rows == [(1, "x"), (2, None)]
+        assert back.rowcount == 2
+
+    def test_dml_rowcount_survives_without_rows(self):
+        # a row-less DML result must not collapse to rowcount 0
+        result = Result(rowcount=3, message="3 rows updated.")
+        back = wire.decode_result(wire.encode_result(result))
+        assert back.rows == []
+        assert back.rowcount == 3
+        assert back.message == "3 rows updated."
+
+    def test_composite_cells_round_trip(self):
+        row = (ObjectValue("T", {"N": Decimal("2.5")}),)
+        back = wire.decode_result(wire.encode_result(
+            Result(columns=["OBJ"], rows=[row])))
+        cell = back.rows[0][0]
+        assert isinstance(cell, ObjectValue)
+        assert cell.attributes()["N"] == Decimal("2.5")
+
+
+class TestErrorCodec:
+    # the exhaustive per-class round-trip lives in
+    # tests/ordb/test_errors.py; this covers the codec edges
+
+    def test_round_trip_keeps_class_identity(self):
+        back = wire.decode_error(wire.encode_error(
+            LockTimeout("row busy")))
+        assert isinstance(back, LockTimeout)
+        assert back.transient
+
+    def test_remote_error_carries_custom_code(self):
+        back = wire.decode_error(wire.encode_error(
+            RemoteError("odd", code="ORA-31415", transient=True)))
+        assert isinstance(back, RemoteError)
+        assert (back.code, back.transient) == ("ORA-31415", True)
+
+    def test_missing_fields_default_sanely(self):
+        back = wire.decode_error({})
+        assert isinstance(back, RemoteError)
+        assert back.code == "ORA-00000"
+        assert not back.transient

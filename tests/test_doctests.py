@@ -5,6 +5,7 @@ import doctest
 import pytest
 
 import repro
+import repro.client
 import repro.core.xml2oracle
 import repro.obs
 import repro.obs.metrics
@@ -15,13 +16,17 @@ import repro.ordb.faults
 import repro.ordb.locks
 import repro.ordb.sessions
 import repro.ordb.wal
+import repro.server
+import repro.server.admission
+import repro.server.wire
 import repro.xmlkit
 
 _MODULES = [repro, repro.xmlkit, repro.ordb, repro.ordb.faults,
             repro.ordb.locks, repro.ordb.sessions,
             repro.ordb.wal, repro.ordb.checkpoint,
             repro.core.xml2oracle, repro.obs, repro.obs.metrics,
-            repro.obs.tracing]
+            repro.obs.tracing, repro.server, repro.server.wire,
+            repro.server.admission, repro.client]
 
 
 @pytest.mark.parametrize("module", _MODULES,
