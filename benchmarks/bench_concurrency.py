@@ -13,7 +13,12 @@ Exports ``BENCH_concurrency.json``:
 * ingest throughput (docs/s) for ``workers`` in 1, 2, 4 — the
   acceptance gate asserts > 1.5x scaling from 1 to 4;
 * reader latency (p50/p99) against an idle engine vs under a
-  continuous writer, plus the engine's contention counters.
+  continuous writer, plus the engine's contention counters;
+* the MVCC sweep: reader latency under N ∈ {0, 1, 2, 4} continuous
+  writers, measured twice — snapshot reads (``mvcc=True``, the
+  default) vs the pre-MVCC locking reads (``mvcc=False``).  The gate
+  asserts snapshot-reader p99 under one writer stays within ~1.3x of
+  the no-writer baseline: readers must not queue behind writer locks.
 """
 
 from __future__ import annotations
@@ -60,42 +65,70 @@ def ingest_throughput(workers: int) -> dict:
 
 
 def reader_latency(with_writer: bool) -> dict:
-    db = Database(commit_latency=COMMIT_LATENCY)
+    sampled = reader_under_writers(1 if with_writer else 0, mvcc=True)
+    return {
+        "writer_running": with_writer,
+        "samples": sampled["samples"],
+        "p50_ms": sampled["p50_ms"],
+        "p99_ms": sampled["p99_ms"],
+    }
+
+
+def reader_under_writers(writers: int, mvcc: bool,
+                         samples: int = 150) -> dict:
+    """p50/p99 of one reader's SELECT against *writers* continuous
+    insert transactions, with snapshot (mvcc) or locking reads."""
+    db = Database(commit_latency=COMMIT_LATENCY, mvcc=mvcc,
+                  lock_timeout=30.0)
     db.execute("CREATE TABLE BenchRows(n NUMBER)")
     for n in range(50):
         db.execute(f"INSERT INTO BenchRows VALUES({n})")
     done = threading.Event()
 
-    def writer():
-        with db.session(name="bench-writer") as session:
-            n = 1000
+    def writer(wid: int):
+        with db.session(name=f"bench-writer-{wid}") as session:
+            n = 1000 + wid * 1000000
             while not done.is_set():
                 n += 1
                 with session.transaction():
                     session.execute(
                         f"INSERT INTO BenchRows VALUES({n})")
 
-    thread = None
-    if with_writer:
-        thread = threading.Thread(target=writer, daemon=True)
+    threads = [threading.Thread(target=writer, args=(wid,),
+                                daemon=True)
+               for wid in range(writers)]
+    for thread in threads:
         thread.start()
     latencies = []
     with db.session(name="bench-reader") as session:
-        for _ in range(150):
+        for _ in range(samples):
             start = time.perf_counter()
             session.execute("SELECT COUNT(*) FROM BenchRows")
             latencies.append(time.perf_counter() - start)
     done.set()
-    if thread is not None:
+    for thread in threads:
         thread.join(10.0)
     latencies.sort()
     return {
-        "writer_running": with_writer,
+        "writers": writers,
+        "mvcc": mvcc,
         "samples": len(latencies),
         "p50_ms": round(latencies[len(latencies) // 2] * 1e3, 3),
         "p99_ms": round(latencies[int(len(latencies) * 0.99)] * 1e3,
                         3),
+        "snapshot_reads": db.stats["snapshot_reads"],
+        "locking_reads": db.stats["locking_reads"],
+        "s_acquires": db.locks.stats["s_acquires"],
+        "lock_waits": db.stats["lock_waits"],
     }
+
+
+#: results shared across this file's tests so one JSON artifact
+#: carries both experiments (pytest runs the file top to bottom)
+_RESULTS: dict = {}
+
+#: concurrent writers in the reader-latency sweep
+SWEEP_WRITERS = (0, 1, 2, 4)
 
 
 def test_ingest_scales_with_workers(benchmark):
@@ -116,15 +149,56 @@ def test_ingest_scales_with_workers(benchmark):
         "idle": reader_latency(with_writer=False),
         "under_writer": reader_latency(with_writer=True),
     }
-    write_bench_json("concurrency", {
-        "commit_latency_s": COMMIT_LATENCY,
-        "documents": DOCUMENTS,
-        "ingest": [results[w] for w in WORKER_COUNTS],
-        "readers": readers,
-        "speedup_1_to_4": round(speedup, 2),
-    })
+    _RESULTS["ingest"] = [results[w] for w in WORKER_COUNTS]
+    _RESULTS["readers"] = readers
+    _RESULTS["speedup_1_to_4"] = round(speedup, 2)
     assert speedup > 1.5, (
         f"expected >1.5x scaling from 1 to 4 workers, got"
         f" {speedup:.2f}x ({results})")
     # a concurrent writer may slow readers but must not starve them
     assert readers["under_writer"]["p99_ms"] < 5000.0
+
+
+def test_snapshot_readers_isolated_from_writers(benchmark):
+    """Reader p50/p99 under 0/1/2/4 writers, MVCC vs locking reads.
+
+    The gate: a snapshot reader's p99 under one continuous writer
+    stays within 1.3x of the no-writer baseline (plus a 2 ms absolute
+    floor against timer jitter on loaded CI runners) — snapshot reads
+    must never queue behind writer X locks.  The locking-read sweep
+    runs for the before/after comparison in the artifact; it carries
+    no gate (its whole point is that it *does* degrade).
+    """
+    sweep = {
+        "mvcc": [reader_under_writers(n, mvcc=True)
+                 for n in SWEEP_WRITERS],
+        "locking": [reader_under_writers(n, mvcc=False)
+                    for n in SWEEP_WRITERS],
+    }
+    benchmark(lambda: reader_under_writers(1, mvcc=True, samples=30))
+
+    baseline = sweep["mvcc"][0]
+    under_one = sweep["mvcc"][1]
+    gate_ms = round(max(baseline["p99_ms"] * 1.3,
+                        baseline["p99_ms"] + 2.0), 3)
+    for point in sweep["mvcc"] + sweep["locking"]:
+        key = f"p99_ms_{'mvcc' if point['mvcc'] else 'lock'}" \
+              f"_w{point['writers']}"
+        benchmark.extra_info[key] = point["p99_ms"]
+
+    write_bench_json("concurrency", {
+        "commit_latency_s": COMMIT_LATENCY,
+        "documents": DOCUMENTS,
+        "reader_sweep": sweep,
+        "reader_p99_gate_ms": gate_ms,
+        **_RESULTS,
+    })
+
+    # snapshot readers took zero shared locks at every writer count
+    for point in sweep["mvcc"]:
+        assert point["s_acquires"] == 0, point
+        assert point["snapshot_reads"] >= point["samples"], point
+    assert under_one["p99_ms"] <= gate_ms, (
+        f"snapshot reader p99 degraded under one writer:"
+        f" {under_one['p99_ms']}ms vs {baseline['p99_ms']}ms idle"
+        f" (gate {gate_ms}ms)")

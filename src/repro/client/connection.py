@@ -48,6 +48,12 @@ class RemoteConnection:
         self.closed = False
         #: when the connection was opened (pool recycling keys on it)
         self.opened_at = time.monotonic()
+        #: transaction state the server piggybacks on every execute
+        #: response ({"active", "isolation", "read_only",
+        #: "snapshot_ts"})
+        self.txn_status: dict = {
+            "active": False, "isolation": "READ COMMITTED",
+            "read_only": False, "snapshot_ts": None}
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout)
@@ -106,8 +112,19 @@ class RemoteConnection:
 
     def execute(self, sql: str) -> Result:
         """Run one SQL statement in this connection's server session."""
-        return wire.decode_result(
-            self.request("execute", sql=sql)["result"])
+        response = self.request("execute", sql=sql)
+        txn = response.get("txn")
+        if isinstance(txn, dict):
+            # piggybacked transaction state: isolation level, access
+            # mode and pinned snapshot of the server-side session
+            self.txn_status = txn
+        return wire.decode_result(response["result"])
+
+    @property
+    def isolation_level(self) -> str:
+        """Server-reported isolation of this connection's session,
+        as of the last ``execute`` round trip."""
+        return str(self.txn_status.get("isolation", "READ COMMITTED"))
 
     def begin(self) -> None:
         self.execute("BEGIN")
@@ -117,6 +134,16 @@ class RemoteConnection:
 
     def rollback(self) -> None:
         self.execute("ROLLBACK")
+
+    def set_transaction(self, read_only: bool = False,
+                        isolation: str | None = None) -> None:
+        """``SET TRANSACTION`` on the server session (must be its
+        first statement, like Oracle)."""
+        if read_only:
+            self.execute("SET TRANSACTION READ ONLY")
+        if isolation is not None:
+            self.execute(
+                f"SET TRANSACTION ISOLATION LEVEL {isolation}")
 
     def register_schema(self, dtd: str | None = None,
                         root: str | None = None,

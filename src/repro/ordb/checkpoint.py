@@ -66,6 +66,7 @@ def snapshot_state(db: "Database") -> dict:
         "format": 1,
         "mode": catalog.mode.value,
         "commit_seq": db._commit_seq,
+        "commit_ts": db._commit_ts,
         "types": catalog.types,
         "tables": catalog.tables,
         "views": catalog.views,
@@ -159,6 +160,33 @@ def install_state(db: "Database", state: dict) -> None:
     # snapshot restored must stay unreachable for new rows
     storage.advance_oid(state["max_oid"])
     db._commit_seq = state["commit_seq"]
+    # commit timestamps must survive restarts or new commits would be
+    # stamped below already-visible rows ("commit_ts" absent in
+    # pre-MVCC snapshots: fall back to the highest restored stamp)
+    restored_ts = state.get("commit_ts")
+    highest_cts = 0
+    version_records = 0
+    for table in catalog.tables.values():
+        data = table.data
+        # pre-MVCC snapshots predate these attributes
+        if not hasattr(data, "tombstones"):
+            data.tombstones = []
+        if not hasattr(data, "versioned"):
+            data.versioned = {}
+        for row in list(data.rows) + list(data.tombstones):
+            if not hasattr(row, "cts"):
+                row.cts = 0
+                row.pending = None
+                row.deleted = False
+                row.versions = None
+            highest_cts = max(highest_cts, row.cts)
+            version_records += len(row.versions or ())
+        # the versioned map is id()-keyed and ids change across
+        # pickling: rebuild it against the restored row identities
+        data.rebuild_version_tracking()
+    db._commit_ts = (restored_ts if restored_ts is not None
+                     else highest_cts)
+    db._version_records = version_records
     db._data_version += 1
 
 

@@ -11,10 +11,17 @@ because the reproduction benchmarks (CLM1/CLM2 in DESIGN.md) measure
 exactly the operational quantities the paper argues about: number of
 INSERT statements per document and number of scans/joins per query.
 
-Concurrency is two-level (see docs/architecture.md):
+Concurrency is three-level (see docs/architecture.md and
+docs/transactions.md):
 
-* **logical isolation** — each :class:`~repro.ordb.sessions.Session`
-  takes table-level S/X locks from the shared
+* **snapshot reads (MVCC)** — SELECTs run against a commit-timestamp
+  snapshot built from per-row version chains and acquire *no* locks;
+  each committed transaction stamps its write set with a monotonic
+  commit timestamp, and a GC pass prunes versions older than the
+  oldest pinned snapshot;
+* **logical isolation for writers** — each
+  :class:`~repro.ordb.sessions.Session` takes table-level X locks
+  (plus S locks for DML subquery reads) from the shared
   :class:`~repro.ordb.locks.LockManager` before a statement runs and
   holds them to transaction end (strict 2PL);
 * **physical safety** — statement bodies mutate plain Python dicts
@@ -56,6 +63,8 @@ from .errors import (
     NotSupported,
     NullNotAllowed,
     OrdbError,
+    ReadOnlyViolation,
+    SerializationConflict,
     StatementTimeout,
     TransactionError,
     TypeMismatch,
@@ -92,6 +101,28 @@ from .values import (
 from .datatypes import TypeAttribute
 
 
+class _Snapshot:
+    """Per-statement snapshot context for one MVCC SELECT.
+
+    ``ts`` is the commit timestamp the statement reads as of;
+    ``token`` is the reading transaction's write token (a session
+    always sees its own uncommitted changes); ``cacheable`` is False
+    when the transaction has pending writes, so view results that mix
+    in uncommitted data never enter the shared cache;
+    ``saw_pending`` flips when the reader skipped past another
+    transaction's uncommitted row — the schedule where a 2PL reader
+    would have blocked on an S lock.
+    """
+
+    __slots__ = ("ts", "token", "cacheable", "saw_pending")
+
+    def __init__(self, ts: int, token: int | None, cacheable: bool):
+        self.ts = ts
+        self.token = token
+        self.cacheable = cacheable
+        self.saw_pending = False
+
+
 class Database:
     """One in-memory object-relational database instance."""
 
@@ -105,7 +136,8 @@ class Database:
                  commit_latency: float = 0.0,
                  path: str | os.PathLike | None = None,
                  fsync: str = "commit",
-                 checkpoint_every: int | None = None):
+                 checkpoint_every: int | None = None,
+                 mvcc: bool = True):
         self.catalog = Catalog(mode)
         self.evaluator = Evaluator(self)
         self.stats: dict[str, int] = {}
@@ -141,9 +173,52 @@ class Database:
         self._statement_cache: dict[str, ast.Statement] = {}
         #: view key -> (data version, Result) — dropped when stale
         self._view_cache: dict[str, tuple[int, Result]] = {}
+        #: (view key, snapshot ts) -> (query AST, Result) for MVCC
+        #: reads: a result at a fixed timestamp never goes stale, so
+        #: entries are evicted only by DDL or by the size bound.  The
+        #: stored query object pins identity against CREATE OR
+        #: REPLACE reusing the key.
+        self._snap_view_cache: dict[tuple[str, int],
+                                    tuple[object, Result]] = {}
         #: bumped by every DML/DDL statement and rollback; versions
         #: key the view cache so invalidation is O(1)
         self._data_version = 0
+        #: MVCC master switch; False restores the seed behaviour where
+        #: SELECTs take S locks and read current data (benchmarks
+        #: compare both, and EXPLAIN reports the active mode)
+        self.mvcc = mvcc
+        #: monotonic commit timestamp; every committed transaction
+        #: that wrote rows advances it by one and stamps its write set
+        self._commit_ts = 0
+        #: write tokens marking uncommitted rows (``Row.pending``)
+        self._token_counter = itertools.count(1)
+        #: sid -> pinned snapshot timestamp (SET TRANSACTION READ
+        #: ONLY / SERIALIZABLE); the GC horizon never passes the
+        #: oldest entry
+        self._pinned: dict[int, int] = {}
+        #: snapshot context of the SELECT currently holding the latch
+        #: (single slot: statement bodies are latch-serialized)
+        self._active_snapshot: _Snapshot | None = None
+        #: (table, row) pairs the statement currently holding the
+        #: latch has written; merged into the transaction's write set
+        #: (or stamped immediately in autocommit)
+        self._active_write_set: list | None = None
+        #: write token of the DML statement currently holding the latch
+        self._active_token: int | None = None
+        #: session of the statement currently holding the latch (lets
+        #: the EXPLAIN handler report that session's read mode)
+        self._active_session: Session | None = None
+        #: snapshot timestamp a SERIALIZABLE writer must not overwrite
+        #: past (first-committer-wins check; None = no check)
+        self._serial_ts: int | None = None
+        #: live committed pre-images across all version chains
+        self._version_records = 0
+        #: True when a commit could not clean up inline because a
+        #: pinned snapshot might still need the old versions
+        self._gc_backlog = False
+        #: write sets accumulated while recovery replays one WAL
+        #: record; stamped with one commit timestamp per record
+        self._replay_write_set: list = []
         self._next_sid = itertools.count(1)
         #: sids handed out by :meth:`session` and not yet closed
         self._open_sessions: set[int] = set()
@@ -222,6 +297,11 @@ class Database:
             "wal_appends": 0,
             "wal_bytes": 0,
             "checkpoints": 0,
+            "snapshot_reads": 0,
+            "locking_reads": 0,
+            "reader_lock_waits_avoided": 0,
+            "gc_versions_pruned": 0,
+            "gc_tombstones_pruned": 0,
         }
 
     # -- sessions ---------------------------------------------------------------------
@@ -251,10 +331,241 @@ class Database:
     def _txn_started(self, session: Session) -> None:
         with self._txn_lock:
             self._txn_sessions.add(session)
+        if session.txn is not None and session.txn.token is None:
+            session.txn.token = next(self._token_counter)
 
     def _txn_finished(self, session: Session) -> None:
         with self._txn_lock:
             self._txn_sessions.discard(session)
+        self._unpin_snapshot(session)
+
+    # -- MVCC: snapshots, commit timestamps, version GC -------------------------------
+
+    def _pin_snapshot(self, session: Session, ts: int) -> None:
+        """Hold the GC horizon at *ts* for a transaction-lifetime
+        snapshot (SET TRANSACTION READ ONLY / SERIALIZABLE)."""
+        with self._txn_lock:
+            self._pinned[session.sid] = ts
+        if self.obs.enabled:
+            self.obs.metrics.gauge("db.pinned_snapshots",
+                                   unit="snapshots").inc()
+
+    def _unpin_snapshot(self, session: Session) -> None:
+        with self._txn_lock:
+            pinned = self._pinned.pop(session.sid, None)
+        if pinned is None:
+            return
+        if self.obs.enabled:
+            self.obs.metrics.gauge("db.pinned_snapshots",
+                                   unit="snapshots").dec()
+        if self._gc_backlog and not self._pinned:
+            # the horizon just advanced past deferred garbage
+            self.vacuum()
+
+    def _statement_snapshot(self, session: Session) -> _Snapshot:
+        """The snapshot one SELECT reads under (caller holds the
+        latch).  READ COMMITTED takes a fresh statement-level
+        snapshot; a pinned transaction reuses its BEGIN-time one."""
+        txn = session.txn
+        if txn is None:
+            return _Snapshot(self._commit_ts, None, True)
+        ts = (txn.snapshot_ts if txn.snapshot_ts is not None
+              else self._commit_ts)
+        cacheable = not txn.write_set and not len(txn.journal)
+        return _Snapshot(ts, txn.token, cacheable)
+
+    def _push_version(self, table: Table, row: Row) -> bool:
+        """First-touch capture: archive *row*'s committed image before
+        an uncommitted overwrite, and mark the row pending.  Returns
+        True when an image was pushed (the caller's undo must pop
+        it); re-touches by the same transaction push nothing.
+        """
+        token = self._active_token
+        if row.pending is not None and row.pending == token:
+            return False
+        if row.versions is None:
+            row.versions = []
+        row.versions.append((row.cts, dict(row.values)))
+        row.pending = token
+        self._version_records += 1
+        if self.obs.enabled:
+            self.obs.metrics.histogram(
+                "db.version_chain_length",
+                unit="versions").observe(len(row.versions))
+        return True
+
+    def _pop_version(self, table: Table, row: Row) -> None:
+        """Undo of :meth:`_push_version` (statement/savepoint
+        rollback): drop the pushed image and clear pending."""
+        if row.versions:
+            row.versions.pop()
+            self._version_records -= 1
+        row.pending = None
+        if not row.versions:
+            row.versions = None
+            table.data.untrack_version(row)
+
+    def _serial_write_check(self, row: Row) -> None:
+        """First-committer-wins: a SERIALIZABLE transaction must not
+        overwrite a version committed after its snapshot."""
+        if self._serial_ts is not None and row.pending is None \
+                and row.cts > self._serial_ts:
+            raise SerializationConflict(
+                f"row committed at ts={row.cts} is newer than this"
+                f" transaction's snapshot (ts={self._serial_ts});"
+                f" retry against a fresh snapshot")
+
+    def _commit_transaction(self, txn) -> None:
+        """Stamp an explicit transaction's write set with one fresh
+        commit timestamp (called by :meth:`Session.commit` after the
+        WAL append succeeded)."""
+        if not self.mvcc or not txn.write_set:
+            return
+        with self._latch:
+            self._stamp_commit(txn.write_set)
+
+    def _stamp_commit(self, write_set: list) -> None:
+        """Make a write set visible: one commit timestamp for all of
+        its still-pending rows (caller holds the latch).  Rows whose
+        pending mark was cleared by a savepoint rollback are skipped —
+        their changes were undone and must not be re-exposed."""
+        live = []
+        seen: set[int] = set()
+        for table, row in write_set:
+            if row.pending is None or id(row) in seen:
+                continue
+            seen.add(id(row))
+            live.append((table, row))
+        if not live:
+            return
+        self._commit_ts += 1
+        ts = self._commit_ts
+        for _table, row in live:
+            row.cts = ts
+            row.pending = None
+        # visibility changed for snapshot readers: retire cached
+        # current-read view results keyed on the old data version
+        self._data_version += 1
+        self._gc_after_commit(live)
+
+    def _gc_after_commit(self, live: list) -> None:
+        """Inline GC at commit: with no pinned snapshot, no reader can
+        ever need the just-superseded versions (statement-level
+        snapshots are taken under the latch we hold), so the chains of
+        the committed rows are garbage right now."""
+        if self._pinned:
+            self._gc_backlog = True
+            return
+        pruned_versions = pruned_tombstones = 0
+        for table, row in live:
+            if row.versions:
+                pruned_versions += len(row.versions)
+                self._version_records -= len(row.versions)
+                row.versions = None
+                table.data.untrack_version(row)
+            if row.deleted:
+                table.data.remove_tombstone(row)
+                pruned_tombstones += 1
+        self._note_gc(pruned_versions, pruned_tombstones)
+
+    def _snapshot_horizon(self) -> int:
+        with self._txn_lock:
+            if self._pinned:
+                return min(self._pinned.values())
+        return self._commit_ts
+
+    def vacuum(self) -> dict:
+        """Prune version chains and tombstones no snapshot can reach.
+
+        The horizon is the oldest pinned snapshot timestamp (or the
+        current commit timestamp when nothing is pinned): for each
+        versioned row, images older than the newest image at or below
+        the horizon are unreachable; a committed tombstone at or
+        below the horizon is invisible to everyone and is dropped
+        entirely.  Safe to call any time; commits run an inline
+        version of this automatically.
+        """
+        pruned_versions = pruned_tombstones = 0
+        with self._latch:
+            horizon = self._snapshot_horizon()
+            for table in self.catalog.tables.values():
+                data = table.data
+                for row in list(data.versioned.values()):
+                    pruned_versions += self._prune_chain(row, horizon)
+                    if not row.versions:
+                        row.versions = None
+                        data.untrack_version(row)
+                if data.tombstones:
+                    kept = []
+                    for row in data.tombstones:
+                        if row.pending is None and row.cts <= horizon:
+                            pruned_versions += len(row.versions or ())
+                            self._version_records -= len(
+                                row.versions or ())
+                            row.versions = None
+                            pruned_tombstones += 1
+                        else:
+                            pruned_versions += self._prune_chain(
+                                row, horizon)
+                            kept.append(row)
+                    data.tombstones[:] = kept
+            self._gc_backlog = False
+            self._note_gc(pruned_versions, pruned_tombstones)
+        return {"versions_pruned": pruned_versions,
+                "tombstones_pruned": pruned_tombstones,
+                "horizon": horizon}
+
+    def _prune_chain(self, row: Row, horizon: int) -> int:
+        """Drop *row*'s version images unreachable below *horizon*;
+        returns how many were dropped (and maintains the global
+        version-record count)."""
+        chain = row.versions
+        if not chain:
+            return 0
+        if (row.pending is None and not row.deleted
+                and row.cts <= horizon):
+            # current contents visible to every snapshot >= horizon:
+            # the whole chain is garbage
+            dropped = len(chain)
+            chain.clear()
+        else:
+            # keep the newest image at or below the horizon (what a
+            # horizon-age snapshot reads) and everything newer
+            keep_from = 0
+            for index in range(len(chain) - 1, -1, -1):
+                if chain[index][0] <= horizon:
+                    keep_from = index
+                    break
+            dropped = keep_from
+            del chain[:keep_from]
+        self._version_records -= dropped
+        return dropped
+
+    def _note_gc(self, versions: int, tombstones: int) -> None:
+        if not versions and not tombstones:
+            return
+        self.stats["gc_versions_pruned"] += versions
+        self.stats["gc_tombstones_pruned"] += tombstones
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("db.gc_versions_pruned",
+                            unit="versions").inc(versions)
+            metrics.counter("db.gc_tombstones_pruned",
+                            unit="rows").inc(tombstones)
+
+    def mvcc_info(self) -> dict:
+        """A point-in-time summary of the version store (for tests,
+        docs and the observability surface)."""
+        with self._latch:
+            tombstones = sum(len(table.data.tombstones)
+                             for table in self.catalog.tables.values())
+            with self._txn_lock:
+                pinned = dict(self._pinned)
+            return {"enabled": self.mvcc,
+                    "commit_ts": self._commit_ts,
+                    "version_records": self._version_records,
+                    "tombstones": tombstones,
+                    "pinned_snapshots": pinned}
 
     # -- durability -------------------------------------------------------------------
 
@@ -292,6 +603,12 @@ class Database:
                     for statement in redo:
                         self._execute(statement)
                         statements += 1
+                    if self._replay_write_set:
+                        # one commit timestamp per WAL record, exactly
+                        # like the pre-crash commit that produced it
+                        with self._latch:
+                            self._stamp_commit(self._replay_write_set)
+                        self._replay_write_set = []
                     self._commit_seq = seq
                     transactions += 1
             finally:
@@ -449,21 +766,59 @@ class Database:
         if handled is not None:
             return handled
         self.faults.hit("statement", statement=statement)
+        if session.txn is not None:
+            # even a pure read counts as "a statement ran": Oracle's
+            # SET TRANSACTION must precede it (see Session.set_transaction)
+            session.txn.executed = True
+        if (session.txn is not None and session.txn.read_only
+                and not isinstance(statement, (ast.SelectStmt,
+                                               ast.ExplainStmt))):
+            raise ReadOnlyViolation(
+                "cannot perform DML or DDL inside a READ ONLY"
+                " transaction")
         deadline = None
         if session.statement_timeout is not None:
             deadline = time.monotonic() + session.statement_timeout
-        # locks are acquired *before* the latch: a blocked session
-        # must never stall the sessions currently executing
-        self._acquire_statement_locks(session, statement, deadline)
+        snapshot_read = (self.mvcc
+                         and isinstance(statement, ast.SelectStmt))
+        if not snapshot_read:
+            if isinstance(statement, ast.SelectStmt):
+                self.stats["locking_reads"] += 1
+            # locks are acquired *before* the latch: a blocked session
+            # must never stall the sessions currently executing
+            self._acquire_statement_locks(session, statement, deadline)
         try:
             with self._latch:
                 previous = self._statement_deadline
                 self._statement_deadline = deadline
+                self._active_session = session
+                snap = None
+                if snapshot_read:
+                    # MVCC: the SELECT reads a commit-timestamp
+                    # snapshot and holds zero table locks; pending
+                    # rows of concurrent writers are skipped in
+                    # favour of their chained committed images
+                    snap = self._statement_snapshot(session)
+                    self._active_snapshot = snap
                 try:
                     return self._execute_body(statement, session,
                                               source)
                 finally:
                     self._statement_deadline = previous
+                    self._active_session = None
+                    if snap is not None:
+                        self._active_snapshot = None
+                        self.stats["snapshot_reads"] += 1
+                        if snap.saw_pending:
+                            self.stats["reader_lock_waits_avoided"] += 1
+                        if self.obs.enabled:
+                            self.obs.metrics.counter(
+                                "db.snapshot_reads",
+                                unit="statements").inc()
+                            if snap.saw_pending:
+                                self.obs.metrics.counter(
+                                    "db.reader_lock_waits_avoided",
+                                    unit="statements").inc()
         finally:
             if session.txn is None:  # autocommit: statement-duration
                 self.locks.release_all(session.sid)
@@ -484,9 +839,27 @@ class Database:
             # DDL (and zero-row DML) invalidates cached view results;
             # row-level changes bump the version again as they happen
             self._data_version += 1
+            if not isinstance(statement,
+                              (ast.Insert, ast.Update, ast.Delete)):
+                # DDL is not versioned (the catalog has no chains), so
+                # snapshot-keyed view results cannot express it: drop
+                # them all rather than serve a pre-DDL shape
+                self._snap_view_cache.clear()
         journal = UndoJournal()
         outer = self._active_journal
         self._active_journal = journal
+        txn = session.txn
+        write_set: list | None = None
+        if self.mvcc and not isinstance(statement, ast.ExplainStmt):
+            # DML under MVCC: rows touched by this statement carry
+            # this token (``Row.pending``) until their commit stamp
+            write_set = []
+            self._active_write_set = write_set
+            self._active_token = (txn.token if txn is not None
+                                  else next(self._token_counter))
+            if txn is not None and txn.isolation == "SERIALIZABLE" \
+                    and txn.snapshot_ts is not None:
+                self._serial_ts = txn.snapshot_ts
         try:
             result = handler(self, statement)
         except BaseException:
@@ -496,27 +869,48 @@ class Database:
             # version; bump again so mid-statement cache entries die
             self._data_version += 1
             raise
+        finally:
+            self._active_write_set = None
+            self._active_token = None
+            self._serial_ts = None
         self._active_journal = outer
         logged = (source is not None
                   and not isinstance(statement, ast.ExplainStmt))
         if session.txn is not None:
             session.txn.journal.absorb(journal)
+            if write_set:
+                # stamped all at once when the transaction commits
+                session.txn.write_set.extend(write_set)
             if logged:
                 # redo side of the transaction: flushed to the WAL in
                 # one record at COMMIT (savepoints truncate the list)
                 session.txn.statements.append(source)
-        elif logged and self.wal is not None \
-                and not self._wal_suppressed:
-            # autocommit in durable mode: one WAL record per statement;
-            # on append failure the in-memory change is undone too, so
-            # memory never runs ahead of what recovery will rebuild
-            try:
-                self._wal_commit([source])
-            except BaseException:
-                journal.undo_to(0)
-                self._data_version += 1
-                raise
-            self._maybe_autocheckpoint()
+        else:
+            durable = (logged and self.wal is not None
+                       and not self._wal_suppressed)
+            if durable:
+                # autocommit in durable mode: one WAL record per
+                # statement; on append failure the in-memory change is
+                # undone too, so memory never runs ahead of what
+                # recovery will rebuild (and nothing gets stamped
+                # visible)
+                try:
+                    self._wal_commit([source])
+                except BaseException:
+                    journal.undo_to(0)
+                    self._data_version += 1
+                    raise
+            if write_set:
+                if self._wal_suppressed:
+                    # recovery replay: stamped once per WAL record so
+                    # commit timestamps match the pre-crash history
+                    self._replay_write_set.extend(write_set)
+                else:  # autocommit: the statement is the transaction
+                    self._stamp_commit(write_set)
+            if durable:
+                # after stamping: a checkpoint must never snapshot
+                # rows still marked pending
+                self._maybe_autocheckpoint()
         return result
 
     # -- lock planning ----------------------------------------------------------------
@@ -670,6 +1064,10 @@ class Database:
             session.savepoint(statement.name)
             return Result(
                 message=f"Savepoint {statement.name} established.")
+        if isinstance(statement, ast.SetTransaction):
+            session.set_transaction(read_only=statement.read_only,
+                                    isolation=statement.isolation)
+            return Result(message="Transaction set.")
         return None
 
     # -- transactions -----------------------------------------------------------------
@@ -719,18 +1117,36 @@ class Database:
         generated script runs 'without any modification')."""
         return [self.execute(text) for text in split_statements(script)]
 
-    def explain(self, statement: str | ast.Statement) -> QueryPlan:
+    def explain(self, statement: str | ast.Statement,
+                session: Session | None = None) -> QueryPlan:
         """Describe how a statement would run, without running it.
 
         Accepts SELECT, INSERT, UPDATE and DELETE (plain or wrapped
         in ``EXPLAIN``); anything else raises :class:`NotSupported`.
         Building the plan never touches row data, so the scan/join
-        counters in :attr:`stats` stay untouched.
+        counters in :attr:`stats` stay untouched.  SELECT plans state
+        the read mode *session* (default: the session executing the
+        EXPLAIN, else the implicit one) would run under — ``SNAPSHOT
+        READ @latest``, ``SNAPSHOT READ @<ts>`` for a pinned
+        transaction snapshot, or ``LOCKING READ`` with MVCC off.
         """
         if isinstance(statement, str):
             statement = parse_statement(statement)
+        if session is None:
+            session = self._active_session or self._default_session
         with self._latch:  # plans read the catalog
-            return PlanBuilder(self).build(statement)
+            return PlanBuilder(
+                self, read_mode=self._read_mode(session)
+            ).build(statement)
+
+    def _read_mode(self, session: Session) -> str:
+        """How a SELECT by *session* reads rows right now."""
+        if not self.mvcc:
+            return "LOCKING READ"
+        txn = session.txn
+        if txn is not None and txn.snapshot_ts is not None:
+            return f"SNAPSHOT READ @{txn.snapshot_ts}"
+        return "SNAPSHOT READ @latest"
 
     def _explain_statement(self, statement: ast.ExplainStmt) -> Result:
         plan = self.explain(statement.statement)
@@ -739,20 +1155,40 @@ class Database:
                       rowcount=len(rows), message="EXPLAIN")
 
     def dereference(self, ref: RefValue) -> ObjectValue | None:
-        """Follow a REF; dangling references yield NULL like Oracle."""
+        """Follow a REF; dangling references yield NULL like Oracle.
+
+        Under an MVCC snapshot the target is resolved as of the
+        snapshot timestamp: a concurrently updated row dereferences
+        to its old image, a deleted one to its tombstoned image —
+        and a row deleted *before* the snapshot is dangling."""
         self.stats["derefs"] += 1
         table = self.catalog.tables.get(ref.table)
         if table is None:
             return None
         row = table.data.by_oid(ref.oid)
+        snap = self._active_snapshot
+        if snap is None:
+            if row is None:
+                return None
+            return self._row_object(table, row)
         if row is None:
+            row = table.data.tombstone_by_oid(ref.oid)
+            if row is None:
+                return None
+        if row.pending is not None and row.pending != snap.token:
+            snap.saw_pending = True
+        values = row.visible_values(snap.ts, snap.token)
+        if values is None:
             return None
-        return self._row_object(table, row)
+        return self._row_object(table, row, values)
 
-    def _row_object(self, table: Table, row: Row) -> ObjectValue:
+    def _row_object(self, table: Table, row: Row,
+                    values: dict | None = None) -> ObjectValue:
         object_type = self.catalog.object_type(table.of_type)
+        if values is None:
+            values = row.values
         return ObjectValue(object_type.name, {
-            attribute.key: row.values.get(attribute.key)
+            attribute.key: values.get(attribute.key)
             for attribute in object_type.attributes
         })
 
@@ -1085,6 +1521,12 @@ class Database:
         self.faults.hit("storage", op="insert", table=table.name)
         row = Row(row_values,
                   oid=next_oid() if table.is_object_table else None)
+        if self._active_write_set is not None:
+            # invisible to other snapshots until the commit stamp; no
+            # version image — absence of a visible version IS the
+            # pre-insert state
+            row.pending = self._active_token
+            self._active_write_set.append((table, row))
         table.data.insert(row)
         table.indexes.add_row(row)
         self._data_version += 1
@@ -1092,6 +1534,7 @@ class Database:
         def undo(row=row):
             table.data.remove_exact(row)
             table.indexes.remove_row(row)
+            row.pending = None  # keep commit stamping off undone rows
 
         self._record(undo)
         self.stats["rows_inserted"] += 1
@@ -1191,11 +1634,21 @@ class Database:
                                       existing_row=row)
             self.faults.hit("storage", op="update", table=table.name)
             old_values = dict(row.values)
+            pushed = False
+            if self._active_write_set is not None:
+                self._serial_write_check(row)
+                pushed = self._push_version(table, row)
+                if pushed:
+                    table.data.track_version(row)
+                self._active_write_set.append((table, row))
 
-            def undo(row=row, old=old_values, new=new_values):
+            def undo(row=row, old=old_values, new=new_values,
+                     pushed=pushed):
                 row.values.clear()
                 row.values.update(old)
                 table.indexes.update_row(row, new, old)
+                if pushed:
+                    self._pop_version(table, row)
 
             self._record(undo)
             row.values.clear()
@@ -1240,12 +1693,30 @@ class Database:
         # entries replay in reverse, reinserting lowest index first
         for index, row in reversed(doomed):
             self.faults.hit("storage", op="delete", table=table.name)
+            pushed = False
+            if self._active_write_set is not None:
+                self._serial_write_check(row)
+                # the row leaves the live list but old snapshots must
+                # still find it: park it as a tombstone until GC
+                # proves no snapshot can reach it
+                pushed = self._push_version(table, row)
+                row.deleted = True
+                table.data.untrack_version(row)
+                table.data.tombstones.append(row)
+                self._active_write_set.append((table, row))
 
-            def undo(index=index, row=row):
+            def undo(index=index, row=row, pushed=pushed):
                 table.data.rows.insert(index, row)
                 if row.oid is not None:
                     table.data.oid_index[row.oid] = row
                 table.indexes.add_row(row)
+                if row.deleted:
+                    row.deleted = False
+                    table.data.remove_tombstone(row)
+                    if pushed:
+                        self._pop_version(table, row)
+                    if row.versions:
+                        table.data.track_version(row)
 
             del table.data.rows[index]
             if row.oid is not None:
@@ -1418,20 +1889,49 @@ class Database:
                 return
             table = self.catalog.table(item.name)
             alias_key = identifiers.normalize(item.alias or item.name)
+            snap = self._active_snapshot
             rows = table.data.rows
             candidates = None
             if probe is not None and rows:
                 candidates = self._probe_rows(probe, env)
             if candidates is not None:
                 rows = candidates
+                if snap is not None:
+                    # indexes cover *current* contents only.  Rows
+                    # whose old image this snapshot must read (chained
+                    # updates, tombstoned deletes) may be missing from
+                    # the bucket, so union them in; pushed conjuncts
+                    # are re-checked per binding, so rows whose old
+                    # image does NOT match drop out again.
+                    extras = table.data.snapshot_extras()
+                    if extras:
+                        seen = {id(candidate) for candidate in rows}
+                        rows = list(rows) + [
+                            extra for extra in extras
+                            if id(extra) not in seen]
             else:
                 self.stats["full_scans"] += 1
+                if snap is not None and table.data.tombstones:
+                    # versioned live rows are already in the scan;
+                    # deleted ones survive only as tombstones
+                    rows = itertools.chain(rows,
+                                           list(table.data.tombstones))
             for row in rows:
                 self.stats["rows_scanned"] += 1
                 if (self._statement_deadline is not None
                         and time.monotonic() > self._statement_deadline):
                     self._deadline_expired()
-                yield Binding(alias_key, row.values, table, row.oid)
+                if snap is None:
+                    yield Binding(alias_key, row.values, table, row.oid)
+                    continue
+                if row.pending is not None \
+                        and row.pending != snap.token:
+                    # a 2PL reader would be blocked right here
+                    snap.saw_pending = True
+                values = row.visible_values(snap.ts, snap.token)
+                if values is None:
+                    continue
+                yield Binding(alias_key, values, table, row.oid)
             return
         if isinstance(item, ast.SubqueryRef):
             result = self.execute_select(item.query, env)
@@ -1472,22 +1972,52 @@ class Database:
         return None
 
     def _view_result(self, view: View) -> Result:
-        """Evaluate *view*'s query, reusing a cached result while the
-        data version is unchanged (any DML/DDL/rollback bumps it)."""
-        cached = self._view_cache.get(view.key)
-        if cached is not None and cached[0] == self._data_version:
+        """Evaluate *view*'s query, reusing a cached result.
+
+        Current (locking) reads key the cache by data version: any
+        DML/DDL/rollback bumps it and the entry dies.  Snapshot reads
+        key by ``(view, snapshot ts)`` instead — the rows visible at
+        a fixed timestamp never change (GC cannot prune below an
+        active snapshot), so the entry stays valid across later
+        commits and still serves pinned old snapshots correctly.  A
+        transaction reading its own uncommitted writes bypasses the
+        shared cache entirely (``snap.cacheable`` False)."""
+        snap = self._active_snapshot
+        if snap is None:
+            cached = self._view_cache.get(view.key)
+            if cached is not None and cached[0] == self._data_version:
+                self._count_view_cache(hit=True)
+                return cached[1]
+            self._count_view_cache(hit=False)
+            result = self.execute_select(view.query, None)
+            self._view_cache[view.key] = (self._data_version, result)
+            return result
+        if snap.cacheable:
+            cached = self._snap_view_cache.get((view.key, snap.ts))
+            if cached is not None and cached[0] is view.query:
+                self._count_view_cache(hit=True)
+                return cached[1]
+        self._count_view_cache(hit=False)
+        result = self.execute_select(view.query, None)
+        if snap.cacheable:
+            if len(self._snap_view_cache) >= self.STATEMENT_CACHE_SIZE:
+                self._snap_view_cache.pop(
+                    next(iter(self._snap_view_cache)))
+            self._snap_view_cache[(view.key, snap.ts)] = (view.query,
+                                                          result)
+        return result
+
+    def _count_view_cache(self, hit: bool) -> None:
+        if hit:
             self.stats["view_cache_hits"] += 1
             if self.obs.enabled:
                 self.obs.metrics.counter("db.view_cache.hits",
                                          unit="hits").inc()
-            return cached[1]
-        self.stats["view_cache_misses"] += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("db.view_cache.misses",
-                                     unit="misses").inc()
-        result = self.execute_select(view.query, None)
-        self._view_cache[view.key] = (self._data_version, result)
-        return result
+        else:
+            self.stats["view_cache_misses"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("db.view_cache.misses",
+                                         unit="misses").inc()
 
     def _view_bindings(self, view: View, alias: str | None):
         result = self._view_result(view)

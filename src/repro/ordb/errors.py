@@ -179,6 +179,30 @@ class NoSuchSavepoint(OrdbError):
     code = "ORA-01086"
 
 
+class SerializationConflict(OrdbError):
+    """A SERIALIZABLE transaction tried to overwrite a row version
+    committed after its snapshot was taken (first-committer-wins).
+
+    ORA-08177 ("can't serialize access for this transaction") —
+    Oracle raises it for exactly this schedule.  Transient: rerunning
+    the whole transaction against a fresh snapshot is the documented
+    remedy, so the retry machinery treats it like a deadlock.
+    """
+
+    code = "ORA-08177"
+    transient = True
+
+
+class ReadOnlyViolation(OrdbError):
+    """DML or DDL attempted inside a ``SET TRANSACTION READ ONLY``
+    transaction.  ORA-01456 ("may not perform insert/delete/update
+    operation inside a READ ONLY transaction").  Permanent: the
+    statement is wrong for this transaction, retrying cannot help.
+    """
+
+    code = "ORA-01456"
+
+
 class LockTimeout(OrdbError):
     """A lock request waited longer than the session's wait timeout.
 

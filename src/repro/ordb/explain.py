@@ -119,9 +119,14 @@ def _filtered(rows: int | None) -> int | None:
 class PlanBuilder:
     """Builds :class:`QueryPlan` trees against a live database."""
 
-    def __init__(self, db):
+    def __init__(self, db, read_mode: str | None = None):
         self.db = db
         self.catalog = db.catalog
+        #: rendered on the SELECT STATEMENT line: "SNAPSHOT READ
+        #: @latest", "SNAPSHOT READ @<ts>" (pinned transaction
+        #: snapshot) or "LOCKING READ" (MVCC off) — how the SELECT
+        #: would actually read rows
+        self.read_mode = read_mode
 
     # -- entry point -------------------------------------------------------------
 
@@ -205,7 +210,8 @@ class PlanBuilder:
         for conjunct in residual:
             top = self._wrap_filter(top, conjunct)
         top = self._wrap_shaping(top, statement)
-        root = _Node("SELECT STATEMENT", rows=top.rows, exact=top.exact)
+        root = _Node("SELECT STATEMENT", detail=self.read_mode or "",
+                     rows=top.rows, exact=top.exact)
         root.children.append(top)
         root.children.extend(self._deref_nodes(statement, alias_map))
         return root

@@ -82,8 +82,11 @@ class LockManager:
         #: sessions whose in-flight lock waits should abort (see
         #: :meth:`cancel`); membership is consumed by the waiter
         self._cancelled: set[int] = set()
-        #: monotonically increasing counters, never reset
-        self.stats = {"acquires": 0, "waits": 0, "upgrades": 0,
+        #: monotonically increasing counters, never reset.  The
+        #: per-mode acquire counts exist so the MVCC anomaly suite
+        #: can assert that snapshot SELECTs take zero S locks.
+        self.stats = {"acquires": 0, "s_acquires": 0, "x_acquires": 0,
+                      "waits": 0, "upgrades": 0,
                       "timeouts": 0, "deadlocks": 0, "cancels": 0}
         #: optional hook(kind, resource, mode, seconds) with kind in
         #: {"wait", "timeout", "deadlock"}; the engine hangs its
@@ -184,6 +187,8 @@ class LockManager:
             holders[sid] = mode
             self._held.setdefault(sid, set()).add(resource)
             self.stats["acquires"] += 1
+            self.stats["s_acquires" if mode == SHARED
+                       else "x_acquires"] += 1
             if waited:
                 self._emit("wait", resource, mode,
                            time.monotonic() - start)

@@ -111,6 +111,11 @@ class Session:
                 except BaseException:
                     self.rollback()
                     raise
+            # the commit point: one fresh commit timestamp makes the
+            # whole write set visible to snapshot readers at once
+            # (only after the WAL accepted the redo, so nothing is
+            # ever visible that recovery would not rebuild)
+            db._commit_transaction(self.txn)
         if db.obs.enabled and committed:
             db.obs.metrics.counter("txn.commits",
                                    unit="transactions").inc()
@@ -162,6 +167,67 @@ class Session:
             self.txn = Transaction()
             self.db._txn_started(self)
         self.txn.savepoint(name)
+
+    def set_transaction(self, read_only: bool | None = None,
+                        isolation: str | None = None) -> None:
+        """``SET TRANSACTION``: open a transaction with a pinned
+        snapshot and/or access mode.
+
+        Like Oracle, it must be the first statement of the
+        transaction (it implicitly opens one when none is active).
+        ``read_only=True`` pins the snapshot and rejects DML/DDL with
+        ORA-01456; ``isolation="SERIALIZABLE"`` pins the snapshot for
+        reads *and* arms the first-committer-wins write check
+        (ORA-08177).
+        """
+        db = self.db
+        if self.txn is not None and (self.txn.executed
+                                     or self.txn.statements
+                                     or len(self.txn.journal)
+                                     or self.txn.write_set):
+            raise TransactionError(
+                "SET TRANSACTION must be the first statement of a"
+                " transaction")
+        if self.txn is None:
+            self.txn = Transaction()
+            db._txn_started(self)
+        txn = self.txn
+        if read_only is not None:
+            txn.read_only = read_only
+        if isolation is not None:
+            txn.isolation = isolation
+        pin = txn.read_only or txn.isolation == "SERIALIZABLE"
+        if pin and txn.snapshot_ts is None and db.mvcc:
+            with db._latch:  # a concurrent commit must not tear this
+                txn.snapshot_ts = db._commit_ts
+            db._pin_snapshot(self, txn.snapshot_ts)
+        elif not pin and txn.snapshot_ts is not None:
+            # READ WRITE / READ COMMITTED after a pinning clause:
+            # back to statement-level snapshots
+            txn.snapshot_ts = None
+            db._unpin_snapshot(self)
+
+    @property
+    def isolation_level(self) -> str:
+        """The effective isolation of the open transaction — "READ
+        ONLY", "SERIALIZABLE" or "READ COMMITTED" (also the answer
+        when no transaction is open: the default for the next one)."""
+        if self.txn is not None:
+            if self.txn.read_only:
+                return "READ ONLY"
+            return self.txn.isolation
+        return "READ COMMITTED"
+
+    def txn_status(self) -> dict:
+        """Wire-friendly transaction state (the network server ships
+        this to clients)."""
+        txn = self.txn
+        return {
+            "active": txn is not None,
+            "isolation": self.isolation_level,
+            "read_only": bool(txn is not None and txn.read_only),
+            "snapshot_ts": txn.snapshot_ts if txn is not None else None,
+        }
 
     @contextlib.contextmanager
     def transaction(self):

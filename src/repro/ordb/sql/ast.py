@@ -440,10 +440,25 @@ class SavepointStmt:
     name: str
 
 
+@dataclass(frozen=True)
+class SetTransaction:
+    """``SET TRANSACTION READ ONLY | READ WRITE | ISOLATION LEVEL
+    {READ COMMITTED | SERIALIZABLE}``.
+
+    Must be the first statement of a transaction (it implicitly opens
+    one, like Oracle).  ``read_only``/``isolation`` are None when the
+    clause did not mention them.
+    """
+
+    read_only: bool | None = None
+    isolation: str | None = None
+
+
 Statement = (
     CreateTypeForward | CreateObjectType | CreateVarrayType
     | CreateNestedTableType | CreateTable | CreateView
     | DropType | DropTable | DropView
     | Insert | Update | Delete | SelectStmt | ExplainStmt
     | BeginTransaction | CommitStmt | RollbackStmt | SavepointStmt
+    | SetTransaction
 )

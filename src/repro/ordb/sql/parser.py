@@ -132,7 +132,30 @@ class SQLParser:
             self.advance()
             return ast.SavepointStmt(
                 self.expect_identifier("savepoint name"))
+        if self.at_keyword("SET"):
+            return self._parse_set_transaction()
         self.error("expected a SQL statement")
+        raise AssertionError("unreachable")
+
+    def _parse_set_transaction(self) -> ast.SetTransaction:
+        self.expect_keyword("SET")
+        self.expect_keyword("TRANSACTION")
+        if self.accept_keyword("READ"):
+            if self.accept_keyword("ONLY"):
+                return ast.SetTransaction(read_only=True)
+            if self.accept_keyword("WRITE"):
+                return ast.SetTransaction(read_only=False)
+            self.error("expected ONLY or WRITE after READ")
+        if self.accept_keyword("ISOLATION"):
+            self.expect_keyword("LEVEL")
+            if self.accept_keyword("SERIALIZABLE"):
+                return ast.SetTransaction(isolation="SERIALIZABLE")
+            if self.accept_keyword("READ"):
+                self.expect_keyword("COMMITTED")
+                return ast.SetTransaction(isolation="READ COMMITTED")
+            self.error("expected SERIALIZABLE or READ COMMITTED")
+        self.error("expected READ ONLY, READ WRITE or ISOLATION"
+                   " LEVEL after SET TRANSACTION")
         raise AssertionError("unreachable")
 
     def _parse_explain(self) -> ast.ExplainStmt:

@@ -83,6 +83,24 @@ class Transaction:
         #: truncated in lockstep with the journal by savepoints
         self.statements: list = []
         self._savepoints: list[_Savepoint] = []
+        #: MVCC write token: stamped onto every row this transaction
+        #: mutates (``Row.pending``) so the transaction reads its own
+        #: uncommitted writes; assigned by the engine at BEGIN
+        self.token: int | None = None
+        #: ``(table, row)`` pairs this transaction wrote; at COMMIT
+        #: the engine stamps them all with one commit timestamp
+        self.write_set: list = []
+        #: pinned snapshot timestamp (SET TRANSACTION READ ONLY /
+        #: ISOLATION LEVEL SERIALIZABLE); None = statement-level
+        #: read consistency (a fresh snapshot per SELECT)
+        self.snapshot_ts: int | None = None
+        #: True rejects DML/DDL with ORA-01456
+        self.read_only = False
+        #: "READ COMMITTED" (default) or "SERIALIZABLE"
+        self.isolation = "READ COMMITTED"
+        #: True once any statement (even a SELECT) ran under this
+        #: transaction; SET TRANSACTION is rejected afterwards
+        self.executed = False
 
     def savepoint(self, name: str) -> None:
         """Establish (or move, Oracle-style) the savepoint *name*."""

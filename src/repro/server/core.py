@@ -402,7 +402,7 @@ class DatabaseServer:
             return False
         head = sql.lstrip().split(None, 1)
         return bool(head) and head[0].upper() in (
-            "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT")
+            "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "SET")
 
     @staticmethod
     def _field(request: dict, name: str, kind: type = str):
@@ -436,7 +436,11 @@ class DatabaseServer:
             # the client hears about the timeout
             connection.session.rollback()
             raise
-        return {"result": wire.encode_result(result)}
+        # clients see their isolation state on every round trip, so
+        # SET TRANSACTION READ ONLY / SERIALIZABLE is observable
+        # without a second request
+        return {"result": wire.encode_result(result),
+                "txn": connection.session.txn_status()}
 
     def _op_register_schema(self, connection, request: dict) -> dict:
         dtd = request.get("dtd")

@@ -165,7 +165,10 @@ class TestLockManager:
 
 class TestSessionIsolation:
     def test_writer_blocks_reader_until_commit(self):
-        db = Database(lock_timeout=5.0)
+        # mvcc=False pins the legacy 2PL read path: SELECTs take S
+        # locks and wait out concurrent writers (with MVCC on they
+        # read a pre-commit snapshot instead — see test_mvcc.py)
+        db = Database(lock_timeout=5.0, mvcc=False)
         db.execute("CREATE TABLE T(a NUMBER)")
         writer = db.session(name="writer")
         writer.begin()
@@ -189,7 +192,7 @@ class TestSessionIsolation:
         reader.close(), writer.close()
 
     def test_reader_times_out_on_held_lock(self):
-        db = Database(lock_timeout=0.05)
+        db = Database(lock_timeout=0.05, mvcc=False)
         db.execute("CREATE TABLE T(a NUMBER)")
         with db.session() as writer, db.session() as reader:
             writer.begin()
@@ -200,6 +203,24 @@ class TestSessionIsolation:
             writer.rollback()
             assert reader.execute(
                 "SELECT COUNT(*) FROM T").scalar() == 0
+
+    def test_snapshot_reader_never_waits_on_writer(self):
+        # the MVCC counterpart of the two tests above: the reader
+        # holds zero locks, sees the pre-commit snapshot while the
+        # write is uncommitted, and the new row right after COMMIT
+        db = Database(lock_timeout=0.05)
+        db.execute("CREATE TABLE T(a NUMBER)")
+        with db.session() as writer, db.session() as reader:
+            writer.begin()
+            writer.execute("INSERT INTO T VALUES(1)")
+            before = db.locks.stats["s_acquires"]
+            assert reader.execute(
+                "SELECT COUNT(*) FROM T").scalar() == 0
+            assert db.locks.stats["s_acquires"] == before
+            assert db.stats["lock_timeouts"] == 0
+            writer.commit()
+            assert reader.execute(
+                "SELECT COUNT(*) FROM T").scalar() == 1
 
     def test_rollback_is_private_to_the_session(self):
         db = Database()
@@ -435,3 +456,79 @@ class TestStatsAccounting:
         after = db.stats
         assert after["full_scans"] == before["full_scans"] + 1
         assert after["rows_scanned"] == before["rows_scanned"] + 5
+
+
+class TestSnapshotCaches:
+    """The statement LRU and the view cache must respect snapshot
+    boundaries: a pinned old snapshot can never be served a result
+    computed from (or cached under) a newer database state, and a
+    fresh reader can never be served a stale snapshot's result."""
+
+    def _schema(self, db):
+        db.execute("CREATE TABLE T(id NUMBER PRIMARY KEY, v NUMBER)")
+        db.execute("INSERT INTO T VALUES(1, 10)")
+        db.execute("CREATE VIEW V AS SELECT t.v FROM T t")
+
+    def test_stmt_cache_does_not_leak_new_rows_into_old_snapshot(self):
+        db = Database()
+        self._schema(db)
+        sql = "SELECT SUM(t.v) FROM T t"
+        with db.session(name="pinned") as pinned, \
+                db.session(name="writer") as writer:
+            pinned.set_transaction(read_only=True)
+            assert pinned.execute(sql).scalar() == 10
+            # the writer reuses the *same* SQL text (same LRU slot)
+            # around its committed write
+            assert writer.execute(sql).scalar() == 10
+            writer.execute("UPDATE T SET v = 99 WHERE id = 1")
+            assert writer.execute(sql).scalar() == 99
+            # the pinned snapshot re-runs the cached statement and
+            # must still see its own world
+            assert pinned.execute(sql).scalar() == 10
+            pinned.commit()
+            assert pinned.execute(sql).scalar() == 99
+
+    def test_view_cache_respects_snapshot_boundaries(self):
+        db = Database()
+        self._schema(db)
+        with db.session(name="pinned") as pinned, \
+                db.session(name="writer") as writer:
+            pinned.set_transaction(read_only=True)
+            assert pinned.execute("SELECT * FROM V").rows == [(10,)]
+            writer.execute("UPDATE T SET v = 99 WHERE id = 1")
+            # fresh readers see the new state (whether or not the old
+            # snapshot populated a cache entry first)...
+            assert writer.execute("SELECT * FROM V").rows == [(99,)]
+            # ...and the pinned snapshot keeps seeing the old state
+            # (whether or not the new state was cached in between)
+            assert pinned.execute("SELECT * FROM V").rows == [(10,)]
+            assert pinned.execute("SELECT * FROM V").rows == [(10,)]
+            pinned.commit()
+        assert db.execute("SELECT * FROM V").rows == [(99,)]
+
+    def test_own_writes_bypass_the_snapshot_view_cache(self):
+        db = Database()
+        self._schema(db)
+        db.execute("SELECT * FROM V")   # warm the caches
+        with db.session(name="txn") as txn, \
+                db.session(name="other") as other:
+            txn.begin()
+            txn.execute("UPDATE T SET v = 7 WHERE id = 1")
+            # the writer reads its own uncommitted value through the
+            # view, and must not publish it into any cache
+            assert txn.execute("SELECT * FROM V").rows == [(7,)]
+            assert other.execute("SELECT * FROM V").rows == [(10,)]
+            txn.rollback()
+            assert txn.execute("SELECT * FROM V").rows == [(10,)]
+
+    def test_ddl_invalidates_snapshot_view_cache(self):
+        db = Database()
+        self._schema(db)
+        with db.session(name="pinned") as pinned:
+            pinned.set_transaction(read_only=True)
+            assert pinned.execute("SELECT * FROM V").rows == [(10,)]
+            # DDL is not versioned: it must drop snapshot-keyed view
+            # results wholesale, not serve them stale
+            db.execute("CREATE TABLE Unrelated(n NUMBER)")
+            assert pinned.execute("SELECT * FROM V").rows == [(10,)]
+            pinned.commit()

@@ -52,6 +52,11 @@ EXPECTED = {
     "NoSuchSavepoint": False,
     "LockTimeout": True,
     "DeadlockDetected": True,
+    # a serialization conflict clears on retry against a fresh
+    # snapshot (Oracle's ORA-08177 contract); READ ONLY violations
+    # are caller bugs
+    "SerializationConflict": True,
+    "ReadOnlyViolation": False,
     # media failures are crashes, not retry-me conditions
     "WalFault": False,
     "TornWrite": False,

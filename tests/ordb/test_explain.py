@@ -110,7 +110,7 @@ class TestExplainGolden:
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      INDEX UNIQUE LOOKUP TabStudent"
             " [TABSTUDENT_PK: s.StudNr = 1]  ~rows=1",
@@ -121,7 +121,7 @@ class TestExplainGolden:
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      FILTER [s.StudNr = 1]  ~rows=1",
             " 3        SCAN TabStudent  rows=2",
@@ -131,7 +131,7 @@ class TestExplainGolden:
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr > 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      FILTER [s.StudNr > 1]  ~rows=1",
             " 3        SCAN TabStudent  rows=2",
@@ -144,7 +144,7 @@ class TestExplainGolden:
             " FROM TabStudent s, TABLE(s.attrCourse) c"
             " WHERE c.Prof.Subject = 'CAD'")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT  ~rows=2",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=2",
             " 1    PROJECT [c.Title, c.Prof.PName]  ~rows=2",
             " 2      NESTED-LOOP JOIN  ~rows=2",
             " 3        SCAN TabStudent  rows=2",
@@ -159,7 +159,7 @@ class TestExplainGolden:
     def test_aggregate(self, university):
         plan = university.explain("SELECT COUNT(*) FROM TabProf")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT  rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  rows=1",
             " 1    PROJECT [COUNT(*)]  rows=1",
             " 2      AGGREGATE [single group]  rows=1",
             " 3        SCAN TabProf  rows=2",
@@ -196,7 +196,7 @@ class TestExplainGolden:
             "EXPLAIN SELECT p.PName FROM TabProf p")
         assert result.columns == ["QUERY PLAN"]
         assert [row[0] for row in result.rows] == [
-            " 0  SELECT STATEMENT  rows=2",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  rows=2",
             " 1    PROJECT [p.PName]  rows=2",
             " 2      SCAN TabProf  rows=2",
         ]
