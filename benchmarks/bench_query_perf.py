@@ -1,11 +1,14 @@
 """PERF — index & cache layer vs the seed nested-loop engine.
 
-Three measurements on a 10k-row object table:
+Four measurements on a 10k-row object table:
 
 * point lookup by primary key: the indexed engine must answer via
   ``INDEX UNIQUE LOOKUP`` (asserted on the emitted plan, not wall
   clock) scanning O(1) rows, and be at least 20x cheaper in rows
   visited than the seed scan path;
+* selective range predicate: after ``CREATE INDEX`` + ``ANALYZE``,
+  the planner must pick a costed ``RANGE INDEX SCAN`` and beat the
+  forced full scan by at least 10x;
 * repeated statement execution: parsed-statement cache hit rate;
 * view re-evaluation: view-result cache hit rate inside a join.
 
@@ -14,18 +17,22 @@ counter assertions are what CI enforces (timing-independent), and
 ``benchmarks/out/BENCH_query_perf.json`` records both.
 """
 
+import json
 import time
 
 import pytest
 
-from conftest import write_bench_json
+from conftest import BENCH_OUT, write_bench_json
 from repro.ordb import Database
 from repro.ordb.sql import ast
 
 ROWS = 10_000
 PROBES = 50
+RANGE_WIDTH = 50
 
 _POINT_SQL = "SELECT b.payload FROM big b WHERE b.pk = {key}"
+_RANGE_SQL = ("SELECT b.payload FROM big b"
+              " WHERE b.pk BETWEEN {low} AND {high}")
 
 
 def _populate(db: Database, rows: int = ROWS) -> None:
@@ -138,6 +145,61 @@ def test_speedup_and_report(indexed_db, seed_db):
     assert rows_ratio >= 20
     assert speedup >= 20
     assert indexed_db.stats["stmt_cache_hits"] >= 4
+
+
+def _range_queries(db: Database, count: int = PROBES) -> None:
+    step = ROWS // count
+    for low in range(0, ROWS - RANGE_WIDTH, step):
+        result = db.execute(
+            _RANGE_SQL.format(low=low, high=low + RANGE_WIDTH - 1))
+        assert result.rowcount == RANGE_WIDTH
+
+
+def test_range_scan_beats_full_scan(indexed_db, seed_db):
+    """A selective BETWEEN (50 of 10k rows) over a CREATE INDEX'd,
+    ANALYZE'd column must plan as a costed RANGE INDEX SCAN and beat
+    the forced full scan by >= 10x."""
+    indexed_db.execute("CREATE INDEX big_range ON big (pk)")
+    indexed_db.execute("ANALYZE TABLE big")
+    rendered = indexed_db.explain(
+        _RANGE_SQL.format(low=100, high=149)).render()
+    assert "RANGE INDEX SCAN" in rendered
+    assert "cost=" in rendered
+
+    for db in (indexed_db, seed_db):
+        db.reset_stats()
+
+    start = time.perf_counter()
+    _range_queries(indexed_db)
+    indexed_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _range_queries(seed_db)
+    seed_elapsed = time.perf_counter() - start
+
+    speedup = seed_elapsed / max(indexed_elapsed, 1e-9)
+    range_lookups = indexed_db.stats["range_index_lookups"]
+
+    # merge into the artifact test_speedup_and_report started; run
+    # standalone (pytest -k range) the file starts empty
+    path = BENCH_OUT / "BENCH_query_perf.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["range_scan"] = {
+        "plan": rendered,
+        "queries": PROBES,
+        "rows_per_query": RANGE_WIDTH,
+        "indexed_seconds": indexed_elapsed,
+        "seed_seconds": seed_elapsed,
+        "speedup": speedup,
+        "range_index_lookups": range_lookups,
+        "rows_scanned_indexed": indexed_db.stats["rows_scanned"],
+        "rows_scanned_seed": seed_db.stats["rows_scanned"],
+    }
+    write_bench_json("query_perf", payload)
+
+    assert range_lookups >= PROBES - 1
+    assert indexed_db.stats["planner_full_scan_fallbacks"] == 0
+    assert speedup >= 10
 
 
 def test_view_cache_in_join(indexed_db):

@@ -168,6 +168,9 @@ def install_state(db: "Database", state: dict) -> None:
     version_records = 0
     for table in catalog.tables.values():
         data = table.data
+        # snapshots taken before ANALYZE existed predate the field
+        if not hasattr(table, "stats"):
+            table.stats = None
         # pre-MVCC snapshots predate these attributes
         if not hasattr(data, "tombstones"):
             data.tombstones = []

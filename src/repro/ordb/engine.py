@@ -57,9 +57,11 @@ from .errors import (
     DanglingReference,
     IncompleteType,
     LockTimeout,
+    NameInUse,
     NestedCollectionNotSupported,
     NoSuchColumn,
     NoSuchTable,
+    NoSuchType,
     NotSupported,
     NullNotAllowed,
     OrdbError,
@@ -73,7 +75,13 @@ from .errors import (
 )
 from .explain import PlanBuilder, QueryPlan
 from .faults import FaultInjector
-from .indexes import ProbeSpec, build_auto_indexes, find_probe
+from .indexes import (
+    ProbeSpec,
+    RangeProbeSpec,
+    SortedIndex,
+    build_auto_indexes,
+)
+from .planner import AccessPlan, compute_table_stats, plan_access
 from .locks import CATALOG_RESOURCE, EXCLUSIVE, SHARED, LockManager
 from .sessions import Session
 from .expressions import (
@@ -287,6 +295,8 @@ class Database:
             "derefs": 0,
             "index_lookups": 0,
             "index_unique_checks": 0,
+            "range_index_lookups": 0,
+            "planner_full_scan_fallbacks": 0,
             "stmt_cache_hits": 0,
             "stmt_cache_misses": 0,
             "view_cache_hits": 0,
@@ -781,6 +791,16 @@ class Database:
             deadline = time.monotonic() + session.statement_timeout
         snapshot_read = (self.mvcc
                          and isinstance(statement, ast.SelectStmt))
+        # DML keeps its write locks, but its *inner* reads (INSERT ...
+        # SELECT, UPDATE/DELETE subqueries) run against the same
+        # statement snapshot a top-level SELECT would use — otherwise
+        # they read current state and see concurrent commits mid-DML.
+        # Not during WAL replay: replayed statements of one record are
+        # stamped together afterwards, so mid-record rows are still
+        # pending and a snapshot would hide them from inner reads.
+        dml_read = (self.mvcc and not self._wal_suppressed
+                    and isinstance(statement, (ast.Insert, ast.Update,
+                                               ast.Delete)))
         if not snapshot_read:
             if isinstance(statement, ast.SelectStmt):
                 self.stats["locking_reads"] += 1
@@ -793,7 +813,7 @@ class Database:
                 self._statement_deadline = deadline
                 self._active_session = session
                 snap = None
-                if snapshot_read:
+                if snapshot_read or dml_read:
                     # MVCC: the SELECT reads a commit-timestamp
                     # snapshot and holds zero table locks; pending
                     # rows of concurrent writers are skipped in
@@ -808,6 +828,7 @@ class Database:
                     self._active_session = None
                     if snap is not None:
                         self._active_snapshot = None
+                    if snap is not None and snapshot_read:
                         self.stats["snapshot_reads"] += 1
                         if snap.saw_pending:
                             self.stats["reader_lock_waits_avoided"] += 1
@@ -835,6 +856,26 @@ class Database:
         if handler is None:  # pragma: no cover - parser prevents this
             raise NotSupported(
                 f"unsupported statement {type(statement).__name__}")
+        if self.mvcc and isinstance(statement, _DESTRUCTIVE_DDL) or (
+                self.mvcc and isinstance(statement, ast.CreateView)
+                and statement.or_replace
+                and identifiers.normalize(statement.name)
+                in self.catalog.views):
+            # DDL is not versioned: the catalog has no chains, so a
+            # pinned snapshot cannot read around a dropped table or a
+            # replaced index set.  First-pinner wins — the DDL aborts
+            # with the transient serialization error (ORA-08177 style)
+            # and can be retried once the readers commit.
+            with self._txn_lock:
+                conflicting = sorted(sid for sid in self._pinned
+                                     if sid != session.sid)
+            if conflicting:
+                raise SerializationConflict(
+                    f"cannot run"
+                    f" {type(statement).__name__.upper()} while"
+                    f" {len(conflicting)} other session(s) hold pinned"
+                    f" snapshots (READ ONLY or SERIALIZABLE); retry"
+                    f" after they commit")
         if not isinstance(statement, ast.ExplainStmt):
             # DDL (and zero-row DML) invalidates cached view results;
             # row-level changes bump the version again as they happen
@@ -974,6 +1015,15 @@ class Database:
             _collect_table_refs(statement, reads)
         elif isinstance(statement, ast.ExplainStmt):
             return []
+        elif isinstance(statement, ast.CreateIndex):
+            # index DDL also rewrites the table's probe paths: exclude
+            # concurrent writers (readers are excluded by the pinned-
+            # snapshot conflict check / S locks in locking mode)
+            writes.add(CATALOG_RESOURCE)
+            writes.add(identifiers.normalize(statement.name))
+            writes.add(identifiers.normalize(statement.table))
+        elif isinstance(statement, ast.Analyze):
+            writes.add(identifiers.normalize(statement.table))
         else:  # DDL
             writes.add(CATALOG_RESOURCE)
             name = getattr(statement, "name", None)
@@ -1469,6 +1519,103 @@ class Database:
             lambda: self.catalog.views.__setitem__(key, view))
         return Result(message=f"View {statement.name} dropped.")
 
+    # -- DDL: indexes and statistics ---------------------------------------------------------
+
+    def _create_index(self, statement: ast.CreateIndex) -> Result:
+        if statement.unique:
+            raise NotSupported(
+                "CREATE UNIQUE INDEX is not supported; declare a"
+                " UNIQUE constraint instead")
+        table = self.catalog.table(statement.table)
+        name_key = identifiers.normalize(statement.name)
+        self.catalog._assert_name_free(name_key)
+        for existing in self.catalog.tables.values():
+            for other in existing.indexes:
+                if identifiers.normalize(other.name) == name_key:
+                    raise NameInUse(
+                        f"name '{name_key}' is already used by an"
+                        f" index on {existing.name}")
+        columns = tuple(self._index_column(table, path)
+                        for path in statement.columns)
+        index = SortedIndex(name_key, columns)
+        for row in table.data.rows:
+            index.add(row)
+        table.indexes.indexes.append(index)
+
+        def undo():
+            if index in table.indexes.indexes:
+                table.indexes.indexes.remove(index)
+
+        self._record(undo)
+        return Result(message=f"Index {statement.name} created.")
+
+    def _index_column(self, table: Table,
+                      path: tuple[str, ...]) -> str:
+        """Validate one CREATE INDEX column path and return its key.
+
+        Dot-notation paths may only navigate *embedded* object
+        attributes: a REF step would make the index key depend on
+        another table's rows, which journal-riding maintenance on
+        this table cannot see."""
+        column = table.column(path[0])
+        if column is None:
+            raise NoSuchColumn(
+                f"'{path[0]}' is not a column of {table.name}")
+        keys = [column.key]
+        datatype = column.datatype
+        for part in path[1:]:
+            if isinstance(datatype, RefType):
+                raise NotSupported(
+                    f"cannot index through REF column"
+                    f" '{'.'.join(path)}'; index the target table"
+                    f" instead")
+            if not isinstance(datatype, ObjectType):
+                raise TypeMismatch(
+                    f"'{'.'.join(path)}' does not navigate embedded"
+                    f" object attributes")
+            attribute = datatype.attribute(part)
+            if attribute is None:
+                raise NoSuchColumn(
+                    f"'{part}' is not an attribute of"
+                    f" {datatype.name}")
+            keys.append(attribute.key)
+            datatype = attribute.datatype
+        return ".".join(keys)
+
+    def _drop_index(self, statement: ast.DropIndex) -> Result:
+        name_key = identifiers.normalize(statement.name)
+        for table in self.catalog.tables.values():
+            for position, index in enumerate(table.indexes.indexes):
+                if identifiers.normalize(index.name) != name_key:
+                    continue
+                if not index.user_created:
+                    raise NotSupported(
+                        f"index '{statement.name}' backs a constraint"
+                        f" and cannot be dropped")
+                owner = table
+
+                def undo(owner=owner, position=position, index=index):
+                    owner.indexes.indexes.insert(position, index)
+
+                del table.indexes.indexes[position]
+                self._record(undo)
+                return Result(
+                    message=f"Index {statement.name} dropped.")
+        raise NoSuchType(f"index '{statement.name}' does not exist")
+
+    def _analyze(self, statement: ast.Analyze) -> Result:
+        table = self.catalog.table(statement.table)
+        prior = table.stats
+        table.stats = compute_table_stats(table)
+
+        def undo():
+            table.stats = prior
+
+        self._record(undo)
+        return Result(
+            message=f"Table {statement.table} analyzed"
+                    f" ({table.stats.row_count} rows).")
+
     # -- DML: insert -------------------------------------------------------------------------
 
     def _insert(self, statement: ast.Insert) -> Result:
@@ -1606,12 +1753,42 @@ class Database:
 
     # -- DML: update / delete ------------------------------------------------------------------
 
+    def _dml_access(self, table: Table, alias_key: str,
+                    where: ast.Expr | None) -> AccessPlan | None:
+        """Costed access plan for UPDATE/DELETE row selection (None =
+        nothing pushable; plain scan).  Shared with EXPLAIN so the
+        rendered DML access path is the one that runs."""
+        if where is None:
+            return None
+        pushed: list[ast.Expr] = []
+        for conjunct in _split_conjuncts(where):
+            heads: set[str] = set()
+            if (_analyze_references(conjunct, heads) and heads
+                    and heads <= {alias_key}):
+                pushed.append(conjunct)
+        if not pushed:
+            return None
+        return plan_access(table, alias_key, pushed,
+                           allow_probes=self.enable_indexes)
+
+    def _dml_candidates(self, table: Table,
+                        plan: AccessPlan | None) -> list[Row] | None:
+        """Probe candidates for a DML statement (a superset of the
+        matches — the full WHERE is still evaluated on every row), or
+        None when the plan is a scan."""
+        if plan is None or plan.probe is None or not table.data.rows:
+            return None
+        return self._execute_probe(plan.probe, Env([]))
+
     def _update(self, statement: ast.Update) -> Result:
         table = self.catalog.table(statement.table)
         alias_key = identifiers.normalize(statement.alias
                                           or statement.table)
+        plan = self._dml_access(table, alias_key, statement.where)
+        candidates = self._dml_candidates(table, plan)
         count = 0
-        for row in list(table.data.rows):
+        for row in (list(table.data.rows) if candidates is None
+                    else list(candidates)):
             if (self._statement_deadline is not None
                     and time.monotonic() > self._statement_deadline):
                 self._deadline_expired()
@@ -1680,8 +1857,16 @@ class Database:
         table = self.catalog.table(statement.table)
         alias_key = identifiers.normalize(statement.alias
                                           or statement.table)
+        plan = self._dml_access(table, alias_key, statement.where)
+        candidates = self._dml_candidates(table, plan)
+        candidate_ids = (None if candidates is None
+                         else {id(row) for row in candidates})
         doomed: list[tuple[int, Row]] = []
         for index, row in enumerate(table.data.rows):
+            if (candidate_ids is not None
+                    and id(row) not in candidate_ids):
+                # the probe proved the WHERE cannot match this row
+                continue
             if statement.where is not None:
                 binding = Binding(alias_key, row.values, table, row.oid)
                 verdict = self.evaluator.eval_predicate(
@@ -1764,8 +1949,8 @@ class Database:
                          and not statement.group_by
                          and not statement.distinct)
         per_level, residual = self._plan_predicates(statement)
-        probes = [
-            self._level_probe(item, pushed)
+        plans = [
+            self._level_access(item, pushed)
             for item, pushed in zip(statement.from_items, per_level)
         ]
 
@@ -1781,9 +1966,12 @@ class Database:
                             and len(environments) >= (limit or 0))
             item = statement.from_items[index]
             partial = Env(list(frames), outer_env)
-            pushed = per_level[index]
-            for binding in self._bindings_for(item, partial,
-                                              probes[index]):
+            plan = plans[index]
+            # the planner reorders pushed conjuncts most-selective
+            # first (REF dereferences last); all of them still run
+            pushed = (plan.filters if plan is not None
+                      else per_level[index])
+            for binding in self._bindings_for(item, partial, plan):
                 frames.append(binding)
                 env = Env(frames, outer_env) if pushed else None
                 passed = all(
@@ -1833,10 +2021,11 @@ class Database:
                 residual.append(conjunct)
         return levels, residual
 
-    def _level_probe(self, item: ast.FromItem,
-                     pushed: list[ast.Expr]) -> ProbeSpec | None:
-        """Plan an index probe for one FROM item (None = scan)."""
-        if not self.enable_indexes or not isinstance(item, ast.TableRef):
+    def _level_access(self, item: ast.FromItem,
+                      pushed: list[ast.Expr]) -> AccessPlan | None:
+        """Costed access plan for one FROM item (None = not a plain
+        table: views, subqueries and TABLE() plan their own reads)."""
+        if not isinstance(item, ast.TableRef):
             return None
         key = identifiers.normalize(item.name)
         if key in self.catalog.views:
@@ -1845,7 +2034,8 @@ class Database:
         if table is None:  # let _bindings_for raise NoSuchTable
             return None
         alias_key = identifiers.normalize(item.alias or item.name)
-        return find_probe(table, alias_key, pushed)
+        return plan_access(table, alias_key, pushed,
+                           allow_probes=self.enable_indexes)
 
     def _probe_rows(self, probe: ProbeSpec,
                     env: Env) -> list[Row] | None:
@@ -1870,8 +2060,42 @@ class Database:
                                      unit="lookups").inc()
         return rows
 
+    def _range_probe_rows(self, probe: RangeProbeSpec,
+                          env: Env) -> list[Row] | None:
+        """Candidate rows for a range/prefix probe, or None to fall
+        back to a scan (the sorted index bails out whenever its key
+        population cannot answer the bounds safely).  A NULL bound
+        matches nothing — ``col >= NULL`` is never TRUE."""
+        if probe.prefix is not None:
+            rows = probe.index.prefix_lookup(probe.prefix)
+        else:
+            low = high = None
+            if probe.low is not None:
+                low = self.evaluator.eval(probe.low, env)
+                if low is None:
+                    return []
+            if probe.high is not None:
+                high = self.evaluator.eval(probe.high, env)
+                if high is None:
+                    return []
+            rows = probe.index.range_lookup(low, high,
+                                            probe.low_inclusive,
+                                            probe.high_inclusive)
+        if rows is None:
+            return None
+        self.stats["range_index_lookups"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.range_index_lookups",
+                                     unit="lookups").inc()
+        return rows
+
+    def _execute_probe(self, probe, env: Env) -> list[Row] | None:
+        if isinstance(probe, RangeProbeSpec):
+            return self._range_probe_rows(probe, env)
+        return self._probe_rows(probe, env)
+
     def _bindings_for(self, item: ast.FromItem, env: Env,
-                      probe: ProbeSpec | None = None):
+                      plan: AccessPlan | None = None):
         """Bindings for one FROM item.
 
         ``rows_scanned``/``full_scans`` are counted here and only for
@@ -1891,9 +2115,10 @@ class Database:
             alias_key = identifiers.normalize(item.alias or item.name)
             snap = self._active_snapshot
             rows = table.data.rows
+            probe = plan.probe if plan is not None else None
             candidates = None
             if probe is not None and rows:
-                candidates = self._probe_rows(probe, env)
+                candidates = self._execute_probe(probe, env)
             if candidates is not None:
                 rows = candidates
                 if snap is not None:
@@ -1911,6 +2136,15 @@ class Database:
                             if id(extra) not in seen]
             else:
                 self.stats["full_scans"] += 1
+                if plan is not None and plan.sargable:
+                    # an index could have served this level but the
+                    # planner priced it out (or its probe value was
+                    # unkeyable at runtime) — observable as a fallback
+                    self.stats["planner_full_scan_fallbacks"] += 1
+                    if self.obs.enabled:
+                        self.obs.metrics.counter(
+                            "db.planner_full_scan_fallbacks",
+                            unit="scans").inc()
                 if snap is not None and table.data.tombstones:
                     # versioned live rows are already in the scan;
                     # deleted ones survive only as tombstones
@@ -2229,14 +2463,25 @@ Database._HANDLERS = {
     ast.CreateNestedTableType: Database._create_nested_table_type,
     ast.CreateTable: Database._create_table,
     ast.CreateView: Database._create_view,
+    ast.CreateIndex: Database._create_index,
     ast.DropType: Database._drop_type,
     ast.DropTable: Database._drop_table,
     ast.DropView: Database._drop_view,
+    ast.DropIndex: Database._drop_index,
+    ast.Analyze: Database._analyze,
     ast.Insert: Database._insert,
     ast.Update: Database._update,
     ast.Delete: Database._delete,
     ast.ExplainStmt: Database._explain_statement,
 }
+
+#: DDL that removes or reshapes objects a pinned snapshot may still
+#: be reading.  The catalog keeps no version chains, so these abort
+#: with SerializationConflict while other sessions hold pinned
+#: snapshots (additive DDL and ANALYZE are safe: old snapshots simply
+#: never look at the new object).
+_DESTRUCTIVE_DDL = (ast.DropTable, ast.DropType, ast.DropView,
+                    ast.DropIndex, ast.CreateIndex)
 
 
 # -- module helpers --------------------------------------------------------------------

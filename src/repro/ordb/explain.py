@@ -1,14 +1,19 @@
 """EXPLAIN: describe how the engine would evaluate a statement.
 
-The engine has no cost-based optimizer — evaluation is nested loops
-with AND-conjunct pushdown (see ``docs/sql_dialect.md``) — so a plan
-here is a faithful rendering of what :mod:`repro.ordb.engine` will
-actually do, annotated with row estimates:
+A plan here is a faithful rendering of what :mod:`repro.ordb.engine`
+will actually do: the same cost-based access-path pass
+(:mod:`repro.ordb.planner`) the executor runs decides whether each
+FROM level renders as SCAN, INDEX [UNIQUE] LOOKUP or RANGE INDEX
+SCAN.  Lines are annotated with row estimates and costs:
 
 * ``rows=N``  — an exact count (table sizes are known);
 * ``~rows=N`` — an estimate: collection expansions use the average
   cardinality observed in stored rows, every FILTER keeps 1/3 of its
-  input (a fixed selectivity, documented rather than clever).
+  input (a fixed selectivity, documented rather than clever);
+* ``cost=N``  — the planner's estimated row-visit cost of the chosen
+  access path (scan = table rows; hash probe = 1 + bucket rows;
+  range probe = log2(N+1) + matching rows).  The statement root
+  carries the plan total when every FROM level was costable.
 
 :class:`PlanBuilder` interprets the same AST the executor does and
 never touches row data beyond counting, so ``EXPLAIN`` has no side
@@ -39,6 +44,7 @@ class PlanStep:
     detail: str = ""
     estimated_rows: int | None = None
     exact: bool = False
+    cost: float | None = None
     depth: int = 0
 
     def render(self) -> str:
@@ -50,6 +56,8 @@ class PlanStep:
         if self.estimated_rows is not None:
             marker = "rows=" if self.exact else "~rows="
             text += f"  {marker}{self.estimated_rows}"
+        if self.cost is not None:
+            text += f"  cost={round(self.cost)}"
         return text
 
 
@@ -88,23 +96,24 @@ class _Node:
     """Plan-tree node; flattened into :class:`PlanStep` rows."""
 
     __slots__ = ("operation", "target", "detail", "rows", "exact",
-                 "children")
+                 "cost", "children")
 
     def __init__(self, operation: str, target: str = "",
                  detail: str = "", rows: int | None = None,
-                 exact: bool = False):
+                 exact: bool = False, cost: float | None = None):
         self.operation = operation
         self.target = target
         self.detail = detail
         self.rows = rows
         self.exact = exact
+        self.cost = cost
         self.children: list[_Node] = []
 
     def flatten(self, depth: int = 0,
                 into: list[PlanStep] | None = None) -> list[PlanStep]:
         steps = into if into is not None else []
         steps.append(PlanStep(self.operation, self.target, self.detail,
-                              self.rows, self.exact, depth))
+                              self.rows, self.exact, self.cost, depth))
         for child in self.children:
             child.flatten(depth + 1, steps)
         return steps
@@ -181,20 +190,36 @@ class PlanBuilder:
         alias_map = self._alias_map(statement)
         per_level, residual = self.db._plan_predicates(statement)
         sources: list[_Node] = []
+        total_cost: float | None = 0.0
+        outer_rows = 1
         for index, item in enumerate(statement.from_items):
             pushed = list(per_level[index])
-            # the executor's own index-selection pass: when it would
-            # probe, render the lookup instead of SCAN and keep only
-            # the conjuncts the probe does not absorb as FILTERs
-            probe = self.db._level_probe(item, pushed)
+            # the executor's own cost-based access pass: when it
+            # picks a probe, render the lookup instead of SCAN and
+            # keep only the conjuncts the probe does not absorb as
+            # FILTERs (in the planner's evaluation order)
+            plan = self.db._level_access(item, pushed)
+            probe = plan.probe if plan is not None else None
             if probe is not None:
-                node = self._probe_node(item, probe)
+                table = self.catalog.tables[
+                    identifiers.normalize(item.name)]
+                node = self._probe_node(table, plan)
                 consumed = {id(conjunct)
                             for conjunct in probe.conjuncts}
-                pushed = [conjunct for conjunct in pushed
+                pushed = [conjunct for conjunct in plan.filters
                           if id(conjunct) not in consumed]
             else:
                 node = self._source_node(item, statement)
+                if plan is not None:
+                    node.cost = plan.cost
+                    pushed = list(plan.filters)
+            if plan is None:
+                total_cost = None  # views/subqueries price themselves
+            elif total_cost is not None:
+                # nested loops: this level's access path runs once
+                # per combination of already-bound outer rows
+                total_cost += outer_rows * plan.cost
+                outer_rows *= max(1, plan.est_rows)
             for conjunct in pushed:
                 node = self._wrap_filter(node, conjunct)
             sources.append(node)
@@ -211,29 +236,20 @@ class PlanBuilder:
             top = self._wrap_filter(top, conjunct)
         top = self._wrap_shaping(top, statement)
         root = _Node("SELECT STATEMENT", detail=self.read_mode or "",
-                     rows=top.rows, exact=top.exact)
+                     rows=top.rows, exact=top.exact, cost=total_cost)
         root.children.append(top)
         root.children.extend(self._deref_nodes(statement, alias_map))
         return root
 
-    def _probe_node(self, item: ast.TableRef, probe) -> _Node:
-        """An INDEX [UNIQUE] LOOKUP access-path step.
-
-        Row estimates: a unique probe yields at most one row; a
-        non-unique probe yields the average bucket size observed in
-        the index (total entries over distinct keys).
-        """
-        table = self.catalog.tables[identifiers.normalize(item.name)]
-        index = probe.index
-        if index.unique:
-            rows = 1
-        else:
-            rows = max(1, round(len(table.data.rows)
-                                / max(1, index.distinct_keys())))
-        detail = f"{index.name}: " + " AND ".join(
+    def _probe_node(self, table, plan) -> _Node:
+        """An INDEX [UNIQUE] LOOKUP / RANGE INDEX SCAN access step,
+        annotated with the planner's row estimate and cost."""
+        probe = plan.probe
+        detail = f"{probe.index.name}: " + " AND ".join(
             render_expr(conjunct) for conjunct in probe.conjuncts)
         return _Node(probe.operation, target=table.name,
-                     detail=detail, rows=rows, exact=False)
+                     detail=detail, rows=plan.est_rows, exact=False,
+                     cost=plan.cost)
 
     def _wrap_filter(self, child: _Node, conjunct: ast.Expr) -> _Node:
         node = _Node("FILTER", detail=render_expr(conjunct),
@@ -474,13 +490,40 @@ class PlanBuilder:
         node = _Node("SCAN",
                      target=(table.name if table is not None
                              else table_name),
-                     rows=rows, exact=rows is not None)
+                     rows=rows, exact=rows is not None,
+                     cost=(float(max(rows, 1)) if rows is not None
+                           else None))
         if where is not None:
             node = self._wrap_filter(node, where)
         return node
 
+    def _dml_source(self, statement) -> _Node:
+        """Access path for UPDATE/DELETE row selection: the same
+        costed plan the executor's ``_dml_access`` runs, rendered as
+        a probe plus residual FILTERs, or the classic FILTER over
+        SCAN when nothing is probeable."""
+        from .engine import _split_conjuncts
+
+        table = self.catalog.tables.get(
+            identifiers.normalize(statement.table))
+        if table is None:
+            return self._scan_filter(statement.table, statement.where)
+        alias_key = identifiers.normalize(
+            getattr(statement, "alias", None) or statement.table)
+        plan = self.db._dml_access(table, alias_key, statement.where)
+        if plan is None or plan.probe is None:
+            node = self._scan_filter(statement.table, statement.where)
+            return node
+        node = self._probe_node(table, plan)
+        consumed = {id(conjunct)
+                    for conjunct in plan.probe.conjuncts}
+        for conjunct in _split_conjuncts(statement.where):
+            if id(conjunct) not in consumed:
+                node = self._wrap_filter(node, conjunct)
+        return node
+
     def _update_node(self, statement: ast.Update) -> _Node:
-        child = self._scan_filter(statement.table, statement.where)
+        child = self._dml_source(statement)
         root = _Node(
             "UPDATE STATEMENT", target=statement.table,
             detail="SET " + ", ".join(
@@ -490,7 +533,7 @@ class PlanBuilder:
         return root
 
     def _delete_node(self, statement: ast.Delete) -> _Node:
-        child = self._scan_filter(statement.table, statement.where)
+        child = self._dml_source(statement)
         root = _Node("DELETE STATEMENT", target=statement.table,
                      rows=child.rows, exact=child.exact)
         root.children.append(child)

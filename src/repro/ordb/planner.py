@@ -1,0 +1,330 @@
+"""Cost-based access-path planning: scan vs probe, conjunct order.
+
+The seed engine hardwired one strategy — probe when an equality
+conjunct matches an index, otherwise scan.  This module replaces that
+with a small System-R-style cost pass shared by the executor and by
+``EXPLAIN`` (so the rendered plan is exactly what runs):
+
+* :func:`plan_access` prices a full scan against every available
+  equality probe (:func:`~.indexes.find_probe`) and range probe
+  (:func:`~.indexes.find_range_probe`) for one FROM-level and picks
+  the cheapest, returning an :class:`AccessPlan`;
+* pushed WHERE conjuncts are reordered most-selective-first, with
+  REF-dereferencing predicates pushed last (a dereference is a hidden
+  join — the paper's Section 5 point about navigation cost);
+* :func:`compute_table_stats` is the ``ANALYZE TABLE`` collector: row
+  count, NDV, null count and min/max per column (dot-notation index
+  paths included).  Stats live on :class:`~.schema.Table` and survive
+  WAL replay (ANALYZE is a logged statement) and checkpoints (tables
+  pickle wholesale).
+
+Costs are abstract row-visit units: a scan costs N; a hash probe
+costs 1 + estimated bucket rows; a sorted-index range probe costs
+log2(N+1) + estimated matching rows.  Without stats the planner falls
+back to live index metadata (distinct key counts) and textbook
+default selectivities (eq 1/10, range 1/4, LIKE 1/4, other 1/3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from decimal import Decimal
+
+from . import identifiers
+from .datatypes import RefType
+from .indexes import (
+    _NULL,
+    ProbeSpec,
+    RangeProbeSpec,
+    _column_value,
+    _key_class,
+    canonical_key,
+    find_probe,
+    find_range_probe,
+)
+from .schema import ColumnStats, Table, TableStats
+from .sql import ast
+
+#: default selectivity per conjunct class when no stats apply
+_SELECTIVITY = {"eq": 0.1, "range": 0.25, "like": 0.25, "other": 1 / 3}
+#: evaluation-order rank per class (lower = evaluated earlier)
+_RANK = {"eq": 0, "range": 1, "like": 2, "other": 3}
+#: added to the rank of conjuncts that dereference a REF path: they
+#: hide a join, so they run last, over the fewest surviving rows
+_DEREF_PENALTY = 10
+
+
+class AccessPlan:
+    """The costed access path for one FROM-level of a query.
+
+    ``probe`` is the chosen index probe (:class:`~.indexes.ProbeSpec`
+    or :class:`~.indexes.RangeProbeSpec`) or None for a full scan;
+    ``filters`` is *all* pushed conjuncts in evaluation order;
+    ``sargable`` records that some probe was available (so a scan
+    execution counts as a planner fallback)."""
+
+    __slots__ = ("probe", "filters", "cost", "est_rows", "scan_rows",
+                 "sargable")
+
+    def __init__(self, probe, filters: list[ast.Expr], cost: float,
+                 est_rows: int, scan_rows: int, sargable: bool):
+        self.probe = probe
+        self.filters = filters
+        self.cost = cost
+        self.est_rows = est_rows
+        self.scan_rows = scan_rows
+        self.sargable = sargable
+
+
+def plan_access(table: Table, alias_key: str,
+                pushed: list[ast.Expr],
+                allow_probes: bool = True) -> AccessPlan:
+    """Pick the cheapest access path for *table* given the *pushed*
+    conjuncts.  Pure: never mutates the table or its stats (EXPLAIN
+    calls it on a live database)."""
+    row_count = len(table.data.rows)
+    filters = order_conjuncts(table, alias_key, pushed)
+    selectivity = 1.0
+    for conjunct in pushed:
+        selectivity *= _conjunct_selectivity(conjunct, alias_key, table)
+    scan_rows = _estimate(row_count, selectivity, bool(pushed))
+    scan_cost = float(max(row_count, 1))
+
+    candidates: list[tuple[float, int, object]] = []
+    if allow_probes:
+        # a probe visits a subset of the rows a scan would, so its
+        # price is capped at the scan price (tiny tables would
+        # otherwise pay the probe overhead twice over)
+        equality = find_probe(table, alias_key, pushed)
+        if equality is not None:
+            est = _equality_estimate(table, equality, row_count)
+            candidates.append((min(scan_cost, 1.0 + est), est, equality))
+        ranged = find_range_probe(table, alias_key, pushed)
+        if ranged is not None:
+            est = _range_estimate(table, ranged, row_count)
+            candidates.append(
+                (min(scan_cost, math.log2(row_count + 1) + est), est,
+                 ranged))
+
+    best_cost, best_est, best_probe = scan_cost, scan_rows, None
+    for cost, est, probe in candidates:
+        # ties go to the probe (it never reads more rows than a
+        # scan), and to the equality probe among equal-cost probes
+        if cost < best_cost or (best_probe is None
+                                and cost <= best_cost):
+            best_cost, best_est, best_probe = cost, est, probe
+    return AccessPlan(best_probe, filters, best_cost, best_est,
+                      scan_rows, sargable=bool(candidates))
+
+
+def order_conjuncts(table: Table, alias_key: str,
+                    pushed: list[ast.Expr]) -> list[ast.Expr]:
+    """Evaluation order for pushed conjuncts: most selective class
+    first, REF-dereferencing predicates last (stable within a rank,
+    so equal plans render deterministically)."""
+    def rank(conjunct: ast.Expr) -> int:
+        value = _RANK[_conjunct_class(conjunct)]
+        if _dereferences_ref(conjunct, alias_key, table):
+            value += _DEREF_PENALTY
+        return value
+
+    return sorted(pushed, key=rank)
+
+
+# -- selectivity and cardinality ----------------------------------------------------
+
+
+def _estimate(row_count: int, selectivity: float,
+              filtered: bool) -> int:
+    if row_count == 0:
+        return 0
+    if not filtered:
+        return row_count
+    return max(1, round(row_count * selectivity))
+
+
+def _conjunct_class(conjunct: ast.Expr) -> str:
+    if isinstance(conjunct, ast.BinaryOp):
+        if conjunct.operator == "=":
+            return "eq"
+        if conjunct.operator in ("<", "<=", ">", ">="):
+            return "range"
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        return "range"
+    if isinstance(conjunct, ast.Like) and not conjunct.negated:
+        return "like"
+    return "other"
+
+
+def _conjunct_selectivity(conjunct: ast.Expr, alias_key: str,
+                          table: Table) -> float:
+    kind = _conjunct_class(conjunct)
+    if kind == "eq" and isinstance(conjunct, ast.BinaryOp):
+        # with stats, an equality keeps ~1/NDV of the rows
+        from .indexes import _probe_column
+        for side in (conjunct.left, conjunct.right):
+            column = _probe_column(side, alias_key, table)
+            if column is None:
+                continue
+            stats = _column_stats(table, column)
+            if stats is not None and stats.ndv > 0:
+                return min(1.0, 1.0 / stats.ndv)
+    if kind == "range":
+        column, low, high = _range_bounds(conjunct, alias_key, table)
+        if column is not None:
+            return _range_selectivity(_column_stats(table, column),
+                                      low, high)
+    return _SELECTIVITY[kind]
+
+
+def _column_stats(table: Table, column: str) -> ColumnStats | None:
+    if table.stats is None:
+        return None
+    return table.stats.columns.get(column)
+
+
+def _range_bounds(conjunct: ast.Expr, alias_key: str, table: Table):
+    """(column, low, high) literal canonical bounds of a range
+    conjunct, or (None, None, None) when not statically analyzable."""
+    from .indexes import _FLIPPED, _probe_column
+    if (isinstance(conjunct, ast.BinaryOp)
+            and conjunct.operator in _FLIPPED):
+        for column_side, value_side, operator in (
+                (conjunct.left, conjunct.right, conjunct.operator),
+                (conjunct.right, conjunct.left,
+                 _FLIPPED[conjunct.operator])):
+            column = _probe_column(column_side, alias_key, table)
+            if column is None:
+                continue
+            value = _literal_key(value_side)
+            if operator in (">", ">="):
+                return column, value, None
+            return column, None, value
+    if isinstance(conjunct, ast.Between) and not conjunct.negated:
+        column = _probe_column(conjunct.operand, alias_key, table)
+        if column is not None:
+            return (column, _literal_key(conjunct.low),
+                    _literal_key(conjunct.high))
+    return None, None, None
+
+
+def _literal_key(expression: ast.Expr):
+    """The canonical key of a literal bound, or None when the bound
+    is not a literal (evaluated at runtime, unknown at plan time)."""
+    if isinstance(expression, ast.Literal):
+        if expression.value is None:
+            return None
+        return canonical_key(expression.value)
+    if isinstance(expression, ast.DateLiteral):
+        return expression.text
+    return None
+
+
+def _range_selectivity(stats: ColumnStats | None, low, high) -> float:
+    """Fraction of rows inside [low, high]; linear interpolation over
+    the ANALYZEd min/max when the column population is numeric."""
+    numeric = (int, float, Decimal)
+    if (stats is not None
+            and isinstance(stats.low, numeric)
+            and isinstance(stats.high, numeric)):
+        span = float(stats.high) - float(stats.low)
+        if span > 0:
+            lower = (float(low) if isinstance(low, numeric)
+                     else float(stats.low))
+            upper = (float(high) if isinstance(high, numeric)
+                     else float(stats.high))
+            fraction = ((min(upper, float(stats.high))
+                         - max(lower, float(stats.low))) / span)
+            return min(1.0, max(0.0, fraction))
+    return 0.1 if (low is not None and high is not None) else 0.25
+
+
+def _equality_estimate(table: Table, probe: ProbeSpec,
+                       row_count: int) -> int:
+    if probe.index.unique:
+        return 1
+    if len(probe.index.columns) == 1:
+        stats = _column_stats(table, probe.index.columns[0])
+        if stats is not None and stats.ndv > 0:
+            return max(1, round(row_count / stats.ndv))
+    distinct = probe.index.distinct_keys()
+    if distinct <= 0:
+        return max(0, row_count)
+    return max(1, round(row_count / distinct))
+
+
+def _range_estimate(table: Table, probe: RangeProbeSpec,
+                    row_count: int) -> int:
+    if row_count == 0:
+        return 0
+    if probe.prefix is not None:
+        return max(1, round(row_count * 0.1))
+    low = _literal_key(probe.low) if probe.low is not None else None
+    high = _literal_key(probe.high) if probe.high is not None else None
+    selectivity = _range_selectivity(
+        _column_stats(table, probe.column), low, high)
+    return max(1, round(row_count * selectivity))
+
+
+# -- REF dereference detection ------------------------------------------------------
+
+
+def _dereferences_ref(node: object, alias_key: str,
+                      table: Table) -> bool:
+    """True when evaluating *node* navigates through one of this
+    table's REF columns (``alias.refcol.attr...``) — a hidden join
+    the planner defers behind cheaper predicates."""
+    if isinstance(node, ast.ColumnPath):
+        if (len(node.parts) <= 2
+                or identifiers.normalize(node.parts[0]) != alias_key):
+            return False
+        column = table.column(node.parts[1])
+        return (column is not None
+                and isinstance(column.datatype, RefType))
+    if isinstance(node, (list, tuple)):
+        return any(_dereferences_ref(item, alias_key, table)
+                   for item in node)
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        return any(
+            _dereferences_ref(getattr(node, field.name), alias_key,
+                              table)
+            for field in dataclasses.fields(node))
+    return False
+
+
+# -- ANALYZE: statistics collection -------------------------------------------------
+
+
+def compute_table_stats(table: Table) -> TableStats:
+    """Collect optimizer statistics over the table's *current* rows:
+    NDV / null count for every column and every indexed dot-notation
+    path, min/max of the canonical keys when the non-NULL population
+    is order-homogeneous (all-numeric or all-string)."""
+    rows = table.data.rows
+    columns = list(dict.fromkeys(
+        [*table.column_keys(),
+         *(column for index in table.indexes
+           for column in index.columns)]))
+    collected: dict[str, ColumnStats] = {}
+    for column in columns:
+        distinct: set = set()
+        nulls = 0
+        classes: set[str] = set()
+        for row in rows:
+            key = canonical_key(_column_value(row.values, column))
+            if key == _NULL:
+                nulls += 1
+                continue
+            classes.add(_key_class((key,)))
+            try:
+                distinct.add(key)
+            except TypeError:
+                pass  # unhashable (NaN composite): skip for NDV
+        low = high = None
+        if distinct and (classes == {"num"} or classes == {"str"}):
+            low = min(distinct)
+            high = max(distinct)
+        collected[column] = ColumnStats(ndv=len(distinct), nulls=nulls,
+                                        low=low, high=high)
+    return TableStats(row_count=len(rows), columns=collected)

@@ -65,6 +65,29 @@ class Column:
 
 
 @dataclass
+class ColumnStats:
+    """ANALYZE-collected statistics for one (possibly dotted) column."""
+
+    ndv: int  # number of distinct non-NULL values
+    nulls: int
+    low: object | None = None  # min/max of the canonical keys, when
+    high: object | None = None  # the population is order-homogeneous
+
+
+@dataclass
+class TableStats:
+    """Optimizer statistics for one table, set by ``ANALYZE TABLE``.
+
+    ``columns`` maps normalized column keys (dot-notation paths
+    included) to :class:`ColumnStats`.  A table without stats plans
+    from live index metadata and default selectivities instead.
+    """
+
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+
+@dataclass
 class Table:
     """A heap table or an object table (``of_type`` set)."""
 
@@ -75,6 +98,7 @@ class Table:
     nested_storage: dict[str, str] = field(default_factory=dict)
     data: TableData = field(default_factory=TableData)
     indexes: IndexSet = field(default_factory=IndexSet)
+    stats: TableStats | None = None
 
     @property
     def key(self) -> str:

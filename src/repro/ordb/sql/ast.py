@@ -366,6 +366,33 @@ class DropView:
     name: str
 
 
+@dataclass(frozen=True)
+class CreateIndex:
+    """``CREATE INDEX name ON table (column[.path], ...)``.
+
+    Each column is a dot-notation path tuple: ``("PRICE",)`` for a
+    plain column, ``("ADDR", "CITY")`` for an attribute of an
+    embedded object column.
+    """
+
+    name: str
+    table: str
+    columns: tuple[tuple[str, ...], ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+
+
+@dataclass(frozen=True)
+class Analyze:
+    """``ANALYZE TABLE name [COMPUTE STATISTICS]``."""
+
+    table: str
+
+
 # ---------------------------------------------------------------------------
 # DML statements
 # ---------------------------------------------------------------------------
@@ -457,7 +484,8 @@ class SetTransaction:
 Statement = (
     CreateTypeForward | CreateObjectType | CreateVarrayType
     | CreateNestedTableType | CreateTable | CreateView
-    | DropType | DropTable | DropView
+    | CreateIndex | DropType | DropTable | DropView | DropIndex
+    | Analyze
     | Insert | Update | Delete | SelectStmt | ExplainStmt
     | BeginTransaction | CommitStmt | RollbackStmt | SavepointStmt
     | SetTransaction

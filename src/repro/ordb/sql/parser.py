@@ -134,8 +134,18 @@ class SQLParser:
                 self.expect_identifier("savepoint name"))
         if self.at_keyword("SET"):
             return self._parse_set_transaction()
+        if self.at_keyword("ANALYZE"):
+            return self._parse_analyze()
         self.error("expected a SQL statement")
         raise AssertionError("unreachable")
+
+    def _parse_analyze(self) -> ast.Analyze:
+        self.expect_keyword("ANALYZE")
+        self.expect_keyword("TABLE")
+        table = self.expect_identifier("table name")
+        if self.accept_keyword("COMPUTE"):
+            self.expect_keyword("STATISTICS")
+        return ast.Analyze(table)
 
     def _parse_set_transaction(self) -> ast.SetTransaction:
         self.expect_keyword("SET")
@@ -192,8 +202,26 @@ class SQLParser:
             return self._parse_create_table()
         if self.accept_keyword("VIEW"):
             return self._parse_create_view(or_replace)
-        self.error("expected TYPE, TABLE or VIEW after CREATE")
+        unique = self.accept_keyword("UNIQUE")
+        if self.accept_keyword("INDEX"):
+            if or_replace:
+                self.error("OR REPLACE is not valid for indexes")
+            return self._parse_create_index(unique)
+        if unique:
+            self.error("expected INDEX after CREATE UNIQUE")
+        self.error("expected TYPE, TABLE, VIEW or INDEX after CREATE")
         raise AssertionError("unreachable")
+
+    def _parse_create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        self.expect_operator("(")
+        columns = [tuple(self._parse_path().parts)]
+        while self.accept_operator(","):
+            columns.append(tuple(self._parse_path().parts))
+        self.expect_operator(")")
+        return ast.CreateIndex(name, table, tuple(columns), unique)
 
     def _parse_create_type(self, or_replace: bool) -> ast.Statement:
         name = self.expect_identifier("type name")
@@ -414,7 +442,9 @@ class SQLParser:
             return ast.DropTable(self.expect_identifier("table name"))
         if self.accept_keyword("VIEW"):
             return ast.DropView(self.expect_identifier("view name"))
-        self.error("expected TYPE, TABLE or VIEW after DROP")
+        if self.accept_keyword("INDEX"):
+            return ast.DropIndex(self.expect_identifier("index name"))
+        self.error("expected TYPE, TABLE, VIEW or INDEX after DROP")
         raise AssertionError("unreachable")
 
     # -- DML ------------------------------------------------------------------------

@@ -110,10 +110,11 @@ class TestExplainGolden:
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]"
+            "  ~rows=1  cost=2",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      INDEX UNIQUE LOOKUP TabStudent"
-            " [TABSTUDENT_PK: s.StudNr = 1]  ~rows=1",
+            " [TABSTUDENT_PK: s.StudNr = 1]  ~rows=1  cost=2",
         ])
 
     def test_filtered_scan_without_indexes(self, university):
@@ -121,20 +122,22 @@ class TestExplainGolden:
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr = 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]"
+            "  ~rows=1  cost=2",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      FILTER [s.StudNr = 1]  ~rows=1",
-            " 3        SCAN TabStudent  rows=2",
+            " 3        SCAN TabStudent  rows=2  cost=2",
         ])
 
     def test_non_equality_predicate_still_scans(self, university):
         plan = university.explain(
             "SELECT s.LName FROM TabStudent s WHERE s.StudNr > 1")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]"
+            "  ~rows=1  cost=2",
             " 1    PROJECT [s.LName]  ~rows=1",
             " 2      FILTER [s.StudNr > 1]  ~rows=1",
-            " 3        SCAN TabStudent  rows=2",
+            " 3        SCAN TabStudent  rows=2  cost=2",
         ])
 
     def test_unnest_with_ref_deref(self, university):
@@ -147,7 +150,7 @@ class TestExplainGolden:
             " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  ~rows=2",
             " 1    PROJECT [c.Title, c.Prof.PName]  ~rows=2",
             " 2      NESTED-LOOP JOIN  ~rows=2",
-            " 3        SCAN TabStudent  rows=2",
+            " 3        SCAN TabStudent  rows=2  cost=2",
             " 4        FILTER [c.Prof.Subject = 'CAD']  ~rows=1",
             # average cardinality of the stored nested tables: (2+1)/2
             " 5          COLLECTION EXPAND TABLE(s.attrCourse)"
@@ -159,10 +162,11 @@ class TestExplainGolden:
     def test_aggregate(self, university):
         plan = university.explain("SELECT COUNT(*) FROM TabProf")
         assert plan.render() == "\n".join([
-            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  rows=1",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]"
+            "  rows=1  cost=2",
             " 1    PROJECT [COUNT(*)]  rows=1",
             " 2      AGGREGATE [single group]  rows=1",
-            " 3        SCAN TabProf  rows=2",
+            " 3        SCAN TabProf  rows=2  cost=2",
         ])
 
     def test_insert_constructs(self, university):
@@ -180,15 +184,16 @@ class TestExplainGolden:
             " WHERE p.PName = 'Jaeger'")
         assert update.render() == "\n".join([
             " 0  UPDATE STATEMENT TabProf [SET Subject]  ~rows=1",
-            " 1    FILTER [p.PName = 'Jaeger']  ~rows=1",
-            " 2      SCAN TabProf  rows=2",
+            " 1    INDEX UNIQUE LOOKUP TabProf"
+            " [TABPROF_PK: p.PName = 'Jaeger']  ~rows=1  cost=2",
         ])
         delete = university.explain(
             "DELETE FROM TabProf WHERE PName = 'Nobody'")
+        # the unqualified PName is not pushable, so DELETE scans
         assert delete.render() == "\n".join([
             " 0  DELETE STATEMENT TabProf  ~rows=1",
             " 1    FILTER [PName = 'Nobody']  ~rows=1",
-            " 2      SCAN TabProf  rows=2",
+            " 2      SCAN TabProf  rows=2  cost=2",
         ])
 
     def test_explain_via_sql_result(self, university):
@@ -196,9 +201,10 @@ class TestExplainGolden:
             "EXPLAIN SELECT p.PName FROM TabProf p")
         assert result.columns == ["QUERY PLAN"]
         assert [row[0] for row in result.rows] == [
-            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]  rows=2",
+            " 0  SELECT STATEMENT [SNAPSHOT READ @latest]"
+            "  rows=2  cost=2",
             " 1    PROJECT [p.PName]  rows=2",
-            " 2      SCAN TabProf  rows=2",
+            " 2      SCAN TabProf  rows=2  cost=2",
         ]
 
     def test_explain_moves_no_stats(self, university):

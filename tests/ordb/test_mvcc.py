@@ -353,6 +353,125 @@ class TestExplainReadMode:
         assert "LOCKING READ" in plan.splitlines()[0]
 
 
+class TestDmlStatementSnapshots:
+    """DML inner reads (INSERT ... SELECT, UPDATE/DELETE subqueries)
+    run against the same snapshot a top-level SELECT would use — not
+    against the current state, which would leak concurrent commits
+    into a pinned transaction mid-statement."""
+
+    def test_insert_select_reads_pinned_snapshot(self, db):
+        db.execute("CREATE TABLE Totals(T NUMBER)")
+        with db.session(name="reporter") as reporter, \
+                db.session(name="teller") as teller:
+            reporter.set_transaction(isolation="SERIALIZABLE")
+            assert balance(reporter, "alice") == 100
+            teller.execute("UPDATE Accounts a SET Balance = 999"
+                           " WHERE a.Owner = 'alice'")
+            # disjoint write set (Totals vs Accounts): no ORA-08177,
+            # but the inner SELECT must see the pinned 100
+            reporter.execute(
+                "INSERT INTO Totals SELECT a.Balance FROM Accounts a"
+                " WHERE a.Owner = 'alice'")
+            reporter.commit()
+        assert db.execute("SELECT t.T FROM Totals t").scalar() == 100
+
+    def test_delete_subquery_reads_pinned_snapshot(self, db):
+        db.executescript(
+            "CREATE TABLE Totals(T NUMBER);"
+            "INSERT INTO Totals VALUES (100);"
+            "INSERT INTO Totals VALUES (999);")
+        with db.session(name="reporter") as reporter, \
+                db.session(name="teller") as teller:
+            reporter.set_transaction(isolation="SERIALIZABLE")
+            assert balance(reporter, "alice") == 100
+            teller.execute("UPDATE Accounts a SET Balance = 999"
+                           " WHERE a.Owner = 'alice'")
+            # the subquery evaluates to the snapshot's 100, so the
+            # 100-row is deleted — not the 999-row current state
+            # would select
+            reporter.execute(
+                "DELETE FROM Totals WHERE T ="
+                " (SELECT a.Balance FROM Accounts a"
+                "  WHERE a.Owner = 'alice')")
+            reporter.commit()
+        assert db.execute("SELECT t.T FROM Totals t").scalar() == 999
+
+    def test_update_subquery_reads_pinned_snapshot(self, db):
+        with db.session(name="reporter") as reporter, \
+                db.session(name="teller") as teller:
+            reporter.set_transaction(isolation="SERIALIZABLE")
+            assert balance(reporter, "alice") == 100
+            teller.execute("UPDATE Accounts a SET Balance = 999"
+                           " WHERE a.Owner = 'alice'")
+            reporter.execute(
+                "UPDATE Accounts a SET Balance ="
+                " (SELECT x.Balance FROM Accounts x"
+                "  WHERE x.Owner = 'alice')"
+                " WHERE a.Owner = 'bob'")
+            reporter.commit()
+        assert db.execute(
+            "SELECT a.Balance FROM Accounts a"
+            " WHERE a.Owner = 'bob'").scalar() == 100
+        assert db.execute(
+            "SELECT a.Balance FROM Accounts a"
+            " WHERE a.Owner = 'alice'").scalar() == 999
+
+    def test_txn_dml_still_sees_own_prior_writes(self, db):
+        db.execute("CREATE TABLE Totals(T NUMBER)")
+        with db.session(name="writer") as writer:
+            writer.begin()
+            writer.execute("UPDATE Accounts a SET Balance = 123"
+                           " WHERE a.Owner = 'alice'")
+            writer.execute(
+                "INSERT INTO Totals SELECT a.Balance FROM Accounts a"
+                " WHERE a.Owner = 'alice'")
+            writer.commit()
+        assert db.execute("SELECT t.T FROM Totals t").scalar() == 123
+
+
+class TestDdlVersioning:
+    """Destructive DDL cannot be versioned row-by-row, so it refuses
+    to run while another session holds a pinned snapshot (the Oracle
+    move: fail fast with ORA-08177 rather than yank the table out
+    from under a repeatable read)."""
+
+    def test_drop_table_conflicts_with_pinned_snapshot(self, db):
+        with db.session(name="auditor") as auditor:
+            auditor.set_transaction(read_only=True)
+            assert balance(auditor, "alice") == 100
+            with pytest.raises(SerializationConflict) as info:
+                db.execute("DROP TABLE Accounts")
+            assert info.value.code == "ORA-08177"
+            # the snapshot keeps reading and the table survived
+            assert balance(auditor, "alice") == 100
+            auditor.commit()
+        # pin released: the DROP now proceeds
+        db.execute("DROP TABLE Accounts")
+
+    def test_create_index_conflicts_with_pinned_snapshot(self, db):
+        with db.session(name="auditor") as auditor:
+            auditor.set_transaction(isolation="SERIALIZABLE")
+            assert balance(auditor, "alice") == 100
+            with pytest.raises(SerializationConflict):
+                db.execute(
+                    "CREATE INDEX acct_bal ON Accounts (Balance)")
+            auditor.commit()
+        db.execute("CREATE INDEX acct_bal ON Accounts (Balance)")
+        plan = db.explain(
+            "SELECT a.Owner FROM Accounts a"
+            " WHERE a.Balance > 150").render()
+        assert "RANGE INDEX SCAN" in plan
+
+    def test_additive_ddl_allowed_under_pin(self, db):
+        with db.session(name="auditor") as auditor:
+            auditor.set_transaction(read_only=True)
+            assert balance(auditor, "alice") == 100
+            db.execute("CREATE TABLE Side(n NUMBER)")
+            db.execute("ANALYZE TABLE Accounts")
+            assert balance(auditor, "alice") == 100
+            auditor.commit()
+
+
 class TestSnapshotStress:
     """Seeded N-writers x M-readers interleavings: every snapshot
     must observe an invariant-preserving state (constant total)."""
