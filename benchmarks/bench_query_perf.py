@@ -202,6 +202,99 @@ def test_range_scan_beats_full_scan(indexed_db, seed_db):
     assert speedup >= 10
 
 
+DOC_MATCHES = 50
+
+_LIKE_DOC_SQL = ("SELECT d.pk FROM docs d"
+                 " WHERE d.body LIKE '%needle%'")
+_CONTAINS_SQL = ("SELECT d.pk FROM docs d"
+                 " WHERE CONTAINS(d.body, 'magicword')")
+
+
+def _populate_docs(db: Database, rows: int = ROWS) -> None:
+    db.execute("CREATE TABLE docs(pk NUMBER PRIMARY KEY,"
+               " body VARCHAR2(80))")
+    step = rows // DOC_MATCHES
+    for n in range(rows):
+        if n % step == 0:
+            body = f"lorem ipsum needle {n} magicword text"
+        else:
+            body = f"lorem ipsum dolor {n} filler text"
+        db.execute(ast.Insert(
+            table="docs",
+            values=(ast.Literal(n), ast.Literal(body))))
+
+
+def _content_queries(db: Database, sql: str,
+                     count: int = PROBES) -> None:
+    for _ in range(count):
+        assert db.execute(sql).rowcount == DOC_MATCHES
+
+
+def test_content_search_beats_full_scan(indexed_db, seed_db):
+    """A non-prefix LIKE over 10k docs must plan as a costed TRIGRAM
+    INDEX SCAN and beat the forced full scan by >= 10x; CONTAINS
+    rides the FULLTEXT index the same way."""
+    _populate_docs(indexed_db)
+    _populate_docs(seed_db)
+    indexed_db.execute(
+        "CREATE INDEX docs_trgm ON docs (body) USING TRIGRAM")
+    indexed_db.execute(
+        "CREATE INDEX docs_ft ON docs (body) USING FULLTEXT")
+
+    like_plan = indexed_db.explain(_LIKE_DOC_SQL).render()
+    assert "TRIGRAM INDEX SCAN" in like_plan
+    assert "cost=" in like_plan
+    contains_plan = indexed_db.explain(_CONTAINS_SQL).render()
+    assert "FULLTEXT INDEX SCAN" in contains_plan
+    assert "cost=" in contains_plan
+
+    for db in (indexed_db, seed_db):
+        db.reset_stats()
+
+    start = time.perf_counter()
+    _content_queries(indexed_db, _LIKE_DOC_SQL)
+    like_indexed = time.perf_counter() - start
+    start = time.perf_counter()
+    _content_queries(seed_db, _LIKE_DOC_SQL)
+    like_seed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _content_queries(indexed_db, _CONTAINS_SQL)
+    contains_indexed = time.perf_counter() - start
+    start = time.perf_counter()
+    _content_queries(seed_db, _CONTAINS_SQL)
+    contains_seed = time.perf_counter() - start
+
+    speedup = like_seed / max(like_indexed, 1e-9)
+    contains_speedup = contains_seed / max(contains_indexed, 1e-9)
+
+    path = BENCH_OUT / "BENCH_query_perf.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["content_search"] = {
+        "plan": like_plan,
+        "contains_plan": contains_plan,
+        "queries": PROBES,
+        "rows_per_query": DOC_MATCHES,
+        "like_indexed_seconds": like_indexed,
+        "like_seed_seconds": like_seed,
+        "speedup": speedup,
+        "contains_indexed_seconds": contains_indexed,
+        "contains_seed_seconds": contains_seed,
+        "contains_speedup": contains_speedup,
+        "trigram_lookups": indexed_db.stats["trigram_lookups"],
+        "fulltext_lookups": indexed_db.stats["fulltext_lookups"],
+        "rows_scanned_indexed": indexed_db.stats["rows_scanned"],
+        "rows_scanned_seed": seed_db.stats["rows_scanned"],
+    }
+    write_bench_json("query_perf", payload)
+
+    assert indexed_db.stats["trigram_lookups"] >= PROBES - 1
+    assert indexed_db.stats["fulltext_lookups"] >= PROBES - 1
+    assert indexed_db.stats["planner_full_scan_fallbacks"] == 0
+    assert speedup >= 10
+    assert contains_speedup >= 10
+
+
 def test_view_cache_in_join(indexed_db):
     indexed_db.execute(
         "CREATE OR REPLACE VIEW big_names AS"

@@ -131,6 +131,47 @@ class ClobType(DataType):
         return _to_text(value)
 
 
+@dataclass(frozen=True)
+class VectorType(DataType):
+    """VECTOR(dim): a fixed-dimension embedding, stored as a float
+    tuple.  Accepts sequences of numbers or their text rendering
+    (``'[0.1, 0.2]'`` / ``'0.1, 0.2'``) so vectors travel through SQL
+    literals and the wire protocol as plain strings."""
+
+    dimensions: int
+
+    def sql_name(self) -> str:
+        return f"VECTOR({self.dimensions})"
+
+    def coerce(self, value: object) -> tuple[float, ...]:
+        vector = parse_vector(value)
+        if len(vector) != self.dimensions:
+            raise TypeMismatch(
+                f"vector of dimension {len(vector)} does not fit"
+                f" VECTOR({self.dimensions})")
+        return vector
+
+
+def parse_vector(value: object) -> tuple[float, ...]:
+    """A float tuple from a stored vector, a number sequence, or the
+    bracketed/comma-separated text form."""
+    if isinstance(value, (list, tuple)):
+        items = value
+    elif isinstance(value, str):
+        text = value.strip()
+        if text.startswith("[") and text.endswith("]"):
+            text = text[1:-1]
+        items = [part for part in text.split(",") if part.strip()]
+    else:
+        raise TypeMismatch(
+            f"cannot convert {type(value).__name__} to VECTOR")
+    try:
+        return tuple(float(item) for item in items)
+    except (TypeError, ValueError):
+        raise TypeMismatch(
+            f"cannot convert {value!r} to VECTOR") from None
+
+
 # -- user-defined types ------------------------------------------------------------
 
 

@@ -82,6 +82,14 @@ from .indexes import (
     build_auto_indexes,
 )
 from .planner import AccessPlan, compute_table_stats, plan_access
+from .textindex import (
+    ContentIndex,
+    FullTextIndex,
+    FullTextProbeSpec,
+    TrigramIndex,
+    TrigramProbeSpec,
+    select_scans_vectors,
+)
 from .locks import CATALOG_RESOURCE, EXCLUSIVE, SHARED, LockManager
 from .sessions import Session
 from .expressions import (
@@ -296,6 +304,9 @@ class Database:
             "index_lookups": 0,
             "index_unique_checks": 0,
             "range_index_lookups": 0,
+            "fulltext_lookups": 0,
+            "trigram_lookups": 0,
+            "vector_scans": 0,
             "planner_full_scan_fallbacks": 0,
             "stmt_cache_hits": 0,
             "stmt_cache_misses": 0,
@@ -623,6 +634,7 @@ class Database:
                     transactions += 1
             finally:
                 self._wal_suppressed = False
+            self._rebuild_content_indexes()
             self.wal = wal
             elapsed = time.perf_counter() - started
             self.recovery_info = {
@@ -642,6 +654,18 @@ class Database:
                               unit="s").observe(elapsed)
             metrics.counter("db.recovered_transactions",
                             unit="transactions").inc(transactions)
+
+    def _rebuild_content_indexes(self) -> None:
+        """Recompute every posting-list index from its table's rows.
+
+        Run after checkpoint install + WAL replay: replay re-executes
+        maintenance faithfully, but rebuilding from the recovered rows
+        makes the posting lists *definitionally* consistent with
+        storage no matter what the pre-crash sequence was."""
+        for table in self.catalog.tables.values():
+            for index in table.indexes:
+                if isinstance(index, ContentIndex):
+                    index.rebuild(table.data.rows)
 
     def _wal_commit(self, statements: list) -> None:
         """Append one committed transaction's redo list to the WAL.
@@ -791,6 +815,11 @@ class Database:
             deadline = time.monotonic() + session.statement_timeout
         snapshot_read = (self.mvcc
                          and isinstance(statement, ast.SelectStmt))
+        # ANALYZE under MVCC is likewise lock-free: a read-only stats
+        # scan must never stall writers (the row walk runs under the
+        # engine latch; the stats swap is journaled like any DDL)
+        lockfree_read = snapshot_read or (
+            self.mvcc and isinstance(statement, ast.Analyze))
         # DML keeps its write locks, but its *inner* reads (INSERT ...
         # SELECT, UPDATE/DELETE subqueries) run against the same
         # statement snapshot a top-level SELECT would use — otherwise
@@ -801,7 +830,7 @@ class Database:
         dml_read = (self.mvcc and not self._wal_suppressed
                     and isinstance(statement, (ast.Insert, ast.Update,
                                                ast.Delete)))
-        if not snapshot_read:
+        if not lockfree_read:
             if isinstance(statement, ast.SelectStmt):
                 self.stats["locking_reads"] += 1
             # locks are acquired *before* the latch: a blocked session
@@ -876,9 +905,11 @@ class Database:
                     f" {len(conflicting)} other session(s) hold pinned"
                     f" snapshots (READ ONLY or SERIALIZABLE); retry"
                     f" after they commit")
-        if not isinstance(statement, ast.ExplainStmt):
+        if not isinstance(statement, (ast.ExplainStmt, ast.Analyze)):
             # DDL (and zero-row DML) invalidates cached view results;
-            # row-level changes bump the version again as they happen
+            # row-level changes bump the version again as they happen.
+            # ANALYZE is exempt: it only refreshes optimizer stats and
+            # changes no rows, so cached results stay valid.
             self._data_version += 1
             if not isinstance(statement,
                               (ast.Insert, ast.Update, ast.Delete)):
@@ -1023,7 +1054,10 @@ class Database:
             writes.add(identifiers.normalize(statement.name))
             writes.add(identifiers.normalize(statement.table))
         elif isinstance(statement, ast.Analyze):
-            writes.add(identifiers.normalize(statement.table))
+            # a read-only stats scan: SHARED is enough — writers must
+            # not stall behind ANALYZE (it changes no rows, and the
+            # stats swap itself is serialized by the engine latch)
+            reads.add(identifiers.normalize(statement.table))
         else:  # DDL
             writes.add(CATALOG_RESOURCE)
             name = getattr(statement, "name", None)
@@ -1537,7 +1571,16 @@ class Database:
                         f" index on {existing.name}")
         columns = tuple(self._index_column(table, path)
                         for path in statement.columns)
-        index = SortedIndex(name_key, columns)
+        if statement.using is None:
+            index = SortedIndex(name_key, columns)
+        else:
+            if len(columns) != 1:
+                raise NotSupported(
+                    f"USING {statement.using} indexes cover exactly"
+                    f" one column")
+            kind = (FullTextIndex if statement.using == "FULLTEXT"
+                    else TrigramIndex)
+            index = kind(name_key, columns)
         for row in table.data.rows:
             index.add(row)
         table.indexes.indexes.append(index)
@@ -1917,6 +1960,17 @@ class Database:
     def execute_select(self, statement: ast.SelectStmt,
                        outer_env: Env | None,
                        limit: int | None = None) -> Result:
+        if statement.fetch_first is not None:
+            # FETCH FIRST is an engine limit: the slice below runs
+            # after ORDER BY, and row enumeration only short-circuits
+            # when no ordering/grouping forces full materialization
+            fetch = statement.fetch_first
+            limit = fetch if limit is None else min(limit, fetch)
+        if select_scans_vectors(statement):
+            self.stats["vector_scans"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("db.vector_scans",
+                                         unit="statements").inc()
         environments = self._enumerate_rows(statement, outer_env, limit)
         aggregates: list[ast.FunctionCall] = []
         for item in statement.items:
@@ -2089,9 +2143,36 @@ class Database:
                                      unit="lookups").inc()
         return rows
 
+    def _fulltext_probe_rows(self, probe: FullTextProbeSpec
+                             ) -> list[Row]:
+        """Candidate rows of a CONTAINS probe — intersected posting
+        lists per AND-group, unioned across OR-groups (the residual
+        CONTAINS check still runs per row)."""
+        rows = probe.index.lookup(probe.groups)
+        self.stats["fulltext_lookups"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.fulltext_lookups",
+                                     unit="lookups").inc()
+        return rows
+
+    def _trigram_probe_rows(self, probe: TrigramProbeSpec
+                            ) -> list[Row]:
+        """Candidate rows of a trigram LIKE probe; an absent trigram
+        proves no row can match (the planner priced that at zero)."""
+        rows = probe.index.lookup(probe.trigrams)
+        self.stats["trigram_lookups"] += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("db.trigram_lookups",
+                                     unit="lookups").inc()
+        return rows
+
     def _execute_probe(self, probe, env: Env) -> list[Row] | None:
         if isinstance(probe, RangeProbeSpec):
             return self._range_probe_rows(probe, env)
+        if isinstance(probe, FullTextProbeSpec):
+            return self._fulltext_probe_rows(probe)
+        if isinstance(probe, TrigramProbeSpec):
+            return self._trigram_probe_rows(probe)
         return self._probe_rows(probe, env)
 
     def _bindings_for(self, item: ast.FromItem, env: Env,

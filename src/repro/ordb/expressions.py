@@ -29,6 +29,12 @@ from .errors import (
 )
 from .schema import Table
 from .sql import ast
+from .textindex import (
+    contains_match,
+    normalize_metric,
+    parse_contains_query,
+    vector_distance,
+)
 from .values import (
     CollectionValue,
     ObjectValue,
@@ -427,6 +433,10 @@ class Evaluator:
             if not isinstance(value, RefValue):
                 raise TypeMismatch("DEREF requires a REF argument")
             return self.engine.dereference(value)
+        if name == "CONTAINS":
+            return self._contains(expression, env)
+        if name == "VECTOR_DISTANCE":
+            return self._vector_distance(expression, env)
         # type constructor?
         try:
             datatype = self.catalog.resolve_type(expression.name)
@@ -467,6 +477,49 @@ class Evaluator:
             attribute.key: binding.columns.get(attribute.key)
             for attribute in object_type.attributes
         })
+
+    def _contains(self, expression: ast.FunctionCall,
+                  env: Env) -> bool | None:
+        """``CONTAINS(col, 'w1 AND w2 OR w3')`` — case-insensitive
+        word search with three-valued logic (NULL text or NULL query
+        is UNKNOWN)."""
+        if len(expression.arguments) != 2:
+            raise NotSupported("CONTAINS takes (column, 'query')")
+        value = self.eval(expression.arguments[0], env)
+        query = self.eval(expression.arguments[1], env)
+        if query is None:
+            return None
+        return contains_match(value, parse_contains_query(query))
+
+    def _vector_distance(self, expression: ast.FunctionCall,
+                         env: Env) -> float | None:
+        """``VECTOR_DISTANCE(a, b [, COSINE | EUCLIDEAN])``.
+
+        The metric is syntax, not a value: a bare identifier (or a
+        string literal) resolved before the operands are evaluated.
+        """
+        arguments = expression.arguments
+        if len(arguments) not in (2, 3):
+            raise NotSupported(
+                "VECTOR_DISTANCE takes (vector, vector [, metric])")
+        metric = "COSINE"
+        if len(arguments) == 3:
+            metric_node = arguments[2]
+            if (isinstance(metric_node, ast.ColumnPath)
+                    and len(metric_node.parts) == 1):
+                metric = normalize_metric(metric_node.parts[0])
+            elif (isinstance(metric_node, ast.Literal)
+                    and isinstance(metric_node.value, str)):
+                metric = normalize_metric(metric_node.value)
+            else:
+                raise NotSupported(
+                    "VECTOR_DISTANCE metric must be COSINE or"
+                    " EUCLIDEAN")
+        left = self.eval(arguments[0], env)
+        right = self.eval(arguments[1], env)
+        if left is None or right is None:
+            return None
+        return vector_distance(left, right, metric)
 
     def _single_argument(self, expression: ast.FunctionCall,
                          env: Env) -> object:

@@ -118,6 +118,9 @@ class HashIndex:
     #: user-created indexes (see :class:`SortedIndex`) can be dropped
     #: with DROP INDEX; automatic constraint indexes cannot.
     user_created = False
+    #: posting-list indexes (:mod:`~.textindex`) set this True; they
+    #: serve CONTAINS/LIKE probes only, never equality or covering
+    content = False
 
     def __init__(self, name: str, columns: tuple[str, ...],
                  unique: bool = False):
@@ -396,7 +399,8 @@ class IndexSet:
         columns: prefer unique indexes, then fewer columns (a tighter
         bucket per probe is not implied, but fewer evaluations are)."""
         candidates = [index for index in self.indexes
-                      if set(index.columns) <= available]
+                      if not index.content
+                      and set(index.columns) <= available]
         if not candidates:
             return None
         candidates.sort(key=lambda index: (not index.unique,
@@ -408,7 +412,7 @@ class IndexSet:
         accelerate uniqueness checks), or None."""
         wanted = set(columns)
         for index in self.indexes:
-            if set(index.columns) == wanted:
+            if not index.content and set(index.columns) == wanted:
                 return index
         return None
 
@@ -420,6 +424,11 @@ class IndexSet:
         list of human-readable problems (empty = consistent)."""
         problems: list[str] = []
         for index in self.indexes:
+            if index.content:
+                # posting-list indexes have no one-entry-per-row
+                # contract; they check themselves against a rebuild
+                problems.extend(index.verify_rows(rows))
+                continue
             seen: dict[int, int] = {}
             for bucket_key, bucket in index.buckets.items():
                 for row in bucket:

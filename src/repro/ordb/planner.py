@@ -45,6 +45,7 @@ from .indexes import (
 )
 from .schema import ColumnStats, Table, TableStats
 from .sql import ast
+from .textindex import content_estimate, find_content_probes
 
 #: default selectivity per conjunct class when no stats apply
 _SELECTIVITY = {"eq": 0.1, "range": 0.25, "like": 0.25, "other": 1 / 3}
@@ -106,6 +107,12 @@ def plan_access(table: Table, alias_key: str,
             candidates.append(
                 (min(scan_cost, math.log2(row_count + 1) + est), est,
                  ranged))
+        for spec in find_content_probes(table, alias_key, pushed):
+            # posting-list sizes are live metadata, not stats: the
+            # smallest list bounds the candidate set (0 = provably
+            # empty, so the probe wins outright)
+            est = content_estimate(spec, row_count)
+            candidates.append((min(scan_cost, 1.0 + est), est, spec))
 
     best_cost, best_est, best_probe = scan_cost, scan_rows, None
     for cost, est, probe in candidates:
@@ -154,6 +161,9 @@ def _conjunct_class(conjunct: ast.Expr) -> str:
         return "range"
     if isinstance(conjunct, ast.Like) and not conjunct.negated:
         return "like"
+    if (isinstance(conjunct, ast.FunctionCall)
+            and conjunct.name.upper() == "CONTAINS"):
+        return "like"  # word match: comparable selectivity class
     return "other"
 
 

@@ -29,6 +29,7 @@ from .datatypes import (
     TypeAttribute,
     Varchar2,
     VarrayType,
+    VectorType,
     contains_collection,
     is_collection,
 )
@@ -405,6 +406,11 @@ def _scalar_from_keyword(keyword: str,
         return DateType()
     if keyword == "CLOB":
         return ClobType()
+    if keyword == "VECTOR":
+        if not parameters or parameters[0] < 1:
+            raise InvalidDatatype(
+                "VECTOR requires a positive dimension: VECTOR(n)")
+        return VectorType(parameters[0])
     raise InvalidDatatype(f"unsupported datatype {keyword}")
 
 

@@ -253,6 +253,8 @@ class SelectStmt:
     having: Expr | None = None
     order_by: tuple[OrderItem, ...] = ()
     distinct: bool = False
+    #: ``FETCH FIRST n ROWS ONLY`` row limit (applied after ORDER BY)
+    fetch_first: int | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -368,17 +370,21 @@ class DropView:
 
 @dataclass(frozen=True)
 class CreateIndex:
-    """``CREATE INDEX name ON table (column[.path], ...)``.
+    """``CREATE INDEX name ON table (column[.path], ...) [USING method]``.
 
     Each column is a dot-notation path tuple: ``("PRICE",)`` for a
     plain column, ``("ADDR", "CITY")`` for an attribute of an
-    embedded object column.
+    embedded object column.  ``using`` selects the index structure:
+    None for the default sorted index, ``"FULLTEXT"`` for an inverted
+    token index (serves CONTAINS), ``"TRIGRAM"`` for a trigram index
+    (serves non-prefix LIKE).
     """
 
     name: str
     table: str
     columns: tuple[tuple[str, ...], ...]
     unique: bool = False
+    using: str | None = None
 
 
 @dataclass(frozen=True)

@@ -18,13 +18,17 @@ from .lexer import Token, TokenKind, tokenize
 _CLAUSE_KEYWORDS = frozenset({
     "WHERE", "GROUP", "ORDER", "HAVING", "UNION", "MINUS", "INTERSECT",
     "FROM", "ON", "SET", "VALUES", "NESTED", "WITH", "AND", "OR", "NOT",
-    "INNER", "JOIN", "LEFT", "RIGHT",
+    "INNER", "JOIN", "LEFT", "RIGHT", "FETCH",
 })
 
 _SCALAR_KEYWORDS = frozenset({
     "VARCHAR", "VARCHAR2", "CHAR", "NUMBER", "INTEGER", "INT",
     "DATE", "CLOB", "FLOAT", "SMALLINT", "DECIMAL", "NUMERIC",
+    "VECTOR",
 })
+
+#: CREATE INDEX ... USING methods (None = the default sorted index).
+_INDEX_METHODS = frozenset({"FULLTEXT", "TRIGRAM"})
 
 
 class SQLParser:
@@ -221,7 +225,16 @@ class SQLParser:
         while self.accept_operator(","):
             columns.append(tuple(self._parse_path().parts))
         self.expect_operator(")")
-        return ast.CreateIndex(name, table, tuple(columns), unique)
+        using: str | None = None
+        if self.accept_keyword("USING"):
+            method = self.expect_identifier("index method").upper()
+            if method not in _INDEX_METHODS:
+                self.error(
+                    f"unknown index method {method!r}: expected one"
+                    f" of {', '.join(sorted(_INDEX_METHODS))}")
+            using = method
+        return ast.CreateIndex(name, table, tuple(columns), unique,
+                               using)
 
     def _parse_create_type(self, or_replace: bool) -> ast.Statement:
         name = self.expect_identifier("type name")
@@ -544,9 +557,20 @@ class SQLParser:
                 order_by.append(ast.OrderItem(expression, ascending))
                 if not self.accept_operator(","):
                     break
+        fetch_first: int | None = None
+        if self.accept_keyword("FETCH"):
+            self.expect_keyword("FIRST")
+            count = self.advance()
+            if count.kind is not TokenKind.NUMBER:
+                self.error("expected a row count after FETCH FIRST")
+            if not (self.accept_keyword("ROWS")
+                    or self.accept_keyword("ROW")):
+                self.error("expected ROW or ROWS in FETCH FIRST")
+            self.expect_keyword("ONLY")
+            fetch_first = max(0, int(count.value))
         return ast.SelectStmt(tuple(items), tuple(from_items), where,
                               tuple(group_by), having, tuple(order_by),
-                              distinct)
+                              distinct, fetch_first)
 
     def _parse_select_item(self) -> ast.SelectItem:
         if self.at_operator("*"):

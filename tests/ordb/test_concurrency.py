@@ -457,6 +457,75 @@ class TestStatsAccounting:
         assert after["full_scans"] == before["full_scans"] + 1
         assert after["rows_scanned"] == before["rows_scanned"] + 5
 
+    def test_analyze_does_not_invalidate_caches(self, db):
+        """ANALYZE changes no rows: cached view results stay valid
+        and the data version does not move (regression: it used to
+        ride the generic DDL invalidation path)."""
+        self._warm(db)
+        version = db._data_version
+        before = dict(db.stats)
+        db.execute("ANALYZE TABLE T")
+        assert db._data_version == version
+        db.execute("SELECT * FROM V")
+        after = db.stats
+        assert after["view_cache_hits"] == before["view_cache_hits"] + 1
+        for counter in ("rows_scanned", "full_scans", "index_lookups",
+                        "range_index_lookups"):
+            assert after[counter] == before[counter], counter
+
+
+class TestAnalyzeLocking:
+    """ANALYZE is a read-only stats scan and must never stall
+    writers (regression: it used to take an EXCLUSIVE table lock)."""
+
+    def test_writer_not_blocked_by_open_analyze_txn(self):
+        db = Database(lock_timeout=0.05)
+        db.execute("CREATE TABLE T(a NUMBER)")
+        db.execute("INSERT INTO T VALUES(1)")
+        with db.session(name="stats") as stats, \
+                db.session(name="writer") as writer:
+            stats.begin()
+            stats.execute("ANALYZE TABLE T")
+            # under MVCC the ANALYZE holds no table lock at all, so
+            # the writer proceeds instead of hitting its timeout
+            writer.execute("INSERT INTO T VALUES(2)")
+            stats.commit()
+        assert db.execute("SELECT COUNT(*) FROM T").scalar() == 2
+        assert db.stats["lock_timeouts"] == 0
+
+    def test_locking_mode_analyze_takes_shared_not_exclusive(self):
+        db = Database(lock_timeout=0.05, mvcc=False)
+        db.execute("CREATE TABLE T(a NUMBER)")
+        with db.session() as stats, db.session() as reader:
+            stats.begin()
+            stats.execute("ANALYZE TABLE T")
+            # a concurrent reader is compatible with SHARED; under
+            # the old EXCLUSIVE lock it timed out here
+            assert reader.execute(
+                "SELECT COUNT(*) FROM T").scalar() == 0
+            stats.commit()
+        assert db.stats["lock_timeouts"] == 0
+
+    def test_analyze_races_writers_without_stalls(self):
+        db = Database(lock_timeout=5.0)
+        db.execute("CREATE TABLE T(a NUMBER)")
+
+        def writer():
+            with db.session(name="w") as session:
+                for n in range(25):
+                    session.execute(f"INSERT INTO T VALUES({n})")
+
+        def analyzer():
+            with db.session(name="s") as session:
+                for _ in range(25):
+                    session.execute("ANALYZE TABLE T")
+
+        errors = run_threads([writer, writer, analyzer])
+        assert errors == []
+        assert db.execute("SELECT COUNT(*) FROM T").scalar() == 50
+        stats = db.catalog.table("T").stats
+        assert stats is not None
+
 
 class TestSnapshotCaches:
     """The statement LRU and the view cache must respect snapshot
