@@ -51,7 +51,15 @@ from .constraints import (
     ScopeForConstraint,
     UniqueConstraint,
 )
-from .datatypes import NestedTableType, ObjectType, RefType
+from .datatypes import (
+    CharType,
+    ClobType,
+    DataType,
+    NestedTableType,
+    ObjectType,
+    RefType,
+    Varchar2,
+)
 from .errors import (
     CheckViolation,
     DanglingReference,
@@ -1569,8 +1577,9 @@ class Database:
                     raise NameInUse(
                         f"name '{name_key}' is already used by an"
                         f" index on {existing.name}")
-        columns = tuple(self._index_column(table, path)
-                        for path in statement.columns)
+        resolved = tuple(self._index_column(table, path)
+                         for path in statement.columns)
+        columns = tuple(key for key, _ in resolved)
         if statement.using is None:
             index = SortedIndex(name_key, columns)
         else:
@@ -1578,6 +1587,15 @@ class Database:
                 raise NotSupported(
                     f"USING {statement.using} indexes cover exactly"
                     f" one column")
+            datatype = resolved[0][1]
+            # string columns only: the tokenizers index nothing for
+            # non-text values, so a probe over a non-string column
+            # would silently diverge from the full-scan evaluators
+            if not isinstance(datatype, (Varchar2, CharType, ClobType)):
+                raise TypeMismatch(
+                    f"USING {statement.using} requires a string"
+                    f" column; '{'.'.join(statement.columns[0])}' is"
+                    f" {datatype.sql_name()}")
             kind = (FullTextIndex if statement.using == "FULLTEXT"
                     else TrigramIndex)
             index = kind(name_key, columns)
@@ -1593,8 +1611,9 @@ class Database:
         return Result(message=f"Index {statement.name} created.")
 
     def _index_column(self, table: Table,
-                      path: tuple[str, ...]) -> str:
-        """Validate one CREATE INDEX column path and return its key.
+                      path: tuple[str, ...]) -> tuple[str, DataType]:
+        """Validate one CREATE INDEX column path and return its key
+        and resolved datatype.
 
         Dot-notation paths may only navigate *embedded* object
         attributes: a REF step would make the index key depend on
@@ -1623,7 +1642,7 @@ class Database:
                     f" {datatype.name}")
             keys.append(attribute.key)
             datatype = attribute.datatype
-        return ".".join(keys)
+        return ".".join(keys), datatype
 
     def _drop_index(self, statement: ast.DropIndex) -> Result:
         name_key = identifiers.normalize(statement.name)
@@ -1971,16 +1990,24 @@ class Database:
             if self.obs.enabled:
                 self.obs.metrics.counter("db.vector_scans",
                                          unit="statements").inc()
-        environments = self._enumerate_rows(statement, outer_env, limit)
         aggregates: list[ast.FunctionCall] = []
         for item in statement.items:
             if not isinstance(item.expression, ast.Star):
                 collect_aggregates(item.expression, aggregates)
         if statement.having is not None:
             collect_aggregates(statement.having, aggregates)
-        if aggregates or statement.group_by:
-            return self._grouped_result(statement, environments,
-                                        aggregates)
+        grouped = bool(aggregates or statement.group_by)
+        # aggregates consume every qualifying row, so the limit may
+        # only trim the grouped output — never the enumeration
+        # feeding the aggregates
+        environments = self._enumerate_rows(
+            statement, outer_env, None if grouped else limit)
+        if grouped:
+            result = self._grouped_result(statement, environments,
+                                          aggregates)
+            if limit is not None:
+                result.rows = result.rows[:limit]
+            return result
         columns, rows = self._project(statement, environments)
         if statement.distinct:
             # DISTINCT collapses rows, so per-row environments no

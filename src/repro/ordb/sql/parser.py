@@ -563,6 +563,10 @@ class SQLParser:
             count = self.advance()
             if count.kind is not TokenKind.NUMBER:
                 self.error("expected a row count after FETCH FIRST")
+            if not isinstance(count.value, int):
+                self.error(
+                    f"FETCH FIRST row count must be an integer,"
+                    f" got {count.text}")
             if not (self.accept_keyword("ROWS")
                     or self.accept_keyword("ROW")):
                 self.error("expected ROW or ROWS in FETCH FIRST")

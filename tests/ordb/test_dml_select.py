@@ -13,6 +13,7 @@ from repro.ordb import (
     ValueTooLarge,
     WrongArgumentCount,
 )
+from repro.ordb.errors import ParseError
 
 
 @pytest.fixture
@@ -256,6 +257,44 @@ class TestOrdering:
         result = people.execute(
             "SELECT p.age x FROM people p ORDER BY x")
         assert result.rows[0] == (Decimal(28),)
+
+
+class TestFetchFirst:
+    def test_limits_plain_select(self, people):
+        result = people.execute(
+            "SELECT p.name FROM people p FETCH FIRST 2 ROWS ONLY")
+        assert len(result.rows) == 2
+
+    def test_slices_after_order_by(self, people):
+        result = people.execute(
+            "SELECT p.name FROM people p ORDER BY name"
+            " FETCH FIRST 2 ROWS ONLY")
+        assert [r[0] for r in result.rows] == ["Anna", "Bernd"]
+
+    def test_count_star_sees_every_row(self, people):
+        # the limit must not truncate the enumeration feeding an
+        # ungrouped aggregate — only the (single) output row
+        assert people.execute(
+            "SELECT COUNT(*) FROM people"
+            " FETCH FIRST 1 ROWS ONLY").scalar() == 4
+
+    def test_sum_sees_every_row(self, people):
+        assert people.execute(
+            "SELECT SUM(p.age) FROM people p"
+            " FETCH FIRST 2 ROWS ONLY").scalar() == Decimal(103)
+
+    def test_grouped_output_is_limited(self, people):
+        result = people.execute(
+            "SELECT p.city, COUNT(*) FROM people p"
+            " WHERE p.city IS NOT NULL GROUP BY p.city"
+            " ORDER BY 2 DESC FETCH FIRST 1 ROW ONLY")
+        assert result.rows == [("Leipzig", 2)]
+
+    def test_non_integral_count_rejected(self, people):
+        with pytest.raises(ParseError, match="integer"):
+            people.execute(
+                "SELECT p.name FROM people p"
+                " FETCH FIRST 2.5 ROWS ONLY")
 
 
 class TestUpdateDelete:

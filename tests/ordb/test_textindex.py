@@ -122,6 +122,21 @@ class TestContentIndexDdl:
         with pytest.raises(NotSupported):
             db.execute("CREATE INDEX i ON t (a, b) USING FULLTEXT")
 
+    def test_content_index_requires_string_column(self, db):
+        # a probe over a non-string column would silently drop rows
+        # the full-scan evaluators raise TypeMismatch on, so plan
+        # choice could change the query outcome
+        db.execute("CREATE TABLE t(n NUMBER, v VECTOR(2))")
+        with pytest.raises(TypeMismatch, match="string"):
+            db.execute("CREATE INDEX t_ft ON t (n) USING FULLTEXT")
+        with pytest.raises(TypeMismatch, match="string"):
+            db.execute("CREATE INDEX t_tg ON t (v) USING TRIGRAM")
+
+    def test_content_index_accepts_clob(self, db):
+        db.execute("CREATE TABLE t(a CLOB)")
+        db.execute("CREATE INDEX t_ft ON t (a) USING FULLTEXT")
+        db.execute("CREATE INDEX t_tg ON t (a) USING TRIGRAM")
+
     def test_name_collision_rejected(self, docs):
         with pytest.raises(NameInUse):
             docs.execute(
