@@ -8,9 +8,17 @@ Two questions the WAL design answers quantitatively:
 * how long does recovery take?  Replay re-executes every logged
   statement, so recovery time must grow roughly linearly with the
   length of the log — the sweep ingests growing corpora, kills the
-  engine, and times the reopen.
+  engine, and times the reopen;
+* what does group commit buy back?  At ``fsync=always`` the fsync
+  per commit is the throughput ceiling; the group-commit sweep has
+  concurrent committers append the same records one-by-one and then
+  through a :class:`~repro.ordb.wal.GroupCommitter` (one fsync per
+  batch) — CI's bench smoke gates ≥3x on that WAL-level ratio.  An
+  end-to-end engine sweep (disjoint-table transactions, group
+  commit off vs on) rides along as context; it moves far less
+  because statement execution is GIL-bound Python.
 
-Exports ``BENCH_durability.json`` with both sweeps plus the
+Exports ``BENCH_durability.json`` with all sweeps plus the
 checkpoint effect (recovery from snapshot vs from a full log).
 """
 
@@ -18,17 +26,22 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 import time
 from pathlib import Path
 
 from conftest import write_bench_json
 from repro.core import XML2Oracle
 from repro.ordb import FSYNC_POLICIES, Database, verify_integrity
+from repro.ordb.wal import GroupCommitter, WriteAheadLog
 from repro.workloads import make_university, university_dtd
 
 COMMIT_DOCUMENTS = 12
 RECOVERY_SIZES = (8, 16, 32)
 STUDENTS = 3
+GC_THREADS = 32
+GC_RECORDS = 60
+GC_PAYLOAD = b"y" * 256
 
 
 def build_tool(path, fsync: str) -> XML2Oracle:
@@ -122,6 +135,91 @@ def checkpoint_effect() -> dict:
     }
 
 
+def _durable_append_run(grouped: bool) -> dict:
+    """Records/s for GC_THREADS concurrent committers at
+    ``fsync=always`` — per-record append+fsync vs one batched
+    append+fsync through the :class:`GroupCommitter`."""
+    with tempfile.TemporaryDirectory() as scratch:
+        wal = WriteAheadLog(Path(scratch) / "wal.log",
+                            policy="always")
+        wal.open()
+        # window=0: no collection delay — batches form purely from
+        # committers piling up while the leader is inside the fsync,
+        # so the measured gain is amortization, not added latency
+        committer = (GroupCommitter(wal, window=0.0)
+                     if grouped else None)
+        errors: list[BaseException] = []
+
+        def worker(seq: int) -> None:
+            try:
+                for index in range(GC_RECORDS):
+                    payload = (b"%d:%d:" % (seq, index)) + GC_PAYLOAD
+                    if committer is not None:
+                        committer.commit(lambda p=payload: p)
+                    else:
+                        wal.append(payload)
+            except BaseException as exc:  # pragma: no cover - report
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seq,))
+                   for seq in range(GC_THREADS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        wal.close()
+        assert not errors, errors
+    total = GC_THREADS * GC_RECORDS
+    point = {
+        "mode": "group_commit" if grouped else "append_per_record",
+        "threads": GC_THREADS,
+        "records": total,
+        "fsync": "always",
+        "records_per_second": round(total / elapsed, 1),
+    }
+    if committer is not None:
+        point["batches"] = committer.batches
+        point["mean_batch_size"] = round(
+            committer.records / max(committer.batches, 1), 1)
+    return point
+
+
+def group_commit_engine_context() -> dict:
+    """End-to-end context: engine commits/s on disjoint tables with
+    group commit off vs on (GIL-bound, so the spread is small)."""
+
+    def run(group_commit: bool) -> float:
+        with tempfile.TemporaryDirectory() as scratch:
+            db = Database(path=Path(scratch) / "db", fsync="always",
+                          group_commit=group_commit)
+            for seq in range(GC_THREADS):
+                db.execute(f"CREATE TABLE gcb{seq}(k NUMBER)")
+
+            def worker(seq: int) -> None:
+                with db.session() as session:
+                    for index in range(GC_RECORDS // 4):
+                        with session.transaction():
+                            session.execute(
+                                f"INSERT INTO gcb{seq}"
+                                f" VALUES({index})")
+
+            threads = [threading.Thread(target=worker, args=(seq,))
+                       for seq in range(GC_THREADS)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            db.close()
+        return round(GC_THREADS * (GC_RECORDS // 4) / elapsed, 1)
+
+    return {"commits_per_second_off": run(False),
+            "commits_per_second_on": run(True)}
+
+
 def test_commit_throughput_by_fsync_policy(benchmark):
     """All three policies measured; ``off`` must not lose to
     ``always`` — the gate is direction, not absolute numbers."""
@@ -134,11 +232,26 @@ def test_commit_throughput_by_fsync_policy(benchmark):
 
     recovery = recovery_sweep()
     checkpoint = checkpoint_effect()
+    single = _durable_append_run(grouped=False)
+    grouped = _durable_append_run(grouped=True)
+    gc_ratio = round(grouped["records_per_second"]
+                     / single["records_per_second"], 2)
+    benchmark.extra_info["group_commit_speedup"] = gc_ratio
     write_bench_json("durability", {
         "commit_throughput": [results[p] for p in FSYNC_POLICIES],
         "recovery": recovery,
         "checkpoint_effect": checkpoint,
+        "group_commit": {
+            "wal_level": [single, grouped],
+            "speedup": gc_ratio,
+            "engine_context": group_commit_engine_context(),
+        },
     })
+    # local direction gate (CI's bench smoke enforces ≥3x from the
+    # JSON): batching fsyncs must beat fsync-per-record
+    assert gc_ratio > 1.0, (
+        f"group commit slower than per-record appends:"
+        f" {single} vs {grouped}")
     assert (results["off"]["docs_per_second"]
             >= results["always"]["docs_per_second"] * 0.5), (
         "buffered commits should not trail fsync-per-commit badly:"

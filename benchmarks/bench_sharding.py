@@ -1,0 +1,202 @@
+"""SHARD — storage scale-out across embedded engines.
+
+Hash-sharding partitions the *durable write path*: every shard owns
+a write-ahead log, so N shards fsync N logs concurrently where one
+engine serialises every append through a single log's lock.  The
+WAL-level sweep measures exactly that — concurrent appenders hashed
+across 1, 2, 4 and 8 logs at ``fsync=always`` — and is the number
+CI's bench smoke gates on (≥2x durable records/s from 1 to 4
+shards; ``os.fsync`` releases the GIL, so the scaling is real
+parallelism, not an artefact).
+
+The end-to-end sweeps put that in context rather than gate on it —
+the engine executes statements in pure Python under the GIL, so
+wall-clock document ingest stays roughly flat while the durable
+layer underneath scales:
+
+* **parallel ingest** — ``store_many(workers=N)`` into 1→8 shards,
+  docs/s (router overhead must stay bounded);
+* **query routing** — pinned point reads touch one shard regardless
+  of cluster size, scatter-gather aggregates pay one engine pass
+  per shard; both measured so the trade is visible in numbers.
+
+Exports ``BENCH_sharding.json``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import write_bench_json
+from repro.core import XML2Oracle
+from repro.ordb import Database, ShardedDatabase, shard_of
+from repro.ordb.wal import WriteAheadLog
+from repro.workloads import make_university, university_dtd
+
+SHARD_COUNTS = (1, 2, 4, 8)
+DOCUMENTS = 24
+STUDENTS = 4
+WORKERS = 8
+POINT_QUERIES = 60
+WAL_THREADS = 8
+WAL_RECORDS = 60
+WAL_PAYLOAD = b"x" * 256
+
+
+def corpus() -> list:
+    return [make_university(students=STUDENTS, seed=index)
+            for index in range(DOCUMENTS)]
+
+
+def build_tool(db) -> XML2Oracle:
+    tool = XML2Oracle(db=db, metadata=False,
+                      validate_documents=False)
+    tool.register_schema(university_dtd())
+    return tool
+
+
+def ingest_point(n_shards: int, documents) -> dict:
+    """Docs/s for a parallel ingest into an *n_shards* cluster (a
+    plain single engine when n_shards == 1, so the baseline carries
+    no router overhead)."""
+    with tempfile.TemporaryDirectory() as scratch:
+        where = Path(scratch) / "db"
+        if n_shards == 1:
+            db = Database(path=where, fsync="commit")
+        else:
+            db = ShardedDatabase(n_shards=n_shards, path=where,
+                                 fsync="commit")
+        tool = build_tool(db)
+        start = time.perf_counter()
+        report = tool.store_many(documents, workers=WORKERS)
+        elapsed = time.perf_counter() - start
+        assert len(report.stored) == len(documents), (
+            report.describe())
+        doc_ids = report.doc_ids
+        query_point = query_throughput(tool, doc_ids)
+        db.close()
+    return {
+        "n_shards": n_shards,
+        "documents": len(documents),
+        "workers": WORKERS,
+        "ingest_seconds": round(elapsed, 4),
+        "docs_per_second": round(len(documents) / elapsed, 2),
+        **query_point,
+    }
+
+
+def query_throughput(tool: XML2Oracle, doc_ids: list[int]) -> dict:
+    """Pinned point reads and scatter aggregates on the loaded
+    cluster."""
+    db = tool.db
+    pin = getattr(db, "pin_document", None)
+    start = time.perf_counter()
+    for index in range(POINT_QUERIES):
+        doc_id = doc_ids[index % len(doc_ids)]
+        sql = ("SELECT COUNT(*) FROM TabUniversity u"
+               f" WHERE u.IDUniversity = 'D{doc_id}'")
+        if pin is not None:
+            with pin(doc_id):
+                db.execute(sql)
+        else:
+            db.execute(sql)
+    point_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(10):
+        db.execute("SELECT COUNT(*) FROM TabUniversity")
+    scatter_elapsed = time.perf_counter() - start
+    return {
+        "point_queries_per_second": round(
+            POINT_QUERIES / point_elapsed, 1),
+        "scatter_aggregates_per_second": round(
+            10 / scatter_elapsed, 1),
+    }
+
+
+def wal_point(n_shards: int) -> dict:
+    """Durable records/s: WAL_THREADS concurrent appenders, each
+    record hashed to its home log by :func:`shard_of` and fsynced
+    individually (``policy="always"``) — the write path every
+    sharded commit rides on."""
+    with tempfile.TemporaryDirectory() as scratch:
+        logs = [WriteAheadLog(Path(scratch) / f"wal-{index}.log",
+                              policy="always")
+                for index in range(n_shards)]
+        for log in logs:
+            log.open()
+        errors: list[BaseException] = []
+
+        def appender(worker: int) -> None:
+            try:
+                for index in range(WAL_RECORDS):
+                    key = worker * WAL_RECORDS + index
+                    logs[shard_of(key, n_shards)].append(
+                        b"%d:" % key + WAL_PAYLOAD)
+            except BaseException as exc:  # pragma: no cover - report
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender, args=(worker,))
+                   for worker in range(WAL_THREADS)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        for log in logs:
+            log.close()
+        assert not errors, errors
+    total = WAL_THREADS * WAL_RECORDS
+    return {
+        "n_shards": n_shards,
+        "threads": WAL_THREADS,
+        "records": total,
+        "fsync": "always",
+        "records_per_second": round(total / elapsed, 1),
+    }
+
+
+def test_ingest_scales_with_shards(benchmark):
+    """The scaling sweep 1 → 8 shards, at both layers.  The headline
+    ratio CI gates on (≥2x, 1 vs 4 shards) is the WAL-level one —
+    durable fsync throughput is what sharding parallelises; the
+    GIL-bound engine keeps end-to-end docs/s roughly flat, so that
+    sweep only direction-checks that router overhead stays bounded."""
+    documents = corpus()
+    points = [ingest_point(n, documents) for n in SHARD_COUNTS]
+    wal_points = [wal_point(n) for n in SHARD_COUNTS]
+    benchmark(lambda: wal_point(4))
+    for point in points:
+        benchmark.extra_info[
+            f"docs_per_second_{point['n_shards']}_shards"] = \
+            point["docs_per_second"]
+    for point in wal_points:
+        benchmark.extra_info[
+            f"wal_records_per_second_{point['n_shards']}_shards"] = \
+            point["records_per_second"]
+    baseline = points[0]["docs_per_second"]
+    wal_baseline = wal_points[0]["records_per_second"]
+    wal_ratio_1_to_4 = round(
+        wal_points[2]["records_per_second"] / wal_baseline, 2)
+    write_bench_json("sharding", {
+        "ingest_scaling": points,
+        "scaling_ratio_1_to_4": round(
+            points[2]["docs_per_second"] / baseline, 2),
+        "scaling_ratio_1_to_8": round(
+            points[3]["docs_per_second"] / baseline, 2),
+        "wal_scaling": wal_points,
+        "wal_scaling_ratio_1_to_4": wal_ratio_1_to_4,
+        "wal_scaling_ratio_1_to_8": round(
+            wal_points[3]["records_per_second"] / wal_baseline, 2),
+    })
+    # local direction gates (CI's bench smoke enforces the ≥2x on the
+    # JSON): sharded fsync throughput must actually improve, and the
+    # router must not cost more than a third of end-to-end ingest
+    assert wal_ratio_1_to_4 > 1.0, (
+        f"sharded WALs no faster than one log: {wal_points}")
+    best = max(point["docs_per_second"] for point in points[1:])
+    assert best >= baseline * 0.66, (
+        f"router overhead swallowed the ingest path: {points}")

@@ -25,8 +25,13 @@ retry may clear, 1 for permanent ones.
 
 The ingest family accepts ``--db-path DIR`` to load into a durable
 database (write-ahead logged; ``--fsync`` picks the policy); the
-``db`` group manages such a directory afterwards.  See
-``docs/robustness.md`` for the durability guarantees.
+``db`` group manages such a directory afterwards.  Adding
+``--shards N`` hash-partitions documents across N embedded engines,
+each with its own WAL and checkpoint (``docs/architecture.md``); an
+existing sharded directory reopens with its manifest's shard count,
+``db rebalance --shards M`` changes it, and ``db recover --verify``
+checks integrity on every shard.  See ``docs/robustness.md`` for the
+durability guarantees.
 
 Every pipeline command accepts ``--trace`` (print the span tree to
 stderr) and ``--slow-ms N`` (log statements slower than N ms);
@@ -55,6 +60,7 @@ from repro.ordb import (
     CompatibilityMode,
     Database,
     FSYNC_POLICIES,
+    ShardedDatabase,
     verify_integrity,
 )
 from repro.ordb.errors import OrdbError, is_transient
@@ -124,13 +130,32 @@ def _make_tool(args, obs: Observability | None = None) -> XML2Oracle:
         config.type_hints[name] = sql_type
     if obs is None:
         obs = _observability(args)
-    db = None
-    if getattr(args, "db_path", None):
-        db = Database(_mode(args.mode), path=args.db_path,
-                      fsync=getattr(args, "fsync", None) or "commit")
+    db = _make_db(args)
     tool = XML2Oracle(db=db, mode=_mode(args.mode), config=config,
                       obs=obs)
     return tool
+
+
+def _make_db(args) -> Database | ShardedDatabase | None:
+    """The embedded engine for ``--db-path``: a hash-sharded router
+    when ``--shards`` asks for one or the directory already carries a
+    shard manifest (the manifest's own count then wins), a single
+    engine otherwise, None for in-memory runs without a path."""
+    path = getattr(args, "db_path", None)
+    shards = getattr(args, "shards", None)
+    if not path:
+        if shards:
+            return ShardedDatabase(n_shards=shards,
+                                   mode=_mode(args.mode))
+        return None
+    fsync = getattr(args, "fsync", None) or "commit"
+    if shards is None and (Path(path)
+                           / ShardedDatabase.MANIFEST).exists():
+        shards = 1  # placeholder: the manifest dictates the count
+    if shards:
+        return ShardedDatabase(n_shards=shards, mode=_mode(args.mode),
+                               path=path, fsync=fsync)
+    return Database(_mode(args.mode), path=path, fsync=fsync)
 
 
 def cmd_schema(args) -> int:
@@ -425,15 +450,22 @@ def cmd_trace(args) -> int:
     return 0 if report.ok else 1
 
 
-def _open_durable(args) -> Database | None:
-    """Open ``args.db_path`` durably; prints the error on failure."""
+def _open_durable(args) -> Database | ShardedDatabase | None:
+    """Open ``args.db_path`` durably; prints the error on failure.
+    A directory carrying a shard manifest reopens as the full
+    sharded cluster (the manifest dictates the shard count)."""
     where = Path(args.db_path)
-    if not ((where / "wal.log").exists()
+    sharded = (where / ShardedDatabase.MANIFEST).exists()
+    if not (sharded or (where / "wal.log").exists()
             or (where / "checkpoint.bin").exists()):
         print(f"error: {args.db_path} holds no durable database"
-              " (no wal.log or checkpoint.bin)", file=sys.stderr)
+              " (no wal.log, checkpoint.bin or shards.json)",
+              file=sys.stderr)
         return None
     try:
+        if sharded:
+            return ShardedDatabase(mode=_mode(args.mode),
+                                   path=args.db_path)
         return Database(_mode(args.mode), path=args.db_path)
     except OrdbError as error:
         print(f"error: cannot open {args.db_path}: {error}",
@@ -441,7 +473,7 @@ def _open_durable(args) -> Database | None:
         return None
 
 
-def _describe_recovery(db: Database) -> None:
+def _describe_recovery(db: Database | ShardedDatabase) -> None:
     info = db.recovery_info
     source = ("checkpoint + log" if info["checkpoint_loaded"]
               else "log only")
@@ -451,6 +483,13 @@ def _describe_recovery(db: Database) -> None:
           f" {info['records_skipped']} stale record(s) skipped,"
           f" {info['torn_bytes_discarded']} torn byte(s) discarded"
           f" in {info['seconds'] * 1000.0:.1f} ms")
+    for index, shard in enumerate(info.get("shards") or []):
+        if shard is None:
+            continue
+        print(f"--   shard {index}:"
+              f" {shard['transactions_replayed']} transaction(s),"
+              f" {shard['statements_replayed']} statement(s),"
+              f" {shard['torn_bytes_discarded']} torn byte(s)")
 
 
 def cmd_db_checkpoint(args) -> int:
@@ -459,9 +498,18 @@ def cmd_db_checkpoint(args) -> int:
         return 1
     _describe_recovery(db)
     info = db.checkpoint()
-    print(f"-- checkpoint written to {info['path']}:"
-          f" {info['bytes']} byte(s), {info['tables']} table(s),"
-          f" commit sequence {info['commit_seq']}; WAL truncated")
+    if "shards" in info:
+        for index, shard in enumerate(info["shards"]):
+            print(f"-- shard {index}: checkpoint written to"
+                  f" {shard['path']}: {shard['bytes']} byte(s),"
+                  f" {shard['tables']} table(s), commit sequence"
+                  f" {shard['commit_seq']}")
+        print(f"-- {len(info['shards'])} shard(s) checkpointed,"
+              f" {info['bytes']} byte(s) total; WALs truncated")
+    else:
+        print(f"-- checkpoint written to {info['path']}:"
+              f" {info['bytes']} byte(s), {info['tables']} table(s),"
+              f" commit sequence {info['commit_seq']}; WAL truncated")
     db.close()
     return 0
 
@@ -476,26 +524,49 @@ def cmd_db_recover(args) -> int:
           f" {len(db.catalog.views)} view(s)")
     status = 0
     if args.verify:
-        problems = verify_integrity(db)
+        problems = (db.verify() if isinstance(db, ShardedDatabase)
+                    else verify_integrity(db))
         if problems:
             for problem in problems:
                 print(f"integrity: {problem}", file=sys.stderr)
             status = 1
         else:
-            print("-- integrity verified: indexes consistent, all"
-                  " REFs resolve")
+            scope = (f"all {db.n_shards} shard(s)"
+                     if isinstance(db, ShardedDatabase)
+                     else "the database")
+            print(f"-- integrity verified across {scope}: indexes"
+                  " consistent, all REFs resolve")
     db.close()
     return status
+
+
+def cmd_db_rebalance(args) -> int:
+    db = _open_durable(args)
+    if db is None:
+        return 1
+    if not isinstance(db, ShardedDatabase):
+        print(f"error: {args.db_path} is a single-engine store;"
+              " rebalance needs a sharded one (ingest with"
+              " --shards N first)", file=sys.stderr)
+        db.close()
+        return 1
+    before = db.n_shards
+    info = db.rebalance(args.shards)
+    print(f"-- rebalanced {before} -> {info['n_shards']} shard(s)"
+          f" (generation {info['generation']}):"
+          f" {info['entries_replayed']} journal record(s) replayed")
+    problems = db.verify()
+    for problem in problems:
+        print(f"integrity: {problem}", file=sys.stderr)
+    db.close()
+    return 1 if problems else 0
 
 
 def cmd_serve(args) -> int:
     """Run the fault-tolerant network front end until SIGTERM."""
     from repro.server import DatabaseServer, ServerConfig
 
-    db = None
-    if args.db_path:
-        db = Database(_mode(args.mode), path=args.db_path,
-                      fsync=args.fsync)
+    db = _make_db(args)
     tool = XML2Oracle(db=db, mode=_mode(args.mode),
                       obs=_observability(args))
     config = ServerConfig(
@@ -513,6 +584,8 @@ def cmd_serve(args) -> int:
     host, port = server.address
     where = (f"durable at {args.db_path}" if args.db_path
              else "in-memory")
+    if isinstance(db, ShardedDatabase):
+        where += f", {db.n_shards} shard(s)"
     print(f"-- serving ordb://{host}:{port} ({where});"
           f" SIGTERM drains gracefully", file=sys.stderr)
 
@@ -662,6 +735,11 @@ def build_parser() -> argparse.ArgumentParser:
             default="commit",
             help="WAL fsync policy for --db-path (default: commit)")
         subparser.add_argument(
+            "--shards", type=int, metavar="N",
+            help="hash-partition documents across N embedded engines"
+                 " (each with its own WAL); an existing sharded"
+                 " --db-path reopens with its manifest's count")
+        subparser.add_argument(
             "--url", metavar="ordb://HOST:PORT",
             help="ingest into a running 'repro serve' server instead"
                  " of an embedded engine (per-document transactions;"
@@ -728,6 +806,16 @@ def build_parser() -> argparse.ArgumentParser:
              " on any problem")
     recover_parser.set_defaults(handler=cmd_db_recover)
 
+    rebalance_parser = db_subparsers.add_parser(
+        "rebalance",
+        help="change a sharded store's shard count by replaying the"
+             " router journal onto a fresh generation of engines")
+    db_common(rebalance_parser)
+    rebalance_parser.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="new shard count")
+    rebalance_parser.set_defaults(handler=cmd_db_rebalance)
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the engine as a fault-tolerant TCP server"
@@ -745,6 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--fsync", choices=list(FSYNC_POLICIES), default="commit",
         help="WAL fsync policy for --db-path (default: commit)")
+    serve_parser.add_argument(
+        "--shards", type=int, metavar="N",
+        help="serve a hash-sharded database of N embedded engines"
+             " (see the ingest --shards option)")
     serve_parser.add_argument(
         "--max-connections", type=int, default=64, metavar="N",
         help="concurrent client connections (default 64)")

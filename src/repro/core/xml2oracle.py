@@ -146,6 +146,18 @@ class XML2Oracle:
             return target.atomic()
         return contextlib.nullcontext(target)
 
+    def _pin(self, doc_id: int):
+        """Route statements to *doc_id*'s home shard while open.
+
+        A sharded database (:class:`~repro.ordb.sharding.
+        ShardedDatabase`) exposes ``pin_document``; pinning keeps one
+        document's rows, meta-entries and reads together on one
+        shard.  A single-engine database has no pin — no-op."""
+        pin = getattr(self.db, "pin_document", None)
+        if pin is None:
+            return contextlib.nullcontext()
+        return pin(doc_id)
+
     @property
     def mode(self) -> CompatibilityMode:
         return self.db.mode
@@ -264,7 +276,7 @@ class XML2Oracle:
             self._next_doc_id += 1
             doc_id = self._next_doc_id
         try:
-            with self._atomic(session):
+            with self._pin(doc_id), self._atomic(session):
                 loader = DocumentLoader(schema.plan, doc_id,
                                         tracer=tracer)
                 with self.obs.phase("shred"):
@@ -466,19 +478,20 @@ class XML2Oracle:
     def fetch(self, doc_id: int, restore_misc: bool = True) -> Document:
         """Reconstruct a stored document as a DOM tree."""
         stored = self._stored(doc_id)
-        retriever = Retriever(self.db, stored.schema.plan)
-        root = retriever.fetch(doc_id)
-        document = Document()
-        if self.metadata is not None:
-            info = self.metadata.document_info(doc_id)
-            if info is not None:
-                document.xml_version = str(info[3])
-                document.encoding = str(info[4])
-                if info[5] is not None:
-                    document.standalone = str(info[5]).strip() == "Y"
-        document.append(root)
-        if restore_misc and self.metadata is not None:
-            self.metadata.restore_misc_nodes(doc_id, root, document)
+        with self._pin(doc_id):
+            retriever = Retriever(self.db, stored.schema.plan)
+            root = retriever.fetch(doc_id)
+            document = Document()
+            if self.metadata is not None:
+                info = self.metadata.document_info(doc_id)
+                if info is not None:
+                    document.xml_version = str(info[3])
+                    document.encoding = str(info[4])
+                    if info[5] is not None:
+                        document.standalone = str(info[5]).strip() == "Y"
+            document.append(root)
+            if restore_misc and self.metadata is not None:
+                self.metadata.restore_misc_nodes(doc_id, root, document)
         return document
 
     def fetch_text(self, doc_id: int, indent: str = "",
@@ -521,7 +534,7 @@ class XML2Oracle:
         stored = self._stored(doc_id)
         plan = stored.schema.plan
         deleted = 0
-        with self._atomic():
+        with self._pin(doc_id), self._atomic():
             for element in plan.table_stored_elements():
                 result = self.db.execute(
                     f"DELETE FROM {element.table} t"

@@ -100,6 +100,12 @@ class Session:
         rebuild.  The ``commit`` fault site fires first — a fired
         fault leaves the transaction open for the caller to roll
         back, modelling a crash just before the commit point.
+
+        With ``Database(group_commit=True)`` the WAL append above
+        coalesces with concurrent committers into one batched
+        append + fsync (leader/follower group commit); the durability
+        contract is unchanged — this call still returns only after
+        the batch holding this transaction's redo is on disk.
         """
         db = self.db
         committed = self.txn is not None

@@ -16,17 +16,20 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
 
 import pytest
 
-from repro.core import XML2Oracle
+from repro.core import XML2Oracle, compare
 from repro.ordb import (
     ChecksumCorruption,
     Database,
     FsyncFailure,
+    ShardedDatabase,
     TornWrite,
     TransientEngineFault,
     WalFault,
+    shard_of,
     verify_integrity,
 )
 from repro.xmlkit import parse
@@ -292,3 +295,255 @@ class TestCheckpointCrashWindows:
                                                            4, 5]
         db.close()
         assert_consistent_prefix(crash, len(DOCS), reference)
+
+
+# -- group commit: kill the *batched* append/fsync at every boundary ----------------
+
+GC_THREADS = 4
+GC_COMMITS = 3
+
+
+def _group_commit_run(live, arm=None):
+    """GC_THREADS concurrent committers on disjoint tables (strict
+    2PL holds table locks through the fsync, so only disjoint-table
+    transactions can share a batch), two rows per transaction.
+
+    Returns ``(db, acked, boundaries)`` — the still-open engine, the
+    per-thread list of acknowledged commit keys, and how many wal
+    boundaries (frame writes + fsyncs) the run crossed."""
+    probed: list[str] = []
+    db = Database(path=live, fsync="always", group_commit=True)
+    for table in range(GC_THREADS):
+        db.execute(f"CREATE TABLE gc{table}(k NUMBER, v NUMBER)")
+    if arm is not None:
+        arm(db)
+    db.faults.arm(site="wal", rate=0.0, times=None,
+                  predicate=lambda event:
+                  probed.append(event.context.get("op")) and False)
+    acked: list[list[int]] = [[] for _ in range(GC_THREADS)]
+
+    def committer(table: int) -> None:
+        session = db.session(name=f"gc-{table}")
+        for key in range(GC_COMMITS):
+            try:
+                session.begin()
+                session.execute(
+                    f"INSERT INTO gc{table} VALUES({key}, {key})")
+                session.execute(
+                    f"INSERT INTO gc{table} VALUES({key},"
+                    f" {key + 100})")
+                session.commit()
+            except (WalFault, TransientEngineFault):
+                break  # commit already rolled the transaction back
+            acked[table].append(key)
+        session.close()
+
+    threads = [threading.Thread(target=committer, args=(table,))
+               for table in range(GC_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return db, acked, len(probed)
+
+
+def _assert_group_commit_consistent(crash, acked) -> None:
+    """The recovered image holds every acknowledged transaction in
+    full, never half of one, and at most the single in-flight
+    transaction per thread beyond the acknowledged prefix."""
+    db = Database(path=crash)
+    try:
+        assert verify_integrity(db) == []
+        for table in range(GC_THREADS):
+            rows = db.execute(
+                f"SELECT g.k, g.v FROM gc{table} g").rows
+            by_key: dict[int, set] = {}
+            for key, value in rows:
+                by_key.setdefault(int(key), set()).add(int(value))
+            for key, values in by_key.items():
+                assert values == {key, key + 100}, (
+                    f"gc{table}: transaction {key} half-applied:"
+                    f" {values}")
+            survivors, confirmed = set(by_key), set(acked[table])
+            assert confirmed <= survivors, (
+                f"gc{table}: lost acknowledged commits"
+                f" {confirmed - survivors}")
+            # beyond the acked prefix only the dying in-flight
+            # transaction may surface (fsync-failure ambiguity)
+            assert survivors <= confirmed | {len(acked[table])}, (
+                f"gc{table}: unacknowledged commits surfaced:"
+                f" {survivors - confirmed}")
+    finally:
+        db.close()
+
+
+class TestGroupCommitBoundaries:
+    """A media fault at every boundary of the *batched* WAL path.
+
+    The contract under test: a batch failure kills every member —
+    all error and roll back, none acknowledge — and later batches
+    land on the repaired log, so an acknowledged commit is never
+    lost and an unacknowledged one never half-applies."""
+
+    def test_clean_run_batches_and_recovers_everything(self,
+                                                       tmp_path):
+        db, acked, boundaries = _group_commit_run(tmp_path / "live")
+        assert all(len(done) == GC_COMMITS for done in acked)
+        assert boundaries >= GC_THREADS * GC_COMMITS
+        assert db.stats["group_commit_batches"] >= 1
+        assert db.stats["group_commit_records"] \
+            >= GC_THREADS * GC_COMMITS
+        crash = tmp_path / "crash"
+        crash_image(db, crash)
+        db.close()
+        _assert_group_commit_consistent(crash, acked)
+
+    @pytest.mark.parametrize("effect", [TornWrite, FsyncFailure,
+                                        ChecksumCorruption])
+    def test_kill_at_every_batched_boundary(self, effect, tmp_path):
+        dry = tmp_path / "dry"
+        db, _, boundaries = _group_commit_run(dry)
+        db.close()
+        fired_total = 0
+        for index in range(1, boundaries + 1):
+            live = tmp_path / f"kill-{index}"
+            db, acked, _ = _group_commit_run(
+                live, arm=lambda database: database.faults.arm(
+                    site="wal", at=index, error=effect))
+            fired_total += len(db.faults.fired)
+            crash = tmp_path / f"kill-{index}-crash"
+            crash_image(db, crash)
+            db.close()
+            _assert_group_commit_consistent(crash, acked)
+        # batch composition varies with timing, so late indices may
+        # never be reached in some runs — but the sweep as a whole
+        # must actually have killed batches
+        assert fired_total > 0, "sweep never reached a boundary"
+
+    def test_seeded_random_batch_kills(self, tmp_path):
+        for round_ in range(3):
+            live = tmp_path / f"round-{round_}"
+            db, acked, _ = _group_commit_run(
+                live, arm=lambda database: database.faults.arm(
+                    site="wal", rate=0.15, seed=SEED * 131 + round_,
+                    error=TornWrite))
+            crash = tmp_path / f"round-{round_}-crash"
+            crash_image(db, crash)
+            db.close()
+            _assert_group_commit_consistent(crash, acked)
+
+
+# -- sharded store: kill one shard, recover the cluster -----------------------------
+
+
+def crash_image_tree(db: ShardedDatabase, target) -> None:
+    """Recursive :func:`crash_image` for a sharded directory tree."""
+    shutil.copytree(db.path, target)
+
+
+def sharded_doc_ids(n_docs: int, n_shards: int, home: int
+                    ) -> list[int]:
+    """Which of the next *n_docs* sequential DocIDs live on *home*."""
+    return [doc_id for doc_id in range(1, n_docs + 1)
+            if shard_of(doc_id, n_shards) == home]
+
+
+class TestShardedCrashRecovery:
+    """One shard's WAL dies mid-``store_many``; the cluster must
+    quarantine exactly that shard's documents, keep full fidelity on
+    the others, recover every shard from its own log, and rebalance
+    afterwards without losing a row."""
+
+    N_DOCS = 8
+
+    def make_tool(self, path, n_shards=2, fsync="commit"):
+        db = ShardedDatabase(n_shards=n_shards, path=path,
+                             fsync=fsync)
+        tool = XML2Oracle(db=db, validate_documents=False)
+        tool.register_schema(DTD, sample_document=school_doc(0))
+        return tool
+
+    def test_kill_one_shard_mid_store_many(self, tmp_path,
+                                           reference):
+        tool = self.make_tool(tmp_path / "live")
+        db = tool.db
+        docs = [school_doc(n) for n in range(1, self.N_DOCS + 1)]
+        assert sharded_doc_ids(self.N_DOCS, db.n_shards, home=1), \
+            "hash spread left shard 1 empty; widen N_DOCS"
+        # shard 1's WAL tears on its first commit of the batch: the
+        # document that hit it quarantines, every other one commits
+        # on its own healthy shard
+        db.faults.arm(site="wal", shard=1, at=1, error=TornWrite)
+        report = tool.store_many(docs, continue_on_error=True,
+                                 workers=2)
+        assert len(report.quarantined) == 1, report.describe()
+        stored = {outcome.doc_id for outcome in report.stored}
+        assert len(stored) == self.N_DOCS - 1
+        # live cluster: surviving documents round-trip bit-perfectly
+        for outcome in report.stored:
+            rebuilt = tool.fetch(outcome.doc_id)
+            score = compare(parse(docs[outcome.index]),
+                            rebuilt).score
+            assert score == 1.0, f"DocID {outcome.doc_id} corrupted"
+        db.faults.clear()
+        crash = tmp_path / "crash"
+        crash_image_tree(db, crash)
+        db.close()
+        # the recovered cluster: every shard replays its own log
+        recovered = ShardedDatabase(path=crash)
+        try:
+            assert recovered.n_shards == 2
+            assert recovered.verify() == []
+            meta = sorted(int(value) for (value,) in recovered.execute(
+                "SELECT m.DocID FROM TabMetadata m").rows)
+            assert meta == sorted(stored)
+            # whole documents or nothing, cluster-wide
+            for name, per_doc in reference.items():
+                count = recovered.execute(
+                    f"SELECT COUNT(*) FROM {name}").scalar()
+                assert count == per_doc * len(meta), name
+            # each survivor lives wholly on its hash-assigned shard
+            for doc_id in meta:
+                home = recovered.shard_for(doc_id)
+                for index, shard_db in enumerate(recovered.shards):
+                    rows = shard_db.execute(
+                        "SELECT COUNT(*) FROM TabMetadata"
+                        f" WHERE DocID = {doc_id}").scalar()
+                    assert rows == (1 if index == home else 0)
+            # rebalance the recovered cluster 2 -> 4 and re-verify
+            info = recovered.rebalance(4)
+            assert info["n_shards"] == 4
+            assert recovered.verify() == []
+            meta_after = sorted(
+                int(value) for (value,) in recovered.execute(
+                    "SELECT m.DocID FROM TabMetadata m").rows)
+            assert meta_after == meta
+            for name, per_doc in reference.items():
+                count = recovered.execute(
+                    f"SELECT COUNT(*) FROM {name}").scalar()
+                assert count == per_doc * len(meta), name
+        finally:
+            recovered.close()
+        # and the rebalanced topology survives another reopen
+        reopened = ShardedDatabase(path=crash)
+        try:
+            assert reopened.n_shards == 4
+            assert reopened.verify() == []
+        finally:
+            reopened.close()
+
+    def test_per_shard_recover_verify_all_healthy(self, tmp_path):
+        tool = self.make_tool(tmp_path / "db", n_shards=3)
+        for n in range(1, 5):
+            tool.store(parse(school_doc(n)))
+        tool.db.close()
+        db = ShardedDatabase(path=tmp_path / "db")
+        try:
+            info = db.recovery_info
+            assert len(info["shards"]) == 3
+            assert info["transactions_replayed"] == sum(
+                shard["transactions_replayed"]
+                for shard in info["shards"])
+            assert db.verify() == []
+        finally:
+            db.close()
